@@ -1,0 +1,275 @@
+//! FLEET3 (Sanei-Mehri, Zhang, Sariyüce, Tirthapura — CIKM 2019).
+//!
+//! FLEET estimates butterfly counts over *insert-only* bipartite graph
+//! streams with a fixed memory budget:
+//!
+//! * every arriving edge is counted against the current reservoir (the same
+//!   per-edge kernel ABACUS uses) and each discovered butterfly contributes
+//!   `1/p³` to the estimate, where `p` is the current admission probability —
+//!   the probability that each of the three complementary edges survived into
+//!   the reservoir,
+//! * the edge is then admitted to the reservoir with probability `p`,
+//! * whenever the reservoir fills up, it is resized: every stored edge is kept
+//!   independently with probability γ (0.75, the value recommended and used in
+//!   the paper) and `p ← γ·p`.
+//!
+//! Deletions are **ignored** (the original algorithm has no concept of them);
+//! the estimator exposes how many were dropped so experiments can report it.
+
+use abacus_core::{ButterflyCounter, ProcessingStats, SampleGraph};
+use abacus_graph::count_butterflies_with_edge;
+use abacus_sampling::{AdaptiveBernoulli, SampleStore};
+use abacus_stream::{EdgeDelta, StreamElement};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the FLEET3 baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Reservoir capacity (edges).
+    pub capacity: usize,
+    /// Resize factor γ ∈ (0, 1); the paper proposes 0.75.
+    pub gamma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Creates a configuration with the paper's γ = 0.75.
+    ///
+    /// # Panics
+    /// Panics if `capacity < 2`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "FLEET requires a capacity of at least 2 edges");
+        FleetConfig {
+            capacity,
+            gamma: 0.75,
+            seed: 0,
+        }
+    }
+
+    /// Returns the configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with a different resize factor.
+    ///
+    /// # Panics
+    /// Panics if γ is outside `(0, 1)`.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1)");
+        self.gamma = gamma;
+        self
+    }
+}
+
+/// The FLEET3 estimator.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    sample: SampleGraph,
+    policy: AdaptiveBernoulli,
+    rng: StdRng,
+    estimate: f64,
+    stats: ProcessingStats,
+    ignored_deletions: u64,
+}
+
+impl Fleet {
+    /// Creates the estimator.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        Fleet {
+            config,
+            sample: SampleGraph::with_budget(config.capacity),
+            policy: AdaptiveBernoulli::new(config.capacity, config.gamma),
+            rng: StdRng::seed_from_u64(config.seed),
+            estimate: 0.0,
+            stats: ProcessingStats::default(),
+            ignored_deletions: 0,
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    #[must_use]
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// Current admission probability `p`.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.policy.probability()
+    }
+
+    /// Number of reservoir resize events so far.
+    #[must_use]
+    pub fn resizes(&self) -> usize {
+        self.policy.resizes()
+    }
+
+    /// Number of deletions that were dropped because FLEET cannot handle them.
+    #[must_use]
+    pub fn ignored_deletions(&self) -> u64 {
+        self.ignored_deletions
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ProcessingStats {
+        self.stats
+    }
+
+    fn subsample_reservoir(&mut self) {
+        let keep_probability = self.policy.resize();
+        let edges: Vec<_> = self.sample.edges().to_vec();
+        for edge in edges {
+            if !self.rng.random_bool(keep_probability) {
+                self.sample.store_remove(&edge);
+            }
+        }
+    }
+}
+
+impl ButterflyCounter for Fleet {
+    fn process(&mut self, element: StreamElement) {
+        match element.delta {
+            EdgeDelta::Delete => {
+                // FLEET is insert-only: deletions are silently dropped.
+                self.ignored_deletions += 1;
+            }
+            EdgeDelta::Insert => {
+                // 1. Count against the reservoir and extrapolate with 1/p³.
+                let per_edge = count_butterflies_with_edge(&self.sample, element.edge);
+                let p = self.policy.probability();
+                if per_edge.butterflies > 0 && p > 0.0 {
+                    self.estimate += per_edge.butterflies as f64 / (p * p * p);
+                }
+                self.stats
+                    .record_element(true, per_edge.butterflies, per_edge.comparisons);
+
+                // 2. Admit with probability p; resize when full.
+                if self.policy.admit(&mut self.rng) {
+                    self.sample.store_insert(element.edge);
+                    if self.sample.len() >= self.config.capacity {
+                        self.subsample_reservoir();
+                    }
+                }
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "FLEET"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::{count_butterflies, Edge};
+    use abacus_stream::generators::random::uniform_bipartite;
+    use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn insert_stream(seed: u64, edges: usize) -> Vec<StreamElement> {
+        uniform_bipartite(100, 100, edges, &mut StdRng::seed_from_u64(seed))
+            .into_iter()
+            .map(StreamElement::insert)
+            .collect()
+    }
+
+    #[test]
+    fn exact_while_probability_is_one() {
+        // Capacity larger than the stream: p stays 1, estimate is exact.
+        let stream = vec![
+            StreamElement::insert(Edge::new(0, 10)),
+            StreamElement::insert(Edge::new(0, 11)),
+            StreamElement::insert(Edge::new(1, 10)),
+            StreamElement::insert(Edge::new(1, 11)),
+        ];
+        let mut fleet = Fleet::new(FleetConfig::new(100).with_seed(1));
+        fleet.process_stream(&stream);
+        assert_eq!(fleet.estimate(), 1.0);
+        assert_eq!(fleet.probability(), 1.0);
+        assert_eq!(fleet.resizes(), 0);
+        assert_eq!(fleet.name(), "FLEET");
+    }
+
+    #[test]
+    fn resizes_keep_reservoir_under_capacity() {
+        let stream = insert_stream(2, 5_000);
+        let mut fleet = Fleet::new(FleetConfig::new(256).with_seed(3));
+        for e in &stream {
+            fleet.process(*e);
+            assert!(fleet.memory_edges() <= 256);
+        }
+        assert!(fleet.resizes() > 0);
+        assert!(fleet.probability() < 1.0);
+        assert_eq!(fleet.stats().insertions, 5_000);
+    }
+
+    #[test]
+    fn reasonably_accurate_on_insert_only_streams() {
+        let stream = insert_stream(4, 4_000);
+        let truth = count_butterflies(&final_graph(&stream)) as f64;
+        assert!(truth > 0.0);
+        // Average over several runs to smooth sampling noise.
+        let runs = 20;
+        let mean: f64 = (0..runs)
+            .map(|seed| {
+                let mut fleet = Fleet::new(FleetConfig::new(1_000).with_seed(seed));
+                fleet.process_stream(&stream);
+                fleet.estimate()
+            })
+            .sum::<f64>()
+            / runs as f64;
+        let relative = (mean - truth).abs() / truth;
+        assert!(relative < 0.30, "mean {mean} vs truth {truth} ({relative})");
+    }
+
+    #[test]
+    fn deletions_are_ignored_and_counted() {
+        let edges = uniform_bipartite(50, 50, 1_000, &mut StdRng::seed_from_u64(5));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.3),
+            &mut StdRng::seed_from_u64(6),
+        );
+        let mut fleet = Fleet::new(FleetConfig::new(2_000).with_seed(7));
+        fleet.process_stream(&stream);
+        assert_eq!(fleet.ignored_deletions(), 300);
+        // With capacity above the stream size FLEET counts the insert-only
+        // graph exactly — which over-counts the true (post-deletion) graph.
+        let insert_only_truth = count_butterflies(&final_graph(
+            &edges
+                .iter()
+                .copied()
+                .map(StreamElement::insert)
+                .collect::<Vec<_>>(),
+        )) as f64;
+        let dynamic_truth = count_butterflies(&final_graph(&stream)) as f64;
+        assert_eq!(fleet.estimate(), insert_only_truth);
+        assert!(fleet.estimate() > dynamic_truth, "deletions must hurt FLEET");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_panics() {
+        let _ = FleetConfig::new(10).with_gamma(1.5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # abacus-baselines
+//!
+//! The state-of-the-art *insert-only* butterfly estimators the paper compares
+//! against:
+//!
+//! * [`fleet`] — FLEET3 (Sanei-Mehri et al., CIKM 2019): adaptive Bernoulli
+//!   reservoir with γ-resizing and a `1/p³` extrapolation per discovered
+//!   butterfly,
+//! * [`cas`] — CAS (Li et al., TKDE 2022): a co-affiliation sampling scheme
+//!   that splits its memory between an edge reservoir and an AMS-style
+//!   sketch (ratio λ),
+//! * [`sketch`] — the AMS second-moment sketch used by CAS.
+//!
+//! Both baselines silently drop edge deletions — exactly as the original
+//! systems do — which is what produces the accuracy gap measured in Fig. 3 of
+//! the paper.  See `DESIGN.md` §3 for the re-implementation caveats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cas;
+pub mod fleet;
+pub mod sketch;
+
+pub use cas::{Cas, CasConfig};
+pub use fleet::{Fleet, FleetConfig};
+pub use sketch::AmsSketch;

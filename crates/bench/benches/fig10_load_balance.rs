@@ -1,0 +1,12 @@
+//! Regenerates Fig. 10 (per-thread workload / load balance).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig10_load_balance`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    for table in experiments::fig10_load_balance(&settings) {
+        println!("{}", table.to_markdown());
+    }
+}

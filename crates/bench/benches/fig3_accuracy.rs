@@ -1,0 +1,12 @@
+//! Regenerates Fig. 3 (relative error with 20% deletions vs. sample size).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig3_accuracy`.
+//! Environment knobs: `ABACUS_TRIALS`, `ABACUS_SAMPLE_SIZES`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let table = experiments::fig3_accuracy_with_deletions(&settings);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (throughput vs. sample size, all estimators).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig4_throughput`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let table = experiments::fig4_throughput(&settings);
+    println!("{}", table.to_markdown());
+}

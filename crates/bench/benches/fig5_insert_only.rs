@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5 (relative error on insert-only streams).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig5_insert_only`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    let table = experiments::fig5_accuracy_insert_only(&settings);
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 6 (impact of the deletion ratio on accuracy and
+//! throughput).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig6_deletions`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    println!("{}", experiments::fig6a_error_vs_alpha(&settings).to_markdown());
+    println!("{}", experiments::fig6b_throughput_vs_alpha(&settings).to_markdown());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7 (elapsed time vs. elements processed).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig7_scalability`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    for table in experiments::fig7_scalability(&settings) {
+        println!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8 (PARABACUS speedup vs. mini-batch size).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig8_batch_size`.
+//! Environment knobs: `ABACUS_BATCH_SIZES`, `ABACUS_THREADS`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    for table in experiments::fig8_speedup_vs_batch_size(&settings) {
+        println!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9 (PARABACUS speedup vs. number of threads).
+//!
+//! Run with `cargo bench -p abacus-bench --bench fig9_threads`.
+//! Environment knobs: `ABACUS_THREADS`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    for table in experiments::fig9_speedup_vs_threads(&settings) {
+        println!("{}", table.to_markdown());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table II (dataset statistics).
+//!
+//! Run with `cargo bench -p abacus-bench --bench table2`.
+
+fn main() {
+    let table = abacus_bench::experiments::table2_dataset_statistics();
+    println!("{}", table.to_markdown());
+}

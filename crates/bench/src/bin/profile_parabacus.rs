@@ -1,0 +1,89 @@
+//! Diagnostic timing harness for the PARABACUS hot path.
+//!
+//! Prints absolute runtimes of sequential ABACUS and PARABACUS under various
+//! mini-batch sizes and thread counts on one dataset analog, so regressions in
+//! the versioned-sample view or the batch machinery show up as raw seconds
+//! rather than only as a distorted Fig. 8/9 speedup table.
+//!
+//! Run with `cargo run --release -p abacus-bench --bin profile_parabacus`.
+
+use abacus_bench::datasets::prepared_stream;
+use abacus_bench::runners::{run, Algorithm};
+use abacus_core::{ButterflyCounter, ParAbacus, ParAbacusConfig};
+use abacus_stream::Dataset;
+use std::time::Instant;
+
+fn main() {
+    let budget = std::env::var("PROFILE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500);
+    let scale: u32 = std::env::var("PROFILE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let dataset = Dataset::MovielensLike;
+    let stream = if scale > 1 {
+        dataset.spec().scaled(scale).stream(0.2, 0)
+    } else {
+        prepared_stream(dataset, 0.2).stream
+    };
+    println!(
+        "dataset={} (scale {scale}) stream={} elements, budget={budget}",
+        dataset.name(),
+        stream.len()
+    );
+
+    let abacus = run(Algorithm::Abacus, budget, 0, &stream);
+    {
+        // One direct run to report the average intersection work per element.
+        let mut estimator = abacus_core::Abacus::new(abacus_core::AbacusConfig::new(budget));
+        estimator.process_stream(&stream);
+        println!(
+            "ABACUS                      {:>8.3}s  ({:>10.0} edges/s)  {:.0} probes/element",
+            abacus.throughput.seconds,
+            abacus.throughput.per_second(),
+            estimator.stats().comparisons as f64 / stream.len() as f64,
+        );
+    }
+
+    for &(batch_size, threads) in &[
+        (500usize, 1usize),
+        (500, 8),
+        (500, 24),
+        (10_000, 1),
+        (10_000, 8),
+        (10_000, 24),
+    ] {
+        let result = run(
+            Algorithm::ParAbacus {
+                batch_size,
+                threads,
+            },
+            budget,
+            0,
+            &stream,
+        );
+        // Re-run once through the estimator directly to break the runtime into
+        // the sequential (phase 1) and parallel-counting (phase 2) shares.
+        let mut estimator = ParAbacus::new(
+            ParAbacusConfig::new(budget)
+                .with_batch_size(batch_size)
+                .with_threads(threads),
+        );
+        let start = Instant::now();
+        estimator.process_stream(&stream);
+        let total = start.elapsed().as_secs_f64();
+        let timings = estimator.phase_timings();
+        println!(
+            "PARABACUS M={batch_size:<6} p={threads:<3}    {:>8.3}s  ({:>10.0} edges/s)  speedup {:.2}  \
+             [phase1 {:.3}s, phase2 {:.3}s, other {:.3}s]",
+            result.throughput.seconds,
+            result.throughput.per_second(),
+            abacus.throughput.seconds / result.throughput.seconds.max(1e-12),
+            timings.sequential_seconds,
+            timings.counting_seconds,
+            total - timings.sequential_seconds - timings.counting_seconds,
+        );
+    }
+}

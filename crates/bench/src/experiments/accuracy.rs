@@ -1,0 +1,122 @@
+//! Fig. 3 and Fig. 5 — relative error vs. sample size.
+//!
+//! Fig. 3 uses fully dynamic streams (α = 20%): ABACUS handles the deletions,
+//! FLEET and CAS drop them and therefore drift away from the true count.
+//! Fig. 5 repeats the comparison on insert-only streams (α = 0%), where all
+//! three are expected to be comparable.
+
+use crate::datasets::prepared_stream;
+use crate::runners::{run, Algorithm};
+use crate::settings::Settings;
+use abacus_metrics::{Summary, Table};
+use abacus_stream::Dataset;
+
+/// Mean relative error (%) of one algorithm over `trials` independent runs.
+fn mean_error(
+    algorithm: Algorithm,
+    budget: usize,
+    trials: u64,
+    stream: &[abacus_stream::StreamElement],
+    ground_truth: f64,
+) -> Summary {
+    (0..trials)
+        .map(|trial| {
+            run(algorithm, budget, 1_000 + trial, stream).relative_error_percent(ground_truth)
+        })
+        .collect()
+}
+
+fn accuracy_table(title: &str, alpha: f64, settings: &Settings) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "Dataset",
+            "k (edges)",
+            "ABACUS err %",
+            "FLEET err %",
+            "CAS err %",
+            "ABACUS vs FLEET",
+            "ABACUS vs CAS",
+        ],
+    );
+    for dataset in Dataset::all() {
+        let prepared = prepared_stream(dataset, alpha);
+        for &k in &settings.sample_sizes {
+            let abacus = mean_error(
+                Algorithm::Abacus,
+                k,
+                settings.trials,
+                &prepared.stream,
+                prepared.ground_truth,
+            );
+            let fleet = mean_error(
+                Algorithm::Fleet,
+                k,
+                settings.trials,
+                &prepared.stream,
+                prepared.ground_truth,
+            );
+            let cas = mean_error(
+                Algorithm::Cas,
+                k,
+                settings.trials,
+                &prepared.stream,
+                prepared.ground_truth,
+            );
+            let improvement = |other: &Summary| {
+                if abacus.mean() > 0.0 {
+                    format!("{:.1}x", other.mean() / abacus.mean())
+                } else {
+                    "inf".to_string()
+                }
+            };
+            table.push_row([
+                dataset.name().to_string(),
+                k.to_string(),
+                format!("{:.2}", abacus.mean()),
+                format!("{:.2}", fleet.mean()),
+                format!("{:.2}", cas.mean()),
+                improvement(&fleet),
+                improvement(&cas),
+            ]);
+        }
+    }
+    table
+}
+
+/// Fig. 3 — relative error with 20% deletions, varying the sample size.
+#[must_use]
+pub fn fig3_accuracy_with_deletions(settings: &Settings) -> Table {
+    accuracy_table(
+        "Fig. 3 — Relative error (%) with 20% deletions, varying sample size",
+        settings.default_alpha,
+        settings,
+    )
+}
+
+/// Fig. 5 — relative error on insert-only streams (α = 0%).
+#[must_use]
+pub fn fig5_accuracy_insert_only(settings: &Settings) -> Table {
+    accuracy_table(
+        "Fig. 5 — Relative error (%) on insert-only streams (alpha = 0%)",
+        0.0,
+        settings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_a_row_per_dataset_and_sample_size() {
+        let settings = Settings {
+            trials: 1,
+            sample_sizes: vec![400],
+            ..Settings::default()
+        };
+        let table = fig3_accuracy_with_deletions(&settings);
+        assert_eq!(table.len(), 4);
+        assert!(table.to_markdown().contains("ABACUS err %"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 6 — impact of the deletion ratio α on ABACUS.
+
+use crate::datasets::prepared_stream;
+use crate::runners::{run, Algorithm};
+use crate::settings::Settings;
+use abacus_metrics::{Summary, Table};
+use abacus_stream::Dataset;
+
+/// The sample size used throughout Fig. 6 (the paper's 150K, scaled).
+fn fig6_sample_size(settings: &Settings) -> usize {
+    settings
+        .sample_sizes
+        .get(settings.sample_sizes.len() / 2)
+        .copied()
+        .unwrap_or(1_500)
+}
+
+/// Fig. 6a — relative error (%) of ABACUS per dataset while varying α.
+#[must_use]
+pub fn fig6a_error_vs_alpha(settings: &Settings) -> Table {
+    let k = fig6_sample_size(settings);
+    let mut header: Vec<String> = vec!["Dataset".to_string()];
+    for alpha in &settings.deletion_ratios {
+        header.push(format!("err % @ alpha={:.0}%", alpha * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig. 6a — ABACUS relative error vs deletion ratio (k = {k})"),
+        &header_refs,
+    );
+    for dataset in Dataset::all() {
+        let mut row = vec![dataset.name().to_string()];
+        for &alpha in &settings.deletion_ratios {
+            let prepared = prepared_stream(dataset, alpha);
+            let errors: Summary = (0..settings.trials)
+                .map(|trial| {
+                    run(Algorithm::Abacus, k, 2_000 + trial, &prepared.stream)
+                        .relative_error_percent(prepared.ground_truth)
+                })
+                .collect();
+            row.push(format!("{:.2}", errors.mean()));
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+/// Fig. 6b — throughput (K edges/s) of ABACUS per dataset while varying α.
+#[must_use]
+pub fn fig6b_throughput_vs_alpha(settings: &Settings) -> Table {
+    let k = fig6_sample_size(settings);
+    let mut header: Vec<String> = vec!["Dataset".to_string()];
+    for alpha in &settings.deletion_ratios {
+        header.push(format!("K edges/s @ alpha={:.0}%", alpha * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig. 6b — ABACUS throughput vs deletion ratio (k = {k})"),
+        &header_refs,
+    );
+    for dataset in Dataset::all() {
+        let mut row = vec![dataset.name().to_string()];
+        for &alpha in &settings.deletion_ratios {
+            let prepared = prepared_stream(dataset, alpha);
+            let result = run(Algorithm::Abacus, k, 0, &prepared.stream);
+            row.push(format!("{:.0}", result.throughput.kilo_per_second()));
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_tables_have_one_row_per_dataset() {
+        let settings = Settings {
+            trials: 1,
+            sample_sizes: vec![400],
+            deletion_ratios: vec![0.1],
+            ..Settings::default()
+        };
+        assert_eq!(fig6a_error_vs_alpha(&settings).len(), 4);
+        assert_eq!(fig6b_throughput_vs_alpha(&settings).len(), 4);
+    }
+}

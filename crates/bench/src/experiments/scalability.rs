@@ -1,0 +1,70 @@
+//! Fig. 7 — ABACUS scales linearly with the stream size.
+//!
+//! The paper reports the elapsed time after each processed decile of the
+//! Trackers and Orkut streams, for three sample sizes.
+
+use crate::datasets::prepared_stream;
+use crate::runners::run_abacus_with_checkpoints;
+use crate::settings::Settings;
+use abacus_metrics::Table;
+use abacus_stream::Dataset;
+
+/// Fig. 7 — elapsed seconds after every processed decile of the stream, for
+/// each sample size, on the Trackers-like and Orkut-like workloads.
+#[must_use]
+pub fn fig7_scalability(settings: &Settings) -> Vec<Table> {
+    [Dataset::TrackersLike, Dataset::OrkutLike]
+        .into_iter()
+        .map(|dataset| scalability_table(dataset, settings))
+        .collect()
+}
+
+fn scalability_table(dataset: Dataset, settings: &Settings) -> Table {
+    let prepared = prepared_stream(dataset, settings.default_alpha);
+    let decile = (prepared.stream.len() / 10).max(1);
+
+    let mut header: Vec<String> = vec!["Elements processed".to_string()];
+    for &k in &settings.sample_sizes {
+        header.push(format!("k={k} (s)"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig. 7 — ABACUS elapsed time vs elements processed ({})", dataset.name()),
+        &header_refs,
+    );
+
+    let series: Vec<Vec<(usize, f64)>> = settings
+        .sample_sizes
+        .iter()
+        .map(|&k| run_abacus_with_checkpoints(k, 0, &prepared.stream, decile))
+        .collect();
+
+    if let Some(first) = series.first() {
+        for (row_index, &(elements, _)) in first.iter().enumerate() {
+            let mut row = vec![elements.to_string()];
+            for column in &series {
+                row.push(format!("{:.3}", column[row_index].1));
+            }
+            table.add_row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_two_tables_with_about_ten_rows() {
+        let settings = Settings {
+            sample_sizes: vec![300],
+            ..Settings::default()
+        };
+        let tables = fig7_scalability(&settings);
+        assert_eq!(tables.len(), 2);
+        for table in tables {
+            assert!(table.len() >= 10, "expected >= 10 checkpoints, got {}", table.len());
+        }
+    }
+}

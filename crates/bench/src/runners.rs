@@ -1,0 +1,203 @@
+//! Timed single-run drivers for every estimator.
+//!
+//! A *run* processes one stream with one estimator configuration and reports
+//! the estimate, the wall-clock throughput, and (where available) per-thread
+//! workload counters.  The experiment modules compose runs into the paper's
+//! tables.
+
+use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
+use abacus_core::{Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig};
+use abacus_metrics::{relative_error_percent, Throughput};
+use abacus_stream::StreamElement;
+use std::time::Instant;
+
+/// The estimators compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// ABACUS (sequential, fully dynamic).
+    Abacus,
+    /// PARABACUS (mini-batch parallel, fully dynamic).
+    ParAbacus {
+        /// Mini-batch size `M`.
+        batch_size: usize,
+        /// Worker threads `p`.
+        threads: usize,
+    },
+    /// FLEET3 (insert-only baseline).
+    Fleet,
+    /// CAS (insert-only baseline).
+    Cas,
+}
+
+impl Algorithm {
+    /// Display name for result tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Abacus => "ABACUS",
+            Algorithm::ParAbacus { .. } => "PARABACUS",
+            Algorithm::Fleet => "FLEET",
+            Algorithm::Cas => "CAS",
+        }
+    }
+}
+
+/// Result of one timed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which estimator produced the result.
+    pub algorithm: Algorithm,
+    /// Final butterfly-count estimate.
+    pub estimate: f64,
+    /// Throughput over the whole stream.
+    pub throughput: Throughput,
+    /// Per-thread set-intersection workloads (PARABACUS only, empty
+    /// otherwise).
+    pub thread_workloads: Vec<u64>,
+    /// Number of edges held in memory at the end of the run.
+    pub memory_edges: usize,
+}
+
+impl RunResult {
+    /// Relative error (%) of the run against a ground-truth count.
+    #[must_use]
+    pub fn relative_error_percent(&self, ground_truth: f64) -> f64 {
+        relative_error_percent(ground_truth, self.estimate)
+    }
+}
+
+/// Runs one estimator over a stream, timing the processing loop only (stream
+/// generation and ground-truth computation are excluded, as in the paper).
+#[must_use]
+pub fn run(algorithm: Algorithm, budget: usize, seed: u64, stream: &[StreamElement]) -> RunResult {
+    match algorithm {
+        Algorithm::Abacus => {
+            let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+            timed(algorithm, &mut estimator, stream, Vec::new())
+        }
+        Algorithm::ParAbacus {
+            batch_size,
+            threads,
+        } => {
+            let mut estimator = ParAbacus::new(
+                ParAbacusConfig::new(budget)
+                    .with_seed(seed)
+                    .with_batch_size(batch_size)
+                    .with_threads(threads),
+            );
+            let start = Instant::now();
+            estimator.process_stream(stream);
+            let elapsed = start.elapsed();
+            RunResult {
+                algorithm,
+                estimate: estimator.estimate(),
+                throughput: Throughput::new(stream.len() as u64, elapsed),
+                thread_workloads: estimator.thread_workloads().to_vec(),
+                memory_edges: estimator.memory_edges(),
+            }
+        }
+        Algorithm::Fleet => {
+            let mut estimator = Fleet::new(FleetConfig::new(budget).with_seed(seed));
+            timed(algorithm, &mut estimator, stream, Vec::new())
+        }
+        Algorithm::Cas => {
+            let mut estimator = Cas::new(CasConfig::new(budget).with_seed(seed));
+            timed(algorithm, &mut estimator, stream, Vec::new())
+        }
+    }
+}
+
+fn timed<C: ButterflyCounter>(
+    algorithm: Algorithm,
+    estimator: &mut C,
+    stream: &[StreamElement],
+    thread_workloads: Vec<u64>,
+) -> RunResult {
+    let start = Instant::now();
+    estimator.process_stream(stream);
+    let elapsed = start.elapsed();
+    RunResult {
+        algorithm,
+        estimate: estimator.estimate(),
+        throughput: Throughput::new(stream.len() as u64, elapsed),
+        thread_workloads,
+        memory_edges: estimator.memory_edges(),
+    }
+}
+
+/// Runs ABACUS and records the elapsed wall-clock time after every
+/// `checkpoint_every` elements (the scalability series of Fig. 7).
+#[must_use]
+pub fn run_abacus_with_checkpoints(
+    budget: usize,
+    seed: u64,
+    stream: &[StreamElement],
+    checkpoint_every: usize,
+) -> Vec<(usize, f64)> {
+    assert!(checkpoint_every > 0);
+    let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+    let mut checkpoints = Vec::new();
+    let start = Instant::now();
+    for (index, element) in stream.iter().enumerate() {
+        estimator.process(*element);
+        if (index + 1) % checkpoint_every == 0 || index + 1 == stream.len() {
+            checkpoints.push((index + 1, start.elapsed().as_secs_f64()));
+        }
+    }
+    checkpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+
+    fn small_stream() -> Vec<StreamElement> {
+        let mut out = Vec::new();
+        for l in 0..20u32 {
+            for r in 0..10u32 {
+                out.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_algorithms_run_and_report() {
+        let stream = small_stream();
+        for algorithm in [
+            Algorithm::Abacus,
+            Algorithm::ParAbacus {
+                batch_size: 32,
+                threads: 2,
+            },
+            Algorithm::Fleet,
+            Algorithm::Cas,
+        ] {
+            let result = run(algorithm, 64, 1, &stream);
+            assert!(result.estimate >= 0.0, "{}", algorithm.label());
+            assert!(result.throughput.per_second() > 0.0);
+            assert!(result.memory_edges > 0);
+            if matches!(algorithm, Algorithm::ParAbacus { .. }) {
+                assert!(!result.thread_workloads.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_computed_against_truth() {
+        let stream = small_stream();
+        // Budget covers the whole stream: ABACUS is exact.
+        let result = run(Algorithm::Abacus, 1_000, 0, &stream);
+        let truth = abacus_graph::count_butterflies(&abacus_stream::final_graph(&stream)) as f64;
+        assert!(result.relative_error_percent(truth) < 1e-9);
+    }
+
+    #[test]
+    fn checkpoints_are_monotone() {
+        let stream = small_stream();
+        let checkpoints = run_abacus_with_checkpoints(64, 0, &stream, 50);
+        assert_eq!(checkpoints.last().unwrap().0, stream.len());
+        assert!(checkpoints.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! The whole CLI grammar is a subcommand followed by `--key value` pairs plus
+//! boolean `--flag`s, so a dependency-free parser of a few dozen lines is
+//! preferable to pulling a full argument-parsing crate into the workspace.
+
+use crate::error::CliError;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Parsed `--key value` options of one invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Arguments {
+    values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+    consumed: std::cell::RefCell<BTreeSet<String>>,
+}
+
+/// Option names that are valid without a value (boolean flags).
+const FLAGS: &[&str] = &["ground-truth"];
+
+impl Arguments {
+    /// Parses everything after the subcommand.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        let mut flags = BTreeSet::new();
+        let mut iter = raw.iter().peekable();
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError::UnknownOption(token.clone()));
+            };
+            if FLAGS.contains(&key) {
+                flags.insert(key.to_string());
+                continue;
+            }
+            let Some(value) = iter.next() else {
+                return Err(CliError::MissingValue(key.to_string()));
+            };
+            values.insert(key.to_string(), value.clone());
+        }
+        Ok(Arguments {
+            values,
+            flags,
+            consumed: std::cell::RefCell::new(BTreeSet::new()),
+        })
+    }
+
+    /// The raw string value of an option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().insert(key.to_string());
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The string value of a required option.
+    pub fn require(&self, key: &'static str) -> Result<&str, CliError> {
+        self.get(key).ok_or(CliError::MissingOption(key))
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.consumed.borrow_mut().insert(key.to_string());
+        self.flags.contains(key)
+    }
+
+    /// A parsed numeric or otherwise `FromStr` option with a default.
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| CliError::InvalidValue {
+                option: key.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Fails if any provided option was never consumed by the command —
+    /// catching typos like `--tread 8` that would otherwise be ignored.
+    pub fn reject_unused(&self) -> Result<(), CliError> {
+        let consumed = self.consumed.borrow();
+        for key in self.values.keys().chain(self.flags.iter()) {
+            if !consumed.contains(key) {
+                return Err(CliError::UnknownOption(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Arguments, CliError> {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw)
+    }
+
+    #[test]
+    fn parses_key_value_pairs_and_flags() {
+        let args = parse(&["--budget", "100", "--ground-truth", "--output", "x.txt"]).unwrap();
+        assert_eq!(args.get("budget"), Some("100"));
+        assert_eq!(args.get("output"), Some("x.txt"));
+        assert!(args.flag("ground-truth"));
+        assert!(!args.flag("other-flag"));
+        assert_eq!(args.get("missing"), None);
+    }
+
+    #[test]
+    fn positional_tokens_are_rejected() {
+        let err = parse(&["budget", "100"]).unwrap_err();
+        assert!(matches!(err, CliError::UnknownOption(_)));
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let err = parse(&["--budget"]).unwrap_err();
+        assert!(matches!(err, CliError::MissingValue(_)));
+    }
+
+    #[test]
+    fn require_and_parsed_or() {
+        let args = parse(&["--budget", "250"]).unwrap();
+        assert_eq!(args.require("budget").unwrap(), "250");
+        assert!(matches!(
+            args.require("output"),
+            Err(CliError::MissingOption("output"))
+        ));
+        assert_eq!(args.parsed_or("budget", 1usize, "an integer").unwrap(), 250);
+        assert_eq!(args.parsed_or("missing", 7usize, "an integer").unwrap(), 7);
+
+        let bad = parse(&["--budget", "many"]).unwrap();
+        assert!(matches!(
+            bad.parsed_or("budget", 1usize, "an integer"),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unused_options_are_detected() {
+        let args = parse(&["--budget", "10", "--typo", "3"]).unwrap();
+        let _ = args.get("budget");
+        let err = args.reject_unused().unwrap_err();
+        assert!(err.to_string().contains("--typo"));
+
+        let args = parse(&["--budget", "10"]).unwrap();
+        let _ = args.get("budget");
+        assert!(args.reject_unused().is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+//! `abacus accuracy` — average relative error over repeated runs.
+
+use super::{parse_alpha, parse_dataset};
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
+use abacus_metrics::{relative_error_percent, Summary};
+use abacus_stream::final_graph;
+
+/// Runs ABACUS `--trials` times with different seeds against a generated
+/// dataset analog and reports the mean / spread of the relative error, the
+/// protocol of the paper's accuracy experiments (Figs. 3 and 5).
+pub fn run(args: &Arguments) -> Result<String, CliError> {
+    let dataset = parse_dataset(args.require("dataset")?)?;
+    let alpha = parse_alpha(args)?;
+    let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
+    let budget: usize = args.parsed_or("budget", 1_500, "a positive integer")?;
+    let trials: u64 = args.parsed_or("trials", 5, "a positive integer")?;
+    args.reject_unused()?;
+    if budget < 2 {
+        return Err(CliError::InvalidValue {
+            option: "budget".to_string(),
+            value: budget.to_string(),
+            expected: "an integer of at least 2",
+        });
+    }
+    if trials == 0 || scale == 0 {
+        return Err(CliError::InvalidValue {
+            option: if trials == 0 { "trials" } else { "scale" }.to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+
+    let stream = dataset.spec().scaled(scale).stream(alpha, 0);
+    let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+    if truth <= 0.0 {
+        return Ok(format!(
+            "{}: final graph has no butterflies; nothing to estimate\n",
+            dataset.name()
+        ));
+    }
+
+    let summary = Summary::from_values((0..trials).map(|seed| {
+        let mut abacus = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+        abacus.process_stream(&stream);
+        relative_error_percent(truth, abacus.estimate())
+    }));
+
+    Ok(format!(
+        "dataset:           {} (alpha {alpha}, scale {scale})\n\
+         budget (edges):    {budget}\n\
+         trials:            {trials}\n\
+         exact butterflies: {truth:.0}\n\
+         relative error:    {:.2}% mean, {:.2}% std, {:.2}% min, {:.2}% max\n",
+        dataset.name(),
+        summary.mean(),
+        summary.std_dev(),
+        summary.min(),
+        summary.max(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    #[test]
+    fn reports_error_statistics() {
+        let out = run(&args(&[
+            "--dataset",
+            "movielens",
+            "--budget",
+            "2000",
+            "--trials",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("relative error"));
+        assert!(out.contains("mean"));
+        assert!(out.contains("exact butterflies"));
+    }
+
+    #[test]
+    fn large_budget_gives_zero_error() {
+        // A budget larger than the stream makes ABACUS exact regardless of seed.
+        let out = run(&args(&[
+            "--dataset",
+            "movielens",
+            "--budget",
+            "100000",
+            "--trials",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.00% mean"), "{out}");
+    }
+
+    #[test]
+    fn zero_trials_is_rejected() {
+        assert!(matches!(
+            run(&args(&["--dataset", "movielens", "--trials", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! `abacus generate` — write a synthetic fully dynamic stream to a file.
+
+use super::{parse_alpha, parse_dataset};
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_stream::io::write_stream_to_path;
+use abacus_stream::StreamStats;
+
+/// Generates the requested dataset analog and writes it in the `+ u v` /
+/// `- u v` text format.
+pub fn run(args: &Arguments) -> Result<String, CliError> {
+    let dataset = parse_dataset(args.require("dataset")?)?;
+    let output = args.require("output")?.to_string();
+    let alpha = parse_alpha(args)?;
+    let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
+    let trial: u64 = args.parsed_or("trial", 0, "an unsigned integer")?;
+    if scale == 0 {
+        return Err(CliError::InvalidValue {
+            option: "scale".to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+    args.reject_unused()?;
+
+    let stream = dataset.spec().scaled(scale).stream(alpha, trial);
+    write_stream_to_path(&stream, &output).map_err(|e| CliError::Io(e.to_string()))?;
+    let stats = StreamStats::compute(&stream);
+
+    Ok(format!(
+        "wrote {} ({} elements: {} insertions, {} deletions) to {}\n",
+        dataset.name(),
+        stream.len(),
+        stats.insertions,
+        stats.deletions,
+        output
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_stream::io::read_stream_from_path;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("abacus_cli_generate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generates_a_readable_stream_file() {
+        let path = temp_path("movielens.txt");
+        let path_str = path.to_str().unwrap();
+        let out = run(&args(&[
+            "--dataset",
+            "movielens",
+            "--alpha",
+            "0.2",
+            "--output",
+            path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("Movielens-like"));
+        assert!(out.contains("deletions"));
+
+        let stream = read_stream_from_path(&path).unwrap();
+        let expected = (Dataset::MovielensLike.spec().edges as f64 * 1.2).round() as usize;
+        assert_eq!(stream.len(), expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    use abacus_stream::Dataset;
+
+    #[test]
+    fn missing_required_options_are_reported() {
+        assert!(matches!(
+            run(&args(&["--output", "x.txt"])),
+            Err(CliError::MissingOption("dataset"))
+        ));
+        assert!(matches!(
+            run(&args(&["--dataset", "orkut"])),
+            Err(CliError::MissingOption("output"))
+        ));
+    }
+
+    #[test]
+    fn typos_in_option_names_are_rejected() {
+        let path = temp_path("typo.txt");
+        let err = run(&args(&[
+            "--dataset",
+            "orkut",
+            "--output",
+            path.to_str().unwrap(),
+            "--alfa",
+            "0.3",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--alfa"));
+    }
+
+    #[test]
+    fn zero_scale_is_rejected() {
+        let path = temp_path("zero.txt");
+        let err = run(&args(&[
+            "--dataset",
+            "orkut",
+            "--output",
+            path.to_str().unwrap(),
+            "--scale",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::InvalidValue { .. }));
+    }
+}

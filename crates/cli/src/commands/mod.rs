@@ -1,0 +1,130 @@
+//! The CLI subcommands.
+//!
+//! Every command is a pure function from parsed [`Arguments`](crate::Arguments)
+//! to the text it prints, which keeps the commands unit-testable and the
+//! binary a three-line `main`.
+
+pub mod accuracy;
+pub mod generate;
+pub mod run;
+pub mod stats;
+
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_stream::{io::read_stream_from_path, Dataset, GraphStream};
+
+/// Parses a `--dataset` name into one of the four analog datasets.
+pub(crate) fn parse_dataset(name: &str) -> Result<Dataset, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "movielens" | "movielens-like" => Ok(Dataset::MovielensLike),
+        "livejournal" | "livejournal-like" => Ok(Dataset::LivejournalLike),
+        "trackers" | "trackers-like" => Ok(Dataset::TrackersLike),
+        "orkut" | "orkut-like" => Ok(Dataset::OrkutLike),
+        other => Err(CliError::InvalidValue {
+            option: "dataset".to_string(),
+            value: other.to_string(),
+            expected: "movielens, livejournal, trackers, or orkut",
+        }),
+    }
+}
+
+/// A workload described by the common `--input` / `--dataset` options.
+#[derive(Debug)]
+pub(crate) struct Workload {
+    /// Short label for result lines ("stream.txt" or "Movielens-like").
+    pub label: String,
+    /// The stream elements.
+    pub stream: GraphStream,
+}
+
+/// Loads the stream from `--input <path>`, or generates it from `--dataset`
+/// (with `--alpha`, `--scale`, `--trial`).
+pub(crate) fn load_workload(args: &Arguments) -> Result<Workload, CliError> {
+    if let Some(path) = args.get("input") {
+        let stream = read_stream_from_path(path).map_err(|e| CliError::Io(e.to_string()))?;
+        return Ok(Workload {
+            label: path.to_string(),
+            stream,
+        });
+    }
+    let Some(name) = args.get("dataset") else {
+        return Err(CliError::MissingOption("input (or --dataset)"));
+    };
+    let dataset = parse_dataset(name)?;
+    let alpha = parse_alpha(args)?;
+    let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
+    let trial: u64 = args.parsed_or("trial", 0, "an unsigned integer")?;
+    if scale == 0 {
+        return Err(CliError::InvalidValue {
+            option: "scale".to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+    let stream = dataset.spec().scaled(scale).stream(alpha, trial);
+    Ok(Workload {
+        label: format!("{} (alpha {alpha}, scale {scale})", dataset.name()),
+        stream,
+    })
+}
+
+/// Parses and validates the `--alpha` deletion ratio (default 0.2).
+pub(crate) fn parse_alpha(args: &Arguments) -> Result<f64, CliError> {
+    let alpha: f64 = args.parsed_or("alpha", 0.2, "a fraction in [0, 1)")?;
+    if !(0.0..1.0).contains(&alpha) {
+        return Err(CliError::InvalidValue {
+            option: "alpha".to_string(),
+            value: alpha.to_string(),
+            expected: "a fraction in [0, 1)",
+        });
+    }
+    Ok(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    #[test]
+    fn dataset_names_are_recognised_case_insensitively() {
+        assert_eq!(parse_dataset("MovieLens").unwrap(), Dataset::MovielensLike);
+        assert_eq!(parse_dataset("orkut-like").unwrap(), Dataset::OrkutLike);
+        assert!(parse_dataset("imdb").is_err());
+    }
+
+    #[test]
+    fn workload_from_dataset_respects_alpha_and_scale() {
+        let workload =
+            load_workload(&args(&["--dataset", "movielens", "--alpha", "0.0", "--scale", "1"]))
+                .unwrap();
+        assert!(workload.label.contains("Movielens"));
+        assert_eq!(
+            workload.stream.len(),
+            Dataset::MovielensLike.spec().edges // no deletions
+        );
+    }
+
+    #[test]
+    fn workload_requires_input_or_dataset() {
+        let err = load_workload(&args(&[])).unwrap_err();
+        assert!(matches!(err, CliError::MissingOption(_)));
+    }
+
+    #[test]
+    fn alpha_out_of_range_is_rejected() {
+        let err = parse_alpha(&args(&["--alpha", "1.5"])).unwrap_err();
+        assert!(matches!(err, CliError::InvalidValue { .. }));
+        assert!((parse_alpha(&args(&[])).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_input_file_is_an_io_error() {
+        let err = load_workload(&args(&["--input", "/definitely/not/here.txt"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! `abacus run` — process a stream with one estimator and report the result.
+
+use super::load_workload;
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
+use abacus_core::{
+    Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig,
+};
+use abacus_metrics::{relative_error_percent, Throughput};
+use abacus_stream::{final_graph, StreamElement};
+use std::time::Instant;
+
+/// Which estimator `--algorithm` selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AlgorithmChoice {
+    Abacus,
+    ParAbacus,
+    Fleet,
+    Cas,
+    Exact,
+}
+
+fn parse_algorithm(name: &str) -> Result<AlgorithmChoice, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "abacus" => Ok(AlgorithmChoice::Abacus),
+        "parabacus" => Ok(AlgorithmChoice::ParAbacus),
+        "fleet" => Ok(AlgorithmChoice::Fleet),
+        "cas" => Ok(AlgorithmChoice::Cas),
+        "exact" => Ok(AlgorithmChoice::Exact),
+        other => Err(CliError::InvalidValue {
+            option: "algorithm".to_string(),
+            value: other.to_string(),
+            expected: "abacus, parabacus, fleet, cas, or exact",
+        }),
+    }
+}
+
+fn timed<C: ButterflyCounter>(mut counter: C, stream: &[StreamElement]) -> (f64, usize, Throughput, &'static str) {
+    let start = Instant::now();
+    counter.process_stream(stream);
+    let throughput = Throughput::new(stream.len() as u64, start.elapsed());
+    (
+        counter.estimate(),
+        counter.memory_edges(),
+        throughput,
+        counter.name(),
+    )
+}
+
+/// Runs the selected estimator over the workload and formats a small report.
+pub fn run(args: &Arguments) -> Result<String, CliError> {
+    let workload = load_workload(args)?;
+    let algorithm = parse_algorithm(args.get("algorithm").unwrap_or("abacus"))?;
+    let budget: usize = args.parsed_or("budget", 3_000, "a positive integer")?;
+    let batch: usize = args.parsed_or("batch", 500, "a positive integer")?;
+    let threads: usize = args.parsed_or(
+        "threads",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        "a positive integer",
+    )?;
+    let seed: u64 = args.parsed_or("seed", 0, "an unsigned integer")?;
+    let want_truth = args.flag("ground-truth");
+    args.reject_unused()?;
+    if budget < 2 {
+        return Err(CliError::InvalidValue {
+            option: "budget".to_string(),
+            value: budget.to_string(),
+            expected: "an integer of at least 2",
+        });
+    }
+    if batch == 0 || threads == 0 {
+        return Err(CliError::InvalidValue {
+            option: if batch == 0 { "batch" } else { "threads" }.to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+
+    let (estimate, memory_edges, throughput, name) = match algorithm {
+        AlgorithmChoice::Abacus => timed(
+            Abacus::new(AbacusConfig::new(budget).with_seed(seed)),
+            &workload.stream,
+        ),
+        AlgorithmChoice::ParAbacus => timed(
+            ParAbacus::new(
+                ParAbacusConfig::new(budget)
+                    .with_seed(seed)
+                    .with_batch_size(batch)
+                    .with_threads(threads),
+            ),
+            &workload.stream,
+        ),
+        AlgorithmChoice::Fleet => timed(
+            Fleet::new(FleetConfig::new(budget).with_seed(seed)),
+            &workload.stream,
+        ),
+        AlgorithmChoice::Cas => timed(
+            Cas::new(CasConfig::new(budget).with_seed(seed)),
+            &workload.stream,
+        ),
+        AlgorithmChoice::Exact => timed(ExactCounter::new(), &workload.stream),
+    };
+
+    let mut report = format!(
+        "algorithm:        {name}\n\
+         stream:           {} ({} elements)\n\
+         memory (edges):   {memory_edges}\n\
+         estimate:         {estimate:.1}\n\
+         elapsed:          {:.3}s\n\
+         throughput:       {:.0} edges/s\n",
+        workload.label,
+        workload.stream.len(),
+        throughput.seconds,
+        throughput.per_second(),
+    );
+    if want_truth {
+        let truth = abacus_graph::count_butterflies(&final_graph(&workload.stream)) as f64;
+        report.push_str(&format!(
+            "exact count:      {truth:.0}\nrelative error:   {:.2}%\n",
+            relative_error_percent(truth, estimate)
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+    use abacus_stream::io::write_stream_to_path;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    fn biclique_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("abacus_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut stream = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        write_stream_to_path(&stream, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_reports_an_estimate() {
+        let path = biclique_file("k33.txt");
+        let path_str = path.to_str().unwrap();
+        for algorithm in ["abacus", "parabacus", "fleet", "cas", "exact"] {
+            let out = run(&args(&[
+                "--input",
+                path_str,
+                "--algorithm",
+                algorithm,
+                "--budget",
+                "100",
+                "--threads",
+                "2",
+            ]))
+            .unwrap();
+            assert!(out.contains("estimate:"), "{algorithm}: {out}");
+            assert!(out.contains("throughput:"), "{algorithm}: {out}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exact_mode_and_ground_truth_agree_on_k33() {
+        let path = biclique_file("k33_truth.txt");
+        // K_{3,3} contains C(3,2)² = 9 butterflies.
+        let out = run(&args(&[
+            "--input",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "exact",
+            "--ground-truth",
+        ]))
+        .unwrap();
+        assert!(out.contains("estimate:         9.0"));
+        assert!(out.contains("exact count:      9"));
+        assert!(out.contains("relative error:   0.00%"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_algorithm_and_budget_are_rejected() {
+        let path = biclique_file("rejects.txt");
+        let path_str = path.to_str().unwrap();
+        assert!(matches!(
+            run(&args(&["--input", path_str, "--algorithm", "magic"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--input", path_str, "--budget", "1"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

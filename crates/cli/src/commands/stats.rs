@@ -1,0 +1,84 @@
+//! `abacus stats` — Table II-style statistics of a stream's final graph.
+
+use super::load_workload;
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_graph::GraphStatistics;
+use abacus_stream::{final_graph, StreamStats};
+
+/// Replays the stream into a graph and prints its statistics.
+pub fn run(args: &Arguments) -> Result<String, CliError> {
+    let workload = load_workload(args)?;
+    args.reject_unused()?;
+
+    let stream_stats = StreamStats::compute(&workload.stream);
+    let graph = final_graph(&workload.stream);
+    let graph_stats = GraphStatistics::compute(&graph);
+
+    Ok(format!(
+        "stream: {}\n\
+         elements:           {}\n\
+         insertions:         {}\n\
+         deletions:          {}\n\
+         final |E|:          {}\n\
+         final |L|:          {}\n\
+         final |R|:          {}\n\
+         max degree:         {}\n\
+         butterflies:        {}\n\
+         butterfly density:  {:.3e}\n",
+        workload.label,
+        workload.stream.len(),
+        stream_stats.insertions,
+        stream_stats.deletions,
+        graph_stats.edges,
+        graph_stats.left_vertices,
+        graph_stats.right_vertices,
+        graph_stats.max_degree,
+        graph_stats.butterflies,
+        graph_stats.butterfly_density,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+    use abacus_stream::io::write_stream_to_path;
+    use abacus_stream::StreamElement;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    #[test]
+    fn reports_the_exact_butterfly_count_of_a_file() {
+        let dir = std::env::temp_dir().join("abacus_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("biclique.txt");
+        // A 2×2 biclique plus a deleted pendant edge: exactly one butterfly.
+        let stream = vec![
+            StreamElement::insert(Edge::new(0, 10)),
+            StreamElement::insert(Edge::new(0, 11)),
+            StreamElement::insert(Edge::new(1, 10)),
+            StreamElement::insert(Edge::new(1, 11)),
+            StreamElement::insert(Edge::new(2, 11)),
+            StreamElement::delete(Edge::new(2, 11)),
+        ];
+        write_stream_to_path(&stream, &path).unwrap();
+
+        let out = run(&args(&["--input", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("butterflies:        1"));
+        assert!(out.contains("insertions:         5"));
+        assert!(out.contains("deletions:          1"));
+        assert!(out.contains("final |E|:          4"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn works_on_generated_datasets() {
+        let out = run(&args(&["--dataset", "movielens", "--alpha", "0.1"])).unwrap();
+        assert!(out.contains("Movielens-like"));
+        assert!(out.contains("butterfly density"));
+    }
+}

@@ -1,0 +1,69 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Everything that can go wrong while parsing arguments or running a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The first positional argument is not a known subcommand.
+    UnknownCommand(String),
+    /// An option was passed that the command does not understand.
+    UnknownOption(String),
+    /// A `--key` was given without a value.
+    MissingValue(String),
+    /// A required option was not supplied.
+    MissingOption(&'static str),
+    /// An option value could not be parsed or is out of range.
+    InvalidValue {
+        /// The offending option name (without the leading dashes).
+        option: String,
+        /// The value that failed to parse.
+        value: String,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// Reading or writing a stream file failed.
+    Io(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(cmd) => {
+                write!(f, "unknown command {cmd:?}; run `abacus help` for usage")
+            }
+            CliError::UnknownOption(opt) => write!(f, "unknown option --{opt}"),
+            CliError::MissingValue(opt) => write!(f, "option --{opt} requires a value"),
+            CliError::MissingOption(opt) => write!(f, "required option --{opt} is missing"),
+            CliError::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "invalid value {value:?} for --{option}: expected {expected}"),
+            CliError::Io(message) => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_input() {
+        assert!(CliError::UnknownCommand("x".into()).to_string().contains("\"x\""));
+        assert!(CliError::UnknownOption("foo".into()).to_string().contains("--foo"));
+        assert!(CliError::MissingValue("k".into()).to_string().contains("--k"));
+        assert!(CliError::MissingOption("output").to_string().contains("--output"));
+        let invalid = CliError::InvalidValue {
+            option: "budget".into(),
+            value: "minus one".into(),
+            expected: "a positive integer",
+        };
+        assert!(invalid.to_string().contains("--budget"));
+        assert!(invalid.to_string().contains("positive integer"));
+        assert!(CliError::Io("gone".into()).to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,270 @@
+//! ABACUS (Algorithm 1): streaming butterfly counting under insertions and
+//! deletions.
+//!
+//! For every incoming element the estimator
+//!
+//! 1. counts the butterflies the element's edge forms with the edges of the
+//!    bounded sample (cheapest-side set intersections, Algorithm 1 lines
+//!    7–11),
+//! 2. scales each discovered butterfly by the reciprocal of the discovery
+//!    probability of Eq. 1 and adds `sgn(δ)` times that amount to the running
+//!    estimate,
+//! 3. hands the element to the Random Pairing policy (Algorithm 2) which
+//!    decides whether the sample changes.
+//!
+//! The order matters: the count refinement always uses the sample state *as of
+//! the previous element*, which is what the unbiasedness proof conditions on.
+
+use crate::config::AbacusConfig;
+use crate::counter::ButterflyCounter;
+use crate::probability::increment;
+use crate::sample_graph::SampleGraph;
+use crate::stats::ProcessingStats;
+use abacus_graph::count_butterflies_with_edge;
+use abacus_sampling::{RandomPairing, RandomPairingState};
+use abacus_stream::{EdgeDelta, StreamElement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The sequential ABACUS estimator.
+#[derive(Debug)]
+pub struct Abacus {
+    config: AbacusConfig,
+    sample: SampleGraph,
+    policy: RandomPairing,
+    rng: StdRng,
+    estimate: f64,
+    stats: ProcessingStats,
+}
+
+impl Abacus {
+    /// Creates an estimator from a configuration.
+    #[must_use]
+    pub fn new(config: AbacusConfig) -> Self {
+        Abacus {
+            config,
+            sample: SampleGraph::with_budget(config.budget),
+            policy: RandomPairing::new(config.budget),
+            rng: StdRng::seed_from_u64(config.seed),
+            estimate: 0.0,
+            stats: ProcessingStats::default(),
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    #[must_use]
+    pub fn config(&self) -> AbacusConfig {
+        self.config
+    }
+
+    /// The current sample (read-only).
+    #[must_use]
+    pub fn sample(&self) -> &SampleGraph {
+        &self.sample
+    }
+
+    /// The Random Pairing bookkeeping triplet `{|E|, c_b, c_g}`.
+    #[must_use]
+    pub fn sampler_state(&self) -> RandomPairingState {
+        self.policy.state()
+    }
+
+    /// Work counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ProcessingStats {
+        self.stats
+    }
+
+    /// Processes one element: refine the estimate, then update the sample.
+    fn process_element(&mut self, element: StreamElement) {
+        // --- 1. Refine the butterfly count against the *current* sample. ---
+        let per_edge = count_butterflies_with_edge(&self.sample, element.edge);
+        let is_insert = element.delta.is_insert();
+        if per_edge.butterflies > 0 {
+            let delta =
+                increment(self.config.budget, self.policy.state(), is_insert) * per_edge.butterflies as f64;
+            self.estimate += delta;
+        }
+        self.stats
+            .record_element(is_insert, per_edge.butterflies, per_edge.comparisons);
+
+        // --- 2. Update the sample via Random Pairing. ---
+        match element.delta {
+            EdgeDelta::Insert => self.policy.insert(element.edge, &mut self.sample, &mut self.rng),
+            EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
+        }
+    }
+}
+
+impl ButterflyCounter for Abacus {
+    fn process(&mut self, element: StreamElement) {
+        self.process_element(element);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "ABACUS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+    use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
+    use abacus_stream::generators::random::uniform_bipartite;
+    use proptest::prelude::*;
+
+    fn ins(l: u32, r: u32) -> StreamElement {
+        StreamElement::insert(Edge::new(l, r))
+    }
+    fn del(l: u32, r: u32) -> StreamElement {
+        StreamElement::delete(Edge::new(l, r))
+    }
+
+    /// With a budget that exceeds the stream size, ABACUS degenerates to exact
+    /// counting: the estimate must equal the true count after every element.
+    #[test]
+    fn exact_when_budget_covers_the_whole_stream() {
+        let stream = vec![
+            ins(0, 10),
+            ins(0, 11),
+            ins(1, 10),
+            ins(1, 11), // butterfly {0,1,10,11} complete -> 1
+            ins(2, 10),
+            ins(2, 11), // two more butterflies (0-2 and 1-2 pairs) -> 3
+            del(0, 10), // destroys butterflies {0,1},{0,2} over (10,11) -> 1
+            del(2, 11), // destroys butterfly {1,2} -> 0
+        ];
+        let expected = [0.0, 0.0, 0.0, 1.0, 1.0, 3.0, 1.0, 0.0];
+        let mut abacus = Abacus::new(AbacusConfig::new(1_000).with_seed(1));
+        for (element, want) in stream.into_iter().zip(expected) {
+            abacus.process(element);
+            assert_eq!(abacus.estimate(), want);
+        }
+        assert_eq!(abacus.name(), "ABACUS");
+        assert_eq!(abacus.memory_edges(), 4);
+        assert_eq!(abacus.stats().elements, 8);
+    }
+
+    #[test]
+    fn sample_never_exceeds_budget() {
+        let edges = uniform_bipartite(200, 200, 3_000, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.2),
+            &mut rand::rngs::StdRng::seed_from_u64(4),
+        );
+        let mut abacus = Abacus::new(AbacusConfig::new(64).with_seed(5));
+        for element in &stream {
+            abacus.process(*element);
+            assert!(abacus.memory_edges() <= 64);
+        }
+        assert_eq!(abacus.sampler_state().live_items, final_graph(&stream).num_edges());
+    }
+
+    /// Unbiasedness (Theorem 1), checked empirically: the mean estimate over
+    /// many independent runs must be close to the exact count, and far closer
+    /// than the per-run spread.
+    #[test]
+    fn estimates_are_empirically_unbiased() {
+        let edges = uniform_bipartite(60, 60, 1_200, &mut rand::rngs::StdRng::seed_from_u64(11));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.2),
+            &mut rand::rngs::StdRng::seed_from_u64(12),
+        );
+        let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+        assert!(truth > 0.0, "test graph must contain butterflies");
+
+        let runs = 200;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut abacus = Abacus::new(AbacusConfig::new(150).with_seed(seed));
+            abacus.process_stream(&stream);
+            sum += abacus.estimate();
+        }
+        let mean = sum / runs as f64;
+        let relative_bias = (mean - truth).abs() / truth;
+        assert!(
+            relative_bias < 0.15,
+            "mean {mean} deviates from truth {truth} by {relative_bias}"
+        );
+    }
+
+    /// Insert-only sanity: larger budgets give estimates at least as close to
+    /// the truth on average (variance shrinks with k), cf. Fig. 3/5 trends.
+    #[test]
+    fn larger_budget_is_not_less_accurate() {
+        let edges = uniform_bipartite(80, 80, 2_000, &mut rand::rngs::StdRng::seed_from_u64(21));
+        let stream: Vec<StreamElement> = edges.iter().copied().map(StreamElement::insert).collect();
+        let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+
+        let avg_error = |budget: usize| -> f64 {
+            let runs = 30;
+            (0..runs)
+                .map(|seed| {
+                    let mut a = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+                    a.process_stream(&stream);
+                    (a.estimate() - truth).abs() / truth
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let small = avg_error(100);
+        let large = avg_error(1_000);
+        assert!(
+            large <= small * 1.1,
+            "error did not improve with budget: small-k {small}, large-k {large}"
+        );
+    }
+
+    #[test]
+    fn deletions_of_never_sampled_edges_keep_state_consistent() {
+        let mut abacus = Abacus::new(AbacusConfig::new(2).with_seed(0));
+        abacus.process(ins(0, 1));
+        abacus.process(ins(1, 2));
+        abacus.process(ins(2, 3));
+        abacus.process(del(2, 3));
+        abacus.process(del(0, 1));
+        assert_eq!(abacus.sampler_state().live_items, 1);
+        // Budget 2 can never discover a butterfly; estimate must remain 0.
+        assert_eq!(abacus.estimate(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// With a budget that always covers the live population, the estimate
+        /// equals the exact butterfly count for arbitrary valid streams.
+        #[test]
+        fn exact_mode_matches_ground_truth(
+            ops in proptest::collection::vec((any::<bool>(), 0u32..8, 0u32..8), 1..120),
+            seed in any::<u64>(),
+        ) {
+            use std::collections::BTreeSet;
+            let mut live: BTreeSet<(u32, u32)> = BTreeSet::new();
+            let mut stream = Vec::new();
+            for (want_insert, l, r) in ops {
+                if want_insert {
+                    if live.insert((l, r)) {
+                        stream.push(ins(l, r));
+                    }
+                } else if live.remove(&(l, r)) {
+                    stream.push(del(l, r));
+                }
+            }
+            let mut abacus = Abacus::new(AbacusConfig::new(10_000).with_seed(seed));
+            abacus.process_stream(&stream);
+            let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+            prop_assert!((abacus.estimate() - truth).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The common interface of every streaming butterfly counter in the workspace.
+
+use abacus_stream::StreamElement;
+
+/// A streaming butterfly-count estimator.
+///
+/// Implemented by ABACUS, PARABACUS, the exact oracle, and the insert-only
+/// baselines (FLEET, CAS), so that the experiment harness can drive all of
+/// them through one code path.
+pub trait ButterflyCounter {
+    /// Processes one stream element (edge insertion or deletion).
+    fn process(&mut self, element: StreamElement);
+
+    /// Processes a slice of stream elements in order.
+    ///
+    /// Batched implementations (PARABACUS) override this to flush any
+    /// partially filled mini-batch at the end, so that the estimate reflects
+    /// the entire input.
+    fn process_stream(&mut self, stream: &[StreamElement]) {
+        for element in stream {
+            self.process(*element);
+        }
+    }
+
+    /// The current butterfly-count estimate.
+    fn estimate(&self) -> f64;
+
+    /// Number of edges currently held in memory by the estimator (the sample
+    /// size for approximate estimators, the full graph for the exact oracle).
+    fn memory_edges(&self) -> usize;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+
+    /// A trivial counter used to exercise the default `process_stream`.
+    struct CountingStub {
+        processed: usize,
+    }
+
+    impl ButterflyCounter for CountingStub {
+        fn process(&mut self, _element: StreamElement) {
+            self.processed += 1;
+        }
+        fn estimate(&self) -> f64 {
+            self.processed as f64
+        }
+        fn memory_edges(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+    }
+
+    #[test]
+    fn default_process_stream_visits_every_element() {
+        let mut stub = CountingStub { processed: 0 };
+        let stream: Vec<StreamElement> = (0..10u32)
+            .map(|i| StreamElement::insert(Edge::new(i, i)))
+            .collect();
+        stub.process_stream(&stream);
+        assert_eq!(stub.estimate(), 10.0);
+        assert_eq!(stub.name(), "stub");
+        assert_eq!(stub.memory_edges(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # abacus-core
+//!
+//! The paper's primary contribution: **ABACUS**, a streaming estimator of the
+//! global butterfly count of a *fully dynamic* bipartite graph stream, and
+//! **PARABACUS**, its mini-batch parallel variant.
+//!
+//! ```
+//! use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
+//! use abacus_stream::StreamElement;
+//! use abacus_graph::Edge;
+//!
+//! // Estimate butterflies over a small fully dynamic stream.
+//! let mut abacus = Abacus::new(AbacusConfig::new(64).with_seed(7));
+//! abacus.process(StreamElement::insert(Edge::new(0, 10)));
+//! abacus.process(StreamElement::insert(Edge::new(0, 11)));
+//! abacus.process(StreamElement::insert(Edge::new(1, 10)));
+//! abacus.process(StreamElement::insert(Edge::new(1, 11)));
+//! assert_eq!(abacus.estimate(), 1.0); // sample holds the whole graph: exact
+//! abacus.process(StreamElement::delete(Edge::new(1, 11)));
+//! assert_eq!(abacus.estimate(), 0.0);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`config`] — estimator configuration (memory budget, seed, batching),
+//! * [`counter`] — the [`ButterflyCounter`] trait shared by every estimator
+//!   in the workspace (ABACUS, PARABACUS, the exact oracle, FLEET, CAS),
+//! * [`sample_graph`] — the bounded sample stored as a bipartite graph,
+//! * [`probability`] — the butterfly-discovery probability of Eq. 1 and the
+//!   reciprocal-increment rule,
+//! * [`abacus`] — Algorithm 1,
+//! * [`exact`] — the exact streaming oracle (unbounded memory, ground truth),
+//! * [`parabacus`] — mini-batch parallel processing with versioned samples,
+//! * [`stats`] — per-run processing statistics (work counters, discoveries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abacus;
+pub mod config;
+pub mod counter;
+pub mod exact;
+pub mod local;
+pub mod monitor;
+pub mod parabacus;
+pub mod probability;
+pub mod sample_graph;
+pub mod stats;
+
+pub use abacus::Abacus;
+pub use config::{AbacusConfig, ParAbacusConfig};
+pub use counter::ButterflyCounter;
+pub use exact::ExactCounter;
+pub use local::LocalAbacus;
+pub use monitor::{SharedEstimate, WindowedMonitor};
+pub use parabacus::{ParAbacus, PhaseTimings};
+pub use probability::{discovery_probability, increment, variance_upper_bound};
+pub use sample_graph::SampleGraph;
+pub use stats::ProcessingStats;

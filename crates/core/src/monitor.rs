@@ -1,0 +1,278 @@
+//! Windowed monitoring of a streaming butterfly estimate.
+//!
+//! Streaming deployments rarely want only the final count: anomaly detectors
+//! (§I of the paper) watch how the butterfly count *evolves* and alert when a
+//! window's change is abnormal.  [`WindowedMonitor`] wraps any
+//! [`ButterflyCounter`], snapshots its estimate every `window` elements, and
+//! keeps the series plus a simple burst detector.  The latest estimate is also
+//! published through a [`SharedEstimate`] handle (a `parking_lot`-guarded
+//! cell) so dashboards or detector threads can read it without touching the
+//! estimator itself.
+
+use crate::counter::ButterflyCounter;
+use abacus_stream::StreamElement;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cheap, cloneable handle to the most recent published estimate.
+#[derive(Debug, Clone, Default)]
+pub struct SharedEstimate {
+    inner: Arc<RwLock<f64>>,
+}
+
+impl SharedEstimate {
+    /// Creates a handle initialised to zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the last published estimate.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        *self.inner.read()
+    }
+
+    fn publish(&self, value: f64) {
+        *self.inner.write() = value;
+    }
+}
+
+/// One recorded window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// Index of the window (0-based).
+    pub window: usize,
+    /// Number of stream elements processed up to and including this window.
+    pub elements: u64,
+    /// Estimate at the end of the window.
+    pub estimate: f64,
+    /// Change of the estimate relative to the previous window.
+    pub delta: f64,
+}
+
+/// Wraps an estimator and records its estimate once per window of stream
+/// elements.
+#[derive(Debug)]
+pub struct WindowedMonitor<C: ButterflyCounter> {
+    counter: C,
+    window: usize,
+    in_window: usize,
+    elements: u64,
+    snapshots: Vec<WindowSnapshot>,
+    shared: SharedEstimate,
+    burst_factor: f64,
+}
+
+impl<C: ButterflyCounter> WindowedMonitor<C> {
+    /// Creates a monitor that snapshots every `window` elements.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(counter: C, window: usize) -> Self {
+        assert!(window >= 1, "window must contain at least one element");
+        WindowedMonitor {
+            counter,
+            window,
+            in_window: 0,
+            elements: 0,
+            snapshots: Vec::new(),
+            shared: SharedEstimate::new(),
+            burst_factor: 8.0,
+        }
+    }
+
+    /// Sets the burst-detection factor (a window is anomalous when its
+    /// absolute delta exceeds `factor ×` the mean absolute delta of the
+    /// preceding windows).  Default: 8.
+    #[must_use]
+    pub fn with_burst_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "burst factor must be positive");
+        self.burst_factor = factor;
+        self
+    }
+
+    /// A cloneable handle to the latest published estimate.
+    #[must_use]
+    pub fn shared_estimate(&self) -> SharedEstimate {
+        self.shared.clone()
+    }
+
+    /// The recorded window snapshots.
+    #[must_use]
+    pub fn snapshots(&self) -> &[WindowSnapshot] {
+        &self.snapshots
+    }
+
+    /// The wrapped estimator.
+    #[must_use]
+    pub fn counter(&self) -> &C {
+        &self.counter
+    }
+
+    /// Consumes the monitor and returns the wrapped estimator.
+    #[must_use]
+    pub fn into_counter(self) -> C {
+        self.counter
+    }
+
+    /// Windows whose estimate change is anomalously large compared to the
+    /// trailing history.
+    #[must_use]
+    pub fn anomalous_windows(&self) -> Vec<WindowSnapshot> {
+        let mut anomalies = Vec::new();
+        let mut trailing: Vec<f64> = Vec::new();
+        for snapshot in &self.snapshots {
+            let baseline = if trailing.is_empty() {
+                snapshot.delta.abs()
+            } else {
+                trailing.iter().sum::<f64>() / trailing.len() as f64
+            };
+            if snapshot.delta.abs() > self.burst_factor * baseline.max(1.0) {
+                anomalies.push(*snapshot);
+            }
+            trailing.push(snapshot.delta.abs());
+            if trailing.len() > 8 {
+                trailing.remove(0);
+            }
+        }
+        anomalies
+    }
+
+    /// Forces a snapshot of the current (possibly partial) window.
+    pub fn snapshot_now(&mut self) {
+        let estimate = self.counter.estimate();
+        let previous = self.snapshots.last().map_or(0.0, |s| s.estimate);
+        self.snapshots.push(WindowSnapshot {
+            window: self.snapshots.len(),
+            elements: self.elements,
+            estimate,
+            delta: estimate - previous,
+        });
+        self.shared.publish(estimate);
+        self.in_window = 0;
+    }
+}
+
+impl<C: ButterflyCounter> ButterflyCounter for WindowedMonitor<C> {
+    fn process(&mut self, element: StreamElement) {
+        self.counter.process(element);
+        self.elements += 1;
+        self.in_window += 1;
+        if self.in_window >= self.window {
+            self.snapshot_now();
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.counter.estimate()
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.counter.memory_edges()
+    }
+
+    fn name(&self) -> &'static str {
+        self.counter.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abacus::Abacus;
+    use crate::config::AbacusConfig;
+    use abacus_graph::Edge;
+
+    fn biclique_stream(lefts: u32, rights: u32) -> Vec<StreamElement> {
+        let mut out = Vec::new();
+        for l in 0..lefts {
+            for r in 0..rights {
+                out.push(StreamElement::insert(Edge::new(l, 1_000 + r)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn snapshots_are_taken_per_window() {
+        let abacus = Abacus::new(AbacusConfig::new(1_000).with_seed(0));
+        let mut monitor = WindowedMonitor::new(abacus, 10);
+        let stream = biclique_stream(5, 8); // 40 elements
+        monitor.process_stream(&stream);
+        assert_eq!(monitor.snapshots().len(), 4);
+        assert_eq!(monitor.snapshots()[3].elements, 40);
+        // Estimates are non-decreasing for an insert-only stream with a
+        // covering budget, and the final one matches the wrapped counter.
+        assert!(monitor
+            .snapshots()
+            .windows(2)
+            .all(|w| w[1].estimate >= w[0].estimate));
+        assert_eq!(
+            monitor.snapshots().last().unwrap().estimate,
+            monitor.estimate()
+        );
+        assert_eq!(monitor.name(), "ABACUS");
+        assert!(monitor.memory_edges() <= 1_000);
+    }
+
+    #[test]
+    fn shared_estimate_tracks_published_windows() {
+        let abacus = Abacus::new(AbacusConfig::new(1_000).with_seed(0));
+        let mut monitor = WindowedMonitor::new(abacus, 5);
+        let handle = monitor.shared_estimate();
+        assert_eq!(handle.get(), 0.0);
+        monitor.process_stream(&biclique_stream(4, 5)); // 20 elements, 4 windows
+        assert_eq!(handle.get(), monitor.estimate());
+        // Handles are clones of the same cell.
+        let another = monitor.shared_estimate();
+        assert_eq!(another.get(), handle.get());
+    }
+
+    #[test]
+    fn partial_windows_can_be_snapshotted_manually() {
+        let abacus = Abacus::new(AbacusConfig::new(100).with_seed(0));
+        let mut monitor = WindowedMonitor::new(abacus, 1_000);
+        monitor.process_stream(&biclique_stream(3, 3));
+        assert!(monitor.snapshots().is_empty());
+        monitor.snapshot_now();
+        assert_eq!(monitor.snapshots().len(), 1);
+        assert_eq!(monitor.snapshots()[0].elements, 9);
+        let inner = monitor.into_counter();
+        assert_eq!(inner.estimate(), 9.0); // K_{3,3} has 9 butterflies
+    }
+
+    #[test]
+    fn burst_detector_flags_a_planted_spike() {
+        let abacus = Abacus::new(AbacusConfig::new(10_000).with_seed(0));
+        let mut monitor = WindowedMonitor::new(abacus, 50).with_burst_factor(5.0);
+        // Quiet background: star edges that never form butterflies.
+        let mut stream = Vec::new();
+        for i in 0..500u32 {
+            stream.push(StreamElement::insert(Edge::new(i, i)));
+        }
+        // Spike: a dense biclique (64 edges, i.e. more than one full window)
+        // arrives right after the quiet phase.
+        for l in 0..8u32 {
+            for r in 0..8u32 {
+                stream.push(StreamElement::insert(Edge::new(10_000 + l, 20_000 + r)));
+            }
+        }
+        monitor.process_stream(&stream);
+        monitor.snapshot_now();
+        let anomalies = monitor.anomalous_windows();
+        assert!(
+            !anomalies.is_empty(),
+            "the biclique burst must be flagged as anomalous"
+        );
+        assert!(anomalies.iter().all(|w| w.window >= 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let abacus = Abacus::new(AbacusConfig::new(10));
+        let _ = WindowedMonitor::new(abacus, 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! PARABACUS: mini-batch parallel butterfly counting (§V of the paper).
+//!
+//! ABACUS's workflow (count, then update the sample) is inverted per
+//! mini-batch:
+//!
+//! 1. **Sequential sample-version creation** — the Random Pairing updates of
+//!    all `M` edges in the batch are applied one after the other to the live
+//!    sample; for every edge the pre-update bookkeeping triplet
+//!    `{|E|, c_b, c_g}` is cached and every adjacency change is recorded as a
+//!    versioned delta ([`versioned`]).
+//! 2. **Parallel per-edge counting** — the batch is split into `p` equal
+//!    chunks; each worker thread counts, for each of its edges, the
+//!    butterflies the edge forms with *its* sample version (reconstructed
+//!    through a [`VersionView`]) and extrapolates with the increment computed
+//!    from the cached triplet.
+//! 3. **Reduction and consolidation** — the partial counts are summed into the
+//!    running estimate; the live sample is already the consolidated final
+//!    version and the delta log is cleared for the next batch.
+//!
+//! Because the sample transitions (and RNG draws) are identical to sequential
+//! ABACUS and the per-edge counts are computed against identical sample
+//! states, PARABACUS returns exactly the same estimates after every batch
+//! (Theorem 5); the tests assert this bit-for-bit up to floating-point
+//! summation order.
+
+mod pool;
+pub mod versioned;
+
+use crate::config::ParAbacusConfig;
+use crate::counter::ButterflyCounter;
+use crate::sample_graph::SampleGraph;
+use crate::stats::ProcessingStats;
+use abacus_sampling::{RandomPairing, RandomPairingState};
+use abacus_stream::{EdgeDelta, StreamElement};
+use pool::{execute_task, CountTask, CountingPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use versioned::{RecordingSample, VersionedDeltas};
+
+/// The mini-batch parallel PARABACUS estimator.
+#[derive(Debug)]
+pub struct ParAbacus {
+    config: ParAbacusConfig,
+    sample: Arc<SampleGraph>,
+    policy: RandomPairing,
+    rng: StdRng,
+    estimate: f64,
+    buffer: Vec<StreamElement>,
+    deltas: Arc<VersionedDeltas>,
+    stats: ProcessingStats,
+    thread_comparisons: Vec<u64>,
+    batches: u64,
+    pool: Option<CountingPool>,
+    timings: PhaseTimings,
+}
+
+/// Wall-clock time spent in each phase of the mini-batch workflow, summed
+/// over all flushed batches.
+///
+/// Phase 1 is inherently sequential (Random Pairing updates + delta
+/// recording), phase 2 is the parallel per-edge counting (including worker
+/// dispatch and result collection); useful for explaining where the speedup
+/// curves of Figs. 8–9 saturate (Amdahl's law on phase 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Seconds spent creating sample versions sequentially (phase 1).
+    pub sequential_seconds: f64,
+    /// Seconds spent in parallel per-edge counting (phase 2, wall clock).
+    pub counting_seconds: f64,
+}
+
+impl ParAbacus {
+    /// Creates an estimator from a configuration.
+    #[must_use]
+    pub fn new(config: ParAbacusConfig) -> Self {
+        ParAbacus {
+            config,
+            sample: Arc::new(SampleGraph::with_budget(config.budget)),
+            policy: RandomPairing::new(config.budget),
+            rng: StdRng::seed_from_u64(config.seed),
+            estimate: 0.0,
+            buffer: Vec::with_capacity(config.batch_size),
+            deltas: Arc::new(VersionedDeltas::new()),
+            stats: ProcessingStats::default(),
+            thread_comparisons: vec![0; config.threads],
+            batches: 0,
+            pool: None,
+            timings: PhaseTimings::default(),
+        }
+    }
+
+    /// Cumulative per-phase wall-clock timings over all flushed batches.
+    #[must_use]
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
+    /// The configuration this estimator was built with.
+    #[must_use]
+    pub fn config(&self) -> ParAbacusConfig {
+        self.config
+    }
+
+    /// The current sample (read-only; reflects only flushed batches).
+    #[must_use]
+    pub fn sample(&self) -> &SampleGraph {
+        &self.sample
+    }
+
+    /// The Random Pairing bookkeeping triplet after the last flushed batch.
+    #[must_use]
+    pub fn sampler_state(&self) -> RandomPairingState {
+        self.policy.state()
+    }
+
+    /// Work counters accumulated over all flushed batches.
+    #[must_use]
+    pub fn stats(&self) -> ProcessingStats {
+        self.stats
+    }
+
+    /// Cumulative set-intersection membership checks performed by each worker
+    /// thread (the per-thread workload of Fig. 10).
+    #[must_use]
+    pub fn thread_workloads(&self) -> &[u64] {
+        &self.thread_comparisons
+    }
+
+    /// Number of mini-batches processed so far.
+    #[must_use]
+    pub fn batches_processed(&self) -> u64 {
+        self.batches
+    }
+
+    /// Number of elements buffered but not yet counted.
+    #[must_use]
+    pub fn pending_elements(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Processes any buffered elements as a (possibly short) mini-batch.
+    ///
+    /// [`ButterflyCounter::process_stream`] calls this automatically at the
+    /// end of the stream; call it manually whenever an up-to-date estimate is
+    /// needed mid-stream.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.flush_batch();
+    }
+
+    fn flush_batch(&mut self) {
+        let batch: Vec<StreamElement> = std::mem::take(&mut self.buffer);
+        let m = batch.len();
+        self.batches += 1;
+        let phase1_start = std::time::Instant::now();
+
+        // --- Phase 1: sequential sample-version creation. ------------------
+        // Cache the pre-update triplet of every edge and record the deltas its
+        // update applies to the live sample.  Outside a batch the estimator is
+        // the only holder of the sample/delta Arcs (the pool workers drop
+        // their handles before reporting), so `make_mut` mutates in place.
+        let sample = Arc::make_mut(&mut self.sample);
+        let deltas = Arc::make_mut(&mut self.deltas);
+        deltas.clear();
+        let mut triplets: Vec<RandomPairingState> = Vec::with_capacity(m);
+        for (position, element) in batch.iter().enumerate() {
+            triplets.push(self.policy.state());
+            let mut recorder = RecordingSample::new(sample, deltas, position as u32);
+            match element.delta {
+                EdgeDelta::Insert => {
+                    self.policy.insert(element.edge, &mut recorder, &mut self.rng);
+                }
+                EdgeDelta::Delete => {
+                    self.policy.delete(&element.edge, &mut recorder);
+                }
+            }
+        }
+
+        // Freeze the delta log against the post-batch sample: one indexing
+        // pass per touched vertex makes every versioned probe in phase 2 a
+        // binary search.
+        deltas.seal(sample);
+        self.timings.sequential_seconds += phase1_start.elapsed().as_secs_f64();
+        let phase2_start = std::time::Instant::now();
+
+        // --- Phase 2: parallel per-edge counting. ---------------------------
+        let threads = self.config.threads.min(m).max(1);
+        let chunk_size = m.div_ceil(threads);
+        let batch = Arc::new(batch);
+        let triplets = Arc::new(triplets);
+        let chunk_task = |chunk_index: usize| CountTask {
+            sample: Arc::clone(&self.sample),
+            deltas: Arc::clone(&self.deltas),
+            batch: Arc::clone(&batch),
+            triplets: Arc::clone(&triplets),
+            range: (chunk_index * chunk_size)..((chunk_index + 1) * chunk_size).min(m),
+            chunk_index,
+            budget: self.config.budget,
+        };
+
+        let results = if threads == 1 {
+            vec![execute_task(&chunk_task(0))]
+        } else {
+            let pool = self
+                .pool
+                .get_or_insert_with(|| CountingPool::new(self.config.threads));
+            for chunk_index in 0..threads {
+                pool.submit(chunk_task(chunk_index));
+            }
+            pool.collect(threads)
+        };
+        self.timings.counting_seconds += phase2_start.elapsed().as_secs_f64();
+
+        // --- Phase 3: reduction. --------------------------------------------
+        for result in results {
+            self.estimate += result.partial;
+            self.stats.merge(&result.stats);
+            self.thread_comparisons[result.chunk_index % self.config.threads] +=
+                result.stats.comparisons;
+        }
+        // Version consolidation: the live sample already contains all batch
+        // updates; dropping the delta log makes it the 0-th version of the
+        // next mini-batch.
+        Arc::make_mut(&mut self.deltas).clear();
+    }
+}
+
+impl ButterflyCounter for ParAbacus {
+    fn process(&mut self, element: StreamElement) {
+        self.buffer.push(element);
+        if self.buffer.len() >= self.config.batch_size {
+            self.flush_batch();
+        }
+    }
+
+    fn process_stream(&mut self, stream: &[StreamElement]) {
+        for element in stream {
+            self.process(*element);
+        }
+        self.flush();
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.sample.len() + self.buffer.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "PARABACUS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abacus::Abacus;
+    use crate::config::AbacusConfig;
+    use abacus_graph::Edge;
+    use abacus_stream::generators::random::uniform_bipartite;
+    use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dynamic_stream(seed: u64, edges: usize, alpha: f64) -> Vec<StreamElement> {
+        let base = uniform_bipartite(120, 120, edges, &mut StdRng::seed_from_u64(seed));
+        inject_deletions_fast(
+            &base,
+            DeletionConfig::new(alpha),
+            &mut StdRng::seed_from_u64(seed ^ 0xDEAD),
+        )
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= 1e-9 * scale,
+            "estimates differ: {a} vs {b}"
+        );
+    }
+
+    /// Theorem 5: PARABACUS produces the same counts as ABACUS after each
+    /// mini-batch (same seed, same budget).
+    #[test]
+    fn matches_sequential_abacus_exactly() {
+        let stream = dynamic_stream(1, 4_000, 0.2);
+        for &(batch, threads) in &[(1usize, 1usize), (64, 1), (128, 4), (500, 8), (997, 3)] {
+            let mut seq = Abacus::new(AbacusConfig::new(256).with_seed(9));
+            seq.process_stream(&stream);
+
+            let mut par = ParAbacus::new(
+                ParAbacusConfig::new(256)
+                    .with_seed(9)
+                    .with_batch_size(batch)
+                    .with_threads(threads),
+            );
+            par.process_stream(&stream);
+
+            assert_close(seq.estimate(), par.estimate());
+            assert_eq!(seq.memory_edges(), par.memory_edges(), "batch {batch}");
+            assert_eq!(
+                seq.sampler_state(),
+                par.sampler_state(),
+                "sampler state must match for batch size {batch}"
+            );
+            // The total work is identical; only its distribution differs.
+            assert_eq!(seq.stats().discovered_butterflies, par.stats().discovered_butterflies);
+            assert_eq!(seq.stats().comparisons, par.stats().comparisons);
+        }
+    }
+
+    #[test]
+    fn estimate_is_exact_when_budget_covers_stream() {
+        let stream = dynamic_stream(3, 1_500, 0.25);
+        let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(10_000)
+                .with_seed(0)
+                .with_batch_size(100)
+                .with_threads(6),
+        );
+        par.process_stream(&stream);
+        assert!((par.estimate() - truth).abs() < 1e-6);
+        assert_eq!(par.name(), "PARABACUS");
+        assert!(par.batches_processed() >= 18);
+        assert_eq!(par.pending_elements(), 0);
+    }
+
+    #[test]
+    fn flush_makes_partial_batches_visible() {
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(100)
+                .with_seed(0)
+                .with_batch_size(1_000)
+                .with_threads(2),
+        );
+        for &(l, r) in &[(0u32, 10u32), (0, 11), (1, 10), (1, 11)] {
+            par.process(StreamElement::insert(Edge::new(l, r)));
+        }
+        // Not flushed yet: the batch is smaller than the batch size.
+        assert_eq!(par.estimate(), 0.0);
+        assert_eq!(par.pending_elements(), 4);
+        par.flush();
+        assert_eq!(par.estimate(), 1.0);
+        assert_eq!(par.pending_elements(), 0);
+        // Second flush is a no-op.
+        par.flush();
+        assert_eq!(par.estimate(), 1.0);
+    }
+
+    #[test]
+    fn thread_workloads_are_recorded_and_balanced() {
+        let stream = dynamic_stream(5, 6_000, 0.2);
+        let threads = 4;
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(512)
+                .with_seed(1)
+                .with_batch_size(1_000)
+                .with_threads(threads),
+        );
+        par.process_stream(&stream);
+        let workloads = par.thread_workloads();
+        assert_eq!(workloads.len(), threads);
+        let total: u64 = workloads.iter().sum();
+        assert_eq!(total, par.stats().comparisons);
+        assert!(total > 0, "expected some intersection work");
+        // Load balance: no thread does more than twice the ideal share.
+        let ideal = total as f64 / threads as f64;
+        for (i, &w) in workloads.iter().enumerate() {
+            assert!(
+                (w as f64) < 2.5 * ideal + 1_000.0,
+                "thread {i} overloaded: {w} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_counts_buffered_elements() {
+        let mut par = ParAbacus::new(ParAbacusConfig::new(8).with_batch_size(100));
+        for i in 0..10u32 {
+            par.process(StreamElement::insert(Edge::new(i, i)));
+        }
+        assert_eq!(par.memory_edges(), 10); // all buffered, none sampled yet
+        par.flush();
+        assert!(par.memory_edges() <= 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Parity with sequential ABACUS holds for arbitrary batch sizes,
+        /// thread counts, budgets and deletion ratios.
+        #[test]
+        fn parity_with_abacus(
+            seed in 0u64..1_000,
+            budget in 8usize..200,
+            batch in 1usize..300,
+            threads in 1usize..8,
+            alpha in 0.0f64..0.4,
+        ) {
+            let stream = dynamic_stream(seed, 800, alpha);
+            let mut seq = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+            seq.process_stream(&stream);
+            let mut par = ParAbacus::new(
+                ParAbacusConfig::new(budget)
+                    .with_seed(seed)
+                    .with_batch_size(batch)
+                    .with_threads(threads),
+            );
+            par.process_stream(&stream);
+            let scale = seq.estimate().abs().max(1.0);
+            prop_assert!((seq.estimate() - par.estimate()).abs() <= 1e-9 * scale);
+            prop_assert_eq!(seq.sampler_state(), par.sampler_state());
+        }
+    }
+}

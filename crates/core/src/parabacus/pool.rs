@@ -1,0 +1,271 @@
+//! Persistent worker pool for PARABACUS's parallel counting phase.
+//!
+//! Spawning operating-system threads for every mini-batch costs hundreds of
+//! microseconds per batch — more than the entire per-edge counting work of a
+//! small batch on a laptop-scale sample — and flattens the speedup curves of
+//! Figs. 8 and 9.  [`CountingPool`] therefore keeps `p` worker threads alive
+//! for the lifetime of the estimator and hands them one [`CountTask`] per
+//! batch chunk through a channel.
+//!
+//! The pool deliberately avoids scoped borrows (the crate forbids `unsafe`):
+//! each task carries cheap [`Arc`] handles to the live sample, the sealed
+//! delta log, the batch, and the cached sampler triplets.  A worker drops its
+//! handles *before* reporting the chunk result, so once the coordinator has
+//! collected every result of a batch the estimator again holds the only
+//! reference and `Arc::make_mut` mutates the sample in place without cloning.
+
+use crate::probability::increment;
+use crate::sample_graph::SampleGraph;
+use crate::stats::ProcessingStats;
+use abacus_graph::count_butterflies_with_edge;
+use abacus_sampling::RandomPairingState;
+use abacus_stream::StreamElement;
+use crossbeam::channel::{Receiver, Sender};
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use super::versioned::{VersionView, VersionedDeltas};
+
+/// One chunk of a mini-batch: count the butterflies of the elements in
+/// `range` against their respective sample versions.
+#[derive(Debug, Clone)]
+pub(super) struct CountTask {
+    /// The live (post-batch) sample.
+    pub sample: Arc<SampleGraph>,
+    /// The sealed delta log of the current batch.
+    pub deltas: Arc<VersionedDeltas>,
+    /// The batch elements.
+    pub batch: Arc<Vec<StreamElement>>,
+    /// Pre-update Random Pairing triplets, one per batch element.
+    pub triplets: Arc<Vec<RandomPairingState>>,
+    /// The half-open element range this task covers.
+    pub range: Range<usize>,
+    /// Which of the `p` static partitions this chunk is (for Fig. 10's
+    /// per-thread workload attribution).
+    pub chunk_index: usize,
+    /// Memory budget `k` of the estimator (needed by Eq. 1).
+    pub budget: usize,
+}
+
+/// The result of one executed [`CountTask`].
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ChunkResult {
+    /// The chunk the result belongs to.
+    pub chunk_index: usize,
+    /// Signed, extrapolated partial count contributed by the chunk.
+    pub partial: f64,
+    /// Work counters of the chunk.
+    pub stats: ProcessingStats,
+}
+
+/// Executes one chunk: per-edge counting against each element's own sample
+/// version, extrapolated with the increment of Eq. 1.
+///
+/// This is the exact same code path the single-threaded fallback uses, so
+/// estimates never depend on whether the pool was engaged.
+pub(super) fn execute_task(task: &CountTask) -> ChunkResult {
+    let mut partial = 0.0f64;
+    let mut stats = ProcessingStats::default();
+    for position in task.range.clone() {
+        let element = task.batch[position];
+        let view = VersionView::new(&task.sample, &task.deltas, position as u32);
+        let per_edge = count_butterflies_with_edge(&view, element.edge);
+        let is_insert = element.delta.is_insert();
+        if per_edge.butterflies > 0 {
+            partial += increment(task.budget, task.triplets[position], is_insert)
+                * per_edge.butterflies as f64;
+        }
+        stats.record_element(is_insert, per_edge.butterflies, per_edge.comparisons);
+    }
+    ChunkResult {
+        chunk_index: task.chunk_index,
+        partial,
+        stats,
+    }
+}
+
+/// A fixed-size pool of persistent counting workers.
+#[derive(Debug)]
+pub(super) struct CountingPool {
+    task_tx: Option<Sender<CountTask>>,
+    result_rx: Receiver<ChunkResult>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CountingPool {
+    /// Spawns `workers` persistent threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a counting pool needs at least one worker");
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<CountTask>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<ChunkResult>();
+        let handles = (0..workers)
+            .map(|index| {
+                let task_rx = task_rx.clone();
+                let result_tx = result_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("parabacus-worker-{index}"))
+                    .spawn(move || {
+                        while let Ok(task) = task_rx.recv() {
+                            let result = execute_task(&task);
+                            // Release the Arc handles before reporting, so the
+                            // coordinator can mutate the sample in place once
+                            // all results of the batch arrived.
+                            drop(task);
+                            if result_tx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn PARABACUS worker thread")
+            })
+            .collect();
+        CountingPool {
+            task_tx: Some(task_tx),
+            result_rx,
+            workers: handles,
+        }
+    }
+
+    /// Submits one chunk for execution.
+    pub fn submit(&self, task: CountTask) {
+        self.task_tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(task)
+            .expect("PARABACUS worker threads terminated unexpectedly");
+    }
+
+    /// Collects exactly `count` chunk results (in completion order).
+    pub fn collect(&self, count: usize) -> Vec<ChunkResult> {
+        (0..count)
+            .map(|_| {
+                self.result_rx
+                    .recv()
+                    .expect("PARABACUS worker threads terminated unexpectedly")
+            })
+            .collect()
+    }
+}
+
+impl Drop for CountingPool {
+    fn drop(&mut self) {
+        // Disconnect the task channel so idle workers exit their receive loop,
+        // then wait for them to finish.
+        self.task_tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+    use abacus_sampling::SampleStore;
+
+    fn sample_with(edges: &[(u32, u32)]) -> SampleGraph {
+        let mut sample = SampleGraph::new();
+        for &(l, r) in edges {
+            sample.store_insert(Edge::new(l, r));
+        }
+        sample
+    }
+
+    fn triplets_for(len: usize) -> Vec<RandomPairingState> {
+        vec![
+            RandomPairingState {
+                live_items: 3,
+                bad_deletions: 0,
+                good_deletions: 0
+            };
+            len
+        ]
+    }
+
+    fn task_for(batch: Vec<StreamElement>, range: Range<usize>) -> CountTask {
+        let sample = sample_with(&[(0, 11), (1, 10), (1, 11)]);
+        let mut deltas = VersionedDeltas::new();
+        deltas.seal(&sample);
+        let triplets = triplets_for(batch.len());
+        CountTask {
+            sample: Arc::new(sample),
+            deltas: Arc::new(deltas),
+            batch: Arc::new(batch),
+            triplets: Arc::new(triplets),
+            range,
+            chunk_index: 0,
+            budget: 100,
+        }
+    }
+
+    #[test]
+    fn execute_task_counts_and_extrapolates() {
+        // Budget far above the live population: probability 1, increment ±1.
+        let batch = vec![
+            StreamElement::insert(Edge::new(0, 10)),
+            StreamElement::delete(Edge::new(0, 10)),
+        ];
+        let result = execute_task(&task_for(batch, 0..2));
+        // The insertion finds the butterfly (+1), the deletion removes it (−1).
+        assert_eq!(result.partial, 0.0);
+        assert_eq!(result.stats.elements, 2);
+        assert_eq!(result.stats.discovered_butterflies, 2);
+    }
+
+    #[test]
+    fn execute_task_respects_the_range() {
+        let batch = vec![
+            StreamElement::insert(Edge::new(0, 10)),
+            StreamElement::insert(Edge::new(5, 50)),
+        ];
+        let result = execute_task(&task_for(batch, 1..2));
+        assert_eq!(result.stats.elements, 1);
+        assert_eq!(result.partial, 0.0);
+    }
+
+    #[test]
+    fn pool_runs_tasks_and_returns_all_results() {
+        let pool = CountingPool::new(3);
+        let batch = vec![StreamElement::insert(Edge::new(0, 10)); 8];
+        for chunk in 0..4usize {
+            let mut task = task_for(batch.clone(), (chunk * 2)..(chunk * 2 + 2));
+            task.chunk_index = chunk;
+            pool.submit(task);
+        }
+        let mut results = pool.collect(4);
+        results.sort_by_key(|r| r.chunk_index);
+        assert_eq!(results.len(), 4);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.chunk_index, i);
+            assert_eq!(result.stats.elements, 2);
+        }
+    }
+
+    #[test]
+    fn workers_release_their_handles_before_reporting() {
+        let pool = CountingPool::new(2);
+        let batch = Arc::new(vec![StreamElement::insert(Edge::new(0, 10)); 4]);
+        let mut task = task_for(Vec::new(), 0..0);
+        task.batch = Arc::clone(&batch);
+        task.triplets = Arc::new(triplets_for(batch.len()));
+        task.range = 0..4;
+        pool.submit(task.clone());
+        pool.submit(CountTask {
+            range: 0..2,
+            chunk_index: 1,
+            ..task
+        });
+        let _ = pool.collect(2);
+        // Both workers reported, so the only remaining strong reference to the
+        // batch is the local one.
+        assert_eq!(Arc::strong_count(&batch), 1);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_all_workers() {
+        let pool = CountingPool::new(4);
+        drop(pool); // must not hang or panic
+    }
+}

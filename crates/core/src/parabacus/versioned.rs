@@ -1,0 +1,674 @@
+//! Versioned sample views for mini-batch processing.
+//!
+//! PARABACUS first replays the sample updates of a whole mini-batch
+//! sequentially (cheap, O(1) amortised per edge) while *recording the deltas*
+//! each update applies to the sample.  Afterwards the per-edge butterfly
+//! counting for edge `i` of the batch must see the sample exactly as it was
+//! before edge `i`'s own update — the *i-th version* `S_i` of the paper —
+//! even though the physical sample has already advanced to the post-batch
+//! state.
+//!
+//! Storing `M` full snapshots would cost O(M·k) memory; instead, only the
+//! per-vertex discrepancies between consecutive versions are kept
+//! (`VersionedDeltas`), and [`VersionView`] reconstructs any version on the
+//! fly by *undoing* the deltas with a version tag greater than or equal to the
+//! requested one.  This is exactly the "store only the discrepancies between
+//! the neighboring sets of each vertex" design of §V-A.
+//!
+//! The delta log goes through two phases:
+//!
+//! 1. **Recording** (sequential, phase 1 of PARABACUS) — every adjacency
+//!    change is appended to the touched vertices' logs in version order.
+//! 2. **Sealed** (parallel, phase 2) — [`VersionedDeltas::seal`] turns each
+//!    vertex's raw change log into two query indexes:
+//!    * *degree suffix sums* so the degree of a vertex at any version is one
+//!      binary search away from its live degree, and
+//!    * *override intervals* — for every `(vertex, neighbor)` pair whose
+//!      historic state in some version range differs from the final live
+//!      sample, the range `[lo, hi]` of versions and the historic presence.
+//!      Intervals that agree with the live sample are pruned, so membership
+//!      probes fall through to the live sample for free and neighbor
+//!      iteration only pays for genuinely resurrected pairs.
+//!
+//!    This keeps every versioned probe within a small constant factor of the
+//!    corresponding live-sample probe, which is what preserves the paper's
+//!    speedup shape (Figs. 8–9).
+
+use crate::sample_graph::SampleGraph;
+use abacus_graph::{Edge, FxHashMap, NeighborhoodView, VertexRef};
+use abacus_sampling::SampleStore;
+use rand::Rng;
+
+/// One recorded adjacency change: at version `version`, `neighbor` was added
+/// to (or removed from) the neighbor set of the owning vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DeltaEntry {
+    /// The neighbor on the opposite side.
+    neighbor: u32,
+    /// The batch position whose sample update produced this change.  The
+    /// change is *not yet visible* at versions `<= version`.
+    version: u32,
+    /// `true` for an addition, `false` for a removal.
+    added: bool,
+}
+
+/// A version range in which a pair's historic state differs from the final
+/// live sample: for every view version `t` with `lo <= t <= hi`, the pair
+/// `(owner, neighbor)` was `present` (and the live sample says otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OverrideInterval {
+    neighbor: u32,
+    lo: u32,
+    hi: u32,
+    present: bool,
+}
+
+/// The per-vertex change log plus the indexes built when the log is sealed.
+#[derive(Debug, Clone, Default)]
+struct VertexLog {
+    /// Raw changes in version (i.e. recording) order.
+    entries: Vec<DeltaEntry>,
+    /// `(version, suffix)` pairs in ascending version order, where `suffix` is
+    /// the net degree change contributed by this entry and everything after
+    /// it.  The vertex's degree at version `t` is its live degree minus the
+    /// suffix of the first entry with `version >= t`.
+    degree_suffix: Vec<(u32, i32)>,
+    /// Override intervals sorted by `(neighbor, lo)`, pruned to those whose
+    /// historic state differs from the live sample.
+    overrides: Vec<OverrideInterval>,
+    /// The `present == true` subset of `overrides`: pairs that existed at some
+    /// versions but are absent from the live sample (needed when iterating a
+    /// historic neighborhood).
+    resurrections: Vec<OverrideInterval>,
+}
+
+/// Per-vertex log of the adjacency changes applied during one mini-batch.
+#[derive(Debug, Clone, Default)]
+pub struct VersionedDeltas {
+    per_vertex: FxHashMap<VertexRef, VertexLog>,
+    recorded_ops: usize,
+    sealed: bool,
+}
+
+impl VersionedDeltas {
+    /// Creates an empty delta log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edge-level operations recorded (each touches two vertices).
+    #[must_use]
+    pub fn recorded_ops(&self) -> usize {
+        self.recorded_ops
+    }
+
+    /// Whether [`seal`](Self::seal) has been called since the last mutation.
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Clears the log for the next mini-batch, keeping allocations.
+    pub fn clear(&mut self) {
+        // Dropping the map entirely would free the per-vertex vectors; keeping
+        // the outer map but clearing it gives the same semantics and the
+        // allocator a chance to reuse the buckets.
+        self.per_vertex.clear();
+        self.recorded_ops = 0;
+        self.sealed = false;
+    }
+
+    /// Records that `edge` was added to / removed from the sample while
+    /// processing batch position `version`.
+    ///
+    /// # Panics
+    /// Panics if the log has already been sealed for querying.
+    pub fn record(&mut self, version: u32, added: bool, edge: Edge) {
+        assert!(!self.sealed, "cannot record into a sealed delta log");
+        self.recorded_ops += 1;
+        self.per_vertex
+            .entry(edge.left_ref())
+            .or_default()
+            .entries
+            .push(DeltaEntry {
+                neighbor: edge.right,
+                version,
+                added,
+            });
+        self.per_vertex
+            .entry(edge.right_ref())
+            .or_default()
+            .entries
+            .push(DeltaEntry {
+                neighbor: edge.left,
+                version,
+                added,
+            });
+    }
+
+    /// Freezes the log and builds the per-vertex query indexes against the
+    /// final (post-batch) state of the sample.
+    ///
+    /// Must be called once after the sequential recording pass and before any
+    /// [`VersionView`] queries the log.  `live` must be the sample the deltas
+    /// were recorded against, *after* all batch updates have been applied —
+    /// exactly the state PARABACUS keeps between batches.
+    pub fn seal(&mut self, live: &SampleGraph) {
+        for (&vertex, log) in &mut self.per_vertex {
+            log.build_indexes(vertex, live);
+        }
+        self.sealed = true;
+    }
+
+    fn log(&self, v: VertexRef) -> Option<&VertexLog> {
+        debug_assert!(self.sealed, "delta log queried before seal()");
+        self.per_vertex.get(&v)
+    }
+}
+
+impl VertexLog {
+    fn build_indexes(&mut self, vertex: VertexRef, live: &SampleGraph) {
+        // Degree suffix sums from the entries in recorded (version) order.
+        self.degree_suffix.clear();
+        self.degree_suffix.reserve(self.entries.len());
+        let mut suffix = 0i32;
+        for entry in self.entries.iter().rev() {
+            suffix += if entry.added { 1 } else { -1 };
+            self.degree_suffix.push((entry.version, suffix));
+        }
+        self.degree_suffix.reverse();
+
+        // Override intervals per pair.  Entries arrive in version order, so a
+        // stable sort by neighbor keeps each pair's changes version-sorted.
+        self.entries.sort_by_key(|e| e.neighbor);
+        self.overrides.clear();
+        self.resurrections.clear();
+        let mut i = 0;
+        while i < self.entries.len() {
+            let neighbor = self.entries[i].neighbor;
+            let live_present = live.view_contains(vertex, neighbor);
+            let mut lo = 0u32;
+            while i < self.entries.len() && self.entries[i].neighbor == neighbor {
+                let entry = self.entries[i];
+                let state_before = !entry.added;
+                if state_before != live_present {
+                    let interval = OverrideInterval {
+                        neighbor,
+                        lo,
+                        hi: entry.version,
+                        present: state_before,
+                    };
+                    self.overrides.push(interval);
+                    if state_before {
+                        self.resurrections.push(interval);
+                    }
+                }
+                lo = entry.version + 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Historic presence of `neighbor` at version `t`, if it differs from the
+    /// live sample (`None` means the live sample is authoritative).
+    #[inline]
+    fn historic_override(&self, neighbor: u32, t: u32) -> Option<bool> {
+        let start = self
+            .overrides
+            .partition_point(|o| o.neighbor < neighbor);
+        self.overrides[start..]
+            .iter()
+            .take_while(|o| o.neighbor == neighbor)
+            .find(|o| o.lo <= t && t <= o.hi)
+            .map(|o| o.present)
+    }
+
+    /// Collects the overrides *active at version `t`* into `out`, sorted by
+    /// neighbor id.
+    ///
+    /// `out` ends up with one `(neighbor, present)` entry per pair whose state
+    /// at version `t` differs from the live sample; probing it is a binary
+    /// search over a few cache lines instead of a walk over the full interval
+    /// log, which is what keeps hub-heavy intersections close to live-sample
+    /// speed.
+    fn active_overrides_at(&self, t: u32, out: &mut Vec<(u32, bool)>) {
+        out.clear();
+        for interval in &self.overrides {
+            if interval.lo <= t && t <= interval.hi {
+                out.push((interval.neighbor, interval.present));
+            }
+        }
+    }
+}
+
+/// A [`SampleStore`] wrapper that applies updates to the live sample while
+/// recording every adjacency change into a [`VersionedDeltas`] log.
+///
+/// The state transitions (and the RNG consumption) are bit-identical to
+/// driving the [`SampleGraph`] directly, which is what makes PARABACUS
+/// produce exactly the same sample — and therefore the same estimates — as
+/// sequential ABACUS (Theorem 5).
+#[derive(Debug)]
+pub struct RecordingSample<'a> {
+    sample: &'a mut SampleGraph,
+    deltas: &'a mut VersionedDeltas,
+    version: u32,
+}
+
+impl<'a> RecordingSample<'a> {
+    /// Wraps the live sample for the update of batch position `version`.
+    pub fn new(sample: &'a mut SampleGraph, deltas: &'a mut VersionedDeltas, version: u32) -> Self {
+        RecordingSample {
+            sample,
+            deltas,
+            version,
+        }
+    }
+}
+
+impl SampleStore<Edge> for RecordingSample<'_> {
+    fn store_len(&self) -> usize {
+        self.sample.store_len()
+    }
+
+    fn store_contains(&self, item: &Edge) -> bool {
+        self.sample.store_contains(item)
+    }
+
+    fn store_insert(&mut self, item: Edge) {
+        self.deltas.record(self.version, true, item);
+        self.sample.store_insert(item);
+    }
+
+    fn store_remove(&mut self, item: &Edge) -> bool {
+        let removed = self.sample.store_remove(item);
+        if removed {
+            self.deltas.record(self.version, false, *item);
+        }
+        removed
+    }
+
+    fn store_replace_random<R: Rng + ?Sized>(&mut self, item: Edge, rng: &mut R) {
+        // Mirrors SampleGraph::store_replace_random exactly: one RNG draw to
+        // pick the victim, then remove + insert.
+        let victim = self.sample.random_edge(rng);
+        self.deltas.record(self.version, false, victim);
+        self.sample.store_remove(&victim);
+        self.deltas.record(self.version, true, item);
+        self.sample.store_insert(item);
+    }
+
+    fn store_clear(&mut self) {
+        unreachable!("the sampling policy never clears the sample mid-batch");
+    }
+}
+
+/// A read-only view of the sample *as it was* at a given version of the
+/// current mini-batch.
+///
+/// The backing [`VersionedDeltas`] must have been [sealed](VersionedDeltas::seal)
+/// against the same live sample.
+///
+/// The view caches, per queried vertex, the overrides that are *active* at
+/// its version (usually none or a handful), so repeated probes against the
+/// same hub vertex — the common case inside the butterfly kernel — cost
+/// little more than probing the live sample.  The cache makes the view
+/// cheap to query but not `Copy`; create one view per processed element.
+#[derive(Debug)]
+pub struct VersionView<'a> {
+    sample: &'a SampleGraph,
+    deltas: &'a VersionedDeltas,
+    version: u32,
+    resolved: std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u32, bool)>>)>>,
+}
+
+impl<'a> VersionView<'a> {
+    /// Creates the view of version `version` (the state the `version`-th edge
+    /// of the batch observes, i.e. before its own update).
+    #[must_use]
+    pub fn new(sample: &'a SampleGraph, deltas: &'a VersionedDeltas, version: u32) -> Self {
+        VersionView {
+            sample,
+            deltas,
+            version,
+            resolved: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The (cached) list of overrides of `v` that are active at this view's
+    /// version, sorted by neighbor id, or `None` when the batch did not touch
+    /// `v` at all.
+    fn active_overrides(&self, v: VertexRef) -> Option<std::rc::Rc<Vec<(u32, bool)>>> {
+        let log = self.deltas.log(v)?;
+        let mut cache = self.resolved.borrow_mut();
+        if let Some((_, active)) = cache.iter().find(|(vertex, _)| *vertex == v) {
+            return Some(std::rc::Rc::clone(active));
+        }
+        let mut active = Vec::new();
+        log.active_overrides_at(self.version, &mut active);
+        let active = std::rc::Rc::new(active);
+        cache.push((v, std::rc::Rc::clone(&active)));
+        Some(active)
+    }
+
+    /// Calls `f` for every historic neighbor of `v` given `v`'s active
+    /// overrides.
+    fn for_each_historic_neighbor(
+        &self,
+        v: VertexRef,
+        active: &[(u32, bool)],
+        f: &mut impl FnMut(u32),
+    ) {
+        if active.is_empty() {
+            self.sample.view_for_each_neighbor(v, f);
+            return;
+        }
+        // Live neighbors, skipping those that were absent at this version
+        // (overrides kept for live neighbors are always `present == false`).
+        self.sample.view_for_each_neighbor(v, &mut |n| {
+            if lookup(active, n).is_none() {
+                f(n);
+            }
+        });
+        // Pairs that were present at this version but are absent from the
+        // live sample (pruning guarantees these never overlap the loop above).
+        for &(neighbor, present) in active {
+            if present {
+                f(neighbor);
+            }
+        }
+    }
+}
+
+/// Binary search over an active-override list.
+#[inline]
+fn lookup(active: &[(u32, bool)], neighbor: u32) -> Option<bool> {
+    if active.is_empty() {
+        return None;
+    }
+    active
+        .binary_search_by_key(&neighbor, |&(n, _)| n)
+        .ok()
+        .map(|i| active[i].1)
+}
+
+impl NeighborhoodView for VersionView<'_> {
+    fn view_degree(&self, v: VertexRef) -> usize {
+        let live = self.sample.view_degree(v) as i64;
+        let Some(log) = self.deltas.log(v) else {
+            return live as usize;
+        };
+        // The live degree minus the net change applied at this version or
+        // later (one binary search into the version-ordered suffix sums).
+        let idx = log
+            .degree_suffix
+            .partition_point(|&(version, _)| version < self.version);
+        let future = log.degree_suffix.get(idx).map_or(0, |&(_, suffix)| suffix);
+        usize::try_from(live - i64::from(future)).expect("versioned degree cannot be negative")
+    }
+
+    fn view_contains(&self, v: VertexRef, neighbor: u32) -> bool {
+        if let Some(log) = self.deltas.log(v) {
+            if let Some(present) = log.historic_override(neighbor, self.version) {
+                return present;
+            }
+        }
+        self.sample.view_contains(v, neighbor)
+    }
+
+    fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
+        let active = self.active_overrides(v);
+        let active = active.as_deref().map_or(&[][..], Vec::as_slice);
+        self.for_each_historic_neighbor(v, active, &mut |n| f(n));
+    }
+
+    fn view_intersection_excluding(
+        &self,
+        a: VertexRef,
+        b: VertexRef,
+        exclude: u32,
+    ) -> abacus_graph::intersect::IntersectionResult {
+        if self.deltas.log(a).is_none() && self.deltas.log(b).is_none() {
+            // Neither endpoint was touched by the batch: the live sample is
+            // the historic truth and its specialised kernel applies.
+            return self.sample.view_intersection_excluding(a, b, exclude);
+        }
+
+        // Iterate the smaller historic neighborhood, probe the other one with
+        // both its active overrides and its live adjacency set resolved once.
+        let (iterate, probe) = if self.view_degree(a) <= self.view_degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let probe_live = self.sample.neighbors(probe);
+        let probe_active = self.active_overrides(probe);
+        let probe_active = probe_active.as_deref().map_or(&[][..], Vec::as_slice);
+        let iterate_active = self.active_overrides(iterate);
+        let iterate_active = iterate_active.as_deref().map_or(&[][..], Vec::as_slice);
+        let mut result = abacus_graph::intersect::IntersectionResult::default();
+        self.for_each_historic_neighbor(iterate, iterate_active, &mut |x| {
+            if x == exclude {
+                return;
+            }
+            result.comparisons += 1;
+            let present = match lookup(probe_active, x) {
+                Some(present) => present,
+                None => probe_live.is_some_and(|n| n.contains(x)),
+            };
+            if present {
+                result.count += 1;
+            }
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Side;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn edge(l: u32, r: u32) -> Edge {
+        Edge::new(l, r)
+    }
+
+    /// Collects the neighbor set a view reports for a vertex.
+    fn view_neighbors(view: &VersionView<'_>, v: VertexRef) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        view.view_for_each_neighbor(v, &mut |n| {
+            assert!(out.insert(n), "duplicate neighbor {n} reported for {v}");
+        });
+        out
+    }
+
+    #[test]
+    fn version_zero_sees_the_pre_batch_sample() {
+        let mut sample = SampleGraph::new();
+        sample.store_insert(edge(1, 10));
+        sample.store_insert(edge(2, 10));
+
+        let mut deltas = VersionedDeltas::new();
+        // Batch: position 0 inserts (3,10); position 1 removes (1,10).
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 0);
+            rec.store_insert(edge(3, 10));
+        }
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 1);
+            assert!(rec.store_remove(&edge(1, 10)));
+        }
+        deltas.seal(&sample);
+        assert!(deltas.is_sealed());
+
+        let v0 = VersionView::new(&sample, &deltas, 0);
+        assert_eq!(
+            view_neighbors(&v0, VertexRef::right(10)),
+            BTreeSet::from([1, 2])
+        );
+        assert!(v0.view_contains(VertexRef::right(10), 1));
+        assert!(!v0.view_contains(VertexRef::right(10), 3));
+        assert_eq!(v0.view_degree(VertexRef::right(10)), 2);
+
+        let v1 = VersionView::new(&sample, &deltas, 1);
+        assert_eq!(
+            view_neighbors(&v1, VertexRef::right(10)),
+            BTreeSet::from([1, 2, 3])
+        );
+
+        let v2 = VersionView::new(&sample, &deltas, 2);
+        assert_eq!(
+            view_neighbors(&v2, VertexRef::right(10)),
+            BTreeSet::from([2, 3])
+        );
+        assert_eq!(deltas.recorded_ops(), 2);
+    }
+
+    #[test]
+    fn reinsertion_within_a_batch_is_reconstructed() {
+        let mut sample = SampleGraph::new();
+        sample.store_insert(edge(1, 10));
+        let mut deltas = VersionedDeltas::new();
+        // Position 0 removes (1,10); position 1 re-inserts it.
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 0);
+            rec.store_remove(&edge(1, 10));
+        }
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 1);
+            rec.store_insert(edge(1, 10));
+        }
+        deltas.seal(&sample);
+        let v0 = VersionView::new(&sample, &deltas, 0);
+        assert!(v0.view_contains(VertexRef::left(1), 10));
+        let v1 = VersionView::new(&sample, &deltas, 1);
+        assert!(!v1.view_contains(VertexRef::left(1), 10));
+        let v2 = VersionView::new(&sample, &deltas, 2);
+        assert!(v2.view_contains(VertexRef::left(1), 10));
+    }
+
+    #[test]
+    fn clear_resets_the_log_and_unseals_it() {
+        let mut deltas = VersionedDeltas::new();
+        deltas.record(0, true, edge(1, 2));
+        assert_eq!(deltas.recorded_ops(), 1);
+        deltas.seal(&SampleGraph::new());
+        deltas.clear();
+        assert_eq!(deltas.recorded_ops(), 0);
+        assert!(!deltas.is_sealed());
+        // Recording after clear() is allowed again.
+        deltas.record(0, true, edge(3, 4));
+        assert_eq!(deltas.recorded_ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed delta log")]
+    fn recording_into_a_sealed_log_panics() {
+        let mut deltas = VersionedDeltas::new();
+        deltas.seal(&SampleGraph::new());
+        deltas.record(0, true, edge(1, 2));
+    }
+
+    #[test]
+    fn hub_vertex_with_many_changes_is_reconstructed() {
+        // A single right-side hub accumulates many insertions and deletions
+        // across the batch; every intermediate version must be recoverable.
+        let mut sample = SampleGraph::new();
+        let mut deltas = VersionedDeltas::new();
+        let mut expected: Vec<BTreeSet<u32>> = Vec::new();
+        let mut live: BTreeSet<u32> = BTreeSet::new();
+        for version in 0..200u32 {
+            expected.push(live.clone());
+            let l = version % 37;
+            let e = edge(l, 10);
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, version);
+            if live.contains(&l) {
+                assert!(rec.store_remove(&e));
+                live.remove(&l);
+            } else {
+                rec.store_insert(e);
+                live.insert(l);
+            }
+        }
+        deltas.seal(&sample);
+        for (version, want) in expected.iter().enumerate() {
+            let view = VersionView::new(&sample, &deltas, version as u32);
+            assert_eq!(&view_neighbors(&view, VertexRef::right(10)), want);
+            assert_eq!(view.view_degree(VertexRef::right(10)), want.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Reference check: apply a random batch of sample mutations through
+        /// the recording wrapper, snapshotting the sample before each one.
+        /// Every `VersionView` must report exactly the snapshot's adjacency.
+        #[test]
+        fn views_match_full_snapshots(
+            ops in proptest::collection::vec((0u8..3, 0u32..6, 0u32..6), 1..40),
+            seed in any::<u64>(),
+        ) {
+            let mut sample = SampleGraph::new();
+            // Pre-populate with a few edges so removals and replacements have
+            // something to act on.
+            for i in 0..4u32 {
+                sample.store_insert(edge(i, i + 10));
+            }
+            let mut deltas = VersionedDeltas::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut snapshots: Vec<SampleGraph> = Vec::new();
+
+            let mut version = 0u32;
+            for (op, l, r) in ops {
+                snapshots.push(sample.clone());
+                let e = edge(l, r + 10);
+                let mut rec = RecordingSample::new(&mut sample, &mut deltas, version);
+                match op {
+                    0 => {
+                        if !rec.store_contains(&e) {
+                            rec.store_insert(e);
+                        }
+                    }
+                    1 => {
+                        let _ = rec.store_remove(&e);
+                    }
+                    _ => {
+                        if rec.store_len() > 0 && !rec.store_contains(&e) {
+                            rec.store_replace_random(e, &mut rng);
+                        }
+                    }
+                }
+                version += 1;
+            }
+            deltas.seal(&sample);
+
+            for (v, snapshot) in snapshots.iter().enumerate() {
+                let view = VersionView::new(&sample, &deltas, v as u32);
+                // Compare adjacency of every vertex id that could appear.
+                for id in 0..20u32 {
+                    for side in [Side::Left, Side::Right] {
+                        let vref = VertexRef::new(side, id);
+                        let mut want = BTreeSet::new();
+                        snapshot.view_for_each_neighbor(vref, &mut |n| { want.insert(n); });
+                        let got = view_neighbors(&view, vref);
+                        prop_assert_eq!(&got, &want, "vertex {} at version {}", vref, v);
+                        prop_assert_eq!(view.view_degree(vref), want.len());
+                        for n in 0..20u32 {
+                            prop_assert_eq!(
+                                view.view_contains(vref, n),
+                                want.contains(&n),
+                                "membership of {} in {} at version {}", n, vref, v
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Butterfly-discovery probability (Eq. 1) and the unbiased increment rule.
+//!
+//! When element `e(t) = ({u, v}, δ)` arrives, a butterfly `{u, v, w, x}` that
+//! it creates (or destroys) is *discovered* by ABACUS iff the three
+//! complementary edges `{u, x}`, `{w, x}`, `{w, v}` are all in the sample.
+//! Because Random Pairing keeps the sample uniform, the probability that any
+//! three fixed distinct live edges are simultaneously sampled is
+//!
+//! ```text
+//! Pr(|E|, c_b, c_g) = y/T · (y−1)/(T−1) · (y−2)/(T−2)
+//!   with  T = |E| + c_b + c_g   and   y = min(k, T)
+//! ```
+//!
+//! (Lemma 1).  Adding `sgn(δ) / Pr` for every discovered butterfly makes the
+//! expected total adjustment per created/deleted butterfly exactly ±1, which
+//! is what yields unbiasedness (Theorem 1).
+
+use abacus_sampling::RandomPairingState;
+
+/// The discovery probability `Pr(|E|, c_b, c_g)` of Eq. 1 for a memory budget
+/// `k` and the Random Pairing state *before* the incoming element is applied.
+///
+/// Degenerate cases: with `T < 3` the whole population fits in the sample and
+/// no three distinct edges exist, so the probability is reported as 1 (any
+/// discovered structure was seen with certainty); a probability of exactly 0
+/// can only be returned when the budget `k < 3`, in which case no butterfly is
+/// ever discoverable and the caller must not divide by it.
+#[must_use]
+pub fn discovery_probability(budget: usize, state: RandomPairingState) -> f64 {
+    let t = state.population();
+    let y = budget.min(t);
+    if t <= y {
+        // The sample can hold the entire population: every edge is sampled.
+        return 1.0;
+    }
+    if y < 3 {
+        return 0.0;
+    }
+    let t = t as f64;
+    let y = y as f64;
+    (y / t) * ((y - 1.0) / (t - 1.0)) * ((y - 2.0) / (t - 2.0))
+}
+
+/// The per-butterfly increment `sgn(δ) / Pr` (Algorithm 1, line 6).
+///
+/// Returns 0 when the probability is 0, which can only happen when no
+/// butterfly can be discovered in the first place (budget < 3), keeping the
+/// estimator well-defined instead of producing infinities.
+#[must_use]
+pub fn increment(budget: usize, state: RandomPairingState, is_insert: bool) -> f64 {
+    let p = discovery_probability(budget, state);
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let sign = if is_insert { 1.0 } else { -1.0 };
+    sign / p
+}
+
+/// The variance upper bound of Theorem 2:
+///
+/// ```text
+/// Var[c] ≤ γ·E[c] + 2·γ²·C(E[c], 2)·C(|E|−6, k−6)/C(|E|, k) − E[c]²
+/// with γ = C(|E|, k) / C(|E|−4, k−4)
+/// ```
+///
+/// where `expected_count = E[c]` equals the true butterfly count (Theorem 1),
+/// `live_edges = |E|` is the number of live edges and `budget = k` the sample
+/// size.  The binomial ratios telescope into short products, so no large
+/// factorials are ever materialised.
+///
+/// When the sample covers the whole graph (`k ≥ |E|`) the estimator is exact
+/// and the bound degenerates to 0.
+#[must_use]
+pub fn variance_upper_bound(budget: usize, live_edges: usize, expected_count: f64) -> f64 {
+    if live_edges <= budget {
+        return 0.0;
+    }
+    if budget < 4 {
+        // A butterfly needs four edges; with fewer sampled edges than that the
+        // scaling factor γ is unbounded and the theorem gives no finite bound.
+        return f64::INFINITY;
+    }
+    let e = live_edges as f64;
+    let k = budget as f64;
+    // γ = C(E, k) / C(E−4, k−4) = Π_{i=0..3} (E − i) / (k − i).
+    let gamma: f64 = (0..4).map(|i| (e - i as f64) / (k - i as f64)).product();
+    // C(E−6, k−6) / C(E, k) = Π_{i=0..5} (k − i) / (E − i); zero when k < 6
+    // (two butterflies sharing two edges can never be co-sampled).
+    let shared_two_edges: f64 = if budget < 6 {
+        0.0
+    } else {
+        (0..6).map(|i| (k - i as f64) / (e - i as f64)).product()
+    };
+    let pairs = expected_count * (expected_count - 1.0) / 2.0;
+    gamma * expected_count + 2.0 * gamma * gamma * pairs * shared_two_edges
+        - expected_count * expected_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(live: usize, bad: usize, good: usize) -> RandomPairingState {
+        RandomPairingState {
+            live_items: live,
+            bad_deletions: bad,
+            good_deletions: good,
+        }
+    }
+
+    #[test]
+    fn full_sample_has_probability_one() {
+        // Budget covers the whole population: certainty.
+        assert_eq!(discovery_probability(10, state(5, 0, 0)), 1.0);
+        assert_eq!(discovery_probability(10, state(10, 0, 0)), 1.0);
+        assert_eq!(discovery_probability(10, state(2, 0, 0)), 1.0);
+    }
+
+    #[test]
+    fn matches_equation_one() {
+        // k = 5, |E| = 10, no outstanding deletions:
+        // p = 5/10 * 4/9 * 3/8 = 1/12.
+        let p = discovery_probability(5, state(10, 0, 0));
+        assert!((p - (5.0 / 10.0) * (4.0 / 9.0) * (3.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compensation_counters_enter_the_population() {
+        // T = |E| + cb + cg = 10 + 2 + 3 = 15, y = min(6, 15) = 6.
+        let p = discovery_probability(6, state(10, 2, 3));
+        let expected = (6.0 / 15.0) * (5.0 / 14.0) * (4.0 / 13.0);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_budget_yields_zero_probability() {
+        assert_eq!(discovery_probability(2, state(100, 0, 0)), 0.0);
+        assert_eq!(increment(2, state(100, 0, 0), true), 0.0);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_budget() {
+        let mut last = 0.0;
+        for k in 3..50 {
+            let p = discovery_probability(k, state(100, 0, 0));
+            assert!(p >= last, "k={k}");
+            assert!(p <= 1.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn probability_decreases_with_population() {
+        let mut last = 1.0;
+        for e in [10usize, 20, 50, 100, 1000] {
+            let p = discovery_probability(10, state(e, 0, 0));
+            assert!(p <= last, "|E|={e}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn variance_bound_degenerate_cases() {
+        // Full coverage: exact estimator, zero variance.
+        assert_eq!(variance_upper_bound(100, 50, 12.0), 0.0);
+        // Too small a budget: no finite bound.
+        assert!(variance_upper_bound(3, 100, 12.0).is_infinite());
+        // k < 6: the shared-two-edges term vanishes but the bound stays finite.
+        let bound = variance_upper_bound(5, 100, 2.0);
+        assert!(bound.is_finite());
+        assert!(bound >= 0.0);
+    }
+
+    #[test]
+    fn variance_bound_matches_hand_computation() {
+        // |E| = 10, k = 6, E[c] = 3.
+        let e = 10.0f64;
+        let k = 6.0f64;
+        let gamma = (e / k) * ((e - 1.0) / (k - 1.0)) * ((e - 2.0) / (k - 2.0)) * ((e - 3.0) / (k - 3.0));
+        let shared: f64 = (0..6).map(|i| (k - i as f64) / (e - i as f64)).product();
+        let expected = gamma * 3.0 + 2.0 * gamma * gamma * 3.0 * shared - 9.0;
+        let got = variance_upper_bound(6, 10, 3.0);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn variance_bound_shrinks_with_budget() {
+        // For a fixed population and expected count, a larger sample can only
+        // tighten the bound.
+        let mut last = f64::INFINITY;
+        for k in [6usize, 10, 20, 50, 90] {
+            let bound = variance_upper_bound(k, 100, 5.0);
+            assert!(bound <= last + 1e-9, "k={k}: {bound} > {last}");
+            assert!(bound >= -1e-9);
+            last = bound;
+        }
+    }
+
+    #[test]
+    fn increment_sign_follows_delta() {
+        let s = state(50, 0, 0);
+        let up = increment(10, s, true);
+        let down = increment(10, s, false);
+        assert!(up > 0.0);
+        assert!((up + down).abs() < 1e-12);
+        // Reciprocal relation.
+        assert!((up * discovery_probability(10, s) - 1.0).abs() < 1e-12);
+    }
+}

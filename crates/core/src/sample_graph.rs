@@ -1,0 +1,348 @@
+//! The bounded edge sample stored as a bipartite graph.
+//!
+//! ABACUS refines its estimate by intersecting neighbor sets *inside the
+//! sample*, so the sample cannot be a flat edge list: it is a small bipartite
+//! graph with adjacency sets, plus a dense edge vector and an edge→slot index
+//! so that the Random Pairing policy can evict a uniformly random edge in
+//! O(1).
+//!
+//! [`SampleGraph`] implements both
+//! [`SampleStore`](abacus_sampling::SampleStore) (so the sampling policy can
+//! drive it) and [`NeighborhoodView`](abacus_graph::NeighborhoodView) (so the
+//! per-edge butterfly kernel can query it).
+
+use abacus_graph::adjacency::AdjacencySet;
+use abacus_graph::{Edge, EdgeKey, FxHashMap, NeighborhoodView, Side, VertexRef};
+use abacus_sampling::SampleStore;
+use rand::{Rng, RngExt};
+
+/// A bounded sample of edges organised as a bipartite graph.
+#[derive(Debug, Clone, Default)]
+pub struct SampleGraph {
+    adj_left: FxHashMap<u32, AdjacencySet>,
+    adj_right: FxHashMap<u32, AdjacencySet>,
+    edges: Vec<Edge>,
+    slots: FxHashMap<EdgeKey, usize>,
+}
+
+impl SampleGraph {
+    /// Creates an empty sample.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sample sized for a memory budget of `k` edges.
+    #[must_use]
+    pub fn with_budget(k: usize) -> Self {
+        SampleGraph {
+            adj_left: FxHashMap::default(),
+            adj_right: FxHashMap::default(),
+            edges: Vec::with_capacity(k),
+            slots: abacus_graph::fxhash::fx_hashmap_with_capacity(k * 2),
+        }
+    }
+
+    /// Number of sampled edges.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the sample is empty.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether an edge is currently sampled.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, edge: Edge) -> bool {
+        self.slots.contains_key(&edge.key())
+    }
+
+    /// The sampled edges, in slot order (arbitrary but stable between
+    /// mutations).
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbor set of a vertex inside the sample.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: VertexRef) -> Option<&AdjacencySet> {
+        match v.side {
+            Side::Left => self.adj_left.get(&v.id),
+            Side::Right => self.adj_right.get(&v.id),
+        }
+    }
+
+    /// Degree of a vertex inside the sample.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: VertexRef) -> usize {
+        self.neighbors(v).map_or(0, AdjacencySet::len)
+    }
+
+    /// Picks a uniformly random sampled edge without removing it.
+    ///
+    /// # Panics
+    /// Panics if the sample is empty.
+    pub fn random_edge<R: Rng + ?Sized>(&self, rng: &mut R) -> Edge {
+        assert!(!self.edges.is_empty(), "cannot pick from an empty sample");
+        self.edges[rng.random_range(0..self.edges.len())]
+    }
+
+    /// Inserts an edge known to be absent.
+    fn insert_edge(&mut self, edge: Edge) {
+        debug_assert!(!self.contains(edge), "duplicate edge in sample");
+        self.slots.insert(edge.key(), self.edges.len());
+        self.edges.push(edge);
+        self.adj_left.entry(edge.left).or_default().insert(edge.right);
+        self.adj_right.entry(edge.right).or_default().insert(edge.left);
+    }
+
+    /// Removes an edge; returns whether it was present.
+    fn remove_edge(&mut self, edge: Edge) -> bool {
+        let Some(slot) = self.slots.remove(&edge.key()) else {
+            return false;
+        };
+        // Swap-remove from the dense vector, fixing the moved edge's slot.
+        let last = self.edges.len() - 1;
+        self.edges.swap(slot, last);
+        self.edges.pop();
+        if slot < self.edges.len() {
+            self.slots.insert(self.edges[slot].key(), slot);
+        }
+        // Update adjacency, dropping empty vertices.
+        if let Some(set) = self.adj_left.get_mut(&edge.left) {
+            set.remove(edge.right);
+            if set.is_empty() {
+                self.adj_left.remove(&edge.left);
+            }
+        }
+        if let Some(set) = self.adj_right.get_mut(&edge.right) {
+            set.remove(edge.left);
+            if set.is_empty() {
+                self.adj_right.remove(&edge.right);
+            }
+        }
+        true
+    }
+
+    /// Approximate heap footprint in bytes (used for memory accounting in the
+    /// space-complexity sanity tests).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        let adjacency: usize = self
+            .adj_left
+            .values()
+            .chain(self.adj_right.values())
+            .map(AdjacencySet::heap_bytes)
+            .sum();
+        adjacency
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
+            + self.slots.capacity() * 24
+    }
+}
+
+impl SampleStore<Edge> for SampleGraph {
+    fn store_len(&self) -> usize {
+        self.len()
+    }
+
+    fn store_contains(&self, item: &Edge) -> bool {
+        self.contains(*item)
+    }
+
+    fn store_insert(&mut self, item: Edge) {
+        self.insert_edge(item);
+    }
+
+    fn store_remove(&mut self, item: &Edge) -> bool {
+        self.remove_edge(*item)
+    }
+
+    fn store_replace_random<R: Rng + ?Sized>(&mut self, item: Edge, rng: &mut R) {
+        // Deliberately expressed as pick → remove → insert so that the
+        // versioned PARABACUS wrapper can reproduce the exact same state
+        // transition (and RNG consumption) while logging the two deltas.
+        let victim = self.random_edge(rng);
+        self.remove_edge(victim);
+        self.insert_edge(item);
+    }
+
+    fn store_clear(&mut self) {
+        self.adj_left.clear();
+        self.adj_right.clear();
+        self.edges.clear();
+        self.slots.clear();
+    }
+}
+
+impl NeighborhoodView for SampleGraph {
+    #[inline]
+    fn view_degree(&self, v: VertexRef) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn view_contains(&self, v: VertexRef, neighbor: u32) -> bool {
+        self.neighbors(v).is_some_and(|n| n.contains(neighbor))
+    }
+
+    #[inline]
+    fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
+        if let Some(n) = self.neighbors(v) {
+            for x in n.iter() {
+                f(x);
+            }
+        }
+    }
+
+    #[inline]
+    fn view_intersection_excluding(
+        &self,
+        a: VertexRef,
+        b: VertexRef,
+        exclude: u32,
+    ) -> abacus_graph::intersect::IntersectionResult {
+        // Resolve both adjacency sets once and intersect them directly instead
+        // of paying one map lookup per probe.
+        match (self.neighbors(a), self.neighbors(b)) {
+            (Some(na), Some(nb)) => {
+                abacus_graph::intersect::intersection_count_excluding(na, nb, exclude)
+            }
+            _ => abacus_graph::intersect::IntersectionResult::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::count_butterflies_with_edge;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn edge(l: u32, r: u32) -> Edge {
+        Edge::new(l, r)
+    }
+
+    #[test]
+    fn insert_remove_and_adjacency_stay_consistent() {
+        let mut s = SampleGraph::with_budget(8);
+        s.store_insert(edge(1, 10));
+        s.store_insert(edge(1, 11));
+        s.store_insert(edge(2, 10));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(edge(1, 10)));
+        assert_eq!(s.degree(VertexRef::left(1)), 2);
+        assert_eq!(s.degree(VertexRef::right(10)), 2);
+
+        assert!(s.store_remove(&edge(1, 10)));
+        assert!(!s.store_remove(&edge(1, 10)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.degree(VertexRef::left(1)), 1);
+        assert_eq!(s.degree(VertexRef::right(10)), 1);
+        // Zero-degree vertices disappear.
+        assert!(s.store_remove(&edge(2, 10)));
+        assert_eq!(s.degree(VertexRef::right(10)), 0);
+        assert!(s.neighbors(VertexRef::right(10)).is_none());
+    }
+
+    #[test]
+    fn replace_random_swaps_one_edge() {
+        let mut s = SampleGraph::with_budget(4);
+        for i in 0..4 {
+            s.store_insert(edge(i, 100 + i));
+        }
+        let before: BTreeSet<Edge> = s.edges().iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        s.store_replace_random(edge(99, 999), &mut rng);
+        let after: BTreeSet<Edge> = s.edges().iter().copied().collect();
+        assert_eq!(s.len(), 4);
+        assert!(after.contains(&edge(99, 999)));
+        assert_eq!(before.intersection(&after).count(), 3);
+    }
+
+    #[test]
+    fn neighborhood_view_supports_butterfly_counting() {
+        let mut s = SampleGraph::new();
+        for &(l, r) in &[(0, 11), (1, 10), (1, 11)] {
+            s.store_insert(edge(l, r));
+        }
+        let c = count_butterflies_with_edge(&s, edge(0, 10));
+        assert_eq!(c.butterflies, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = SampleGraph::new();
+        s.store_insert(edge(1, 2));
+        s.store_clear();
+        assert!(s.is_empty());
+        assert_eq!(s.heap_bytes(), s.heap_bytes()); // accessor does not panic
+        assert!(s.neighbors(VertexRef::left(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn random_edge_on_empty_sample_panics() {
+        let s = SampleGraph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = s.random_edge(&mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Under random insert/remove/replace sequences, the dense edge
+        /// vector, the slot index, and the adjacency maps must agree.
+        #[test]
+        fn storage_invariants(ops in proptest::collection::vec((0u8..3, 0u32..12, 0u32..12), 1..200)) {
+            let mut s = SampleGraph::new();
+            let mut reference: BTreeSet<(u32, u32)> = BTreeSet::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            for (op, l, r) in ops {
+                let e = edge(l, r);
+                match op {
+                    0 => {
+                        if !reference.contains(&(l, r)) {
+                            s.store_insert(e);
+                            reference.insert((l, r));
+                        }
+                    }
+                    1 => {
+                        prop_assert_eq!(s.store_remove(&e), reference.remove(&(l, r)));
+                    }
+                    _ => {
+                        if !reference.is_empty() && !reference.contains(&(l, r)) {
+                            let victim = s.random_edge(&mut rng);
+                            // replay the same choice through the store API
+                            s.store_remove(&victim);
+                            s.store_insert(e);
+                            reference.remove(&(victim.left, victim.right));
+                            reference.insert((l, r));
+                        }
+                    }
+                }
+                prop_assert_eq!(s.len(), reference.len());
+                let got: BTreeSet<(u32, u32)> =
+                    s.edges().iter().map(|e| (e.left, e.right)).collect();
+                prop_assert_eq!(&got, &reference);
+                // Degrees match the reference adjacency.
+                for &(l, r) in &reference {
+                    prop_assert!(s.view_contains(VertexRef::left(l), r));
+                    prop_assert!(s.view_contains(VertexRef::right(r), l));
+                }
+            }
+        }
+    }
+}

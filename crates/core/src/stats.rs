@@ -1,0 +1,94 @@
+//! Processing statistics collected by the estimators.
+
+use std::fmt;
+
+/// Work counters accumulated while processing a stream.
+///
+/// These drive the throughput breakdowns and the load-balance experiment
+/// (Fig. 10 reports the number of set-intersection membership checks per
+/// worker thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessingStats {
+    /// Total stream elements processed.
+    pub elements: u64,
+    /// Insertions processed.
+    pub insertions: u64,
+    /// Deletions processed.
+    pub deletions: u64,
+    /// Butterflies discovered through the sample (raw, un-extrapolated).
+    pub discovered_butterflies: u64,
+    /// Membership probes performed inside set intersections.
+    pub comparisons: u64,
+}
+
+impl ProcessingStats {
+    /// Records one processed element.
+    #[inline]
+    pub fn record_element(&mut self, is_insert: bool, discovered: u64, comparisons: u64) {
+        self.elements += 1;
+        if is_insert {
+            self.insertions += 1;
+        } else {
+            self.deletions += 1;
+        }
+        self.discovered_butterflies += discovered;
+        self.comparisons += comparisons;
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &ProcessingStats) {
+        self.elements += other.elements;
+        self.insertions += other.insertions;
+        self.deletions += other.deletions;
+        self.discovered_butterflies += other.discovered_butterflies;
+        self.comparisons += other.comparisons;
+    }
+}
+
+impl fmt::Display for ProcessingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elements={} (+{} / -{}), discovered={}, comparisons={}",
+            self.elements,
+            self.insertions,
+            self.deletions,
+            self.discovered_butterflies,
+            self.comparisons
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = ProcessingStats::default();
+        a.record_element(true, 3, 10);
+        a.record_element(false, 1, 5);
+        assert_eq!(a.elements, 2);
+        assert_eq!(a.insertions, 1);
+        assert_eq!(a.deletions, 1);
+        assert_eq!(a.discovered_butterflies, 4);
+        assert_eq!(a.comparisons, 15);
+
+        let mut b = ProcessingStats::default();
+        b.record_element(true, 2, 7);
+        a.merge(&b);
+        assert_eq!(a.elements, 3);
+        assert_eq!(a.discovered_butterflies, 6);
+        assert_eq!(a.comparisons, 22);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let mut s = ProcessingStats::default();
+        s.record_element(true, 9, 42);
+        let text = s.to_string();
+        assert!(text.contains("elements=1"));
+        assert!(text.contains("discovered=9"));
+        assert!(text.contains("comparisons=42"));
+    }
+}

@@ -1,0 +1,351 @@
+//! A fully dynamic in-memory bipartite graph.
+//!
+//! [`BipartiteGraph`] stores one adjacency map per partition and supports
+//! edge insertion and deletion in O(1) expected time.  It follows the paper's
+//! graph model: undirected, unweighted, no parallel edges, and vertices with
+//! degree zero are dropped (Definition 1).
+//!
+//! The exact butterfly counting algorithms in [`crate::exact`] and the
+//! ground-truth streaming oracle in `abacus-core` both operate on this type.
+
+use crate::adjacency::AdjacencySet;
+use crate::edge::Edge;
+use crate::fxhash::FxHashMap;
+use crate::peredge::NeighborhoodView;
+use crate::vertex::{Side, VertexRef};
+
+/// A dynamic bipartite graph `G = (L ∪ R, E)`.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    adj_left: FxHashMap<u32, AdjacencySet>,
+    adj_right: FxHashMap<u32, AdjacencySet>,
+    num_edges: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity hints for the two vertex maps.
+    #[must_use]
+    pub fn with_capacity(left_vertices: usize, right_vertices: usize) -> Self {
+        BipartiteGraph {
+            adj_left: crate::fxhash::fx_hashmap_with_capacity(left_vertices),
+            adj_right: crate::fxhash::fx_hashmap_with_capacity(right_vertices),
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge iterator, ignoring duplicates.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        let mut g = BipartiteGraph::new();
+        for e in edges {
+            g.insert_edge(e);
+        }
+        g
+    }
+
+    /// Number of edges currently in the graph.
+    #[inline]
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of left vertices with degree ≥ 1.
+    #[inline]
+    #[must_use]
+    pub fn num_left_vertices(&self) -> usize {
+        self.adj_left.len()
+    }
+
+    /// Number of right vertices with degree ≥ 1.
+    #[inline]
+    #[must_use]
+    pub fn num_right_vertices(&self) -> usize {
+        self.adj_right.len()
+    }
+
+    /// Whether the graph has no edges.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_edges == 0
+    }
+
+    /// Whether the edge is present.
+    #[inline]
+    #[must_use]
+    pub fn has_edge(&self, edge: Edge) -> bool {
+        self.adj_left
+            .get(&edge.left)
+            .is_some_and(|n| n.contains(edge.right))
+    }
+
+    /// Inserts an edge.  Returns `false` (and leaves the graph unchanged) if
+    /// the edge already exists.
+    pub fn insert_edge(&mut self, edge: Edge) -> bool {
+        let left_set = self.adj_left.entry(edge.left).or_default();
+        if !left_set.insert(edge.right) {
+            return false;
+        }
+        self.adj_right
+            .entry(edge.right)
+            .or_default()
+            .insert(edge.left);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Deletes an edge.  Returns `false` if the edge was not present.
+    ///
+    /// Endpoints whose degree drops to zero are removed from the vertex maps,
+    /// matching the paper's convention that zero-degree vertices leave `V(t)`.
+    pub fn delete_edge(&mut self, edge: Edge) -> bool {
+        let Some(left_set) = self.adj_left.get_mut(&edge.left) else {
+            return false;
+        };
+        if !left_set.remove(edge.right) {
+            return false;
+        }
+        if left_set.is_empty() {
+            self.adj_left.remove(&edge.left);
+        }
+        if let Some(right_set) = self.adj_right.get_mut(&edge.right) {
+            right_set.remove(edge.left);
+            if right_set.is_empty() {
+                self.adj_right.remove(&edge.right);
+            }
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Degree of a vertex (0 if absent).
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: VertexRef) -> usize {
+        self.neighbors(v).map_or(0, AdjacencySet::len)
+    }
+
+    /// Neighbor set of a vertex, if the vertex exists.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: VertexRef) -> Option<&AdjacencySet> {
+        match v.side {
+            Side::Left => self.adj_left.get(&v.id),
+            Side::Right => self.adj_right.get(&v.id),
+        }
+    }
+
+    /// Iterates over the vertex ids of one partition (arbitrary order).
+    pub fn vertices(&self, side: Side) -> impl Iterator<Item = u32> + '_ {
+        match side {
+            Side::Left => self.adj_left.keys().copied(),
+            Side::Right => self.adj_right.keys().copied(),
+        }
+    }
+
+    /// Iterates over all edges (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj_left
+            .iter()
+            .flat_map(|(&l, nbrs)| nbrs.iter().map(move |r| Edge::new(l, r)))
+    }
+
+    /// Maximum degree over one partition.
+    #[must_use]
+    pub fn max_degree(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.adj_left.values().map(AdjacencySet::len).max(),
+            Side::Right => self.adj_right.values().map(AdjacencySet::len).max(),
+        }
+        .unwrap_or(0)
+    }
+
+    /// Sum of squared degrees over one partition (the cost driver of exact
+    /// wedge-based butterfly counting).
+    #[must_use]
+    pub fn sum_squared_degrees(&self, side: Side) -> u128 {
+        let it: Box<dyn Iterator<Item = usize>> = match side {
+            Side::Left => Box::new(self.adj_left.values().map(AdjacencySet::len)),
+            Side::Right => Box::new(self.adj_right.values().map(AdjacencySet::len)),
+        };
+        it.map(|d| (d as u128) * (d as u128)).sum()
+    }
+
+    /// Removes all vertices and edges.
+    pub fn clear(&mut self) {
+        self.adj_left.clear();
+        self.adj_right.clear();
+        self.num_edges = 0;
+    }
+
+    /// Approximate heap footprint in bytes (adjacency payloads only).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.adj_left
+            .values()
+            .chain(self.adj_right.values())
+            .map(AdjacencySet::heap_bytes)
+            .sum::<usize>()
+            + (self.adj_left.capacity() + self.adj_right.capacity()) * 48
+    }
+}
+
+impl NeighborhoodView for BipartiteGraph {
+    #[inline]
+    fn view_degree(&self, v: VertexRef) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn view_contains(&self, v: VertexRef, neighbor: u32) -> bool {
+        self.neighbors(v).is_some_and(|n| n.contains(neighbor))
+    }
+
+    #[inline]
+    fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
+        if let Some(n) = self.neighbors(v) {
+            for x in n.iter() {
+                f(x);
+            }
+        }
+    }
+
+    #[inline]
+    fn view_intersection_excluding(
+        &self,
+        a: VertexRef,
+        b: VertexRef,
+        exclude: u32,
+    ) -> crate::intersect::IntersectionResult {
+        // Resolve both adjacency sets once and intersect them directly instead
+        // of paying one map lookup per probe.
+        match (self.neighbors(a), self.neighbors(b)) {
+            (Some(na), Some(nb)) => crate::intersect::intersection_count_excluding(na, nb, exclude),
+            _ => crate::intersect::IntersectionResult::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn edge(l: u32, r: u32) -> Edge {
+        Edge::new(l, r)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut g = BipartiteGraph::new();
+        assert!(g.insert_edge(edge(1, 10)));
+        assert!(g.insert_edge(edge(1, 11)));
+        assert!(g.insert_edge(edge(2, 10)));
+        assert!(!g.insert_edge(edge(1, 10)), "duplicate must be rejected");
+
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_left_vertices(), 2);
+        assert_eq!(g.num_right_vertices(), 2);
+        assert!(g.has_edge(edge(1, 10)));
+        assert!(!g.has_edge(edge(2, 11)));
+        assert_eq!(g.degree(VertexRef::left(1)), 2);
+        assert_eq!(g.degree(VertexRef::right(10)), 2);
+        assert_eq!(g.degree(VertexRef::left(99)), 0);
+    }
+
+    #[test]
+    fn delete_removes_zero_degree_vertices() {
+        let mut g = BipartiteGraph::from_edges([edge(1, 10), edge(1, 11)]);
+        assert!(g.delete_edge(edge(1, 10)));
+        assert!(!g.delete_edge(edge(1, 10)), "double delete must fail");
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_right_vertices(), 1, "R10 must have been dropped");
+        assert!(g.delete_edge(edge(1, 11)));
+        assert!(g.is_empty());
+        assert_eq!(g.num_left_vertices(), 0);
+        assert_eq!(g.num_right_vertices(), 0);
+    }
+
+    #[test]
+    fn delete_missing_edge_is_noop() {
+        let mut g = BipartiteGraph::from_edges([edge(1, 10)]);
+        assert!(!g.delete_edge(edge(2, 10)));
+        assert!(!g.delete_edge(edge(1, 11)));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let input = vec![edge(1, 10), edge(1, 11), edge(2, 10), edge(3, 12)];
+        let g = BipartiteGraph::from_edges(input.clone());
+        let got: BTreeSet<Edge> = g.edges().collect();
+        let want: BTreeSet<Edge> = input.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vertices_and_max_degree() {
+        let g = BipartiteGraph::from_edges([edge(1, 10), edge(1, 11), edge(1, 12), edge(2, 10)]);
+        let lefts: BTreeSet<u32> = g.vertices(Side::Left).collect();
+        assert_eq!(lefts, BTreeSet::from([1, 2]));
+        assert_eq!(g.max_degree(Side::Left), 3);
+        assert_eq!(g.max_degree(Side::Right), 2);
+        assert_eq!(g.sum_squared_degrees(Side::Left), 9 + 1);
+        assert_eq!(g.sum_squared_degrees(Side::Right), 4 + 1 + 1);
+    }
+
+    #[test]
+    fn neighborhood_view_matches_direct_access() {
+        let g = BipartiteGraph::from_edges([edge(1, 10), edge(1, 11), edge(2, 10)]);
+        assert_eq!(g.view_degree(VertexRef::left(1)), 2);
+        assert!(g.view_contains(VertexRef::right(10), 2));
+        assert!(!g.view_contains(VertexRef::right(11), 2));
+        let mut seen = Vec::new();
+        g.view_for_each_neighbor(VertexRef::left(1), &mut |x| seen.push(x));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = BipartiteGraph::from_edges([edge(1, 10), edge(2, 11)]);
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.num_left_vertices(), 0);
+        assert!(g.insert_edge(edge(1, 10)));
+    }
+
+    proptest! {
+        /// Inserting then deleting a random multiset of edges keeps the edge
+        /// count and membership consistent with a reference set at all times.
+        #[test]
+        fn matches_reference_edge_set(
+            ops in proptest::collection::vec((any::<bool>(), 0u32..20, 0u32..20), 0..400)
+        ) {
+            let mut g = BipartiteGraph::new();
+            let mut reference: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for (is_insert, l, r) in ops {
+                let e = edge(l, r);
+                if is_insert {
+                    prop_assert_eq!(g.insert_edge(e), reference.insert((l, r)));
+                } else {
+                    prop_assert_eq!(g.delete_edge(e), reference.remove(&(l, r)));
+                }
+                prop_assert_eq!(g.num_edges(), reference.len());
+                prop_assert_eq!(g.has_edge(e), reference.contains(&(l, r)));
+            }
+            // Degrees must sum to the number of edges on both sides.
+            let left_sum: usize = g.vertices(Side::Left).map(|v| g.degree(VertexRef::left(v))).sum();
+            let right_sum: usize = g.vertices(Side::Right).map(|v| g.degree(VertexRef::right(v))).sum();
+            prop_assert_eq!(left_sum, reference.len());
+            prop_assert_eq!(right_sum, reference.len());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Butterfly support and k-bitruss decomposition.
+//!
+//! The paper's introduction motivates per-edge butterfly counting through the
+//! *k-bitruss*: the maximal subgraph in which every edge is contained in at
+//! least `k` butterflies.  Bitruss decomposition (computing, for every edge,
+//! the largest `k` such that the edge survives in the k-bitruss — its *bitruss
+//! number*) is the standard peeling consumer of butterfly support and is used
+//! for community and spam detection.
+//!
+//! The implementation follows the classic peeling strategy (Sariyüce & Pinar,
+//! WSDM 2018; Wang et al., VLDB J. 2022): compute the butterfly support of
+//! every edge, then repeatedly remove an edge of minimum support, decrementing
+//! the support of the other three edges of every butterfly the removed edge
+//! participated in.
+
+use crate::bipartite::BipartiteGraph;
+use crate::edge::Edge;
+use crate::fxhash::FxHashMap;
+use crate::intersect::intersect_into;
+use crate::peredge::count_butterflies_with_edge;
+use crate::vertex::VertexRef;
+use std::collections::BTreeSet;
+
+/// Butterfly support (number of butterflies containing each edge) of every
+/// edge in the graph.
+#[must_use]
+pub fn edge_supports(graph: &BipartiteGraph) -> FxHashMap<Edge, u64> {
+    graph
+        .edges()
+        .map(|edge| (edge, count_butterflies_with_edge(graph, edge).butterflies))
+        .collect()
+}
+
+/// Result of a bitruss decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct BitrussDecomposition {
+    /// The bitruss number of every edge of the input graph: the largest `k`
+    /// such that the edge belongs to the k-bitruss.
+    pub bitruss_numbers: FxHashMap<Edge, u64>,
+}
+
+impl BitrussDecomposition {
+    /// The largest bitruss number present (0 for butterfly-free graphs).
+    #[must_use]
+    pub fn max_bitruss(&self) -> u64 {
+        self.bitruss_numbers.values().copied().max().unwrap_or(0)
+    }
+
+    /// The edges of the `k`-bitruss: every edge whose bitruss number is ≥ `k`.
+    #[must_use]
+    pub fn k_bitruss_edges(&self, k: u64) -> Vec<Edge> {
+        let mut edges: Vec<Edge> = self
+            .bitruss_numbers
+            .iter()
+            .filter(|&(_, &number)| number >= k)
+            .map(|(&edge, _)| edge)
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// The `k`-bitruss as a graph.
+    #[must_use]
+    pub fn k_bitruss_graph(&self, k: u64) -> BipartiteGraph {
+        BipartiteGraph::from_edges(self.k_bitruss_edges(k))
+    }
+}
+
+/// Computes the bitruss number of every edge by bottom-up peeling.
+///
+/// Runs in `O(Σ_e support(e) + |E| log |E|)` using an ordered peeling set; the
+/// support updates enumerate the butterflies of the peeled edge through set
+/// intersections on the shrinking graph.
+#[must_use]
+pub fn bitruss_decomposition(graph: &BipartiteGraph) -> BitrussDecomposition {
+    // Work on a mutable copy: edges are physically removed as they are peeled.
+    let mut remaining = graph.clone();
+    let mut supports = edge_supports(&remaining);
+
+    // Ordered set of (support, edge) for O(log n) minimum extraction and
+    // re-prioritisation.
+    let mut queue: BTreeSet<(u64, Edge)> = supports.iter().map(|(&e, &s)| (s, e)).collect();
+    let mut bitruss_numbers: FxHashMap<Edge, u64> = FxHashMap::default();
+    let mut current_level = 0u64;
+    let mut scratch = Vec::new();
+
+    while let Some(&(support, edge)) = queue.iter().next() {
+        queue.remove(&(support, edge));
+        // The bitruss number is monotone along the peeling order.
+        current_level = current_level.max(support);
+        bitruss_numbers.insert(edge, current_level);
+
+        // Enumerate the butterflies containing `edge` in the remaining graph
+        // and decrement the supports of their other three edges.
+        let u = edge.left_ref();
+        let v = edge.right_ref();
+        let wedge_candidates: Vec<u32> = remaining
+            .neighbors(u)
+            .map(|n| n.iter().filter(|&w| w != edge.right).collect())
+            .unwrap_or_default();
+        for w in wedge_candidates {
+            let w_ref = VertexRef::right(w);
+            let (Some(w_neighbors), Some(v_neighbors)) =
+                (remaining.neighbors(w_ref), remaining.neighbors(v))
+            else {
+                continue;
+            };
+            intersect_into(w_neighbors, v_neighbors, edge.left, &mut scratch);
+            let fourth_vertices = scratch.clone();
+            for x in fourth_vertices {
+                for other in [Edge::new(edge.left, w), Edge::new(x, w), Edge::new(x, edge.right)] {
+                    if let Some(support_ref) = supports.get_mut(&other) {
+                        let old = *support_ref;
+                        let new = old.saturating_sub(1);
+                        if queue.remove(&(old, other)) {
+                            *support_ref = new;
+                            queue.insert((new, other));
+                        }
+                    }
+                }
+            }
+        }
+
+        remaining.delete_edge(edge);
+        supports.remove(&edge);
+    }
+
+    BitrussDecomposition { bitruss_numbers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_butterflies;
+    use proptest::prelude::*;
+
+    fn graph(edges: &[(u32, u32)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(edges.iter().map(|&(l, r)| Edge::new(l, r)))
+    }
+
+    /// Reference implementation: the k-bitruss is the fixpoint of repeatedly
+    /// deleting edges with support < k.
+    fn naive_k_bitruss(graph: &BipartiteGraph, k: u64) -> Vec<Edge> {
+        let mut current = graph.clone();
+        loop {
+            let to_remove: Vec<Edge> = current
+                .edges()
+                .filter(|&e| count_butterflies_with_edge(&current, e).butterflies < k)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for e in to_remove {
+                current.delete_edge(e);
+            }
+        }
+        let mut edges: Vec<Edge> = current.edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn supports_of_a_single_butterfly() {
+        let g = graph(&[(0, 10), (0, 11), (1, 10), (1, 11)]);
+        let supports = edge_supports(&g);
+        assert_eq!(supports.len(), 4);
+        assert!(supports.values().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn butterfly_free_graph_has_zero_bitruss() {
+        let g = graph(&[(0, 10), (1, 10), (1, 11), (2, 11)]);
+        let decomposition = bitruss_decomposition(&g);
+        assert_eq!(decomposition.max_bitruss(), 0);
+        assert_eq!(decomposition.k_bitruss_edges(1), Vec::<Edge>::new());
+        assert_eq!(decomposition.bitruss_numbers.len(), 4);
+    }
+
+    #[test]
+    fn complete_biclique_bitruss_numbers() {
+        // In K_{3,3} every edge lies in (3-1)*(3-1) = 4 butterflies, and the
+        // graph is its own 4-bitruss.
+        let mut edges = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                edges.push((l, r));
+            }
+        }
+        let g = graph(&edges);
+        let decomposition = bitruss_decomposition(&g);
+        assert_eq!(decomposition.max_bitruss(), 4);
+        assert!(decomposition.bitruss_numbers.values().all(|&k| k == 4));
+        assert_eq!(decomposition.k_bitruss_edges(4).len(), 9);
+        assert_eq!(decomposition.k_bitruss_edges(5).len(), 0);
+        assert_eq!(decomposition.k_bitruss_graph(4).num_edges(), 9);
+    }
+
+    #[test]
+    fn dense_core_survives_peeling_of_a_sparse_fringe() {
+        // A K_{3,3} core plus pendant edges that belong to no butterfly.
+        let mut edges = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                edges.push((l, r));
+            }
+        }
+        edges.extend_from_slice(&[(7, 10), (8, 11), (0, 99)]);
+        let g = graph(&edges);
+        let decomposition = bitruss_decomposition(&g);
+        // Fringe edges have bitruss number 0, the core keeps 4.
+        assert_eq!(decomposition.bitruss_numbers[&Edge::new(7, 10)], 0);
+        assert_eq!(decomposition.bitruss_numbers[&Edge::new(0, 99)], 0);
+        assert_eq!(decomposition.k_bitruss_edges(1).len(), 9);
+        let core = decomposition.k_bitruss_graph(4);
+        assert_eq!(core.num_edges(), 9);
+        assert_eq!(count_butterflies(&core), 9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The k-bitruss derived from the decomposition's bitruss numbers must
+        /// equal the fixpoint computed by naive repeated deletion, for every k
+        /// up to the maximum support.
+        #[test]
+        fn decomposition_matches_naive_peeling(
+            edges in proptest::collection::btree_set((0u32..7, 0u32..7), 0..30),
+        ) {
+            let g = graph(&edges.iter().copied().collect::<Vec<_>>());
+            let decomposition = bitruss_decomposition(&g);
+            let max_k = decomposition.max_bitruss().min(6);
+            for k in 1..=max_k.max(1) {
+                let fast = decomposition.k_bitruss_edges(k);
+                let slow = naive_k_bitruss(&g, k);
+                prop_assert_eq!(&fast, &slow, "k = {}", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Butterfly clustering coefficients.
+//!
+//! The bipartite clustering coefficient quantifies how strongly a bipartite
+//! graph closes its 3-paths into butterflies, exactly as the triangle
+//! clustering coefficient does for wedges in unipartite graphs.  The paper's
+//! introduction lists it among the primary consumers of butterfly counts
+//! (cohesiveness measurement, recommendation, community detection).
+//!
+//! Definitions (Aksoy, Kolda, Pinar — *J. Complex Networks* 2017):
+//!
+//! * a **caterpillar** is a path of three edges (a wedge extended by one
+//!   edge); every butterfly contains exactly four caterpillars,
+//! * the **global butterfly clustering coefficient** is
+//!   `4·B / #caterpillars`,
+//! * the **per-vertex coefficient** of `v` relates the butterflies containing
+//!   `v` to the caterpillars whose middle edge touches `v`.
+
+use crate::bipartite::BipartiteGraph;
+use crate::exact::{count_butterflies, count_butterflies_per_side_vertex};
+use crate::fxhash::FxHashMap;
+use crate::vertex::{Side, VertexRef};
+
+/// Number of caterpillars (3-edge paths) in the graph.
+///
+/// A caterpillar is determined by its middle edge `{u, v}` plus one extra
+/// neighbor on each side, giving `Σ_{(u,v) ∈ E} (d_u − 1)(d_v − 1)`.
+#[must_use]
+pub fn count_caterpillars(graph: &BipartiteGraph) -> u128 {
+    graph
+        .edges()
+        .map(|edge| {
+            let du = graph.degree(edge.left_ref()) as u128;
+            let dv = graph.degree(edge.right_ref()) as u128;
+            du.saturating_sub(1) * dv.saturating_sub(1)
+        })
+        .sum()
+}
+
+/// Caterpillars whose middle edge is incident to the given vertex.
+#[must_use]
+pub fn count_caterpillars_at(graph: &BipartiteGraph, v: VertexRef) -> u128 {
+    let Some(neighbors) = graph.neighbors(v) else {
+        return 0;
+    };
+    let dv = neighbors.len() as u128;
+    neighbors
+        .iter()
+        .map(|n| {
+            let dn = graph.degree(VertexRef::new(v.side.opposite(), n)) as u128;
+            dn.saturating_sub(1) * dv.saturating_sub(1)
+        })
+        .sum()
+}
+
+/// The global butterfly clustering coefficient `4·B / #caterpillars`
+/// (0 when the graph has no caterpillars).
+#[must_use]
+pub fn butterfly_clustering_coefficient(graph: &BipartiteGraph) -> f64 {
+    let caterpillars = count_caterpillars(graph);
+    if caterpillars == 0 {
+        return 0.0;
+    }
+    let butterflies = count_butterflies(graph);
+    4.0 * butterflies as f64 / caterpillars as f64
+}
+
+/// Per-vertex butterfly clustering coefficients for one partition:
+/// `4·B(v) / #caterpillars whose middle edge touches v` (vertices with no
+/// caterpillars are reported as 0).
+#[must_use]
+pub fn per_vertex_clustering_coefficient(
+    graph: &BipartiteGraph,
+    side: Side,
+) -> FxHashMap<u32, f64> {
+    let butterflies = count_butterflies_per_side_vertex(graph, side);
+    let mut out = FxHashMap::default();
+    for v in graph.vertices(side) {
+        let caterpillars = count_caterpillars_at(graph, VertexRef::new(side, v));
+        let coefficient = if caterpillars == 0 {
+            0.0
+        } else {
+            4.0 * butterflies.get(&v).copied().unwrap_or(0) as f64 / caterpillars as f64
+        };
+        out.insert(v, coefficient);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn graph(edges: &[(u32, u32)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(edges.iter().map(|&(l, r)| Edge::new(l, r)))
+    }
+
+    #[test]
+    fn complete_biclique_has_coefficient_one() {
+        // In K_{a,b} every caterpillar closes into a butterfly.
+        for (a, b) in [(2u32, 2u32), (3, 3), (4, 2)] {
+            let mut edges = Vec::new();
+            for l in 0..a {
+                for r in 100..(100 + b) {
+                    edges.push((l, r));
+                }
+            }
+            let g = graph(&edges);
+            let coefficient = butterfly_clustering_coefficient(&g);
+            assert!(
+                (coefficient - 1.0).abs() < 1e-12,
+                "K_{{{a},{b}}}: {coefficient}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_graph_has_coefficient_zero() {
+        // A 3-edge path is itself exactly one caterpillar and holds no butterflies.
+        let g = graph(&[(0, 10), (1, 10), (1, 11)]);
+        assert_eq!(count_caterpillars(&g), 1);
+        assert_eq!(butterfly_clustering_coefficient(&g), 0.0);
+        // A 4-edge path contains two caterpillars (middle edges (1,10) and (1,11)).
+        let g = graph(&[(0, 10), (1, 10), (1, 11), (2, 11)]);
+        assert_eq!(count_caterpillars(&g), 2);
+        assert_eq!(butterfly_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn caterpillar_count_matches_manual_enumeration() {
+        // Butterfly plus a pendant edge.
+        let g = graph(&[(0, 10), (0, 11), (1, 10), (1, 11), (2, 11)]);
+        // Middle edge (0,10): (2-1)*(2-1) = 1; (0,11): (2-1)*(3-1) = 2;
+        // (1,10): 1; (1,11): 2; (2,11): (1-1)*(3-1) = 0.  Total 6.
+        assert_eq!(count_caterpillars(&g), 6);
+        // One butterfly => coefficient = 4/6.
+        let coefficient = butterfly_clustering_coefficient(&g);
+        assert!((coefficient - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_vertex_coefficients_are_in_unit_interval() {
+        let g = graph(&[
+            (0, 10),
+            (0, 11),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (3, 12),
+            (3, 10),
+        ]);
+        for side in [Side::Left, Side::Right] {
+            let coefficients = per_vertex_clustering_coefficient(&g, side);
+            assert!(!coefficients.is_empty());
+            for (&v, &c) in &coefficients {
+                assert!((0.0..=1.0 + 1e-12).contains(&c), "{side:?}{v}: {c}");
+            }
+        }
+        // Vertex L0 participates in 1 butterfly; caterpillars at L0:
+        // edges (0,10): (d10-1)(d0-1)=(3-1)(2-1)=2, (0,11): (3-1)(2-1)=2 -> 4.
+        let left = per_vertex_clustering_coefficient(&g, Side::Left);
+        assert!((left[&0] - 1.0).abs() < 1e-12, "got {}", left[&0]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs() {
+        let empty = BipartiteGraph::new();
+        assert_eq!(count_caterpillars(&empty), 0);
+        assert_eq!(butterfly_clustering_coefficient(&empty), 0.0);
+        assert_eq!(
+            count_caterpillars_at(&empty, VertexRef::left(0)),
+            0
+        );
+        assert!(per_vertex_clustering_coefficient(&empty, Side::Left).is_empty());
+    }
+}

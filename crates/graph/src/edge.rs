@@ -1,0 +1,162 @@
+//! Edges of a bipartite graph.
+//!
+//! An edge always connects one left vertex and one right vertex, so it is
+//! stored in the normalized form `(left, right)` rather than as an unordered
+//! pair.  [`EdgeKey`] packs an edge into a single `u64` for cheap hashing and
+//! compact edge→slot indices.
+
+use crate::vertex::{Side, VertexRef};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An undirected edge `{u, v}` with `u ∈ L` and `v ∈ R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// The left endpoint.
+    pub left: u32,
+    /// The right endpoint.
+    pub right: u32,
+}
+
+impl Edge {
+    /// Creates an edge between left vertex `left` and right vertex `right`.
+    #[inline]
+    #[must_use]
+    pub fn new(left: u32, right: u32) -> Self {
+        Edge { left, right }
+    }
+
+    /// The left endpoint as a [`VertexRef`].
+    #[inline]
+    #[must_use]
+    pub fn left_ref(&self) -> VertexRef {
+        VertexRef::left(self.left)
+    }
+
+    /// The right endpoint as a [`VertexRef`].
+    #[inline]
+    #[must_use]
+    pub fn right_ref(&self) -> VertexRef {
+        VertexRef::right(self.right)
+    }
+
+    /// Both endpoints, left first.
+    #[inline]
+    #[must_use]
+    pub fn endpoints(&self) -> (VertexRef, VertexRef) {
+        (self.left_ref(), self.right_ref())
+    }
+
+    /// The endpoint lying on `side`.
+    #[inline]
+    #[must_use]
+    pub fn endpoint_on(&self, side: Side) -> u32 {
+        match side {
+            Side::Left => self.left,
+            Side::Right => self.right,
+        }
+    }
+
+    /// Whether the given vertex is one of the endpoints.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, v: VertexRef) -> bool {
+        match v.side {
+            Side::Left => self.left == v.id,
+            Side::Right => self.right == v.id,
+        }
+    }
+
+    /// Packs the edge into an [`EdgeKey`].
+    #[inline]
+    #[must_use]
+    pub fn key(&self) -> EdgeKey {
+        EdgeKey::from(*self)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(L{}, R{})", self.left, self.right)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    #[inline]
+    fn from((left, right): (u32, u32)) -> Self {
+        Edge::new(left, right)
+    }
+}
+
+/// A packed 64-bit edge identifier: `left` in the high 32 bits, `right` in the
+/// low 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeKey(pub u64);
+
+impl EdgeKey {
+    /// Recovers the edge from the packed representation.
+    #[inline]
+    #[must_use]
+    pub fn unpack(self) -> Edge {
+        Edge::new((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+impl From<Edge> for EdgeKey {
+    #[inline]
+    fn from(e: Edge) -> Self {
+        EdgeKey((u64::from(e.left) << 32) | u64::from(e.right))
+    }
+}
+
+impl From<EdgeKey> for Edge {
+    #[inline]
+    fn from(k: EdgeKey) -> Self {
+        k.unpack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_sides() {
+        let e = Edge::new(3, 9);
+        assert_eq!(e.left_ref(), VertexRef::left(3));
+        assert_eq!(e.right_ref(), VertexRef::right(9));
+        assert_eq!(e.endpoint_on(Side::Left), 3);
+        assert_eq!(e.endpoint_on(Side::Right), 9);
+        let (l, r) = e.endpoints();
+        assert_eq!((l.id, r.id), (3, 9));
+    }
+
+    #[test]
+    fn contains_checks_side() {
+        let e = Edge::new(3, 9);
+        assert!(e.contains(VertexRef::left(3)));
+        assert!(e.contains(VertexRef::right(9)));
+        assert!(!e.contains(VertexRef::right(3)));
+        assert!(!e.contains(VertexRef::left(9)));
+    }
+
+    #[test]
+    fn edge_key_round_trip() {
+        for &(l, r) in &[(0u32, 0u32), (1, 2), (u32::MAX, 0), (0, u32::MAX), (7, 7)] {
+            let e = Edge::new(l, r);
+            assert_eq!(EdgeKey::from(e).unpack(), e);
+            assert_eq!(Edge::from(e.key()), e);
+        }
+    }
+
+    #[test]
+    fn edge_key_is_injective_on_swapped_endpoints() {
+        assert_ne!(Edge::new(1, 2).key(), Edge::new(2, 1).key());
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let e: Edge = (4, 5).into();
+        assert_eq!(e.to_string(), "(L4, R5)");
+    }
+}

@@ -1,0 +1,181 @@
+//! A fast, non-cryptographic hasher for small integer keys.
+//!
+//! Butterfly counting is dominated by hash-set membership probes on `u32`
+//! vertex identifiers and `u64` packed edge keys.  The standard library's
+//! SipHash is needlessly slow for that workload, so we re-implement the
+//! well-known *FxHash* algorithm used by the Rust compiler (multiplicative
+//! hashing with a word-level rotate-xor mix).  The algorithm is identical to
+//! the one shipped by the `rustc-hash` crate, which is not part of the
+//! approved dependency set for this project.
+//!
+//! HashDoS resistance is irrelevant here: keys are internally generated vertex
+//! identifiers, never attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit seed derived from the golden ratio, as used by Fx hashing.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming hasher implementing the Fx multiplicative mix.
+///
+/// The hasher favours throughput over distribution quality; it is intended for
+/// hash tables keyed by vertex ids or packed edge keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Convenience constructor for an empty [`FxHashMap`] with a capacity hint.
+pub fn fx_hashmap_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// Convenience constructor for an empty [`FxHashSet`] with a capacity hint.
+pub fn fx_hashset_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((7u32, 9u32)), hash_one((7u32, 9u32)));
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        // Not a strong guarantee, but these specific values must not collide
+        // for the hasher to be remotely useful.
+        assert_ne!(hash_one(1u32), hash_one(2u32));
+        assert_ne!(hash_one(0u64), hash_one(1u64));
+        assert_ne!(hash_one(u32::MAX), hash_one(u32::MAX - 1));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(map.get(&i), Some(&(i * 2)));
+        }
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            set.insert(i << 32 | i);
+        }
+        assert_eq!(set.len(), 1000);
+        assert!(set.contains(&((500u64 << 32) | 500)));
+        assert!(!set.contains(&((500u64 << 32) | 501)));
+    }
+
+    #[test]
+    fn capacity_constructors() {
+        let map: FxHashMap<u32, u32> = fx_hashmap_with_capacity(64);
+        assert!(map.capacity() >= 64);
+        let set: FxHashSet<u32> = fx_hashset_with_capacity(64);
+        assert!(set.capacity() >= 64);
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_remainder() {
+        // Exercise the `write` path with lengths that are not multiples of 8.
+        let a = hash_one("abc");
+        let b = hash_one("abd");
+        assert_ne!(a, b);
+        let c = hash_one("abcdefghij");
+        let d = hash_one("abcdefghik");
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn reasonable_distribution_over_buckets() {
+        // Hash 10_000 consecutive integers into 64 buckets and check that no
+        // bucket is pathologically over-full (a sanity check against a broken
+        // mixing function, not a statistical test).
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u32 {
+            let h = hash_one(i);
+            buckets[(h % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 400, "over-full bucket: {max}");
+        assert!(min > 50, "under-full bucket: {min}");
+    }
+}

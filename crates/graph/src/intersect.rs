@@ -1,0 +1,220 @@
+//! Set-intersection kernels.
+//!
+//! Finding the common neighbors of two vertices is the inner loop of butterfly
+//! counting (Algorithm 1, line 9 of the paper).  The cost of intersecting two
+//! neighbor sets is proportional to the size of the smaller set when the
+//! larger one supports O(1) membership probes, which is why ABACUS picks the
+//! "cheapest side" before intersecting.
+//!
+//! Two kernels are provided:
+//!
+//! * [`intersection_count`] / [`intersection_count_excluding`] — hash-probe
+//!   intersection over [`AdjacencySet`]s (the production kernel),
+//! * [`sorted_merge_intersection_count`] — classic two-pointer merge over
+//!   sorted slices, kept as an ablation target for the micro-benchmarks.
+//!
+//! All kernels report the number of membership *probes* (`comparisons`) they
+//! performed; PARABACUS aggregates these per worker thread to reproduce the
+//! load-balance experiment (Fig. 10).
+
+use crate::adjacency::AdjacencySet;
+
+/// Result of an intersection: how many common elements and how many probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntersectionResult {
+    /// Number of elements present in both sets (after exclusions).
+    pub count: u64,
+    /// Number of membership probes performed (= size of the smaller set).
+    pub comparisons: u64,
+}
+
+impl IntersectionResult {
+    /// Adds another result to this one.
+    #[inline]
+    pub fn accumulate(&mut self, other: IntersectionResult) {
+        self.count += other.count;
+        self.comparisons += other.comparisons;
+    }
+}
+
+/// Counts `|a ∩ b|` by probing the larger set with elements of the smaller.
+#[inline]
+#[must_use]
+pub fn intersection_count(a: &AdjacencySet, b: &AdjacencySet) -> IntersectionResult {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut comparisons = 0u64;
+    for x in small.iter() {
+        comparisons += 1;
+        if large.contains(x) {
+            count += 1;
+        }
+    }
+    IntersectionResult { count, comparisons }
+}
+
+/// Counts `|a ∩ b \ {exclude}|`.
+///
+/// The butterfly kernel uses this to drop the incoming edge's own endpoint
+/// from the common-neighbor set (a vertex can never complete a butterfly with
+/// itself).
+#[inline]
+#[must_use]
+pub fn intersection_count_excluding(
+    a: &AdjacencySet,
+    b: &AdjacencySet,
+    exclude: u32,
+) -> IntersectionResult {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0u64;
+    let mut comparisons = 0u64;
+    for x in small.iter() {
+        if x == exclude {
+            continue;
+        }
+        comparisons += 1;
+        if large.contains(x) {
+            count += 1;
+        }
+    }
+    IntersectionResult { count, comparisons }
+}
+
+/// Collects `a ∩ b \ {exclude}` into `out` (cleared first).
+///
+/// Used where the identity of the fourth butterfly vertex matters (per-edge
+/// butterfly *enumeration*, e.g. for the bitruss-style extension), as opposed
+/// to plain counting.
+pub fn intersect_into(a: &AdjacencySet, b: &AdjacencySet, exclude: u32, out: &mut Vec<u32>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    for x in small.iter() {
+        if x != exclude && large.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// Two-pointer intersection count over sorted slices (ablation kernel).
+#[must_use]
+pub fn sorted_merge_intersection_count(a: &[u32], b: &[u32]) -> IntersectionResult {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted");
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0u64;
+    let mut comparisons = 0u64;
+    while i < a.len() && j < b.len() {
+        comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    IntersectionResult { count, comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn set(items: &[u32]) -> AdjacencySet {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn count_basic() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        let r = intersection_count(&a, &b);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.comparisons, 3); // probes with the smaller set (b)
+    }
+
+    #[test]
+    fn count_with_disjoint_and_empty_sets() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[4, 5]);
+        assert_eq!(intersection_count(&a, &b).count, 0);
+        let empty = AdjacencySet::new();
+        assert_eq!(intersection_count(&a, &empty).count, 0);
+        assert_eq!(intersection_count(&empty, &empty).comparisons, 0);
+    }
+
+    #[test]
+    fn excluding_removes_exactly_one_candidate() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(intersection_count_excluding(&a, &b, 3).count, 2);
+        assert_eq!(intersection_count_excluding(&a, &b, 99).count, 3);
+    }
+
+    #[test]
+    fn intersect_into_collects_members() {
+        let a = set(&[1, 2, 3, 4, 7]);
+        let b = set(&[2, 4, 7, 9]);
+        let mut out = Vec::new();
+        intersect_into(&a, &b, 4, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 7]);
+    }
+
+    #[test]
+    fn sorted_merge_matches_hash_probe() {
+        let a = set(&[1, 5, 9, 11, 20]);
+        let b = set(&[5, 9, 10, 20, 30]);
+        let merged = sorted_merge_intersection_count(&a.to_sorted_vec(), &b.to_sorted_vec());
+        assert_eq!(merged.count, intersection_count(&a, &b).count);
+    }
+
+    #[test]
+    fn symmetric_in_count() {
+        let a = set(&(0..100).collect::<Vec<_>>());
+        let b = set(&(50..200).collect::<Vec<_>>());
+        assert_eq!(
+            intersection_count(&a, &b).count,
+            intersection_count(&b, &a).count
+        );
+        // Probes are bounded by the smaller set regardless of argument order.
+        assert_eq!(intersection_count(&a, &b).comparisons, 100);
+        assert_eq!(intersection_count(&b, &a).comparisons, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_reference(
+            xs in proptest::collection::btree_set(0u32..500, 0..200),
+            ys in proptest::collection::btree_set(0u32..500, 0..200),
+            exclude in 0u32..500,
+        ) {
+            let a: AdjacencySet = xs.iter().copied().collect();
+            let b: AdjacencySet = ys.iter().copied().collect();
+            let expected = xs.intersection(&ys).count() as u64;
+            prop_assert_eq!(intersection_count(&a, &b).count, expected);
+
+            let expected_excl = xs
+                .intersection(&ys)
+                .filter(|&&x| x != exclude)
+                .count() as u64;
+            prop_assert_eq!(intersection_count_excluding(&a, &b, exclude).count, expected_excl);
+
+            let mut out = Vec::new();
+            intersect_into(&a, &b, exclude, &mut out);
+            let got: BTreeSet<u32> = out.into_iter().collect();
+            let want: BTreeSet<u32> =
+                xs.intersection(&ys).copied().filter(|&x| x != exclude).collect();
+            prop_assert_eq!(got, want);
+
+            let av = a.to_sorted_vec();
+            let bv = b.to_sorted_vec();
+            prop_assert_eq!(sorted_merge_intersection_count(&av, &bv).count, expected);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Per-edge butterfly counting (Algorithm 1, lines 7–11).
+//!
+//! Given an edge `{u, v}` (which may or may not be part of the underlying
+//! graph yet), the kernel counts the butterflies that `{u, v}` forms together
+//! with three other edges of a *neighborhood view*: for every neighbor `w` of
+//! `u` in the view (excluding `v`), every common neighbor `x` of `w` and `v`
+//! (excluding `u`) completes the butterfly `{u, v, w, x}` through the edges
+//! `{u, w}`, `{w, x}`, `{x, v}`.
+//!
+//! ABACUS runs this kernel against its bounded sample, the exact oracle runs
+//! it against the full graph, FLEET runs it against its reservoir, and
+//! PARABACUS runs it against a *versioned* sample view — hence the kernel is
+//! generic over the [`NeighborhoodView`] trait instead of a concrete graph
+//! type.
+//!
+//! The *cheapest-side heuristic* (line 7) picks which endpoint's neighborhood
+//! to iterate: the one whose neighbors have the smaller cumulative degree, so
+//! that the set intersections probe the smaller sets.
+
+use crate::edge::Edge;
+use crate::intersect::IntersectionResult;
+use crate::vertex::VertexRef;
+
+/// Read-only access to vertex neighborhoods, abstracting over the full graph,
+/// the bounded sample, and versioned sample views.
+pub trait NeighborhoodView {
+    /// Degree of `v` in the view (0 if absent).
+    fn view_degree(&self, v: VertexRef) -> usize;
+
+    /// Whether `neighbor` (a vertex on the opposite side) is adjacent to `v`.
+    fn view_contains(&self, v: VertexRef, neighbor: u32) -> bool;
+
+    /// Calls `f` for every neighbor of `v` in the view.
+    fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32));
+
+    /// Cumulative degree of the neighbors of `v` (default: one pass over the
+    /// neighborhood).  This is the quantity compared by the cheapest-side
+    /// heuristic.
+    fn view_neighbor_degree_sum(&self, v: VertexRef) -> usize {
+        let mut sum = 0usize;
+        let opposite = v.side.opposite();
+        self.view_for_each_neighbor(v, &mut |x| {
+            sum += self.view_degree(VertexRef::new(opposite, x));
+        });
+        sum
+    }
+
+    /// Counts `|N(a) ∩ N(b) \ {exclude}|` together with the number of
+    /// membership probes performed.
+    ///
+    /// This is the innermost loop of the butterfly kernel (Algorithm 1,
+    /// line 9), so implementors are encouraged to override the default with a
+    /// version that resolves both neighborhoods once instead of re-resolving
+    /// `a` and `b` for every probe.
+    fn view_intersection_excluding(
+        &self,
+        a: VertexRef,
+        b: VertexRef,
+        exclude: u32,
+    ) -> IntersectionResult {
+        let (iterate, probe) = if self.view_degree(a) <= self.view_degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let mut result = IntersectionResult::default();
+        self.view_for_each_neighbor(iterate, &mut |x| {
+            if x == exclude {
+                return;
+            }
+            result.comparisons += 1;
+            if self.view_contains(probe, x) {
+                result.count += 1;
+            }
+        });
+        result
+    }
+}
+
+/// Outcome of the per-edge counting kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerEdgeCount {
+    /// Number of butterflies the edge forms with edges of the view.
+    pub butterflies: u64,
+    /// Number of membership probes performed inside the set intersections
+    /// (the workload unit reported per thread in Fig. 10 of the paper).
+    pub comparisons: u64,
+}
+
+impl PerEdgeCount {
+    /// Adds another per-edge result into this accumulator.
+    #[inline]
+    pub fn accumulate(&mut self, other: PerEdgeCount) {
+        self.butterflies += other.butterflies;
+        self.comparisons += other.comparisons;
+    }
+}
+
+/// Which endpoint's neighborhood the kernel iterates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideChoice {
+    /// Use the cheapest-side heuristic from the paper (default).
+    Cheapest,
+    /// Always iterate the neighbors of the *left* endpoint (ablation).
+    IterateLeftNeighbors,
+    /// Always iterate the neighbors of the *right* endpoint (ablation).
+    IterateRightNeighbors,
+}
+
+/// Counts butterflies formed by `edge` with the edges of `view`, using the
+/// cheapest-side heuristic.
+#[inline]
+#[must_use]
+pub fn count_butterflies_with_edge<G: NeighborhoodView + ?Sized>(
+    view: &G,
+    edge: Edge,
+) -> PerEdgeCount {
+    count_butterflies_with_edge_choice(view, edge, SideChoice::Cheapest)
+}
+
+/// Counts butterflies formed by `edge` with the edges of `view` using an
+/// explicit side choice (used by the heuristic ablation benchmark).
+#[must_use]
+pub fn count_butterflies_with_edge_choice<G: NeighborhoodView + ?Sized>(
+    view: &G,
+    edge: Edge,
+    choice: SideChoice,
+) -> PerEdgeCount {
+    let u = edge.left_ref();
+    let v = edge.right_ref();
+
+    let iterate_left_endpoint = match choice {
+        SideChoice::IterateLeftNeighbors => true,
+        SideChoice::IterateRightNeighbors => false,
+        SideChoice::Cheapest => {
+            // Line 7: if the cumulative degree of u's neighbors is smaller,
+            // "choose v", i.e. iterate the neighbors of u.
+            view.view_neighbor_degree_sum(u) < view.view_neighbor_degree_sum(v)
+        }
+    };
+
+    if iterate_left_endpoint {
+        count_via_anchor(view, u, v)
+    } else {
+        count_via_anchor(view, v, u)
+    }
+}
+
+/// Counts `Σ_{w ∈ N(anchor) \ {other}} |N(w) ∩ N(other) \ {anchor}|`.
+fn count_via_anchor<G: NeighborhoodView + ?Sized>(
+    view: &G,
+    anchor: VertexRef,
+    other: VertexRef,
+) -> PerEdgeCount {
+    let mut result = PerEdgeCount::default();
+    if view.view_degree(other) == 0 {
+        return result;
+    }
+    let wedge_side = anchor.side.opposite(); // side of w (same side as `other`)
+    view.view_for_each_neighbor(anchor, &mut |w_id| {
+        if w_id == other.id {
+            return;
+        }
+        // Intersect N(w) with N(other), excluding the anchor itself.
+        let w = VertexRef::new(wedge_side, w_id);
+        let intersection = view.view_intersection_excluding(w, other, anchor.id);
+        result.butterflies += intersection.count;
+        result.comparisons += intersection.comparisons;
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteGraph;
+
+    fn graph(edges: &[(u32, u32)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(edges.iter().map(|&(l, r)| Edge::new(l, r)))
+    }
+
+    #[test]
+    fn empty_view_yields_zero() {
+        let g = BipartiteGraph::new();
+        let r = count_butterflies_with_edge(&g, Edge::new(1, 2));
+        assert_eq!(r.butterflies, 0);
+        assert_eq!(r.comparisons, 0);
+    }
+
+    #[test]
+    fn single_butterfly_is_found_for_missing_edge() {
+        // Sample holds {u=0-r=10 is the incoming edge}; stored edges complete
+        // exactly one butterfly {0, 10, 1, 11}: (0,11), (1,10), (1,11).
+        let g = graph(&[(0, 11), (1, 10), (1, 11)]);
+        let r = count_butterflies_with_edge(&g, Edge::new(0, 10));
+        assert_eq!(r.butterflies, 1);
+    }
+
+    #[test]
+    fn counts_butterflies_containing_an_existing_edge() {
+        // Complete 2x2 biclique: exactly one butterfly; each edge belongs to it.
+        let g = graph(&[(0, 10), (0, 11), (1, 10), (1, 11)]);
+        for &(l, r) in &[(0, 10), (0, 11), (1, 10), (1, 11)] {
+            let c = count_butterflies_with_edge(&g, Edge::new(l, r));
+            assert_eq!(c.butterflies, 1, "edge ({l},{r})");
+        }
+    }
+
+    #[test]
+    fn complete_biclique_counts() {
+        // K_{3,3}: every new edge {u, v} with u,v fresh vertices forms no
+        // butterfly, while an edge inside the biclique participates in
+        // (3-1)*(3-1) = 4 butterflies.
+        let mut edges = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                edges.push((l, r));
+            }
+        }
+        let g = graph(&edges);
+        let c = count_butterflies_with_edge(&g, Edge::new(0, 10));
+        assert_eq!(c.butterflies, 4);
+        let fresh = count_butterflies_with_edge(&g, Edge::new(7, 20));
+        assert_eq!(fresh.butterflies, 0);
+    }
+
+    #[test]
+    fn degenerate_wedges_are_excluded() {
+        // Edge (0,10) plus a path 0-11, 1-11, 1-10.  The incoming edge (0,11)
+        // must not count the wedge through its own endpoints twice.
+        let g = graph(&[(0, 10), (1, 10), (1, 11)]);
+        // Incoming edge (0, 11): butterflies {0,11,1,10} requires (0,10),(1,10),(1,11) — all present.
+        let c = count_butterflies_with_edge(&g, Edge::new(0, 11));
+        assert_eq!(c.butterflies, 1);
+        // Incoming edge (0, 10) is already present; other butterfly edges absent.
+        let c2 = count_butterflies_with_edge(&g, Edge::new(0, 10));
+        assert_eq!(c2.butterflies, 0);
+    }
+
+    #[test]
+    fn running_example_from_the_paper() {
+        // Figure 1b: sample edges (black + red in the figure): v-l1, v-l2,
+        // u-r2, l1-r2, plus extra sample edges l2-r1, l3-r3, l4-r4.
+        // Incoming edge {u, v} forms exactly one butterfly {u, v, l1, r2}.
+        // Encode: left partition = {l1=1, l2=2, l3=3, l4=4, u=5},
+        //         right partition = {r1=11, r2=12, r3=13, r4=14, v=15}.
+        let g = graph(&[(1, 15), (2, 15), (5, 12), (1, 12), (2, 11), (3, 13), (4, 14)]);
+        let c = count_butterflies_with_edge(&g, Edge::new(5, 15));
+        assert_eq!(c.butterflies, 1);
+    }
+
+    #[test]
+    fn all_side_choices_agree_on_the_count() {
+        let g = graph(&[
+            (0, 10),
+            (0, 11),
+            (0, 12),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (3, 12),
+            (3, 10),
+        ]);
+        for &(l, r) in &[(0, 10), (1, 12), (2, 10), (3, 11), (4, 13)] {
+            let e = Edge::new(l, r);
+            let a = count_butterflies_with_edge_choice(&g, e, SideChoice::Cheapest).butterflies;
+            let b = count_butterflies_with_edge_choice(&g, e, SideChoice::IterateLeftNeighbors)
+                .butterflies;
+            let c = count_butterflies_with_edge_choice(&g, e, SideChoice::IterateRightNeighbors)
+                .butterflies;
+            assert_eq!(a, b, "edge ({l},{r})");
+            assert_eq!(b, c, "edge ({l},{r})");
+        }
+    }
+
+    #[test]
+    fn cheapest_side_never_does_more_probes_than_both_fixed_sides_min() {
+        let g = graph(&[
+            (0, 10),
+            (0, 11),
+            (0, 12),
+            (0, 13),
+            (1, 10),
+            (2, 10),
+            (3, 10),
+            (1, 11),
+            (2, 12),
+        ]);
+        let e = Edge::new(0, 10);
+        let cheap = count_butterflies_with_edge_choice(&g, e, SideChoice::Cheapest).comparisons;
+        let left =
+            count_butterflies_with_edge_choice(&g, e, SideChoice::IterateLeftNeighbors).comparisons;
+        let right = count_butterflies_with_edge_choice(&g, e, SideChoice::IterateRightNeighbors)
+            .comparisons;
+        assert!(cheap <= left.max(right));
+    }
+
+    #[test]
+    fn neighbor_degree_sum_default_impl() {
+        let g = graph(&[(0, 10), (0, 11), (1, 10)]);
+        // Neighbors of L0 are R10 (deg 2) and R11 (deg 1) => 3.
+        assert_eq!(g.view_neighbor_degree_sum(VertexRef::left(0)), 3);
+        // Neighbors of R10 are L0 (deg 2) and L1 (deg 1) => 3.
+        assert_eq!(g.view_neighbor_degree_sum(VertexRef::right(10)), 3);
+        assert_eq!(g.view_neighbor_degree_sum(VertexRef::left(42)), 0);
+    }
+}

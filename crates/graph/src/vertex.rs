@@ -1,0 +1,136 @@
+//! Vertex identifiers and bipartition sides.
+//!
+//! A bipartite graph `G = (L ∪ R, E)` has two disjoint vertex partitions.  The
+//! two partitions use independent identifier spaces: left vertex `3` and right
+//! vertex `3` are different vertices.  [`VertexRef`] tags a raw `u32`
+//! identifier with its [`Side`] so that code operating on "a vertex of the
+//! graph" cannot accidentally mix the two spaces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The bipartition a vertex belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// The left partition `L` (e.g. users, groups, domains).
+    Left,
+    /// The right partition `R` (e.g. movies, members, trackers).
+    Right,
+}
+
+impl Side {
+    /// The other partition.
+    #[inline]
+    #[must_use]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// `true` for [`Side::Left`].
+    #[inline]
+    #[must_use]
+    pub fn is_left(self) -> bool {
+        matches!(self, Side::Left)
+    }
+
+    /// `true` for [`Side::Right`].
+    #[inline]
+    #[must_use]
+    pub fn is_right(self) -> bool {
+        matches!(self, Side::Right)
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "L"),
+            Side::Right => write!(f, "R"),
+        }
+    }
+}
+
+/// A side-tagged vertex identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexRef {
+    /// Which partition the vertex belongs to.
+    pub side: Side,
+    /// The vertex identifier inside its partition.
+    pub id: u32,
+}
+
+impl VertexRef {
+    /// A vertex in the left partition.
+    #[inline]
+    #[must_use]
+    pub fn left(id: u32) -> Self {
+        VertexRef { side: Side::Left, id }
+    }
+
+    /// A vertex in the right partition.
+    #[inline]
+    #[must_use]
+    pub fn right(id: u32) -> Self {
+        VertexRef { side: Side::Right, id }
+    }
+
+    /// A vertex on the given side.
+    #[inline]
+    #[must_use]
+    pub fn new(side: Side, id: u32) -> Self {
+        VertexRef { side, id }
+    }
+}
+
+impl fmt::Display for VertexRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.side, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        assert_eq!(Side::Left.opposite(), Side::Right);
+        assert_eq!(Side::Right.opposite(), Side::Left);
+        assert_eq!(Side::Left.opposite().opposite(), Side::Left);
+    }
+
+    #[test]
+    fn side_predicates() {
+        assert!(Side::Left.is_left());
+        assert!(!Side::Left.is_right());
+        assert!(Side::Right.is_right());
+        assert!(!Side::Right.is_left());
+    }
+
+    #[test]
+    fn vertex_constructors_tag_the_side() {
+        assert_eq!(VertexRef::left(7), VertexRef::new(Side::Left, 7));
+        assert_eq!(VertexRef::right(7), VertexRef::new(Side::Right, 7));
+        assert_ne!(VertexRef::left(7), VertexRef::right(7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VertexRef::left(3).to_string(), "L3");
+        assert_eq!(VertexRef::right(11).to_string(), "R11");
+        assert_eq!(Side::Left.to_string(), "L");
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![VertexRef::right(1), VertexRef::left(2), VertexRef::left(1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![VertexRef::left(1), VertexRef::left(2), VertexRef::right(1)]
+        );
+    }
+}

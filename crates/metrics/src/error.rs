@@ -1,0 +1,73 @@
+//! Estimation-error metrics.
+//!
+//! The paper's accuracy metric is the *relative error* `|x − x̂| / x` for a
+//! true value `x > 0` (§VI-A, Evaluation Metrics).
+
+/// Absolute error `|truth − estimate|`.
+#[inline]
+#[must_use]
+pub fn absolute_error(truth: f64, estimate: f64) -> f64 {
+    (truth - estimate).abs()
+}
+
+/// Relative error `|truth − estimate| / truth`.
+///
+/// Defined for a strictly positive ground truth; for `truth == 0` the function
+/// returns `0` when the estimate is also `0` and `+∞` otherwise, which keeps
+/// degenerate experiment configurations visible instead of silently dividing
+/// by zero.
+#[inline]
+#[must_use]
+pub fn relative_error(truth: f64, estimate: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        absolute_error(truth, estimate) / truth.abs()
+    }
+}
+
+/// Relative error expressed in percent (the unit of Figures 3, 5, 6a).
+#[inline]
+#[must_use]
+pub fn relative_error_percent(truth: f64, estimate: f64) -> f64 {
+    relative_error(truth, estimate) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_is_symmetric() {
+        assert_eq!(absolute_error(10.0, 7.0), 3.0);
+        assert_eq!(absolute_error(7.0, 10.0), 3.0);
+        assert_eq!(absolute_error(-2.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(100.0, 110.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_percent_scales() {
+        assert!((relative_error_percent(200.0, 150.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_truth_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn negative_truth_uses_magnitude() {
+        assert!((relative_error(-100.0, -90.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # abacus-metrics
+//!
+//! Evaluation metrics and reporting utilities shared by the experiment
+//! harness:
+//!
+//! * [`error`] — relative / absolute error between an estimate and the ground
+//!   truth (the accuracy metric of §VI),
+//! * [`throughput`] — edges-per-second throughput measurements,
+//! * [`timer`] — simple wall-clock timers and elapsed-time series,
+//! * [`summary`] — mean / standard deviation / min / max over repeated trials,
+//! * [`table`] — Markdown and CSV table rendering used by every experiment
+//!   binary to print paper-shaped result tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod summary;
+pub mod table;
+pub mod throughput;
+pub mod timer;
+
+pub use error::{absolute_error, relative_error, relative_error_percent};
+pub use summary::Summary;
+pub use table::Table;
+pub use throughput::Throughput;
+pub use timer::Timer;

@@ -1,0 +1,171 @@
+//! Result-table rendering.
+//!
+//! Every experiment binary prints its results as a Markdown table (mirroring
+//! the corresponding paper table or figure series) and can also emit CSV for
+//! downstream plotting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a title.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience for building a row out of displayable values.
+    pub fn push_row<I, T>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: ToString,
+    {
+        self.add_row(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as Markdown (with a `### title` heading).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<width$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", render_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for width in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(width + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header first, no title).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig. 3 — Relative Error", &["dataset", "k", "error %"]);
+        t.push_row(["Movielens-like", "1500", "0.52"]);
+        t.push_row(["Orkut-like", "1500", "3.05"]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_title_header_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Fig. 3"));
+        assert!(md.contains("| dataset"));
+        assert!(md.contains("| Movielens-like"));
+        assert!(md.contains("| 3.05"));
+        // Separator row present.
+        assert!(md.lines().any(|l| l.starts_with("|---") || l.starts_with("|--")));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(["hello, world", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn length_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "Fig. 3 — Relative Error");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(["only one"]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Throughput measurements.
+//!
+//! The throughput experiments (Fig. 4, Fig. 6b) report thousands of stream
+//! elements processed per second, excluding any artificial arrival delays.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Elements processed over a span of wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Number of stream elements processed.
+    pub elements: u64,
+    /// Wall-clock seconds spent processing them.
+    pub seconds: f64,
+}
+
+impl Throughput {
+    /// Builds a measurement from an element count and a duration.
+    #[must_use]
+    pub fn new(elements: u64, elapsed: Duration) -> Self {
+        Throughput {
+            elements,
+            seconds: elapsed.as_secs_f64(),
+        }
+    }
+
+    /// Elements per second (0 for a zero-length interval).
+    #[must_use]
+    pub fn per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / self.seconds
+        }
+    }
+
+    /// Thousands of elements per second — the unit used on the paper's
+    /// throughput axes ("K edges/s").
+    #[must_use]
+    pub fn kilo_per_second(&self) -> f64 {
+        self.per_second() / 1_000.0
+    }
+
+    /// Combines two measurements (sums elements and time).
+    #[must_use]
+    pub fn combine(&self, other: &Throughput) -> Throughput {
+        Throughput {
+            elements: self.elements + other.elements,
+            seconds: self.seconds + other.seconds,
+        }
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} K edges/s", self.kilo_per_second())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_and_kilo() {
+        let t = Throughput::new(10_000, Duration::from_secs(2));
+        assert!((t.per_second() - 5_000.0).abs() < 1e-9);
+        assert!((t.kilo_per_second() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_not_infinite() {
+        let t = Throughput::new(100, Duration::ZERO);
+        assert_eq!(t.per_second(), 0.0);
+    }
+
+    #[test]
+    fn combine_sums_components() {
+        let a = Throughput::new(100, Duration::from_secs(1));
+        let b = Throughput::new(300, Duration::from_secs(3));
+        let c = a.combine(&b);
+        assert_eq!(c.elements, 400);
+        assert!((c.per_second() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_uses_kilo_units() {
+        let t = Throughput::new(250_000, Duration::from_secs(1));
+        assert_eq!(t.to_string(), "250.0 K edges/s");
+    }
+}

@@ -1,0 +1,98 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock timer with optional named lap recording, used by the
+/// scalability experiment (Fig. 7) to record elapsed time after every
+/// processed stream decile.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    start: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Timer {
+    /// Starts a new timer.
+    #[must_use]
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Elapsed time since the timer started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds since the timer started.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Records a named lap at the current elapsed time.
+    pub fn lap<S: Into<String>>(&mut self, label: S) {
+        self.laps.push((label.into(), self.elapsed()));
+    }
+
+    /// The recorded laps, in recording order.
+    #[must_use]
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// Restarts the timer and clears the laps.
+    pub fn reset(&mut self) {
+        self.start = Instant::now();
+        self.laps.clear();
+    }
+}
+
+/// Times a closure and returns its result together with the elapsed duration.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let timer = Timer::start();
+        let a = timer.elapsed();
+        let b = timer.elapsed();
+        assert!(b >= a);
+        assert!(timer.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn laps_record_in_order() {
+        let mut timer = Timer::start();
+        timer.lap("first");
+        timer.lap("second");
+        assert_eq!(timer.laps().len(), 2);
+        assert_eq!(timer.laps()[0].0, "first");
+        assert!(timer.laps()[1].1 >= timer.laps()[0].1);
+        timer.reset();
+        assert!(timer.laps().is_empty());
+    }
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (value, elapsed) = time_it(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

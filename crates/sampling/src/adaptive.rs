@@ -1,0 +1,134 @@
+//! FLEET-style adaptive Bernoulli sampling with reservoir resizing.
+//!
+//! FLEET (Sanei-Mehri et al., CIKM 2019) admits each arriving edge into its
+//! reservoir with the current probability `p` (initially 1).  Whenever the
+//! reservoir reaches its capacity, it is *resized*: every stored edge is kept
+//! independently with probability γ (0.75 in the paper) and `p` is multiplied
+//! by γ.  The estimator later divides discovered butterflies by `p³`, the
+//! probability that the three complementary edges of a butterfly were all
+//! retained.
+//!
+//! This module holds only the sampling-policy state machine; the butterfly
+//! estimation lives in `abacus-baselines::fleet`.
+
+use rand::{Rng, RngExt};
+
+/// The adaptive Bernoulli policy state.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBernoulli {
+    capacity: usize,
+    gamma: f64,
+    probability: f64,
+    resizes: usize,
+}
+
+impl AdaptiveBernoulli {
+    /// Creates the policy with the given reservoir capacity and resize factor
+    /// γ ∈ (0, 1).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or γ is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(capacity: usize, gamma: f64) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        assert!((0.0..1.0).contains(&gamma) && gamma > 0.0, "gamma must be in (0, 1)");
+        AdaptiveBernoulli {
+            capacity,
+            gamma,
+            probability: 1.0,
+            resizes: 0,
+        }
+    }
+
+    /// The reservoir capacity.
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The resize factor γ.
+    #[inline]
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The current admission probability `p`.
+    #[inline]
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Number of resize events so far.
+    #[inline]
+    #[must_use]
+    pub fn resizes(&self) -> usize {
+        self.resizes
+    }
+
+    /// Decides whether the arriving item is admitted to the reservoir.
+    #[inline]
+    pub fn admit<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.probability >= 1.0 || rng.random_bool(self.probability)
+    }
+
+    /// Must be called when the reservoir has reached its capacity.  Lowers the
+    /// admission probability and returns the retention probability (γ) the
+    /// caller must apply to every stored item.
+    pub fn resize(&mut self) -> f64 {
+        self.probability *= self.gamma;
+        self.resizes += 1;
+        self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_fully_admitting() {
+        let policy = AdaptiveBernoulli::new(100, 0.75);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(policy.probability(), 1.0);
+        assert!((0..50).all(|_| policy.admit(&mut rng)));
+    }
+
+    #[test]
+    fn resize_lowers_probability_geometrically() {
+        let mut policy = AdaptiveBernoulli::new(100, 0.75);
+        assert!((policy.resize() - 0.75).abs() < 1e-12);
+        assert!((policy.probability() - 0.75).abs() < 1e-12);
+        policy.resize();
+        assert!((policy.probability() - 0.5625).abs() < 1e-12);
+        assert_eq!(policy.resizes(), 2);
+        assert_eq!(policy.capacity(), 100);
+        assert!((policy.gamma() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_rate_tracks_probability() {
+        let mut policy = AdaptiveBernoulli::new(100, 0.5);
+        policy.resize(); // p = 0.5
+        let mut rng = StdRng::seed_from_u64(2);
+        let admitted = (0..20_000).filter(|_| policy.admit(&mut rng)).count();
+        let rate = admitted as f64 / 20_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_panics() {
+        let _ = AdaptiveBernoulli::new(10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = AdaptiveBernoulli::new(0, 0.75);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixed-probability (Bernoulli) sampling.
+//!
+//! The CAS baseline splits its memory between an edge reservoir and a sketch;
+//! its reservoir part admits edges with a fixed probability chosen from the
+//! memory budget.  The policy is trivial but kept here so all sampling
+//! decisions in the workspace go through one audited code path.
+
+use rand::{Rng, RngExt};
+
+/// Admits each offered item independently with a fixed probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliSampler {
+    probability: f64,
+    offered: usize,
+    admitted: usize,
+}
+
+impl BernoulliSampler {
+    /// Creates the sampler with admission probability in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the probability is not a valid probability.
+    #[must_use]
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        BernoulliSampler {
+            probability,
+            offered: 0,
+            admitted: 0,
+        }
+    }
+
+    /// The admission probability.
+    #[inline]
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Number of items offered so far.
+    #[inline]
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Number of items admitted so far.
+    #[inline]
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Decides whether to admit the next item.
+    #[inline]
+    pub fn admit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.offered += 1;
+        let admit = match self.probability {
+            p if p >= 1.0 => true,
+            p if p <= 0.0 => false,
+            p => rng.random_bool(p),
+        };
+        if admit {
+            self.admitted += 1;
+        }
+        admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut always = BernoulliSampler::new(1.0);
+        let mut never = BernoulliSampler::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(always.admit(&mut rng));
+            assert!(!never.admit(&mut rng));
+        }
+        assert_eq!(always.admitted(), 100);
+        assert_eq!(never.admitted(), 0);
+        assert_eq!(never.offered(), 100);
+    }
+
+    #[test]
+    fn admission_rate_close_to_probability() {
+        let mut sampler = BernoulliSampler::new(0.3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30_000 {
+            sampler.admit(&mut rng);
+        }
+        let rate = sampler.admitted() as f64 / sampler.offered() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!((sampler.probability() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = BernoulliSampler::new(1.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! # abacus-sampling
+//!
+//! Bounded-memory sampling schemes for data streams, decoupled from what the
+//! sample physically stores:
+//!
+//! * [`store`] — the [`SampleStore`](store::SampleStore) trait (ABACUS stores
+//!   its sample as a graph, the baselines as edge reservoirs, tests as plain
+//!   vectors) plus a reference [`VecSampleStore`](store::VecSampleStore),
+//! * [`random_pairing`] — Random Pairing (Gemulla et al., VLDB J. 2008), the
+//!   scheme ABACUS uses to keep a *uniform* bounded sample under both
+//!   insertions and deletions (Algorithm 2 of the paper),
+//! * [`reservoir`] — classic reservoir sampling (Vitter 1985), uniform for
+//!   insert-only streams and the reason insert-only baselines break under
+//!   deletions,
+//! * [`adaptive`] — the FLEET-style adaptive Bernoulli policy with reservoir
+//!   resizing (γ),
+//! * [`bernoulli`] — fixed-probability sampling (used by the CAS baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod bernoulli;
+pub mod random_pairing;
+pub mod reservoir;
+pub mod store;
+
+pub use adaptive::AdaptiveBernoulli;
+pub use bernoulli::BernoulliSampler;
+pub use random_pairing::{RandomPairing, RandomPairingState};
+pub use reservoir::ReservoirSampler;
+pub use store::{SampleStore, VecSampleStore};

@@ -1,0 +1,135 @@
+//! Classic reservoir sampling (Vitter 1985, "Algorithm R").
+//!
+//! Reservoir sampling keeps a uniform sample of a stream of *insertions*.  It
+//! has no notion of deletions: a deleted item silently stays in the reservoir
+//! and keeps contributing to whatever statistic is computed over the sample.
+//! This is exactly the failure mode of the insert-only butterfly-counting
+//! baselines that ABACUS fixes, and the accuracy experiments (Fig. 3) measure
+//! its cost.
+
+use crate::store::SampleStore;
+use rand::{Rng, RngExt};
+
+/// The reservoir sampling policy.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler {
+    capacity: usize,
+    seen: usize,
+}
+
+impl ReservoirSampler {
+    /// Creates a reservoir of the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "reservoir capacity must be at least 1");
+        ReservoirSampler { capacity, seen: 0 }
+    }
+
+    /// The reservoir capacity `k`.
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stream items offered so far.
+    #[inline]
+    #[must_use]
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Current admission probability `min(1, k / n)`.
+    #[inline]
+    #[must_use]
+    pub fn admission_probability(&self) -> f64 {
+        if self.seen == 0 {
+            1.0
+        } else {
+            (self.capacity as f64 / self.seen as f64).min(1.0)
+        }
+    }
+
+    /// Offers an item to the reservoir.  Returns `true` if it was admitted.
+    pub fn insert<T, S, R>(&mut self, item: T, store: &mut S, rng: &mut R) -> bool
+    where
+        S: SampleStore<T>,
+        R: Rng + ?Sized,
+    {
+        self.seen += 1;
+        if store.store_len() < self.capacity {
+            store.store_insert(item);
+            true
+        } else {
+            let p = self.capacity as f64 / self.seen as f64;
+            if rng.random_bool(p.min(1.0)) {
+                store.store_replace_random(item, rng);
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::VecSampleStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_stays_at_capacity() {
+        let mut rs = ReservoirSampler::new(5);
+        let mut store: VecSampleStore<u32> = VecSampleStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100u32 {
+            rs.insert(i, &mut store, &mut rng);
+            assert!(store.store_len() <= 5);
+        }
+        assert_eq!(store.store_len(), 5);
+        assert_eq!(rs.seen(), 100);
+        assert!((rs.admission_probability() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_probability_starts_at_one() {
+        let rs = ReservoirSampler::new(5);
+        assert_eq!(rs.admission_probability(), 1.0);
+        assert_eq!(rs.capacity(), 5);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform_over_the_stream() {
+        const TRIALS: u64 = 3_000;
+        const N: u32 = 30;
+        const K: usize = 6;
+        let mut appearances = vec![0u32; N as usize];
+        for trial in 0..TRIALS {
+            let mut rs = ReservoirSampler::new(K);
+            let mut store: VecSampleStore<u32> = VecSampleStore::new();
+            let mut rng = StdRng::seed_from_u64(trial);
+            for i in 0..N {
+                rs.insert(i, &mut store, &mut rng);
+            }
+            for &item in store.items() {
+                appearances[item as usize] += 1;
+            }
+        }
+        let expected = TRIALS as f64 * K as f64 / f64::from(N);
+        for (i, &count) in appearances.iter().enumerate() {
+            let deviation = (f64::from(count) - expected).abs() / expected;
+            assert!(deviation < 0.25, "item {i}: count {count} vs ≈{expected}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = ReservoirSampler::new(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Injection of edge deletions into an insert-only stream.
+//!
+//! The paper's datasets are insertion-only, so fully dynamic workloads are
+//! produced by the procedure of §VI-A: (a) keep the insertions in their
+//! natural order, (b) select α% of the edges, (c) place each selected edge's
+//! deletion at a position chosen uniformly at random *after* its insertion.
+//! The default ratio is α = 20%, motivated by measurements of up to 30% edge
+//! deletions on real Twitter data.
+
+use crate::element::StreamElement;
+use crate::stream::GraphStream;
+use abacus_graph::Edge;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Configuration of the deletion-injection procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeletionConfig {
+    /// Fraction of edges that also receive a deletion (the paper's α), in
+    /// `[0, 1]`.
+    pub ratio: f64,
+}
+
+impl Default for DeletionConfig {
+    fn default() -> Self {
+        // The paper's default: α = 20%.
+        DeletionConfig { ratio: 0.20 }
+    }
+}
+
+impl DeletionConfig {
+    /// A configuration with the given α.
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "deletion ratio must be in [0, 1]");
+        DeletionConfig { ratio }
+    }
+}
+
+/// Builds a fully dynamic stream from an ordered list of distinct edges by
+/// injecting deletions for `config.ratio` of the edges.
+///
+/// The relative order of the insertions is preserved; each injected deletion
+/// is placed uniformly at random in the suffix following its insertion.
+pub fn inject_deletions<R: Rng + ?Sized>(
+    edges: &[Edge],
+    config: DeletionConfig,
+    rng: &mut R,
+) -> GraphStream {
+    let n = edges.len();
+    let num_deletions = ((n as f64) * config.ratio).round() as usize;
+
+    // (b) choose which edges get deleted.
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let delete_set: Vec<usize> = indices.into_iter().take(num_deletions).collect();
+
+    // Start from the insert-only stream...
+    let mut stream: Vec<StreamElement> = edges.iter().map(|&e| StreamElement::insert(e)).collect();
+
+    // ...and (c) insert each deletion at a random position after its insertion.
+    // Deletions are inserted one at a time; positions refer to the stream as it
+    // grows, which keeps every deletion strictly after its own insertion and
+    // yields a uniform position in the current suffix.
+    for &edge_index in &delete_set {
+        let edge = edges[edge_index];
+        // Position of the insertion in the *current* stream.
+        let insert_pos = stream
+            .iter()
+            .position(|e| e.edge == edge && e.delta.is_insert())
+            .expect("insertion must be present");
+        let pos = rng.random_range(insert_pos + 1..=stream.len());
+        stream.insert(pos, StreamElement::delete(edge));
+    }
+    stream
+}
+
+/// Same as [`inject_deletions`] but avoids the quadratic re-scan for the
+/// insertion position by tracking positions incrementally.  Produces streams
+/// with the same distributional properties; preferred for large workloads.
+pub fn inject_deletions_fast<R: Rng + ?Sized>(
+    edges: &[Edge],
+    config: DeletionConfig,
+    rng: &mut R,
+) -> GraphStream {
+    let n = edges.len();
+    let num_deletions = ((n as f64) * config.ratio).round() as usize;
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let mut is_deleted = vec![false; n];
+    for &i in indices.iter().take(num_deletions) {
+        is_deleted[i] = true;
+    }
+
+    // For each deleted edge choose the insertion index (in the insert-only
+    // order) *after which* the deletion will be emitted: uniform in [i, n-1].
+    // Emitting the deletion right after the chosen insertion position spreads
+    // deletions uniformly over the remainder of the stream without a quadratic
+    // pass.
+    let mut pending_deletions: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if is_deleted[i] {
+            let after = rng.random_range(i..n);
+            pending_deletions[after].push(edges[i]);
+        }
+    }
+
+    let mut stream = Vec::with_capacity(n + num_deletions);
+    for i in 0..n {
+        stream.push(StreamElement::insert(edges[i]));
+        for &edge in &pending_deletions[i] {
+            stream.push(StreamElement::delete(edge));
+        }
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{validate_stream, StreamStats};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn edges(n: u32) -> Vec<Edge> {
+        (0..n).map(|i| Edge::new(i, i + 1000)).collect()
+    }
+
+    #[test]
+    fn zero_ratio_keeps_stream_insert_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stream = inject_deletions(&edges(50), DeletionConfig::new(0.0), &mut rng);
+        assert_eq!(stream.len(), 50);
+        assert!(stream.iter().all(|e| e.delta.is_insert()));
+    }
+
+    #[test]
+    fn ratio_controls_number_of_deletions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &ratio in &[0.05, 0.1, 0.2, 0.3, 1.0] {
+            let stream = inject_deletions(&edges(200), DeletionConfig::new(ratio), &mut rng);
+            let stats = StreamStats::compute(&stream);
+            assert_eq!(stats.insertions, 200);
+            assert_eq!(stats.deletions, (200.0 * ratio).round() as usize);
+            validate_stream(&stream).expect("stream must be well-formed");
+        }
+    }
+
+    #[test]
+    fn deletions_follow_their_insertions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let stream = inject_deletions(&edges(100), DeletionConfig::new(0.5), &mut rng);
+        validate_stream(&stream).expect("every deletion must follow its insertion");
+    }
+
+    #[test]
+    fn fast_variant_is_well_formed_and_matches_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &ratio in &[0.0, 0.2, 0.3, 1.0] {
+            let stream = inject_deletions_fast(&edges(500), DeletionConfig::new(ratio), &mut rng);
+            validate_stream(&stream).expect("well-formed");
+            let stats = StreamStats::compute(&stream);
+            assert_eq!(stats.insertions, 500);
+            assert_eq!(stats.deletions, (500.0 * ratio).round() as usize);
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let input = edges(100);
+        let stream = inject_deletions_fast(&input, DeletionConfig::default(), &mut rng);
+        let inserted: Vec<Edge> = stream
+            .iter()
+            .filter(|e| e.delta.is_insert())
+            .map(|e| e.edge)
+            .collect();
+        assert_eq!(inserted, input);
+    }
+
+    #[test]
+    #[should_panic(expected = "deletion ratio")]
+    fn invalid_ratio_panics() {
+        let _ = DeletionConfig::new(1.5);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = inject_deletions_fast(
+            &edges(300),
+            DeletionConfig::default(),
+            &mut StdRng::seed_from_u64(42),
+        );
+        let b = inject_deletions_fast(
+            &edges(300),
+            DeletionConfig::default(),
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn both_variants_always_produce_valid_streams(
+            n in 1u32..120,
+            ratio in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let input = edges(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let slow = inject_deletions(&input, DeletionConfig::new(ratio), &mut rng);
+            prop_assert!(validate_stream(&slow).is_ok());
+            let fast = inject_deletions_fast(&input, DeletionConfig::new(ratio), &mut rng);
+            prop_assert!(validate_stream(&fast).is_ok());
+            prop_assert_eq!(
+                StreamStats::compute(&slow).deletions,
+                StreamStats::compute(&fast).deletions
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Stream elements.
+//!
+//! A fully dynamic bipartite graph stream is a sequence of elements
+//! `e(t) = ({u(t), v(t)}, δ)` where δ = `+` inserts a new edge and δ = `−`
+//! deletes an existing one (Definition 1 of the paper).
+
+use abacus_graph::Edge;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of change an element applies to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDelta {
+    /// δ = `+`: the edge is inserted (it must not currently exist).
+    Insert,
+    /// δ = `−`: the edge is deleted (it must currently exist).
+    Delete,
+}
+
+impl EdgeDelta {
+    /// `sgn(δ)`: +1 for insertions, −1 for deletions (Algorithm 1, line 6).
+    #[inline]
+    #[must_use]
+    pub fn sign(self) -> i64 {
+        match self {
+            EdgeDelta::Insert => 1,
+            EdgeDelta::Delete => -1,
+        }
+    }
+
+    /// `true` for insertions.
+    #[inline]
+    #[must_use]
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeDelta::Insert)
+    }
+
+    /// `true` for deletions.
+    #[inline]
+    #[must_use]
+    pub fn is_delete(self) -> bool {
+        matches!(self, EdgeDelta::Delete)
+    }
+}
+
+impl fmt::Display for EdgeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeDelta::Insert => write!(f, "+"),
+            EdgeDelta::Delete => write!(f, "-"),
+        }
+    }
+}
+
+/// One element of a fully dynamic bipartite graph stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamElement {
+    /// The edge `{u, v}` affected by this element.
+    pub edge: Edge,
+    /// Whether the edge is inserted or deleted.
+    pub delta: EdgeDelta,
+}
+
+impl StreamElement {
+    /// An insertion of `edge`.
+    #[inline]
+    #[must_use]
+    pub fn insert(edge: Edge) -> Self {
+        StreamElement {
+            edge,
+            delta: EdgeDelta::Insert,
+        }
+    }
+
+    /// A deletion of `edge`.
+    #[inline]
+    #[must_use]
+    pub fn delete(edge: Edge) -> Self {
+        StreamElement {
+            edge,
+            delta: EdgeDelta::Delete,
+        }
+    }
+
+    /// `sgn(δ)` of the element.
+    #[inline]
+    #[must_use]
+    pub fn sign(&self) -> i64 {
+        self.delta.sign()
+    }
+}
+
+impl fmt::Display for StreamElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.delta, self.edge.left, self.edge.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs() {
+        assert_eq!(EdgeDelta::Insert.sign(), 1);
+        assert_eq!(EdgeDelta::Delete.sign(), -1);
+        assert!(EdgeDelta::Insert.is_insert());
+        assert!(EdgeDelta::Delete.is_delete());
+        assert!(!EdgeDelta::Delete.is_insert());
+    }
+
+    #[test]
+    fn constructors_and_display() {
+        let e = Edge::new(3, 7);
+        let ins = StreamElement::insert(e);
+        let del = StreamElement::delete(e);
+        assert_eq!(ins.sign(), 1);
+        assert_eq!(del.sign(), -1);
+        assert_eq!(ins.to_string(), "+ 3 7");
+        assert_eq!(del.to_string(), "- 3 7");
+        assert_ne!(ins, del);
+    }
+}

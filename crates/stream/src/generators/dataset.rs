@@ -1,0 +1,317 @@
+//! Scaled-down analogs of the paper's KONECT datasets (Table II).
+//!
+//! The paper evaluates on MovieLens (10M edges), LiveJournal (112M), Trackers
+//! (140.6M), and Orkut (327M).  Those graphs cannot be redistributed here and
+//! are far too large for a laptop-scale reproduction, so each dataset is
+//! replaced by a deterministic synthetic analog with:
+//!
+//! * ≈100–1000× fewer edges,
+//! * the same left/right size *ratio* as the original (Table II),
+//! * a power-law (Chung–Lu) degree profile whose exponents are tuned so that
+//!   the **butterfly-density ordering** of Table II is preserved
+//!   (MovieLens ≫ LiveJournal ≳ Trackers > Orkut, density defined as B/|E|⁴),
+//! * a fixed per-dataset RNG seed so every experiment sees the same graph.
+//!
+//! Because the streaming estimators' accuracy depends on the sample-size to
+//! stream-size *ratio* rather than on absolute scale, the experiment harness
+//! also scales the paper's sample sizes (75K/150K/300K) by the same factor.
+
+use super::chung_lu::{chung_lu_bipartite, ChungLuConfig};
+use crate::deletion::{inject_deletions_fast, DeletionConfig};
+use crate::stream::GraphStream;
+use abacus_graph::Edge;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four dataset analogs used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Analog of MovieLens: user–movie ratings; small, very butterfly-dense.
+    MovielensLike,
+    /// Analog of LiveJournal: user–group memberships.
+    LivejournalLike,
+    /// Analog of Trackers: domain–tracker edges, extreme hub skew.
+    TrackersLike,
+    /// Analog of Orkut: user–group memberships; largest and sparsest.
+    OrkutLike,
+}
+
+impl Dataset {
+    /// All datasets in the order of Table II.
+    #[must_use]
+    pub fn all() -> [Dataset; 4] {
+        [
+            Dataset::MovielensLike,
+            Dataset::LivejournalLike,
+            Dataset::TrackersLike,
+            Dataset::OrkutLike,
+        ]
+    }
+
+    /// Short display name used in experiment tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::MovielensLike => "Movielens-like",
+            Dataset::LivejournalLike => "LiveJournal-like",
+            Dataset::TrackersLike => "Trackers-like",
+            Dataset::OrkutLike => "Orkut-like",
+        }
+    }
+
+    /// The generator specification of the analog.
+    #[must_use]
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            // Original: |E|=10M, |L|=69.8K users, |R|=10.6K movies.
+            // Analog keeps the ~6.6:1 L:R ratio and a dense right side.
+            Dataset::MovielensLike => DatasetSpec {
+                dataset: self,
+                left_vertices: 2_600,
+                right_vertices: 400,
+                edges: 60_000,
+                left_exponent: 2.2,
+                right_exponent: 2.3,
+                seed: 0xAB_AC_05_01,
+                paper_edges: 10_000_000,
+                paper_left: 69_800,
+                paper_right: 10_600,
+                paper_butterflies: 1.1e12,
+            },
+            // Original: |E|=112M, |L|=3.2M, |R|=10.7M.
+            Dataset::LivejournalLike => DatasetSpec {
+                dataset: self,
+                left_vertices: 6_000,
+                right_vertices: 20_000,
+                edges: 110_000,
+                left_exponent: 2.1,
+                right_exponent: 2.3,
+                seed: 0xAB_AC_05_02,
+                paper_edges: 112_000_000,
+                paper_left: 3_200_000,
+                paper_right: 10_700_000,
+                paper_butterflies: 3.3e12,
+            },
+            // Original: |E|=140.6M, |L|=27.6M domains, |R|=12.7M trackers.
+            Dataset::TrackersLike => DatasetSpec {
+                dataset: self,
+                left_vertices: 20_000,
+                right_vertices: 9_000,
+                edges: 130_000,
+                left_exponent: 2.2,
+                right_exponent: 2.0,
+                seed: 0xAB_AC_05_03,
+                paper_edges: 140_600_000,
+                paper_left: 27_600_000,
+                paper_right: 12_700_000,
+                paper_butterflies: 2.0e13,
+            },
+            // Original: |E|=327M, |L|=2.7M users, |R|=8.73M groups.
+            Dataset::OrkutLike => DatasetSpec {
+                dataset: self,
+                left_vertices: 16_000,
+                right_vertices: 40_000,
+                edges: 150_000,
+                left_exponent: 2.3,
+                right_exponent: 2.6,
+                seed: 0xAB_AC_05_04,
+                paper_edges: 327_000_000,
+                paper_left: 2_700_000,
+                paper_right: 8_730_000,
+                paper_butterflies: 2.21e13,
+            },
+        }
+    }
+
+    /// Generates the (deterministic) insert-only edge list of the analog.
+    #[must_use]
+    pub fn edges(self) -> Vec<Edge> {
+        self.spec().generate_edges()
+    }
+
+    /// Generates a fully dynamic stream with deletion ratio `alpha`, seeded by
+    /// `trial` so repeated trials see different deletion placements (as in the
+    /// paper's 10-trial averages) while the underlying graph stays fixed.
+    #[must_use]
+    pub fn stream(self, alpha: f64, trial: u64) -> GraphStream {
+        self.spec().stream(alpha, trial)
+    }
+
+    /// The edge-count scale factor of the analog relative to the original
+    /// dataset (used to scale the paper's sample sizes).
+    #[must_use]
+    pub fn scale_factor(self) -> f64 {
+        let spec = self.spec();
+        spec.paper_edges as f64 / spec.edges as f64
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full parameterisation of a dataset analog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this spec describes.
+    pub dataset: Dataset,
+    /// Left vertices of the analog.
+    pub left_vertices: u32,
+    /// Right vertices of the analog.
+    pub right_vertices: u32,
+    /// Edges of the analog.
+    pub edges: usize,
+    /// Power-law exponent of the left side.
+    pub left_exponent: f64,
+    /// Power-law exponent of the right side.
+    pub right_exponent: f64,
+    /// Deterministic generator seed.
+    pub seed: u64,
+    /// |E| of the original dataset (Table II).
+    pub paper_edges: u64,
+    /// |L| of the original dataset (Table II).
+    pub paper_left: u64,
+    /// |R| of the original dataset (Table II).
+    pub paper_right: u64,
+    /// Butterfly count of the original dataset (Table II).
+    pub paper_butterflies: f64,
+}
+
+impl DatasetSpec {
+    /// Returns the spec scaled up by `factor`: `factor` times as many edges
+    /// and vertices on both sides, same degree exponents and seed.
+    ///
+    /// The accuracy experiments run on the default (≈100×-reduced) analogs so
+    /// that exact ground truths stay cheap; the throughput / speedup
+    /// experiments (Figs. 4, 8–10) use scaled-up analogs so that the sample
+    /// is a paper-like small fraction of the live edges and the per-edge
+    /// set-intersection work dominates, as it does at the paper's scale.
+    #[must_use]
+    pub fn scaled(mut self, factor: u32) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        self.left_vertices *= factor;
+        self.right_vertices *= factor;
+        self.edges *= factor as usize;
+        self
+    }
+
+    /// Generates a fully dynamic stream with deletion ratio `alpha`, seeded by
+    /// `trial` exactly as [`Dataset::stream`] does.
+    #[must_use]
+    pub fn stream(&self, alpha: f64, trial: u64) -> GraphStream {
+        let edges = self.generate_edges();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x5EED_0000 + trial));
+        inject_deletions_fast(&edges, DeletionConfig::new(alpha), &mut rng)
+    }
+
+    /// Generates the (deterministic) insert-only edge list described by this
+    /// spec.
+    #[must_use]
+    pub fn generate_edges(&self) -> Vec<Edge> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        chung_lu_bipartite(
+            ChungLuConfig {
+                left_vertices: self.left_vertices,
+                right_vertices: self.right_vertices,
+                edges: self.edges,
+                left_exponent: self.left_exponent,
+                right_exponent: self.right_exponent,
+            },
+            &mut rng,
+        )
+    }
+
+    /// Butterfly density of the original dataset (Table II definition B/|E|⁴).
+    #[must_use]
+    pub fn paper_density(&self) -> f64 {
+        let e = self.paper_edges as f64;
+        self.paper_butterflies / (e * e * e * e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{validate_stream, StreamStats};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn specs_are_self_consistent() {
+        for d in Dataset::all() {
+            let spec = d.spec();
+            assert_eq!(spec.dataset, d);
+            assert!(spec.edges > 10_000, "{d}: too few edges");
+            assert!(spec.scale_within_bounds(), "{d}: scale factor out of range");
+            assert!(spec.paper_density() > 0.0);
+            assert!(!d.name().is_empty());
+        }
+    }
+
+    impl DatasetSpec {
+        fn scale_within_bounds(&self) -> bool {
+            let f = self.paper_edges as f64 / self.edges as f64;
+            (50.0..5_000.0).contains(&f)
+        }
+    }
+
+    #[test]
+    fn edges_are_distinct_and_in_range() {
+        let spec = Dataset::MovielensLike.spec();
+        let edges = spec.generate_edges();
+        assert_eq!(edges.len(), spec.edges);
+        let unique: BTreeSet<_> = edges.iter().copied().collect();
+        assert_eq!(unique.len(), spec.edges);
+        assert!(edges
+            .iter()
+            .all(|e| e.left < spec.left_vertices && e.right < spec.right_vertices));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::OrkutLike.edges();
+        let b = Dataset::OrkutLike.edges();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_respects_alpha_and_is_valid() {
+        let stream = Dataset::MovielensLike.stream(0.2, 0);
+        validate_stream(&stream).expect("valid stream");
+        let stats = StreamStats::compute(&stream);
+        let spec = Dataset::MovielensLike.spec();
+        assert_eq!(stats.insertions, spec.edges);
+        assert_eq!(stats.deletions, (spec.edges as f64 * 0.2).round() as usize);
+    }
+
+    #[test]
+    fn different_trials_differ_but_same_trial_repeats() {
+        let a = Dataset::MovielensLike.stream(0.2, 0);
+        let b = Dataset::MovielensLike.stream(0.2, 0);
+        let c = Dataset::MovielensLike.stream(0.2, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_names_cover_paper_datasets() {
+        let names: Vec<&str> = Dataset::all().iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"Movielens-like"));
+        assert!(names.contains(&"Orkut-like"));
+        assert_eq!(Dataset::TrackersLike.to_string(), "Trackers-like");
+    }
+
+    #[test]
+    fn movielens_analog_is_densest_paper_side() {
+        // Check the *paper's* density ordering encoded in the specs (the
+        // empirical analog ordering is asserted in the integration tests,
+        // which can afford exact butterfly counting).
+        let d = |ds: Dataset| ds.spec().paper_density();
+        assert!(d(Dataset::MovielensLike) > d(Dataset::LivejournalLike));
+        assert!(d(Dataset::LivejournalLike) > d(Dataset::OrkutLike));
+        assert!(d(Dataset::TrackersLike) > d(Dataset::OrkutLike));
+    }
+}

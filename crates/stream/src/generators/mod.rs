@@ -1,0 +1,26 @@
+//! Synthetic bipartite graph generators.
+//!
+//! The paper evaluates on four KONECT datasets that are too large to ship or
+//! to replay at full scale on a development machine, so this module provides
+//! generators that produce *scaled-down analogs* with the same qualitative
+//! shape (degree skew, left/right imbalance, butterfly-density ordering).
+//! See `DESIGN.md` §3 for the substitution rationale.
+//!
+//! * [`random`] — uniform (Erdős–Rényi-style) bipartite graphs,
+//! * [`chung_lu`] — power-law expected-degree (Chung–Lu) bipartite graphs,
+//! * [`block`] — community/block-structured bipartite graphs (butterfly-dense
+//!   clusters, used for anomaly-detection style examples),
+//! * [`weighted`] — the alias-method weighted sampler backing the generators,
+//! * [`dataset`] — the four named analogs of Table II.
+
+pub mod block;
+pub mod chung_lu;
+pub mod dataset;
+pub mod random;
+pub mod weighted;
+
+pub use block::{block_bipartite, BlockConfig};
+pub use chung_lu::{chung_lu_bipartite, ChungLuConfig};
+pub use dataset::{Dataset, DatasetSpec};
+pub use random::uniform_bipartite;
+pub use weighted::WeightedAliasSampler;

@@ -1,0 +1,132 @@
+//! Uniform random bipartite graphs.
+
+use abacus_graph::{Edge, FxHashSet};
+use rand::{Rng, RngExt};
+
+/// Generates `edges` distinct edges drawn uniformly at random from the
+/// complete bipartite graph `K_{left_vertices, right_vertices}`.
+///
+/// # Panics
+/// Panics if more edges are requested than exist in the complete graph.
+pub fn uniform_bipartite<R: Rng + ?Sized>(
+    left_vertices: u32,
+    right_vertices: u32,
+    edges: usize,
+    rng: &mut R,
+) -> Vec<Edge> {
+    let capacity = u64::from(left_vertices) * u64::from(right_vertices);
+    assert!(
+        edges as u64 <= capacity,
+        "requested {edges} edges but only {capacity} exist in K_{{{left_vertices},{right_vertices}}}"
+    );
+    assert!(left_vertices > 0 && right_vertices > 0 || edges == 0);
+
+    // Dense request: enumerate and partially shuffle to avoid rejection storms.
+    if edges as u64 * 2 >= capacity {
+        let mut all: Vec<Edge> = Vec::with_capacity(capacity as usize);
+        for l in 0..left_vertices {
+            for r in 0..right_vertices {
+                all.push(Edge::new(l, r));
+            }
+        }
+        // Partial Fisher–Yates: the first `edges` positions become a uniform
+        // sample without replacement.
+        for i in 0..edges {
+            let j = rng.random_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(edges);
+        return all;
+    }
+
+    // Sparse request: rejection sampling with a seen-set.
+    let mut seen: FxHashSet<Edge> = FxHashSet::default();
+    let mut out = Vec::with_capacity(edges);
+    while out.len() < edges {
+        let e = Edge::new(
+            rng.random_range(0..left_vertices),
+            rng.random_range(0..right_vertices),
+        );
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn produces_requested_number_of_distinct_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let edges = uniform_bipartite(100, 50, 2_000, &mut rng);
+        assert_eq!(edges.len(), 2_000);
+        let unique: BTreeSet<_> = edges.iter().copied().collect();
+        assert_eq!(unique.len(), 2_000);
+        assert!(edges.iter().all(|e| e.left < 100 && e.right < 50));
+    }
+
+    #[test]
+    fn dense_request_uses_enumeration_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let edges = uniform_bipartite(10, 10, 90, &mut rng);
+        assert_eq!(edges.len(), 90);
+        let unique: BTreeSet<_> = edges.iter().copied().collect();
+        assert_eq!(unique.len(), 90);
+    }
+
+    #[test]
+    fn full_graph_request() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges = uniform_bipartite(5, 4, 20, &mut rng);
+        assert_eq!(edges.len(), 20);
+        let unique: BTreeSet<_> = edges.iter().copied().collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn zero_edges_is_fine() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(uniform_bipartite(5, 4, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = uniform_bipartite(3, 3, 10, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = uniform_bipartite(50, 50, 500, &mut StdRng::seed_from_u64(9));
+        let b = uniform_bipartite(50, 50, 500, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn always_distinct_and_in_range(
+            l in 1u32..40,
+            r in 1u32..40,
+            frac in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let cap = (l as usize) * (r as usize);
+            let m = ((cap as f64) * frac) as usize;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges = uniform_bipartite(l, r, m, &mut rng);
+            prop_assert_eq!(edges.len(), m);
+            let unique: BTreeSet<_> = edges.iter().copied().collect();
+            prop_assert_eq!(unique.len(), m);
+            prop_assert!(edges.iter().all(|e| e.left < l && e.right < r));
+        }
+    }
+}

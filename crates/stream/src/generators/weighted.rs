@@ -1,0 +1,168 @@
+//! Weighted discrete sampling via the alias method (Vose's algorithm).
+//!
+//! The Chung–Lu generator needs to draw millions of vertices proportionally to
+//! per-vertex weights; the alias method gives O(1) draws after an O(n) build.
+
+use rand::{Rng, RngExt};
+
+/// Samples indices `0..n` with probability proportional to the construction
+/// weights, in O(1) per draw.
+#[derive(Debug, Clone)]
+pub struct WeightedAliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl WeightedAliasSampler {
+    /// Builds the sampler from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite value,
+    /// or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must not be empty");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical residue: remaining columns are full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+
+        WeightedAliasSampler { prob, alias }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the sampler has no categories (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Power-law weights `w_i = (i + 1)^(-1/(γ - 1))`, the standard expected-degree
+/// profile used by Chung–Lu style generators (γ is the degree exponent).
+#[must_use]
+pub fn power_law_weights(n: usize, exponent: f64) -> Vec<f64> {
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let beta = 1.0 / (exponent - 1.0);
+    (0..n).map(|i| ((i + 1) as f64).powf(-beta)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_all_categories() {
+        let sampler = WeightedAliasSampler::new(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..16_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_are_respected() {
+        let sampler = WeightedAliasSampler::new(&[8.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let p0 = f64::from(counts[0]) / 50_000.0;
+        assert!((p0 - 0.8).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zero_weight_categories_are_never_drawn() {
+        let sampler = WeightedAliasSampler::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let i = sampler.sample(&mut rng);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let sampler = WeightedAliasSampler::new(&[3.5]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.len(), 1);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_weights_panic() {
+        let _ = WeightedAliasSampler::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = WeightedAliasSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn power_law_weights_are_decreasing() {
+        let w = power_law_weights(100, 2.5);
+        assert_eq!(w.len(), 100);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        assert!((w[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Line-oriented text format for graph streams.
+//!
+//! One element per line: `+ <left> <right>` for an insertion, `- <left>
+//! <right>` for a deletion.  Lines starting with `#` and blank lines are
+//! ignored, so real traces exported from other tools can be annotated.
+
+use crate::element::{EdgeDelta, StreamElement};
+use crate::stream::GraphStream;
+use abacus_graph::Edge;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced while parsing a stream file.
+#[derive(Debug)]
+pub enum StreamIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for StreamIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamIoError::Io(e) => write!(f, "I/O error: {e}"),
+            StreamIoError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamIoError {}
+
+impl From<io::Error> for StreamIoError {
+    fn from(e: io::Error) -> Self {
+        StreamIoError::Io(e)
+    }
+}
+
+/// Writes a stream in the text format to any writer.
+pub fn write_stream<W: Write>(stream: &[StreamElement], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for element in stream {
+        let sign = match element.delta {
+            EdgeDelta::Insert => '+',
+            EdgeDelta::Delete => '-',
+        };
+        writeln!(w, "{sign} {} {}", element.edge.left, element.edge.right)?;
+    }
+    w.flush()
+}
+
+/// Writes a stream to a file path.
+pub fn write_stream_to_path<P: AsRef<Path>>(stream: &[StreamElement], path: P) -> io::Result<()> {
+    write_stream(stream, std::fs::File::create(path)?)
+}
+
+/// Reads a stream in the text format from any buffered reader.
+pub fn read_stream<R: BufRead>(reader: R) -> Result<GraphStream, StreamIoError> {
+    let mut out = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = || StreamIoError::Parse {
+            line: index + 1,
+            content: line.clone(),
+        };
+        let sign = parts.next().ok_or_else(parse)?;
+        let left: u32 = parts.next().ok_or_else(parse)?.parse().map_err(|_| parse())?;
+        let right: u32 = parts.next().ok_or_else(parse)?.parse().map_err(|_| parse())?;
+        if parts.next().is_some() {
+            return Err(parse());
+        }
+        let delta = match sign {
+            "+" => EdgeDelta::Insert,
+            "-" => EdgeDelta::Delete,
+            _ => return Err(parse()),
+        };
+        out.push(StreamElement {
+            edge: Edge::new(left, right),
+            delta,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads a stream from a file path.
+pub fn read_stream_from_path<P: AsRef<Path>>(path: P) -> Result<GraphStream, StreamIoError> {
+    let file = std::fs::File::open(path)?;
+    read_stream(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> GraphStream {
+        vec![
+            StreamElement::insert(Edge::new(1, 2)),
+            StreamElement::insert(Edge::new(3, 4)),
+            StreamElement::delete(Edge::new(1, 2)),
+        ]
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let stream = sample_stream();
+        let mut buf = Vec::new();
+        write_stream(&stream, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "+ 1 2\n+ 3 4\n- 1 2\n");
+        let parsed = read_stream(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed, stream);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n+ 1 2\n   \n- 1 2\n";
+        let parsed = read_stream(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], StreamElement::delete(Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        for bad in ["? 1 2", "+ x 2", "+ 1", "+ 1 2 3"] {
+            let text = format!("+ 1 2\n{bad}\n");
+            let err = read_stream(io::BufReader::new(text.as_bytes())).unwrap_err();
+            match err {
+                StreamIoError::Parse { line, .. } => assert_eq!(line, 2, "input {bad:?}"),
+                other => panic!("expected parse error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("abacus_stream_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.txt");
+        let stream = sample_stream();
+        write_stream_to_path(&stream, &path).unwrap();
+        let parsed = read_stream_from_path(&path).unwrap();
+        assert_eq!(parsed, stream);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = StreamIoError::Parse {
+            line: 7,
+            content: "bad".to_string(),
+        };
+        assert!(err.to_string().contains("line 7"));
+        let io_err = StreamIoError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(io_err.to_string().contains("I/O error"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # abacus-stream
+//!
+//! The fully dynamic bipartite graph *stream* model of the paper
+//! (Definition 1), plus everything needed to produce realistic workloads:
+//!
+//! * [`element`] — stream elements `e(t) = ({u, v}, δ)` with δ ∈ {+, −},
+//! * [`stream`] — in-memory streams, validation, replay into a graph,
+//! * [`deletion`] — the paper's α-deletion injection procedure (§VI-A
+//!   *Deletions*): pick α% of the edges and place each deletion uniformly at
+//!   random after its corresponding insertion,
+//! * [`generators`] — synthetic bipartite graph generators (uniform,
+//!   Chung–Lu power-law, block/community model) and the four scaled-down
+//!   analogs of the paper's KONECT datasets (Table II),
+//! * [`io`] — a line-oriented text format for persisting and replaying
+//!   streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deletion;
+pub mod element;
+pub mod generators;
+pub mod io;
+pub mod stream;
+
+pub use deletion::{inject_deletions, inject_deletions_fast, DeletionConfig};
+pub use element::{EdgeDelta, StreamElement};
+pub use generators::dataset::{Dataset, DatasetSpec};
+pub use stream::{final_graph, validate_stream, GraphStream, StreamStats, StreamValidationError};

@@ -1,0 +1,206 @@
+//! In-memory graph streams and stream validation.
+
+use crate::element::{EdgeDelta, StreamElement};
+use abacus_graph::{BipartiteGraph, Edge, FxHashSet};
+use std::fmt;
+
+/// A fully dynamic bipartite graph stream held in memory.
+///
+/// Streams produced by the generators in this crate are plain element vectors;
+/// the type alias exists to keep signatures readable.
+pub type GraphStream = Vec<StreamElement>;
+
+/// Summary statistics of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Total number of elements.
+    pub elements: usize,
+    /// Number of insertions.
+    pub insertions: usize,
+    /// Number of deletions.
+    pub deletions: usize,
+    /// Number of edges remaining after replaying the whole stream.
+    pub final_edges: usize,
+}
+
+impl StreamStats {
+    /// Computes the statistics of a stream in one pass.
+    #[must_use]
+    pub fn compute(stream: &[StreamElement]) -> Self {
+        let insertions = stream.iter().filter(|e| e.delta.is_insert()).count();
+        let deletions = stream.len() - insertions;
+        StreamStats {
+            elements: stream.len(),
+            insertions,
+            deletions,
+            final_edges: insertions - deletions,
+        }
+    }
+
+    /// Fraction of elements that are deletions.
+    #[must_use]
+    pub fn deletion_ratio(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.deletions as f64 / self.elements as f64
+        }
+    }
+}
+
+/// Ways a stream can violate the fully dynamic stream model of Definition 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamValidationError {
+    /// An insertion arrived for an edge that already exists.
+    DuplicateInsert {
+        /// Position of the offending element.
+        position: usize,
+        /// The edge that was inserted twice.
+        edge: Edge,
+    },
+    /// A deletion arrived for an edge that does not exist.
+    DeleteMissing {
+        /// Position of the offending element.
+        position: usize,
+        /// The edge that was deleted while absent.
+        edge: Edge,
+    },
+}
+
+impl fmt::Display for StreamValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamValidationError::DuplicateInsert { position, edge } => {
+                write!(f, "element {position}: insertion of existing edge {edge}")
+            }
+            StreamValidationError::DeleteMissing { position, edge } => {
+                write!(f, "element {position}: deletion of missing edge {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamValidationError {}
+
+/// Checks that only absent edges are inserted and only present edges deleted.
+pub fn validate_stream(stream: &[StreamElement]) -> Result<(), StreamValidationError> {
+    let mut live: FxHashSet<Edge> = FxHashSet::default();
+    for (position, element) in stream.iter().enumerate() {
+        match element.delta {
+            EdgeDelta::Insert => {
+                if !live.insert(element.edge) {
+                    return Err(StreamValidationError::DuplicateInsert {
+                        position,
+                        edge: element.edge,
+                    });
+                }
+            }
+            EdgeDelta::Delete => {
+                if !live.remove(&element.edge) {
+                    return Err(StreamValidationError::DeleteMissing {
+                        position,
+                        edge: element.edge,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays the stream into a [`BipartiteGraph`] and returns the final graph
+/// `G(t)` — the ground-truth object for accuracy experiments.
+#[must_use]
+pub fn final_graph(stream: &[StreamElement]) -> BipartiteGraph {
+    let mut graph = BipartiteGraph::new();
+    for element in stream {
+        match element.delta {
+            EdgeDelta::Insert => {
+                graph.insert_edge(element.edge);
+            }
+            EdgeDelta::Delete => {
+                graph.delete_edge(element.edge);
+            }
+        }
+    }
+    graph
+}
+
+/// Restricts a stream to its insertions (what an insert-only baseline sees
+/// when deletions are simply dropped).
+#[must_use]
+pub fn insertions_only(stream: &[StreamElement]) -> GraphStream {
+    stream
+        .iter()
+        .filter(|e| e.delta.is_insert())
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(l: u32, r: u32) -> StreamElement {
+        StreamElement::insert(Edge::new(l, r))
+    }
+    fn del(l: u32, r: u32) -> StreamElement {
+        StreamElement::delete(Edge::new(l, r))
+    }
+
+    #[test]
+    fn stats_and_ratio() {
+        let stream = vec![ins(0, 1), ins(0, 2), del(0, 1), ins(1, 1)];
+        let stats = StreamStats::compute(&stream);
+        assert_eq!(stats.elements, 4);
+        assert_eq!(stats.insertions, 3);
+        assert_eq!(stats.deletions, 1);
+        assert_eq!(stats.final_edges, 2);
+        assert!((stats.deletion_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(StreamStats::default().deletion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_streams() {
+        let stream = vec![ins(0, 1), del(0, 1), ins(0, 1), ins(2, 3), del(2, 3)];
+        assert!(validate_stream(&stream).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_insert() {
+        let stream = vec![ins(0, 1), ins(0, 1)];
+        let err = validate_stream(&stream).unwrap_err();
+        assert_eq!(
+            err,
+            StreamValidationError::DuplicateInsert {
+                position: 1,
+                edge: Edge::new(0, 1)
+            }
+        );
+        assert!(err.to_string().contains("element 1"));
+    }
+
+    #[test]
+    fn validation_rejects_delete_of_missing_edge() {
+        let stream = vec![ins(0, 1), del(2, 3)];
+        let err = validate_stream(&stream).unwrap_err();
+        assert!(matches!(err, StreamValidationError::DeleteMissing { position: 1, .. }));
+    }
+
+    #[test]
+    fn final_graph_replays_stream() {
+        let stream = vec![ins(0, 1), ins(0, 2), ins(1, 1), del(0, 2)];
+        let g = final_graph(&stream);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(Edge::new(0, 1)));
+        assert!(!g.has_edge(Edge::new(0, 2)));
+    }
+
+    #[test]
+    fn insertions_only_drops_deletions() {
+        let stream = vec![ins(0, 1), del(0, 1), ins(2, 3)];
+        let only = insertions_only(&stream);
+        assert_eq!(only.len(), 2);
+        assert!(only.iter().all(|e| e.delta.is_insert()));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: estimate the butterfly count of a fully dynamic bipartite
+//! graph stream and compare against the exact count.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use abacus::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Build a workload: a synthetic user-item graph with 20% of the edges
+    //    later deleted (the paper's default fully dynamic setting).
+    let edges = abacus::stream::generators::chung_lu_bipartite(
+        abacus::stream::generators::ChungLuConfig {
+            left_vertices: 2_000,
+            right_vertices: 400,
+            edges: 30_000,
+            left_exponent: 2.2,
+            right_exponent: 2.3,
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    let stream = inject_deletions_fast(
+        &edges,
+        DeletionConfig::new(0.20),
+        &mut StdRng::seed_from_u64(8),
+    );
+    println!("stream: {} elements ({} insertions)", stream.len(), edges.len());
+
+    // 2. Ground truth: exact butterfly count of the final graph.
+    let truth = count_butterflies(&final_graph(&stream)) as f64;
+    println!("exact butterfly count after the stream: {truth:.0}");
+
+    // 3. ABACUS with a bounded sample of 2 000 edges.
+    let mut abacus = Abacus::new(AbacusConfig::new(2_000).with_seed(1));
+    abacus.process_stream(&stream);
+    println!(
+        "ABACUS estimate (k = 2000):               {:>12.0}   relative error {:.2}%",
+        abacus.estimate(),
+        relative_error_percent(truth, abacus.estimate())
+    );
+
+    // 4. PARABACUS: same counts, processed in parallel mini-batches.
+    let mut parabacus = ParAbacus::new(
+        ParAbacusConfig::new(2_000)
+            .with_seed(1)
+            .with_batch_size(500),
+    );
+    parabacus.process_stream(&stream);
+    println!(
+        "PARABACUS estimate (M = 500, {} threads):  {:>12.0}   relative error {:.2}%",
+        parabacus.config().threads,
+        parabacus.estimate(),
+        relative_error_percent(truth, parabacus.estimate())
+    );
+
+    // 5. What an insert-only baseline reports when it ignores the deletions.
+    let mut fleet = Fleet::new(FleetConfig::new(2_000).with_seed(1));
+    fleet.process_stream(&stream);
+    println!(
+        "FLEET estimate (ignores deletions):        {:>12.0}   relative error {:.2}%",
+        fleet.estimate(),
+        relative_error_percent(truth, fleet.estimate())
+    );
+}

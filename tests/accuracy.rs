@@ -1,0 +1,130 @@
+//! Cross-crate integration test: the headline accuracy claim of the paper.
+//!
+//! On a fully dynamic stream (20% deletions), ABACUS stays close to the true
+//! butterfly count while the insert-only baselines (FLEET, CAS) drift far
+//! above it because they never retract deleted edges.
+
+use abacus::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A mid-sized power-law workload that is cheap enough to ground-truth in a
+/// debug-mode test run.
+fn workload(alpha: f64) -> (GraphStream, f64) {
+    let edges = abacus::stream::generators::chung_lu_bipartite(
+        abacus::stream::generators::ChungLuConfig {
+            left_vertices: 1_500,
+            right_vertices: 300,
+            edges: 20_000,
+            left_exponent: 2.2,
+            right_exponent: 2.3,
+        },
+        &mut StdRng::seed_from_u64(1),
+    );
+    let stream = inject_deletions_fast(
+        &edges,
+        DeletionConfig::new(alpha),
+        &mut StdRng::seed_from_u64(2),
+    );
+    let truth = count_butterflies(&final_graph(&stream)) as f64;
+    (stream, truth)
+}
+
+fn mean_relative_error<F>(runs: u64, truth: f64, mut make_and_run: F) -> f64
+where
+    F: FnMut(u64) -> f64,
+{
+    (0..runs)
+        .map(|seed| relative_error(truth, make_and_run(seed)))
+        .sum::<f64>()
+        / runs as f64
+}
+
+#[test]
+fn abacus_beats_insert_only_baselines_under_deletions() {
+    let (stream, truth) = workload(0.2);
+    assert!(truth > 1_000.0, "workload must contain butterflies, got {truth}");
+    let budget = 2_000;
+    let runs = 3;
+
+    let abacus_error = mean_relative_error(runs, truth, |seed| {
+        let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+        estimator.process_stream(&stream);
+        estimator.estimate()
+    });
+    let fleet_error = mean_relative_error(runs, truth, |seed| {
+        let mut estimator = Fleet::new(FleetConfig::new(budget).with_seed(seed));
+        estimator.process_stream(&stream);
+        estimator.estimate()
+    });
+    let cas_error = mean_relative_error(runs, truth, |seed| {
+        let mut estimator = Cas::new(CasConfig::new(budget).with_seed(seed));
+        estimator.process_stream(&stream);
+        estimator.estimate()
+    });
+
+    // ABACUS must be accurate in absolute terms...
+    assert!(
+        abacus_error < 0.20,
+        "ABACUS relative error too high: {abacus_error}"
+    );
+    // ...and clearly more accurate than the deletion-blind baselines, which
+    // over-count by design (the paper reports 3x-148x gaps).
+    assert!(
+        fleet_error > 2.0 * abacus_error,
+        "FLEET ({fleet_error}) should be far worse than ABACUS ({abacus_error})"
+    );
+    assert!(
+        cas_error > 2.0 * abacus_error,
+        "CAS ({cas_error}) should be far worse than ABACUS ({abacus_error})"
+    );
+}
+
+#[test]
+fn all_estimators_are_comparable_on_insert_only_streams() {
+    let (stream, truth) = workload(0.0);
+    let budget = 2_000;
+    let runs = 3;
+
+    let abacus_error = mean_relative_error(runs, truth, |seed| {
+        let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+        estimator.process_stream(&stream);
+        estimator.estimate()
+    });
+    let fleet_error = mean_relative_error(runs, truth, |seed| {
+        let mut estimator = Fleet::new(FleetConfig::new(budget).with_seed(seed));
+        estimator.process_stream(&stream);
+        estimator.estimate()
+    });
+
+    // Without deletions everybody should be reasonably accurate (Fig. 5).
+    assert!(abacus_error < 0.25, "ABACUS: {abacus_error}");
+    assert!(fleet_error < 0.60, "FLEET: {fleet_error}");
+}
+
+#[test]
+fn accuracy_improves_with_sample_size() {
+    let (stream, truth) = workload(0.2);
+    let runs = 4;
+    let error_at = |budget: usize| {
+        mean_relative_error(runs, truth, |seed| {
+            let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+            estimator.process_stream(&stream);
+            estimator.estimate()
+        })
+    };
+    let small = error_at(400);
+    let large = error_at(4_000);
+    assert!(
+        large < small,
+        "error should shrink with the sample size: k=400 -> {small}, k=4000 -> {large}"
+    );
+}
+
+#[test]
+fn exact_oracle_matches_batch_ground_truth() {
+    let (stream, truth) = workload(0.3);
+    let mut exact = ExactCounter::new();
+    exact.process_stream(&stream);
+    assert_eq!(exact.estimate(), truth);
+}

@@ -1,0 +1,61 @@
+//! Integration checks of the dataset analogs and the stream substrate.
+
+use abacus::prelude::*;
+use abacus::stream::{validate_stream, StreamStats};
+
+#[test]
+fn all_dataset_streams_are_well_formed() {
+    for dataset in Dataset::all() {
+        let spec = dataset.spec();
+        let stream = dataset.stream(0.2, 0);
+        validate_stream(&stream).expect("dataset stream must be valid");
+        let stats = StreamStats::compute(&stream);
+        assert_eq!(stats.insertions, spec.edges, "{dataset}");
+        assert_eq!(
+            stats.deletions,
+            (spec.edges as f64 * 0.2).round() as usize,
+            "{dataset}"
+        );
+        // The final graph matches the bookkeeping.
+        let graph = final_graph(&stream);
+        assert_eq!(graph.num_edges(), stats.final_edges, "{dataset}");
+        assert!(graph.num_left_vertices() as u32 <= spec.left_vertices);
+        assert!(graph.num_right_vertices() as u32 <= spec.right_vertices);
+    }
+}
+
+#[test]
+fn stream_io_round_trips_a_dataset_prefix() {
+    let stream: GraphStream = Dataset::OrkutLike.stream(0.1, 0).into_iter().take(5_000).collect();
+    let mut buffer = Vec::new();
+    abacus::stream::io::write_stream(&stream, &mut buffer).unwrap();
+    let parsed = abacus::stream::io::read_stream(std::io::BufReader::new(&buffer[..])).unwrap();
+    assert_eq!(parsed, stream);
+}
+
+/// Expensive (exact counting over all four analogs); run explicitly with
+/// `cargo test -- --ignored` or rely on the `table2` bench which reports the
+/// same numbers from a release build.
+#[test]
+#[ignore = "exact counting over all four analogs is slow in debug builds"]
+fn butterfly_density_ordering_follows_table_ii() {
+    let density = |dataset: Dataset| {
+        let graph = final_graph(
+            &dataset
+                .edges()
+                .into_iter()
+                .map(StreamElement::insert)
+                .collect::<Vec<_>>(),
+        );
+        let stats = GraphStatistics::compute(&graph);
+        stats.butterfly_density
+    };
+    let movielens = density(Dataset::MovielensLike);
+    let livejournal = density(Dataset::LivejournalLike);
+    let trackers = density(Dataset::TrackersLike);
+    let orkut = density(Dataset::OrkutLike);
+    assert!(movielens > livejournal, "{movielens} vs {livejournal}");
+    assert!(movielens > trackers);
+    assert!(livejournal > orkut, "{livejournal} vs {orkut}");
+    assert!(trackers > orkut, "{trackers} vs {orkut}");
+}

@@ -1,0 +1,131 @@
+//! Empirical validation of the paper's theory section (§IV):
+//!
+//! * Theorem 1 (unbiasedness): the mean ABACUS estimate over many independent
+//!   runs converges to the true butterfly count,
+//! * Theorem 2 (variance bound): the empirical variance stays below the
+//!   closed-form upper bound,
+//! * Corollary 1 (concentration): the Chebyshev tail bound holds empirically.
+
+use abacus::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of independent estimator runs.
+const RUNS: u64 = 400;
+
+/// `C(n, r)` as f64 via a stable product formulation.
+fn choose(n: u64, r: u64) -> f64 {
+    if r > n {
+        return 0.0;
+    }
+    let r = r.min(n - r);
+    let mut result = 1.0f64;
+    for i in 0..r {
+        result *= (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+/// The paper's variance upper bound (Theorem 2):
+/// `Var[c] <= γ·E[c] + 2γ²·C(E[c],2)·C(|E|−6,k−6)/C(|E|,k) − E[c]²`
+/// with `γ = C(|E|,k)/C(|E|−4,k−4)`.
+fn variance_upper_bound(truth: f64, edges: u64, k: u64) -> f64 {
+    let gamma = choose(edges, k) / choose(edges - 4, k - 4);
+    let pair_prob = choose(edges - 6, k - 6) / choose(edges, k);
+    gamma * truth + 2.0 * gamma * gamma * (truth * (truth - 1.0) / 2.0) * pair_prob - truth * truth
+}
+
+fn insert_only_workload() -> (GraphStream, f64) {
+    let edges =
+        abacus::stream::generators::uniform_bipartite(40, 40, 500, &mut StdRng::seed_from_u64(5));
+    let stream: GraphStream = edges.into_iter().map(StreamElement::insert).collect();
+    let truth = count_butterflies(&final_graph(&stream)) as f64;
+    (stream, truth)
+}
+
+fn dynamic_workload() -> (GraphStream, f64) {
+    let edges =
+        abacus::stream::generators::uniform_bipartite(40, 40, 700, &mut StdRng::seed_from_u64(6));
+    let stream = inject_deletions_fast(
+        &edges,
+        DeletionConfig::new(0.25),
+        &mut StdRng::seed_from_u64(7),
+    );
+    let truth = count_butterflies(&final_graph(&stream)) as f64;
+    (stream, truth)
+}
+
+fn collect_estimates(stream: &GraphStream, budget: usize) -> Vec<f64> {
+    (0..RUNS)
+        .map(|seed| {
+            let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+            estimator.process_stream(stream);
+            estimator.estimate()
+        })
+        .collect()
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn variance(values: &[f64]) -> f64 {
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+#[test]
+fn estimates_are_unbiased_on_fully_dynamic_streams() {
+    let (stream, truth) = dynamic_workload();
+    assert!(truth > 10.0, "workload needs butterflies, got {truth}");
+    let estimates = collect_estimates(&stream, 120);
+    let sample_mean = mean(&estimates);
+    let standard_error = (variance(&estimates) / estimates.len() as f64).sqrt();
+    // The true count must lie within 4 standard errors of the empirical mean.
+    assert!(
+        (sample_mean - truth).abs() < 4.0 * standard_error + 1e-9,
+        "mean {sample_mean}, truth {truth}, se {standard_error}"
+    );
+}
+
+#[test]
+fn empirical_variance_respects_the_theorem_2_bound() {
+    let (stream, truth) = insert_only_workload();
+    let edges = stream.len() as u64; // insert-only: |E| is the stream length
+    let k = 60u64;
+    let estimates = collect_estimates(&stream, k as usize);
+    // Unbiasedness on the insert-only stream as well.
+    let sample_mean = mean(&estimates);
+    let standard_error = (variance(&estimates) / estimates.len() as f64).sqrt();
+    assert!(
+        (sample_mean - truth).abs() < 4.0 * standard_error + 1e-9,
+        "mean {sample_mean}, truth {truth}, se {standard_error}"
+    );
+    // Variance bound with slack for Monte-Carlo noise of the sample variance.
+    let bound = variance_upper_bound(truth, edges, k);
+    assert!(bound > 0.0, "bound must be positive, got {bound}");
+    let empirical = variance(&estimates);
+    assert!(
+        empirical <= 1.5 * bound,
+        "empirical variance {empirical} exceeds bound {bound}"
+    );
+}
+
+#[test]
+fn chebyshev_concentration_holds() {
+    let (stream, truth) = insert_only_workload();
+    let estimates = collect_estimates(&stream, 80);
+    let std_dev = variance(&estimates).sqrt();
+    for lambda in [2.0f64, 3.0, 4.0] {
+        let outside = estimates
+            .iter()
+            .filter(|&&c| (c - truth).abs() >= lambda * std_dev)
+            .count() as f64
+            / estimates.len() as f64;
+        // Corollary 1: Pr[|c − E[c]| ≥ λσ] ≤ 1/λ², with Monte-Carlo slack.
+        assert!(
+            outside <= 1.0 / (lambda * lambda) + 0.05,
+            "λ={lambda}: tail fraction {outside}"
+        );
+    }
+}
