@@ -42,7 +42,10 @@ impl CasConfig {
     /// Panics if the memory budget is smaller than 4 edges.
     #[must_use]
     pub fn new(memory_edges: usize) -> Self {
-        assert!(memory_edges >= 4, "CAS needs a memory budget of at least 4 edges");
+        assert!(
+            memory_edges >= 4,
+            "CAS needs a memory budget of at least 4 edges"
+        );
         CasConfig {
             memory_edges,
             sketch_fraction: 0.33,
@@ -63,7 +66,10 @@ impl CasConfig {
     /// Panics if λ is not in `[0, 1)`.
     #[must_use]
     pub fn with_sketch_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..1.0).contains(&fraction), "sketch fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "sketch fraction must be in [0, 1)"
+        );
         self.sketch_fraction = fraction;
         self
     }
@@ -78,7 +84,9 @@ impl CasConfig {
     /// The sketch budget (in equivalent stored edges) implied by the split.
     #[must_use]
     pub fn sketch_budget(&self) -> usize {
-        self.memory_edges.saturating_sub(self.reservoir_capacity()).max(1)
+        self.memory_edges
+            .saturating_sub(self.reservoir_capacity())
+            .max(1)
     }
 }
 

@@ -41,7 +41,10 @@ impl FleetConfig {
     /// Panics if `capacity < 2`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 2, "FLEET requires a capacity of at least 2 edges");
+        assert!(
+            capacity >= 2,
+            "FLEET requires a capacity of at least 2 edges"
+        );
         FleetConfig {
             capacity,
             gamma: 0.75,
@@ -264,7 +267,10 @@ mod tests {
         )) as f64;
         let dynamic_truth = count_butterflies(&final_graph(&stream)) as f64;
         assert_eq!(fleet.estimate(), insert_only_truth);
-        assert!(fleet.estimate() > dynamic_truth, "deletions must hurt FLEET");
+        assert!(
+            fleet.estimate() > dynamic_truth,
+            "deletions must hurt FLEET"
+        );
     }
 
     #[test]

@@ -153,7 +153,9 @@ mod tests {
     #[test]
     fn second_moment_is_estimated_within_tolerance() {
         // Skewed frequency vector: key i appears (i+1)² times for i in 0..20.
-        let frequencies: Vec<(u32, u64)> = (0..20u32).map(|i| (i, u64::from(i + 1) * u64::from(i + 1))).collect();
+        let frequencies: Vec<(u32, u64)> = (0..20u32)
+            .map(|i| (i, u64::from(i + 1) * u64::from(i + 1)))
+            .collect();
         let mut sketch = AmsSketch::new(8, 256);
         for &(key, f) in &frequencies {
             for _ in 0..f {

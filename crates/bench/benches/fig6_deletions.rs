@@ -7,6 +7,12 @@ use abacus_bench::{experiments, Settings};
 
 fn main() {
     let settings = Settings::from_env();
-    println!("{}", experiments::fig6a_error_vs_alpha(&settings).to_markdown());
-    println!("{}", experiments::fig6b_throughput_vs_alpha(&settings).to_markdown());
+    println!(
+        "{}",
+        experiments::fig6a_error_vs_alpha(&settings).to_markdown()
+    );
+    println!(
+        "{}",
+        experiments::fig6b_throughput_vs_alpha(&settings).to_markdown()
+    );
 }

@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo bench -p abacus-bench --bench micro`.
 
-use abacus_core::{Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SampleGraph};
+use abacus_core::{
+    Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SampleGraph,
+};
 use abacus_graph::intersect::{intersection_count, sorted_merge_intersection_count};
 use abacus_graph::peredge::{count_butterflies_with_edge_choice, SideChoice};
 use abacus_graph::{count_butterflies_with_edge, AdjacencySet, Edge};
@@ -28,7 +30,9 @@ fn build_sample(k: usize) -> (SampleGraph, Vec<Edge>) {
 
 fn bench_per_edge_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_edge_counting");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for &k in &[750usize, 3_000, 12_000] {
         let (sample, probes) = build_sample(k);
         group.bench_with_input(BenchmarkId::new("sample_size", k), &k, |b, _| {
@@ -45,7 +49,9 @@ fn bench_per_edge_counting(c: &mut Criterion) {
 
 fn bench_side_choice_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("side_choice_ablation");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let (sample, probes) = build_sample(3_000);
     for (label, choice) in [
         ("cheapest", SideChoice::Cheapest),
@@ -66,7 +72,9 @@ fn bench_side_choice_ablation(c: &mut Criterion) {
 
 fn bench_intersection_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("set_intersection");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let mut rng = StdRng::seed_from_u64(1);
     let a: AdjacencySet = (0..2_000u32).filter(|_| rng.random_bool(0.5)).collect();
     let b: AdjacencySet = (0..2_000u32).filter(|_| rng.random_bool(0.5)).collect();
@@ -83,7 +91,9 @@ fn bench_intersection_kernels(c: &mut Criterion) {
 
 fn bench_random_pairing(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_pairing");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let edges = Dataset::MovielensLike.edges();
     group.bench_function("insert_into_full_sample", |b| {
         let mut policy = RandomPairing::new(1_500);
@@ -104,8 +114,11 @@ fn bench_random_pairing(c: &mut Criterion) {
 
 fn bench_streaming_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("streaming_estimators");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
-    let stream: Vec<StreamElement> = Dataset::MovielensLike.stream(0.2, 0)
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let stream: Vec<StreamElement> = Dataset::MovielensLike
+        .stream(0.2, 0)
         .into_iter()
         .take(20_000)
         .collect();

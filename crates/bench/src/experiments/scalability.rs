@@ -29,7 +29,10 @@ fn scalability_table(dataset: Dataset, settings: &Settings) -> Table {
     }
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig. 7 — ABACUS elapsed time vs elements processed ({})", dataset.name()),
+        format!(
+            "Fig. 7 — ABACUS elapsed time vs elements processed ({})",
+            dataset.name()
+        ),
         &header_refs,
     );
 
@@ -64,7 +67,11 @@ mod tests {
         let tables = fig7_scalability(&settings);
         assert_eq!(tables.len(), 2);
         for table in tables {
-            assert!(table.len() >= 10, "expected >= 10 checkpoints, got {}", table.len());
+            assert!(
+                table.len() >= 10,
+                "expected >= 10 checkpoints, got {}",
+                table.len()
+            );
         }
     }
 }

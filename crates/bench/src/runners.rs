@@ -198,6 +198,8 @@ mod tests {
         let stream = small_stream();
         let checkpoints = run_abacus_with_checkpoints(64, 0, &stream, 50);
         assert_eq!(checkpoints.last().unwrap().0, stream.len());
-        assert!(checkpoints.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!(checkpoints
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
     }
 }

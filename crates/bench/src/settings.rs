@@ -146,8 +146,10 @@ mod tests {
 
     #[test]
     fn thread_sweep_is_sorted_unique_and_bounded() {
-        let mut s = Settings::default();
-        s.max_threads = 10;
+        let mut s = Settings {
+            max_threads: 10,
+            ..Settings::default()
+        };
         let sweep = s.thread_sweep();
         assert_eq!(sweep, vec![1, 2, 4, 8, 10]);
         s.max_threads = 1;

@@ -99,9 +99,15 @@ mod tests {
 
     #[test]
     fn workload_from_dataset_respects_alpha_and_scale() {
-        let workload =
-            load_workload(&args(&["--dataset", "movielens", "--alpha", "0.0", "--scale", "1"]))
-                .unwrap();
+        let workload = load_workload(&args(&[
+            "--dataset",
+            "movielens",
+            "--alpha",
+            "0.0",
+            "--scale",
+            "1",
+        ]))
+        .unwrap();
         assert!(workload.label.contains("Movielens"));
         assert_eq!(
             workload.stream.len(),

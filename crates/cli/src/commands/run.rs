@@ -36,7 +36,10 @@ fn parse_algorithm(name: &str) -> Result<AlgorithmChoice, CliError> {
     }
 }
 
-fn timed<C: ButterflyCounter>(mut counter: C, stream: &[StreamElement]) -> (f64, usize, Throughput, &'static str) {
+fn timed<C: ButterflyCounter>(
+    mut counter: C,
+    stream: &[StreamElement],
+) -> (f64, usize, Throughput, &'static str) {
     let start = Instant::now();
     counter.process_stream(stream);
     let throughput = Throughput::new(stream.len() as u64, start.elapsed());

@@ -39,7 +39,10 @@ impl fmt::Display for CliError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value {value:?} for --{option}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value {value:?} for --{option}: expected {expected}"
+            ),
             CliError::Io(message) => write!(f, "I/O error: {message}"),
         }
     }
@@ -53,10 +56,18 @@ mod tests {
 
     #[test]
     fn messages_name_the_offending_input() {
-        assert!(CliError::UnknownCommand("x".into()).to_string().contains("\"x\""));
-        assert!(CliError::UnknownOption("foo".into()).to_string().contains("--foo"));
-        assert!(CliError::MissingValue("k".into()).to_string().contains("--k"));
-        assert!(CliError::MissingOption("output").to_string().contains("--output"));
+        assert!(CliError::UnknownCommand("x".into())
+            .to_string()
+            .contains("\"x\""));
+        assert!(CliError::UnknownOption("foo".into())
+            .to_string()
+            .contains("--foo"));
+        assert!(CliError::MissingValue("k".into())
+            .to_string()
+            .contains("--k"));
+        assert!(CliError::MissingOption("output")
+            .to_string()
+            .contains("--output"));
         let invalid = CliError::InvalidValue {
             option: "budget".into(),
             value: "minus one".into(),

@@ -1,0 +1,84 @@
+//! End-to-end smoke test of the `abacus` binary: `generate` → `run` →
+//! `stats` over a tiny synthetic stream, asserting exit code 0 at each step.
+
+use std::process::Command;
+
+fn abacus(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_abacus"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the abacus binary")
+}
+
+fn stdout_of(output: &std::process::Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn generate_run_stats_pipeline_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("abacus_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.txt");
+    let path_str = path.to_str().unwrap();
+
+    let generate = abacus(&[
+        "generate",
+        "--dataset",
+        "movielens",
+        "--alpha",
+        "0.2",
+        "--output",
+        path_str,
+    ]);
+    assert!(
+        generate.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&generate.stderr)
+    );
+    assert!(stdout_of(&generate).contains("elements"));
+    assert!(path.exists(), "generate must write the stream file");
+
+    let run = abacus(&[
+        "run",
+        "--input",
+        path_str,
+        "--algorithm",
+        "abacus",
+        "--budget",
+        "500",
+    ]);
+    assert!(
+        run.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let run_out = stdout_of(&run);
+    assert!(run_out.contains("ABACUS"));
+    assert!(run_out.contains("estimate"));
+
+    let stats = abacus(&["stats", "--input", path_str]);
+    assert!(
+        stats.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    assert!(stdout_of(&stats).contains("butterflies"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let unknown = abacus(&["frobnicate"]);
+    assert!(!unknown.status.success());
+
+    let missing_output = abacus(&["generate", "--dataset", "movielens"]);
+    assert!(!missing_output.status.success());
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let help = abacus(&["help"]);
+    assert!(help.status.success());
+    assert!(stdout_of(&help).contains("USAGE"));
+}

@@ -1,0 +1,312 @@
+//! Offline drop-in replacement for the subset of `criterion` this workspace
+//! uses.
+//!
+//! It implements the structural API (`criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`]) with a
+//! deliberately simple measurement loop: warm up briefly, then report the
+//! mean wall-clock time per iteration over the configured measurement
+//! window.  No statistics, plots, or baselines — but `cargo bench` produces
+//! honest per-benchmark timings and `cargo bench --no-run` type-checks the
+//! same code the real criterion would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the sample count; here it acts as a floor on the number of
+    /// measured iterations.
+    #[must_use]
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.to_string(), self.measurement_time, self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the sample count; here it acts as a floor on the number of
+    /// measured iterations.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier for `name` at parameter value `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// The per-benchmark timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Minimum number of measured iterations, from `sample_size`.
+    min_iterations: u64,
+    /// Mean time per iteration measured by the last `iter` call.
+    mean: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~10% of the window is spent, at least once.
+        let warmup_budget = self.measurement_time / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / u32::try_from(warmup_iters).unwrap_or(u32::MAX);
+
+        // Measurement: size the batch to fill the remaining window.
+        let remaining = self.measurement_time.saturating_sub(warmup_start.elapsed());
+        let iterations = if per_iter.is_zero() {
+            1_000u64
+        } else {
+            (remaining.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        }
+        .max(self.min_iterations);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean = Some(elapsed / u32::try_from(iterations).unwrap_or(u32::MAX));
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        measurement_time,
+        min_iterations: sample_size as u64,
+        mean: None,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!(
+            "bench: {label:<50} {:>12.3} ns/iter ({} iterations)",
+            mean.as_nanos() as f64,
+            bencher.iterations
+        ),
+        None => println!("bench: {label:<50} (no measurement taken)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+///
+/// Supports both the simple form `criterion_group!(name, target, ...)` and
+/// the configured form
+/// `criterion_group!(name = n; config = expr; targets = t1, t2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("size", 42).to_string(), "size/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(5);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -81,8 +81,8 @@ impl Abacus {
         let per_edge = count_butterflies_with_edge(&self.sample, element.edge);
         let is_insert = element.delta.is_insert();
         if per_edge.butterflies > 0 {
-            let delta =
-                increment(self.config.budget, self.policy.state(), is_insert) * per_edge.butterflies as f64;
+            let delta = increment(self.config.budget, self.policy.state(), is_insert)
+                * per_edge.butterflies as f64;
             self.estimate += delta;
         }
         self.stats
@@ -90,7 +90,9 @@ impl Abacus {
 
         // --- 2. Update the sample via Random Pairing. ---
         match element.delta {
-            EdgeDelta::Insert => self.policy.insert(element.edge, &mut self.sample, &mut self.rng),
+            EdgeDelta::Insert => self
+                .policy
+                .insert(element.edge, &mut self.sample, &mut self.rng),
             EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
         }
     }
@@ -118,8 +120,8 @@ impl ButterflyCounter for Abacus {
 mod tests {
     use super::*;
     use abacus_graph::Edge;
-    use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
     use abacus_stream::generators::random::uniform_bipartite;
+    use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
     use proptest::prelude::*;
 
     fn ins(l: u32, r: u32) -> StreamElement {
@@ -167,7 +169,10 @@ mod tests {
             abacus.process(*element);
             assert!(abacus.memory_edges() <= 64);
         }
-        assert_eq!(abacus.sampler_state().live_items, final_graph(&stream).num_edges());
+        assert_eq!(
+            abacus.sampler_state().live_items,
+            final_graph(&stream).num_edges()
+        );
     }
 
     /// Unbiasedness (Theorem 1), checked empirically: the mean estimate over

@@ -17,7 +17,10 @@ impl AbacusConfig {
     /// Panics if `budget < 2` (the paper's minimum).
     #[must_use]
     pub fn new(budget: usize) -> Self {
-        assert!(budget >= 2, "ABACUS requires a memory budget of at least 2 edges");
+        assert!(
+            budget >= 2,
+            "ABACUS requires a memory budget of at least 2 edges"
+        );
         AbacusConfig { budget, seed: 0 }
     }
 
@@ -61,7 +64,10 @@ impl ParAbacusConfig {
     /// Panics if `budget < 2`.
     #[must_use]
     pub fn new(budget: usize) -> Self {
-        assert!(budget >= 2, "PARABACUS requires a memory budget of at least 2 edges");
+        assert!(
+            budget >= 2,
+            "PARABACUS requires a memory budget of at least 2 edges"
+        );
         ParAbacusConfig {
             budget,
             seed: 0,

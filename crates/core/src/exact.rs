@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn tracks_the_true_count_through_insertions_and_deletions() {
         let mut exact = ExactCounter::new();
-        let stream = vec![
+        let stream = [
             StreamElement::insert(Edge::new(0, 10)),
             StreamElement::insert(Edge::new(0, 11)),
             StreamElement::insert(Edge::new(1, 10)),

@@ -70,12 +70,13 @@ impl LocalAbacus {
     /// The `top_k` vertices by estimated butterfly participation.
     #[must_use]
     pub fn top_vertices(&self, top_k: usize) -> Vec<(VertexRef, f64)> {
-        let mut ranked: Vec<(VertexRef, f64)> = self
-            .local_estimates
-            .iter()
-            .map(|(&v, &c)| (v, c))
-            .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut ranked: Vec<(VertexRef, f64)> =
+            self.local_estimates.iter().map(|(&v, &c)| (v, c)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         ranked.truncate(top_k);
         ranked
     }
@@ -108,7 +109,8 @@ impl LocalAbacus {
         // Iterate the cheaper endpoint's neighborhood, mirroring the kernel in
         // `abacus_graph::peredge` but keeping the identity of the fourth
         // vertex so it can be credited.
-        let iterate_left = self.sample.view_neighbor_degree_sum(u) < self.sample.view_neighbor_degree_sum(v);
+        let iterate_left =
+            self.sample.view_neighbor_degree_sum(u) < self.sample.view_neighbor_degree_sum(v);
         let (anchor, other) = if iterate_left { (u, v) } else { (v, u) };
         let wedge_side = anchor.side.opposite();
 
@@ -168,7 +170,9 @@ impl ButterflyCounter for LocalAbacus {
         );
         self.count_and_attribute(element, per_butterfly);
         match element.delta {
-            EdgeDelta::Insert => self.policy.insert(element.edge, &mut self.sample, &mut self.rng),
+            EdgeDelta::Insert => self
+                .policy
+                .insert(element.edge, &mut self.sample, &mut self.rng),
             EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
         }
     }

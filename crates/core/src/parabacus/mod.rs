@@ -171,7 +171,8 @@ impl ParAbacus {
             let mut recorder = RecordingSample::new(sample, deltas, position as u32);
             match element.delta {
                 EdgeDelta::Insert => {
-                    self.policy.insert(element.edge, &mut recorder, &mut self.rng);
+                    self.policy
+                        .insert(element.edge, &mut recorder, &mut self.rng);
                 }
                 EdgeDelta::Delete => {
                     self.policy.delete(&element.edge, &mut recorder);
@@ -310,7 +311,10 @@ mod tests {
                 "sampler state must match for batch size {batch}"
             );
             // The total work is identical; only its distribution differs.
-            assert_eq!(seq.stats().discovered_butterflies, par.stats().discovered_butterflies);
+            assert_eq!(
+                seq.stats().discovered_butterflies,
+                par.stats().discovered_butterflies
+            );
             assert_eq!(seq.stats().comparisons, par.stats().comparisons);
         }
     }

@@ -214,9 +214,7 @@ impl VertexLog {
     /// live sample (`None` means the live sample is authoritative).
     #[inline]
     fn historic_override(&self, neighbor: u32, t: u32) -> Option<bool> {
-        let start = self
-            .overrides
-            .partition_point(|o| o.neighbor < neighbor);
+        let start = self.overrides.partition_point(|o| o.neighbor < neighbor);
         self.overrides[start..]
             .iter()
             .take_while(|o| o.neighbor == neighbor)
@@ -304,6 +302,10 @@ impl SampleStore<Edge> for RecordingSample<'_> {
     }
 }
 
+/// Per-view cache of materialized adjacency deltas: for each vertex touched
+/// so far, the shared `(neighbor, is_insert)` run relevant to this version.
+type ResolvedDeltaCache = std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u32, bool)>>)>>;
+
 /// A read-only view of the sample *as it was* at a given version of the
 /// current mini-batch.
 ///
@@ -320,7 +322,7 @@ pub struct VersionView<'a> {
     sample: &'a SampleGraph,
     deltas: &'a VersionedDeltas,
     version: u32,
-    resolved: std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u32, bool)>>)>>,
+    resolved: ResolvedDeltaCache,
 }
 
 impl<'a> VersionView<'a> {
@@ -624,8 +626,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut snapshots: Vec<SampleGraph> = Vec::new();
 
-            let mut version = 0u32;
-            for (op, l, r) in ops {
+            for (version, (op, l, r)) in (0u32..).zip(ops) {
                 snapshots.push(sample.clone());
                 let e = edge(l, r + 10);
                 let mut rec = RecordingSample::new(&mut sample, &mut deltas, version);
@@ -644,7 +645,6 @@ mod tests {
                         }
                     }
                 }
-                version += 1;
             }
             deltas.seal(&sample);
 

@@ -176,7 +176,8 @@ mod tests {
         // |E| = 10, k = 6, E[c] = 3.
         let e = 10.0f64;
         let k = 6.0f64;
-        let gamma = (e / k) * ((e - 1.0) / (k - 1.0)) * ((e - 2.0) / (k - 2.0)) * ((e - 3.0) / (k - 3.0));
+        let gamma =
+            (e / k) * ((e - 1.0) / (k - 1.0)) * ((e - 2.0) / (k - 2.0)) * ((e - 3.0) / (k - 3.0));
         let shared: f64 = (0..6).map(|i| (k - i as f64) / (e - i as f64)).product();
         let expected = gamma * 3.0 + 2.0 * gamma * gamma * 3.0 * shared - 9.0;
         let got = variance_upper_bound(6, 10, 3.0);

@@ -102,8 +102,14 @@ impl SampleGraph {
         debug_assert!(!self.contains(edge), "duplicate edge in sample");
         self.slots.insert(edge.key(), self.edges.len());
         self.edges.push(edge);
-        self.adj_left.entry(edge.left).or_default().insert(edge.right);
-        self.adj_right.entry(edge.right).or_default().insert(edge.left);
+        self.adj_left
+            .entry(edge.left)
+            .or_default()
+            .insert(edge.right);
+        self.adj_right
+            .entry(edge.right)
+            .or_default()
+            .insert(edge.left);
     }
 
     /// Removes an edge; returns whether it was present.
@@ -144,9 +150,7 @@ impl SampleGraph {
             .chain(self.adj_right.values())
             .map(AdjacencySet::heap_bytes)
             .sum();
-        adjacency
-            + self.edges.capacity() * std::mem::size_of::<Edge>()
-            + self.slots.capacity() * 24
+        adjacency + self.edges.capacity() * std::mem::size_of::<Edge>() + self.slots.capacity() * 24
     }
 }
 

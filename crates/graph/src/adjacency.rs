@@ -253,7 +253,10 @@ mod tests {
 
     #[test]
     fn with_capacity_picks_representation() {
-        assert!(matches!(AdjacencySet::with_capacity(4), AdjacencySet::Small(_)));
+        assert!(matches!(
+            AdjacencySet::with_capacity(4),
+            AdjacencySet::Small(_)
+        ));
         assert!(matches!(
             AdjacencySet::with_capacity(SMALL_THRESHOLD * 4),
             AdjacencySet::Large(_)

@@ -108,7 +108,11 @@ pub fn bitruss_decomposition(graph: &BipartiteGraph) -> BitrussDecomposition {
             intersect_into(w_neighbors, v_neighbors, edge.left, &mut scratch);
             let fourth_vertices = scratch.clone();
             for x in fourth_vertices {
-                for other in [Edge::new(edge.left, w), Edge::new(x, w), Edge::new(x, edge.right)] {
+                for other in [
+                    Edge::new(edge.left, w),
+                    Edge::new(x, w),
+                    Edge::new(x, edge.right),
+                ] {
                     if let Some(support_ref) = supports.get_mut(&other) {
                         let old = *support_ref;
                         let new = old.saturating_sub(1);

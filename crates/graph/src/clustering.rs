@@ -168,10 +168,7 @@ mod tests {
         let empty = BipartiteGraph::new();
         assert_eq!(count_caterpillars(&empty), 0);
         assert_eq!(butterfly_clustering_coefficient(&empty), 0.0);
-        assert_eq!(
-            count_caterpillars_at(&empty, VertexRef::left(0)),
-            0
-        );
+        assert_eq!(count_caterpillars_at(&empty, VertexRef::left(0)), 0);
         assert!(per_vertex_clustering_coefficient(&empty, Side::Left).is_empty());
     }
 }

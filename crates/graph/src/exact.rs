@@ -39,12 +39,12 @@ pub fn count_butterflies(graph: &BipartiteGraph) -> u128 {
     // Start from the side whose squared-degree sum is smaller: the wedges we
     // enumerate have their *middle* vertex on the opposite side, and the work
     // is Σ over middle vertices of d².
-    let start_side = if graph.sum_squared_degrees(Side::Right) <= graph.sum_squared_degrees(Side::Left)
-    {
-        Side::Left
-    } else {
-        Side::Right
-    };
+    let start_side =
+        if graph.sum_squared_degrees(Side::Right) <= graph.sum_squared_degrees(Side::Left) {
+            Side::Left
+        } else {
+            Side::Right
+        };
     count_butterflies_from_side(graph, start_side)
 }
 
@@ -203,7 +203,10 @@ mod tests {
         assert_eq!(choose2(1), 0);
         assert_eq!(choose2(2), 1);
         assert_eq!(choose2(5), 10);
-        assert_eq!(choose2(u64::MAX), (u128::from(u64::MAX) * u128::from(u64::MAX - 1)) / 2);
+        assert_eq!(
+            choose2(u64::MAX),
+            (u128::from(u64::MAX) * u128::from(u64::MAX - 1)) / 2
+        );
     }
 
     #[test]
@@ -293,7 +296,11 @@ mod tests {
         ]);
         let counts = ExactCounts::compute(&g);
         assert_eq!(counts.total, count_butterflies_naive(&g));
-        let left_sum: u128 = counts.per_left_vertex.values().map(|&c| u128::from(c)).sum();
+        let left_sum: u128 = counts
+            .per_left_vertex
+            .values()
+            .map(|&c| u128::from(c))
+            .sum();
         let right_sum: u128 = counts
             .per_right_vertex
             .values()

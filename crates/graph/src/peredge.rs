@@ -244,7 +244,15 @@ mod tests {
         // Incoming edge {u, v} forms exactly one butterfly {u, v, l1, r2}.
         // Encode: left partition = {l1=1, l2=2, l3=3, l4=4, u=5},
         //         right partition = {r1=11, r2=12, r3=13, r4=14, v=15}.
-        let g = graph(&[(1, 15), (2, 15), (5, 12), (1, 12), (2, 11), (3, 13), (4, 14)]);
+        let g = graph(&[
+            (1, 15),
+            (2, 15),
+            (5, 12),
+            (1, 12),
+            (2, 11),
+            (3, 13),
+            (4, 14),
+        ]);
         let c = count_butterflies_with_edge(&g, Edge::new(5, 15));
         assert_eq!(c.butterflies, 1);
     }

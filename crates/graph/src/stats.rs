@@ -40,7 +40,9 @@ impl GraphStatistics {
             graph.num_left_vertices() as u64,
             graph.num_right_vertices() as u64,
             butterflies,
-            graph.max_degree(Side::Left).max(graph.max_degree(Side::Right)) as u64,
+            graph
+                .max_degree(Side::Left)
+                .max(graph.max_degree(Side::Right)) as u64,
         )
     }
 

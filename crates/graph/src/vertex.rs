@@ -67,14 +67,20 @@ impl VertexRef {
     #[inline]
     #[must_use]
     pub fn left(id: u32) -> Self {
-        VertexRef { side: Side::Left, id }
+        VertexRef {
+            side: Side::Left,
+            id,
+        }
     }
 
     /// A vertex in the right partition.
     #[inline]
     #[must_use]
     pub fn right(id: u32) -> Self {
-        VertexRef { side: Side::Right, id }
+        VertexRef {
+            side: Side::Right,
+            id,
+        }
     }
 
     /// A vertex on the given side.

@@ -110,7 +110,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -142,7 +146,9 @@ mod tests {
         assert!(md.contains("| Movielens-like"));
         assert!(md.contains("| 3.05"));
         // Separator row present.
-        assert!(md.lines().any(|l| l.starts_with("|---") || l.starts_with("|--")));
+        assert!(md
+            .lines()
+            .any(|l| l.starts_with("|---") || l.starts_with("|--")));
     }
 
     #[test]

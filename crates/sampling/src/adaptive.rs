@@ -31,7 +31,10 @@ impl AdaptiveBernoulli {
     #[must_use]
     pub fn new(capacity: usize, gamma: f64) -> Self {
         assert!(capacity >= 1, "capacity must be at least 1");
-        assert!((0.0..1.0).contains(&gamma) && gamma > 0.0, "gamma must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&gamma) && gamma > 0.0,
+            "gamma must be in (0, 1)"
+        );
         AdaptiveBernoulli {
             capacity,
             gamma,

@@ -257,7 +257,7 @@ mod tests {
         // would be biased; Random Pairing must not be.
         const TRIALS: u64 = 4_000;
         const K: usize = 8;
-        let mut appearances = vec![0u32; 50];
+        let mut appearances = [0u32; 50];
         for trial in 0..TRIALS {
             let mut rp = RandomPairing::new(K);
             let mut store: VecSampleStore<u32> = VecSampleStore::new();
@@ -277,8 +277,8 @@ mod tests {
             }
         }
         // Deleted items never appear.
-        for i in 0..10 {
-            assert_eq!(appearances[i], 0, "deleted item {i} appeared in a sample");
+        for (i, &count) in appearances.iter().enumerate().take(10) {
+            assert_eq!(count, 0, "deleted item {i} appeared in a sample");
         }
         // Live items appear with frequency close to k / population.
         let expected = TRIALS as f64 * K as f64 / 40.0;

@@ -35,7 +35,10 @@ impl DeletionConfig {
     /// Panics if `ratio` is not in `[0, 1]`.
     #[must_use]
     pub fn new(ratio: f64) -> Self {
-        assert!((0.0..=1.0).contains(&ratio), "deletion ratio must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "deletion ratio must be in [0, 1]"
+        );
         DeletionConfig { ratio }
     }
 }
@@ -187,6 +190,46 @@ mod tests {
     #[should_panic(expected = "deletion ratio")]
     fn invalid_ratio_panics() {
         let _ = DeletionConfig::new(1.5);
+    }
+
+    #[test]
+    fn empty_edge_list_is_fine_at_edge_ratios() {
+        for &ratio in &[0.0, 1.0] {
+            let mut rng = StdRng::seed_from_u64(9);
+            assert!(inject_deletions(&[], DeletionConfig::new(ratio), &mut rng).is_empty());
+            assert!(inject_deletions_fast(&[], DeletionConfig::new(ratio), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn full_deletion_ratio_deletes_every_edge() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let input = edges(64);
+        for stream in [
+            inject_deletions(&input, DeletionConfig::new(1.0), &mut rng),
+            inject_deletions_fast(&input, DeletionConfig::new(1.0), &mut rng),
+        ] {
+            validate_stream(&stream).expect("well-formed");
+            let stats = StreamStats::compute(&stream);
+            assert_eq!(stats.insertions, 64);
+            assert_eq!(stats.deletions, 64);
+            assert!(crate::final_graph(&stream).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_edge_at_edge_ratios() {
+        let input = edges(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let kept = inject_deletions(&input, DeletionConfig::new(0.0), &mut rng);
+        assert_eq!(kept.len(), 1);
+        let gone = inject_deletions(&input, DeletionConfig::new(1.0), &mut rng);
+        assert_eq!(gone.len(), 2);
+        assert!(gone[0].delta.is_insert());
+        assert!(!gone[1].delta.is_insert());
+        let gone_fast = inject_deletions_fast(&input, DeletionConfig::new(1.0), &mut rng);
+        assert_eq!(gone_fast.len(), 2);
+        validate_stream(&gone_fast).expect("well-formed");
     }
 
     #[test]

@@ -76,8 +76,16 @@ pub fn read_stream<R: BufRead>(reader: R) -> Result<GraphStream, StreamIoError> 
             content: line.clone(),
         };
         let sign = parts.next().ok_or_else(parse)?;
-        let left: u32 = parts.next().ok_or_else(parse)?.parse().map_err(|_| parse())?;
-        let right: u32 = parts.next().ok_or_else(parse)?.parse().map_err(|_| parse())?;
+        let left: u32 = parts
+            .next()
+            .ok_or_else(parse)?
+            .parse()
+            .map_err(|_| parse())?;
+        let right: u32 = parts
+            .next()
+            .ok_or_else(parse)?
+            .parse()
+            .map_err(|_| parse())?;
         if parts.next().is_some() {
             return Err(parse());
         }

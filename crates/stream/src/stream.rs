@@ -184,7 +184,10 @@ mod tests {
     fn validation_rejects_delete_of_missing_edge() {
         let stream = vec![ins(0, 1), del(2, 3)];
         let err = validate_stream(&stream).unwrap_err();
-        assert!(matches!(err, StreamValidationError::DeleteMissing { position: 1, .. }));
+        assert!(matches!(
+            err,
+            StreamValidationError::DeleteMissing { position: 1, .. }
+        ));
     }
 
     #[test]

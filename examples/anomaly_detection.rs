@@ -76,14 +76,28 @@ fn main() {
     // Assemble the stream: background, then the ring appears, more background,
     // then the platform deletes the ring (fraud cleanup).
     let mut stream: GraphStream = Vec::new();
-    stream.extend(background[..40_000].iter().map(|&e| StreamElement::insert(e)));
+    stream.extend(
+        background[..40_000]
+            .iter()
+            .map(|&e| StreamElement::insert(e)),
+    );
     stream.extend(ring_edges.iter().map(|&e| StreamElement::insert(e)));
-    stream.extend(background[40_000..].iter().map(|&e| StreamElement::insert(e)));
+    stream.extend(
+        background[40_000..]
+            .iter()
+            .map(|&e| StreamElement::insert(e)),
+    );
     stream.extend(ring_edges.iter().map(|&e| StreamElement::delete(e)));
 
     let window = 4_000usize;
-    println!("monitoring {} elements in windows of {window}", stream.len());
-    println!("{:<10} {:>16} {:>14}  verdict", "window", "estimate", "increase");
+    println!(
+        "monitoring {} elements in windows of {window}",
+        stream.len()
+    );
+    println!(
+        "{:<10} {:>16} {:>14}  verdict",
+        "window", "estimate", "increase"
+    );
 
     let mut abacus = Abacus::new(AbacusConfig::new(4_000).with_seed(5));
     let mut detector = BurstDetector::new(8.0);

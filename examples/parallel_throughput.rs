@@ -43,7 +43,10 @@ fn main() {
         sweep.push(max_threads);
     }
 
-    println!("\n{:<10} {:>14} {:>10} {:>12}", "threads", "K edges/s", "speedup", "estimate");
+    println!(
+        "\n{:<10} {:>14} {:>10} {:>12}",
+        "threads", "K edges/s", "speedup", "estimate"
+    );
     let mut last: Option<ParAbacus> = None;
     for &threads in &sweep {
         let start = Instant::now();
@@ -69,11 +72,22 @@ fn main() {
         let workloads = parabacus.thread_workloads();
         let total: u64 = workloads.iter().sum();
         let mean = total as f64 / workloads.len() as f64;
-        println!("\nper-thread workload at {} threads (set-intersection checks):", workloads.len());
+        println!(
+            "\nper-thread workload at {} threads (set-intersection checks):",
+            workloads.len()
+        );
         for (thread, &w) in workloads.iter().enumerate() {
-            println!("  thread {:>2}: {:>12}  ({:.2}x mean)", thread + 1, w, w as f64 / mean);
+            println!(
+                "  thread {:>2}: {:>12}  ({:.2}x mean)",
+                thread + 1,
+                w,
+                w as f64 / mean
+            );
         }
-        println!("\nPARABACUS matches sequential ABACUS estimates exactly (Theorem 5): {}",
-            (parabacus.estimate() - abacus.estimate()).abs() < 1e-6 * abacus.estimate().abs().max(1.0));
+        println!(
+            "\nPARABACUS matches sequential ABACUS estimates exactly (Theorem 5): {}",
+            (parabacus.estimate() - abacus.estimate()).abs()
+                < 1e-6 * abacus.estimate().abs().max(1.0)
+        );
     }
 }

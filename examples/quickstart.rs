@@ -27,7 +27,11 @@ fn main() {
         DeletionConfig::new(0.20),
         &mut StdRng::seed_from_u64(8),
     );
-    println!("stream: {} elements ({} insertions)", stream.len(), edges.len());
+    println!(
+        "stream: {} elements ({} insertions)",
+        stream.len(),
+        edges.len()
+    );
 
     // 2. Ground truth: exact butterfly count of the final graph.
     let truth = count_butterflies(&final_graph(&stream)) as f64;

@@ -48,7 +48,11 @@ fn main() {
         .map(|item| (item, graph.degree(abacus::graph::VertexRef::right(item))))
         .collect();
     popular_items.sort_by_key(|&(item, degree)| (std::cmp::Reverse(degree), item));
-    let delisted: Vec<u32> = popular_items.iter().take(20).map(|&(item, _)| item).collect();
+    let delisted: Vec<u32> = popular_items
+        .iter()
+        .take(20)
+        .map(|&(item, _)| item)
+        .collect();
 
     let mut stream: GraphStream = edges.iter().copied().map(StreamElement::insert).collect();
     for &item in &delisted {

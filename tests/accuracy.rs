@@ -43,7 +43,10 @@ where
 #[test]
 fn abacus_beats_insert_only_baselines_under_deletions() {
     let (stream, truth) = workload(0.2);
-    assert!(truth > 1_000.0, "workload must contain butterflies, got {truth}");
+    assert!(
+        truth > 1_000.0,
+        "workload must contain butterflies, got {truth}"
+    );
     let budget = 2_000;
     let runs = 3;
 

@@ -26,7 +26,11 @@ fn all_dataset_streams_are_well_formed() {
 
 #[test]
 fn stream_io_round_trips_a_dataset_prefix() {
-    let stream: GraphStream = Dataset::OrkutLike.stream(0.1, 0).into_iter().take(5_000).collect();
+    let stream: GraphStream = Dataset::OrkutLike
+        .stream(0.1, 0)
+        .into_iter()
+        .take(5_000)
+        .collect();
     let mut buffer = Vec::new();
     abacus::stream::io::write_stream(&stream, &mut buffer).unwrap();
     let parsed = abacus::stream::io::read_stream(std::io::BufReader::new(&buffer[..])).unwrap();

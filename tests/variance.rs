@@ -103,7 +103,10 @@ fn the_bound_is_tight_on_the_2x3_biclique() {
     assert!((mean - truth).abs() / truth < 0.05, "mean {mean}");
 
     let bound = variance_upper_bound(k, edges.len(), truth);
-    assert!(variance <= bound * 1.10, "variance {variance} vs bound {bound}");
+    assert!(
+        variance <= bound * 1.10,
+        "variance {variance} vs bound {bound}"
+    );
     assert!(
         variance >= bound * 0.75,
         "bound {bound} should be near-tight here, got variance {variance}"
