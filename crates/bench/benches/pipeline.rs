@@ -1,0 +1,16 @@
+//! Alternating vs. pipelined PARABACUS throughput across mini-batch sizes
+//! and thread counts (the experiment behind the pipelined engine; no paper
+//! analog).
+//!
+//! Run with `cargo bench -p abacus-bench --bench pipeline`.
+//! Environment knobs: `ABACUS_THREADS`, `ABACUS_PIPELINE_DEPTH`,
+//! `ABACUS_SPEEDUP_SCALE`, `ABACUS_SPEEDUP_SAMPLE_SIZES`.
+
+use abacus_bench::{experiments, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    for table in experiments::pipeline_vs_alternating(&settings) {
+        println!("{}", table.to_markdown());
+    }
+}

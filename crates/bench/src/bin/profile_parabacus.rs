@@ -47,18 +47,22 @@ fn main() {
         );
     }
 
-    for &(batch_size, threads) in &[
-        (500usize, 1usize),
-        (500, 8),
-        (500, 24),
-        (10_000, 1),
-        (10_000, 8),
-        (10_000, 24),
+    for &(batch_size, threads, pipeline_depth) in &[
+        (500usize, 1usize, 1usize),
+        (500, 8, 1),
+        (500, 8, 2),
+        (500, 24, 1),
+        (500, 24, 2),
+        (10_000, 1, 1),
+        (10_000, 8, 1),
+        (10_000, 8, 2),
+        (10_000, 24, 2),
     ] {
         let result = run(
             Algorithm::ParAbacus {
                 batch_size,
                 threads,
+                pipeline_depth,
             },
             budget,
             0,
@@ -69,15 +73,17 @@ fn main() {
         let mut estimator = ParAbacus::new(
             ParAbacusConfig::new(budget)
                 .with_batch_size(batch_size)
-                .with_threads(threads),
+                .with_threads(threads)
+                .with_pipeline_depth(pipeline_depth),
         );
         let start = Instant::now();
         estimator.process_stream(&stream);
         let total = start.elapsed().as_secs_f64();
         let timings = estimator.phase_timings();
         println!(
-            "PARABACUS M={batch_size:<6} p={threads:<3}    {:>8.3}s  ({:>10.0} edges/s)  speedup {:.2}  \
-             [phase1 {:.3}s, phase2 {:.3}s, other {:.3}s]",
+            "PARABACUS M={batch_size:<6} p={threads:<3} d={pipeline_depth}  {:>8.3}s  \
+             ({:>10.0} edges/s)  speedup {:.2}  \
+             [phase1 {:.3}s, phase2-wait {:.3}s, other {:.3}s]",
             result.throughput.seconds,
             result.throughput.per_second(),
             abacus.throughput.seconds / result.throughput.seconds.max(1e-12),

@@ -30,6 +30,7 @@ pub fn fig10_load_balance(settings: &Settings) -> Vec<Table> {
                 Algorithm::ParAbacus {
                     batch_size,
                     threads,
+                    pipeline_depth: settings.pipeline_depth,
                 },
                 k,
                 0,

@@ -1,0 +1,144 @@
+//! Pipeline experiment — alternating vs. pipelined PARABACUS.
+//!
+//! The paper's schedule (pipeline depth 1) strictly alternates the
+//! sequential sample-version creation with the parallel counting phase, so
+//! each batch pays `t_seq + t_par` wall clock.  The pipelined engine
+//! (depth ≥ 2) overlaps batch *i+1*'s sequential phase with batch *i*'s
+//! counting, pushing the per-batch cost towards `max(t_seq, t_par)`.  The
+//! gain is largest where the alternating schedule hurts most: *small*
+//! mini-batches, where the fixed dispatch/collect hand-off and the serial
+//! fraction dominate, which is exactly the regime this experiment sweeps.
+//!
+//! Rows are mini-batch sizes, and for every swept thread count the table
+//! reports alternating and pipelined throughput (edges/s) plus the relative
+//! improvement.
+
+use crate::datasets::speedup_stream;
+use crate::runners::{run, Algorithm};
+use crate::settings::Settings;
+use abacus_metrics::Table;
+use abacus_stream::{Dataset, StreamElement};
+
+/// Mini-batch sizes swept by the pipeline experiment: the small-batch regime
+/// the pipeline targets, plus one large batch as the saturation reference.
+pub const PIPELINE_BATCH_SIZES: [usize; 5] = [64, 128, 256, 512, 2_048];
+
+fn throughput(
+    stream: &[StreamElement],
+    k: usize,
+    batch_size: usize,
+    threads: usize,
+    pipeline_depth: usize,
+) -> f64 {
+    run(
+        Algorithm::ParAbacus {
+            batch_size,
+            threads,
+            pipeline_depth,
+        },
+        k,
+        0,
+        stream,
+    )
+    .throughput
+    .per_second()
+}
+
+/// The thread counts the experiment sweeps: a subset of the Fig. 9 sweep
+/// capped to the machine, always including the maximum.
+fn thread_counts(settings: &Settings) -> Vec<usize> {
+    let mut counts: Vec<usize> = [2usize, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= settings.max_threads)
+        .collect();
+    if settings.max_threads > 1 && !counts.contains(&settings.max_threads) {
+        counts.push(settings.max_threads);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Alternating vs. pipelined PARABACUS throughput across mini-batch sizes
+/// and thread counts (one table per dataset).
+#[must_use]
+pub fn pipeline_vs_alternating(settings: &Settings) -> Vec<Table> {
+    let depth = settings.pipeline_depth.max(2);
+    let k = settings
+        .speedup_sample_sizes
+        .first()
+        .copied()
+        .unwrap_or(7_500);
+    [Dataset::MovielensLike, Dataset::OrkutLike]
+        .into_iter()
+        .map(|dataset| {
+            // One stream per dataset, shared by every (batch, thread, mode)
+            // cell of the sweep.
+            let stream = speedup_stream(dataset, settings.default_alpha, settings.speedup_scale);
+            let threads = thread_counts(settings);
+            let mut header: Vec<String> = vec!["Mini-batch size".to_string()];
+            for &t in &threads {
+                header.push(format!("alt p={t} (edges/s)"));
+                header.push(format!("pipe p={t} (edges/s)"));
+                header.push(format!("gain p={t}"));
+            }
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut table = Table::new(
+                format!(
+                    "Pipeline — alternating vs pipelined PARABACUS ({}, scale {}, k = {k}, \
+                     depth {depth})",
+                    dataset.name(),
+                    settings.speedup_scale
+                ),
+                &header_refs,
+            );
+            for &batch in &PIPELINE_BATCH_SIZES {
+                let mut row = vec![batch.to_string()];
+                for &t in &threads {
+                    let alternating = throughput(&stream, k, batch, t, 1);
+                    let pipelined = throughput(&stream, k, batch, t, depth);
+                    row.push(format!("{alternating:.0}"));
+                    row.push(format!("{pipelined:.0}"));
+                    row.push(format!(
+                        "{:+.1}%",
+                        (pipelined / alternating.max(1e-9) - 1.0) * 100.0
+                    ));
+                }
+                table.add_row(row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_table_per_dataset_with_all_batch_rows() {
+        let settings = Settings {
+            speedup_sample_sizes: vec![300],
+            max_threads: 2,
+            speedup_scale: 1,
+            ..Settings::default()
+        };
+        let tables = pipeline_vs_alternating(&settings);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), PIPELINE_BATCH_SIZES.len());
+    }
+
+    #[test]
+    fn thread_counts_respect_the_machine() {
+        let settings = Settings {
+            max_threads: 6,
+            ..Settings::default()
+        };
+        assert_eq!(thread_counts(&settings), vec![2, 4, 6]);
+        let settings = Settings {
+            max_threads: 16,
+            ..Settings::default()
+        };
+        assert_eq!(thread_counts(&settings), vec![2, 4, 8, 16]);
+    }
+}

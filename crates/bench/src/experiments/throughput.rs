@@ -43,6 +43,7 @@ pub fn fig4_throughput(settings: &Settings) -> Table {
                 Algorithm::ParAbacus {
                     batch_size: settings.default_batch_size,
                     threads: settings.max_threads,
+                    pipeline_depth: settings.pipeline_depth,
                 },
                 k,
                 0,

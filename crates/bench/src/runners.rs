@@ -22,6 +22,9 @@ pub enum Algorithm {
         batch_size: usize,
         /// Worker threads `p`.
         threads: usize,
+        /// Pipeline depth (1 = the paper's alternating schedule, 2 = the
+        /// default double-buffered overlap of phase 1 and phase 2).
+        pipeline_depth: usize,
     },
     /// FLEET3 (insert-only baseline).
     Fleet,
@@ -78,12 +81,14 @@ pub fn run(algorithm: Algorithm, budget: usize, seed: u64, stream: &[StreamEleme
         Algorithm::ParAbacus {
             batch_size,
             threads,
+            pipeline_depth,
         } => {
             let mut estimator = ParAbacus::new(
                 ParAbacusConfig::new(budget)
                     .with_seed(seed)
                     .with_batch_size(batch_size)
-                    .with_threads(threads),
+                    .with_threads(threads)
+                    .with_pipeline_depth(pipeline_depth),
             );
             let start = Instant::now();
             estimator.process_stream(stream);
@@ -170,6 +175,7 @@ mod tests {
             Algorithm::ParAbacus {
                 batch_size: 32,
                 threads: 2,
+                pipeline_depth: 2,
             },
             Algorithm::Fleet,
             Algorithm::Cas,

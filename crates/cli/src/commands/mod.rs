@@ -1,8 +1,8 @@
 //! The CLI subcommands.
 //!
-//! Every command is a pure function from parsed [`Arguments`](crate::Arguments)
-//! to the text it prints, which keeps the commands unit-testable and the
-//! binary a three-line `main`.
+//! Every command is a pure function from parsed [`Arguments`] to the text it
+//! prints, which keeps the commands unit-testable and the binary a three-line
+//! `main`.
 
 pub mod accuracy;
 pub mod generate;

@@ -63,6 +63,7 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
         "a positive integer",
     )?;
     let seed: u64 = args.parsed_or("seed", 0, "an unsigned integer")?;
+    let pipeline_depth: usize = args.parsed_or("pipeline-depth", 2, "a positive integer")?;
     let want_truth = args.flag("ground-truth");
     args.reject_unused()?;
     if budget < 2 {
@@ -72,9 +73,16 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
             expected: "an integer of at least 2",
         });
     }
-    if batch == 0 || threads == 0 {
+    if batch == 0 || threads == 0 || pipeline_depth == 0 {
+        let option = if batch == 0 {
+            "batch"
+        } else if threads == 0 {
+            "threads"
+        } else {
+            "pipeline-depth"
+        };
         return Err(CliError::InvalidValue {
-            option: if batch == 0 { "batch" } else { "threads" }.to_string(),
+            option: option.to_string(),
             value: "0".to_string(),
             expected: "a positive integer",
         });
@@ -90,7 +98,8 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
                 ParAbacusConfig::new(budget)
                     .with_seed(seed)
                     .with_batch_size(batch)
-                    .with_threads(threads),
+                    .with_threads(threads)
+                    .with_pipeline_depth(pipeline_depth),
             ),
             &workload.stream,
         ),
@@ -171,6 +180,47 @@ mod tests {
             assert!(out.contains("estimate:"), "{algorithm}: {out}");
             assert!(out.contains("throughput:"), "{algorithm}: {out}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_depth_is_parsed_and_validated() {
+        let path = biclique_file("pipeline.txt");
+        let path_str = path.to_str().unwrap();
+        for depth in ["1", "2", "4"] {
+            let out = run(&args(&[
+                "--input",
+                path_str,
+                "--algorithm",
+                "parabacus",
+                "--budget",
+                "100",
+                "--batch",
+                "2",
+                "--threads",
+                "2",
+                "--pipeline-depth",
+                depth,
+            ]))
+            .unwrap();
+            // Budget covers the stream: the K_{3,3} count is exact at every
+            // depth, pipelined or alternating.
+            assert!(
+                out.contains("estimate:         9.0"),
+                "depth {depth}: {out}"
+            );
+        }
+        assert!(matches!(
+            run(&args(&[
+                "--input",
+                path_str,
+                "--algorithm",
+                "parabacus",
+                "--pipeline-depth",
+                "0",
+            ])),
+            Err(CliError::InvalidValue { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -74,6 +74,8 @@ COMMANDS:
                --budget <max sampled edges>                    (default 3000)
                --batch <mini-batch size, parabacus only>       (default 500)
                --threads <worker threads, parabacus only>      (default all)
+               --pipeline-depth <open batches, parabacus only> (default 2;
+                                                                1 = alternating)
                --seed <estimator RNG seed>                     (default 0)
                --ground-truth                                  (also compute the exact
                                                                 count and relative error)

@@ -39,6 +39,21 @@ pub struct Abacus {
 
 impl Abacus {
     /// Creates an estimator from a configuration.
+    ///
+    /// ```
+    /// use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
+    /// use abacus_graph::Edge;
+    /// use abacus_stream::StreamElement;
+    ///
+    /// let mut abacus = Abacus::new(AbacusConfig::new(64).with_seed(7));
+    /// for (l, r) in [(0u32, 10u32), (0, 11), (1, 10), (1, 11)] {
+    ///     abacus.process(StreamElement::insert(Edge::new(l, r)));
+    /// }
+    /// // The budget covers the whole stream, so the estimate is exact.
+    /// assert_eq!(abacus.estimate(), 1.0);
+    /// abacus.process(StreamElement::delete(Edge::new(1, 11)));
+    /// assert_eq!(abacus.estimate(), 0.0);
+    /// ```
     #[must_use]
     pub fn new(config: AbacusConfig) -> Self {
         Abacus {

@@ -54,11 +54,18 @@ pub struct ParAbacusConfig {
     pub batch_size: usize,
     /// Number of worker threads `p` used for per-edge counting.
     pub threads: usize,
+    /// Maximum number of mini-batches the two-stage pipeline keeps open at
+    /// once: the batch whose sample versions are being created (phase 1) plus
+    /// up to `pipeline_depth - 1` batches still being counted by the worker
+    /// pool.  `1` disables pipelining and restores the paper's strictly
+    /// alternating phase-1/phase-2 schedule; the default of `2` overlaps each
+    /// batch's sequential phase with the previous batch's parallel phase.
+    pub pipeline_depth: usize,
 }
 
 impl ParAbacusConfig {
-    /// Creates a configuration with the paper's defaults (`M = 500`) and as
-    /// many threads as the machine offers.
+    /// Creates a configuration with the paper's defaults (`M = 500`), as
+    /// many threads as the machine offers, and a pipeline depth of 2.
     ///
     /// # Panics
     /// Panics if `budget < 2`.
@@ -73,6 +80,7 @@ impl ParAbacusConfig {
             seed: 0,
             batch_size: 500,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            pipeline_depth: 2,
         }
     }
 
@@ -102,6 +110,17 @@ impl ParAbacusConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "at least one thread is required");
         self.threads = threads;
+        self
+    }
+
+    /// Returns the configuration with a different pipeline depth.
+    ///
+    /// # Panics
+    /// Panics if `pipeline_depth` is zero.
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, pipeline_depth: usize) -> Self {
+        assert!(pipeline_depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline_depth = pipeline_depth;
         self
     }
 
@@ -144,11 +163,13 @@ mod tests {
         let c = ParAbacusConfig::new(64)
             .with_seed(3)
             .with_batch_size(128)
-            .with_threads(4);
+            .with_threads(4)
+            .with_pipeline_depth(3);
         assert_eq!(c.budget, 64);
         assert_eq!(c.seed, 3);
         assert_eq!(c.batch_size, 128);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.pipeline_depth, 3);
         let seq = c.sequential();
         assert_eq!(seq.budget, 64);
         assert_eq!(seq.seed, 3);
@@ -159,6 +180,13 @@ mod tests {
         let c = ParAbacusConfig::new(64);
         assert_eq!(c.batch_size, 500);
         assert!(c.threads >= 1);
+        assert_eq!(c.pipeline_depth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth")]
+    fn zero_pipeline_depth_panics() {
+        let _ = ParAbacusConfig::new(64).with_pipeline_depth(0);
     }
 
     #[test]

@@ -23,7 +23,25 @@ pub trait ButterflyCounter {
     }
 
     /// The current butterfly-count estimate.
+    ///
+    /// Buffered implementations (PARABACUS) may lag behind the elements
+    /// handed to [`process`](Self::process): the estimate reflects only
+    /// completed mini-batches.  Use [`finish`](Self::finish) for a final
+    /// estimate covering everything.
     fn estimate(&self) -> f64;
+
+    /// Flushes any internal buffering and returns the final estimate.
+    ///
+    /// For eager estimators (ABACUS, the exact oracle, the insert-only
+    /// baselines) this is simply [`estimate`](Self::estimate) — every element
+    /// is fully accounted for as soon as `process` returns, so the default
+    /// implementation suffices.  PARABACUS overrides it to process the
+    /// partially filled mini-batch buffer and drain its pipeline first, so
+    /// the returned value — and the statistics accessors afterwards — match
+    /// what sequential ABACUS would report over the same stream.
+    fn finish(&mut self) -> f64 {
+        self.estimate()
+    }
 
     /// Number of edges currently held in memory by the estimator (the sample
     /// size for approximate estimators, the full graph for the exact oracle).
@@ -68,5 +86,7 @@ mod tests {
         assert_eq!(stub.estimate(), 10.0);
         assert_eq!(stub.name(), "stub");
         assert_eq!(stub.memory_edges(), 0);
+        // The default `finish` is the current estimate for eager counters.
+        assert_eq!(stub.finish(), 10.0);
     }
 }

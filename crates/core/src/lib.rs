@@ -30,7 +30,9 @@
 //!   reciprocal-increment rule,
 //! * [`abacus`] — Algorithm 1,
 //! * [`exact`] — the exact streaming oracle (unbounded memory, ground truth),
-//! * [`parabacus`] — mini-batch parallel processing with versioned samples,
+//! * [`parabacus`] — mini-batch parallel processing with versioned samples
+//!   and a two-stage pipelined engine that overlaps sample-version creation
+//!   with counting,
 //! * [`stats`] — per-run processing statistics (work counters, discoveries).
 
 #![forbid(unsafe_code)]

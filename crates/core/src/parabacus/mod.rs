@@ -1,4 +1,5 @@
-//! PARABACUS: mini-batch parallel butterfly counting (§V of the paper).
+//! PARABACUS: mini-batch parallel butterfly counting (§V of the paper),
+//! extended with a two-stage *pipelined* execution engine.
 //!
 //! ABACUS's workflow (count, then update the sample) is inverted per
 //! mini-batch:
@@ -11,17 +12,44 @@
 //! 2. **Parallel per-edge counting** — the batch is split into `p` equal
 //!    chunks; each worker thread counts, for each of its edges, the
 //!    butterflies the edge forms with *its* sample version (reconstructed
-//!    through a [`VersionView`]) and extrapolates with the increment computed
-//!    from the cached triplet.
+//!    through a [`VersionView`](versioned::VersionView)) and extrapolates
+//!    with the increment computed from the cached triplet.
 //! 3. **Reduction and consolidation** — the partial counts are summed into the
-//!    running estimate; the live sample is already the consolidated final
-//!    version and the delta log is cleared for the next batch.
+//!    running estimate once the batch's chunk results are collected.
 //!
-//! Because the sample transitions (and RNG draws) are identical to sequential
-//! ABACUS and the per-edge counts are computed against identical sample
-//! states, PARABACUS returns exactly the same estimates after every batch
-//! (Theorem 5); the tests assert this bit-for-bit up to floating-point
-//! summation order.
+//! # The pipeline
+//!
+//! In the paper's schedule the two phases strictly alternate: the coordinator
+//! idles while the workers count, and all `p` workers idle during version
+//! creation — the serial fraction that flattens the speedup curves of
+//! Figs. 8–9.  With [`ParAbacusConfig::pipeline_depth`] `> 1` (the default is
+//! 2) the engine overlaps them instead: after sealing batch *i*'s delta log
+//! and dispatching its chunks to the worker pool, the coordinator immediately
+//! runs phase 1 of batch *i+1* while the workers are still counting batch
+//! *i*.
+//!
+//! Batch *i*'s workers hold `Arc` handles on the sample version they count
+//! against, so batch *i+1*'s updates cannot touch that buffer.  Instead the
+//! engine double-buffers: phase 1 of batch *i+1* writes into the buffer
+//! recycled from batch *i−1* after bringing it up to date by replaying the
+//! recorded op logs of the still-in-flight batches
+//! ([`VersionedDeltas::replay_onto`], O(batch) work instead of an O(k) sample
+//! clone).  `Arc`-level consolidation is thereby deferred: a buffer is only
+//! reused once the batch counting against it has been collected and its
+//! workers have dropped their handles.
+//!
+//! Exactness (Theorem 5) is preserved: sample transitions and RNG draws
+//! happen in stream order on the coordinator regardless of depth, and every
+//! batch is counted against its own sealed versions, so estimates stay
+//! bit-for-bit identical to sequential ABACUS up to floating-point summation
+//! order — the tests assert this for randomized insert/delete streams across
+//! pipeline depths.
+//!
+//! The price of the overlap is *latency*, not correctness: up to
+//! `pipeline_depth - 1` dispatched batches may not yet be reflected in
+//! [`ParAbacus::estimate`] / [`ParAbacus::stats`].  [`ParAbacus::flush`] (and
+//! therefore [`ButterflyCounter::process_stream`] and
+//! [`ButterflyCounter::finish`]) drains the pipeline completely.
 
 mod pool;
 pub mod versioned;
@@ -32,26 +60,57 @@ use crate::sample_graph::SampleGraph;
 use crate::stats::ProcessingStats;
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
-use pool::{execute_task, CountTask, CountingPool};
+use pool::{execute_task, ChunkResult, CountTask, CountingPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use versioned::{RecordingSample, VersionedDeltas};
 
+/// A dispatched mini-batch whose chunk results have not been collected yet.
+#[derive(Debug)]
+struct InFlightBatch {
+    /// Monotone batch id (matches the `batch` tag of its chunk results).
+    id: u64,
+    /// Number of chunk results to collect.
+    chunks: usize,
+    /// The sealed sample version the batch counts against; recycled as the
+    /// next spare buffer once the batch is collected.
+    sample: Arc<SampleGraph>,
+    /// The sealed delta log (also carries the op log replayed onto stale
+    /// spare buffers while this batch is in flight).
+    deltas: Arc<VersionedDeltas>,
+}
+
 /// The mini-batch parallel PARABACUS estimator.
+///
+/// Dropping the estimator with buffered elements or in-flight batches is
+/// safe and never blocks on outstanding counting work beyond joining the
+/// worker threads; the pending work is discarded.  Call
+/// [`flush`](Self::flush) or [`finish`](ButterflyCounter::finish) first if
+/// the final estimate is needed.
 #[derive(Debug)]
 pub struct ParAbacus {
     config: ParAbacusConfig,
+    /// The live sample, reflecting phase 1 of every dispatched batch.
     sample: Arc<SampleGraph>,
     policy: RandomPairing,
     rng: StdRng,
     estimate: f64,
     buffer: Vec<StreamElement>,
-    deltas: Arc<VersionedDeltas>,
     stats: ProcessingStats,
     thread_comparisons: Vec<u64>,
     batches: u64,
     pool: Option<CountingPool>,
+    /// Dispatched-but-uncollected batches, oldest first (at most
+    /// `pipeline_depth - 1` after a flush step).
+    in_flight: VecDeque<InFlightBatch>,
+    /// The sample buffer recycled from the most recently collected batch.
+    /// Invariant: its state plus the op logs of `in_flight` (in order) equals
+    /// the live sample — i.e. it is stale by exactly the in-flight batches.
+    spare_sample: Option<Arc<SampleGraph>>,
+    /// Delta-log allocations recycled from collected batches.
+    spare_deltas: Vec<Arc<VersionedDeltas>>,
     timings: PhaseTimings,
 }
 
@@ -59,19 +118,42 @@ pub struct ParAbacus {
 /// over all flushed batches.
 ///
 /// Phase 1 is inherently sequential (Random Pairing updates + delta
-/// recording), phase 2 is the parallel per-edge counting (including worker
-/// dispatch and result collection); useful for explaining where the speedup
-/// curves of Figs. 8–9 saturate (Amdahl's law on phase 1).
+/// recording, plus — in pipelined mode — bringing the double-buffered sample
+/// copy up to date); useful for explaining where the speedup curves of
+/// Figs. 8–9 saturate (Amdahl's law on phase 1).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
     /// Seconds spent creating sample versions sequentially (phase 1).
     pub sequential_seconds: f64,
-    /// Seconds spent in parallel per-edge counting (phase 2, wall clock).
+    /// Seconds the coordinator spent dispatching and waiting for per-edge
+    /// counting results (phase 2).  In alternating mode (`pipeline_depth ==
+    /// 1`) this is the counting wall clock; in pipelined mode it is only the
+    /// *non-overlapped* remainder — the blocking wait left after phase 1 of
+    /// the next batch already ran — so `counting_seconds` shrinking towards
+    /// zero means the pipeline is hiding the parallel phase completely.
     pub counting_seconds: f64,
 }
 
 impl ParAbacus {
     /// Creates an estimator from a configuration.
+    ///
+    /// ```
+    /// use abacus_core::{ButterflyCounter, ParAbacus, ParAbacusConfig};
+    /// use abacus_graph::Edge;
+    /// use abacus_stream::StreamElement;
+    ///
+    /// let mut par = ParAbacus::new(
+    ///     ParAbacusConfig::new(64)
+    ///         .with_batch_size(2)
+    ///         .with_threads(2)
+    ///         .with_pipeline_depth(2),
+    /// );
+    /// for (l, r) in [(0u32, 10u32), (0, 11), (1, 10), (1, 11)] {
+    ///     par.process(StreamElement::insert(Edge::new(l, r)));
+    /// }
+    /// // `finish` flushes the partial batch and drains the pipeline.
+    /// assert_eq!(par.finish(), 1.0); // one butterfly, counted exactly
+    /// ```
     #[must_use]
     pub fn new(config: ParAbacusConfig) -> Self {
         ParAbacus {
@@ -81,11 +163,13 @@ impl ParAbacus {
             rng: StdRng::seed_from_u64(config.seed),
             estimate: 0.0,
             buffer: Vec::with_capacity(config.batch_size),
-            deltas: Arc::new(VersionedDeltas::new()),
             stats: ProcessingStats::default(),
             thread_comparisons: vec![0; config.threads],
             batches: 0,
             pool: None,
+            in_flight: VecDeque::new(),
+            spare_sample: None,
+            spare_deltas: Vec::new(),
             timings: PhaseTimings::default(),
         }
     }
@@ -102,19 +186,24 @@ impl ParAbacus {
         self.config
     }
 
-    /// The current sample (read-only; reflects only flushed batches).
+    /// The current sample (read-only; reflects phase 1 of every *dispatched*
+    /// batch, which may run ahead of [`estimate`](ButterflyCounter::estimate)
+    /// while batches are in flight).
     #[must_use]
     pub fn sample(&self) -> &SampleGraph {
         &self.sample
     }
 
-    /// The Random Pairing bookkeeping triplet after the last flushed batch.
+    /// The Random Pairing bookkeeping triplet after the last dispatched
+    /// batch.
     #[must_use]
     pub fn sampler_state(&self) -> RandomPairingState {
         self.policy.state()
     }
 
-    /// Work counters accumulated over all flushed batches.
+    /// Work counters accumulated over all *collected* batches (synchronised
+    /// with the estimate; call [`flush`](Self::flush) to include in-flight
+    /// batches).
     #[must_use]
     pub fn stats(&self) -> ProcessingStats {
         self.stats
@@ -133,42 +222,145 @@ impl ParAbacus {
         self.batches
     }
 
-    /// Number of elements buffered but not yet counted.
+    /// Number of elements buffered but not yet part of a dispatched batch.
     #[must_use]
     pub fn pending_elements(&self) -> usize {
         self.buffer.len()
     }
 
-    /// Processes any buffered elements as a (possibly short) mini-batch.
+    /// Number of dispatched mini-batches whose results have not been
+    /// collected into the estimate yet (at most `pipeline_depth - 1` between
+    /// calls, zero after [`flush`](Self::flush)).
+    #[must_use]
+    pub fn in_flight_batches(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Processes any buffered elements as a (possibly short) mini-batch and
+    /// drains the pipeline, so that the estimate, the statistics, and the
+    /// per-thread workloads reflect every element processed so far.
     ///
-    /// [`ButterflyCounter::process_stream`] calls this automatically at the
-    /// end of the stream; call it manually whenever an up-to-date estimate is
-    /// needed mid-stream.
+    /// [`ButterflyCounter::process_stream`] and
+    /// [`ButterflyCounter::finish`] call this automatically at the end of the
+    /// stream; call it manually whenever an up-to-date estimate is needed
+    /// mid-stream.  Flushing mid-stream costs pipeline overlap (the next
+    /// batch starts with an empty pipeline) but never affects the estimate's
+    /// value.
     pub fn flush(&mut self) {
-        if self.buffer.is_empty() {
-            return;
+        if !self.buffer.is_empty() {
+            self.flush_batch();
         }
-        self.flush_batch();
+        while !self.in_flight.is_empty() {
+            self.collect_oldest();
+        }
+    }
+
+    /// Takes a uniquely owned sample buffer holding the live state, for the
+    /// next batch's phase 1 to mutate.
+    ///
+    /// Fast path: nothing is in flight, so the live `Arc` is unique and is
+    /// simply unwrapped.  Pipelined path: the live buffer is pinned by
+    /// in-flight workers, so the spare buffer (recycled from the last
+    /// collected batch) is brought up to date by replaying the in-flight
+    /// batches' op logs — O(total in-flight batch size), not O(k).  A full
+    /// clone of the live sample is the fallback when no spare exists yet.
+    fn take_writable_sample(&mut self) -> SampleGraph {
+        let live = std::mem::replace(&mut self.sample, Arc::new(SampleGraph::new()));
+        match Arc::try_unwrap(live) {
+            Ok(sample) => {
+                // The spare (if any) is stale by the batch we are about to
+                // apply in place, with no in-flight op log to catch it up.
+                self.spare_sample = None;
+                sample
+            }
+            Err(live) => {
+                let recycled = self
+                    .spare_sample
+                    .take()
+                    .and_then(|arc| Arc::try_unwrap(arc).ok());
+                match recycled {
+                    Some(mut stale) => {
+                        for entry in &self.in_flight {
+                            entry.deltas.replay_onto(&mut stale);
+                        }
+                        stale
+                    }
+                    None => SampleGraph::clone(&live),
+                }
+            }
+        }
+    }
+
+    /// Takes a uniquely owned, empty delta log, recycling allocations from
+    /// collected batches.
+    fn take_delta_log(&mut self) -> Arc<VersionedDeltas> {
+        let mut log = self
+            .spare_deltas
+            .pop()
+            .unwrap_or_else(|| Arc::new(VersionedDeltas::new()));
+        Arc::make_mut(&mut log).clear();
+        log
+    }
+
+    /// Folds one chunk result into the running estimate and counters.
+    fn reduce(&mut self, result: &ChunkResult) {
+        self.estimate += result.partial;
+        self.stats.merge(&result.stats);
+        self.thread_comparisons[result.chunk_index % self.config.threads] +=
+            result.stats.comparisons;
+    }
+
+    /// Blocks until the oldest in-flight batch is fully counted, reduces its
+    /// results, and recycles its buffers.
+    fn collect_oldest(&mut self) {
+        let entry = self
+            .in_flight
+            .pop_front()
+            .expect("collect_oldest called with an empty pipeline");
+        let wait_start = std::time::Instant::now();
+        let results = self
+            .pool
+            .as_mut()
+            .expect("an in-flight batch requires a worker pool")
+            .collect_batch(entry.id, entry.chunks);
+        self.timings.counting_seconds += wait_start.elapsed().as_secs_f64();
+        for result in &results {
+            self.reduce(result);
+        }
+        // The workers dropped their handles before reporting, so the batch's
+        // buffers are uniquely owned again and can back the next batch.
+        if Arc::ptr_eq(&entry.sample, &self.sample) {
+            // The batch counted against the live buffer itself (it was
+            // dispatched with an empty pipeline); any older spare is now
+            // stale beyond repair since this batch's log leaves the queue.
+            self.spare_sample = None;
+        } else {
+            self.spare_sample = Some(entry.sample);
+        }
+        if Arc::strong_count(&entry.deltas) == 1 {
+            self.spare_deltas.push(entry.deltas);
+        }
     }
 
     fn flush_batch(&mut self) {
-        let batch: Vec<StreamElement> = std::mem::take(&mut self.buffer);
-        let m = batch.len();
+        let elements: Vec<StreamElement> = std::mem::take(&mut self.buffer);
+        let m = elements.len();
+        let batch_id = self.batches;
         self.batches += 1;
         let phase1_start = std::time::Instant::now();
 
         // --- Phase 1: sequential sample-version creation. ------------------
         // Cache the pre-update triplet of every edge and record the deltas its
-        // update applies to the live sample.  Outside a batch the estimator is
-        // the only holder of the sample/delta Arcs (the pool workers drop
-        // their handles before reporting), so `make_mut` mutates in place.
-        let sample = Arc::make_mut(&mut self.sample);
-        let deltas = Arc::make_mut(&mut self.deltas);
-        deltas.clear();
+        // update applies to the sample.  The writable buffer is the live
+        // sample itself when nothing is in flight, or the recycled
+        // double-buffer while workers still count the previous batch.
+        let mut sample = self.take_writable_sample();
+        let mut deltas_arc = self.take_delta_log();
+        let deltas = Arc::make_mut(&mut deltas_arc);
         let mut triplets: Vec<RandomPairingState> = Vec::with_capacity(m);
-        for (position, element) in batch.iter().enumerate() {
+        for (position, element) in elements.iter().enumerate() {
             triplets.push(self.policy.state());
-            let mut recorder = RecordingSample::new(sample, deltas, position as u32);
+            let mut recorder = RecordingSample::new(&mut sample, deltas, position as u32);
             match element.delta {
                 EdgeDelta::Insert => {
                     self.policy
@@ -183,49 +375,60 @@ impl ParAbacus {
         // Freeze the delta log against the post-batch sample: one indexing
         // pass per touched vertex makes every versioned probe in phase 2 a
         // binary search.
-        deltas.seal(sample);
+        deltas.seal(&sample);
+        self.sample = Arc::new(sample);
         self.timings.sequential_seconds += phase1_start.elapsed().as_secs_f64();
-        let phase2_start = std::time::Instant::now();
 
         // --- Phase 2: parallel per-edge counting. ---------------------------
         let threads = self.config.threads.min(m).max(1);
         let chunk_size = m.div_ceil(threads);
-        let batch = Arc::new(batch);
+        let elements = Arc::new(elements);
         let triplets = Arc::new(triplets);
         let chunk_task = |chunk_index: usize| CountTask {
+            batch: batch_id,
             sample: Arc::clone(&self.sample),
-            deltas: Arc::clone(&self.deltas),
-            batch: Arc::clone(&batch),
+            deltas: Arc::clone(&deltas_arc),
+            elements: Arc::clone(&elements),
             triplets: Arc::clone(&triplets),
             range: (chunk_index * chunk_size)..((chunk_index + 1) * chunk_size).min(m),
             chunk_index,
             budget: self.config.budget,
         };
 
-        let results = if threads == 1 {
-            vec![execute_task(&chunk_task(0))]
-        } else {
-            let pool = self
-                .pool
-                .get_or_insert_with(|| CountingPool::new(self.config.threads));
-            for chunk_index in 0..threads {
-                pool.submit(chunk_task(chunk_index));
-            }
-            pool.collect(threads)
-        };
-        self.timings.counting_seconds += phase2_start.elapsed().as_secs_f64();
-
-        // --- Phase 3: reduction. --------------------------------------------
-        for result in results {
-            self.estimate += result.partial;
-            self.stats.merge(&result.stats);
-            self.thread_comparisons[result.chunk_index % self.config.threads] +=
-                result.stats.comparisons;
+        if self.config.threads == 1 {
+            // Sequential configuration: no pool, count and reduce inline.
+            // This is the exact same per-edge code path the workers run, so
+            // estimates never depend on whether the pool was engaged.
+            let phase2_start = std::time::Instant::now();
+            let result = execute_task(&chunk_task(0));
+            self.timings.counting_seconds += phase2_start.elapsed().as_secs_f64();
+            self.reduce(&result);
+            self.spare_deltas.push(deltas_arc);
+            return;
         }
-        // Version consolidation: the live sample already contains all batch
-        // updates; dropping the delta log makes it the 0-th version of the
-        // next mini-batch.
-        Arc::make_mut(&mut self.deltas).clear();
+
+        let dispatch_start = std::time::Instant::now();
+        let pool = self
+            .pool
+            .get_or_insert_with(|| CountingPool::new(self.config.threads));
+        for chunk_index in 0..threads {
+            pool.submit(chunk_task(chunk_index));
+        }
+        self.timings.counting_seconds += dispatch_start.elapsed().as_secs_f64();
+        self.in_flight.push_back(InFlightBatch {
+            id: batch_id,
+            chunks: threads,
+            sample: Arc::clone(&self.sample),
+            deltas: deltas_arc,
+        });
+
+        // Keep at most `pipeline_depth` batches open: with depth 1 this
+        // collects the batch just dispatched (the paper's alternating
+        // schedule); with depth 2 the next flush_batch call runs phase 1
+        // while this batch is still being counted.
+        while self.in_flight.len() >= self.config.pipeline_depth {
+            self.collect_oldest();
+        }
     }
 }
 
@@ -245,6 +448,11 @@ impl ButterflyCounter for ParAbacus {
     }
 
     fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    fn finish(&mut self) -> f64 {
+        self.flush();
         self.estimate
     }
 
@@ -287,11 +495,20 @@ mod tests {
     }
 
     /// Theorem 5: PARABACUS produces the same counts as ABACUS after each
-    /// mini-batch (same seed, same budget).
+    /// mini-batch (same seed, same budget), for the alternating schedule
+    /// (depth 1) and every pipelined depth alike.
     #[test]
     fn matches_sequential_abacus_exactly() {
         let stream = dynamic_stream(1, 4_000, 0.2);
-        for &(batch, threads) in &[(1usize, 1usize), (64, 1), (128, 4), (500, 8), (997, 3)] {
+        for &(batch, threads, depth) in &[
+            (1usize, 1usize, 1usize),
+            (64, 1, 2),
+            (128, 4, 1),
+            (128, 4, 2),
+            (500, 8, 2),
+            (500, 8, 4),
+            (997, 3, 3),
+        ] {
             let mut seq = Abacus::new(AbacusConfig::new(256).with_seed(9));
             seq.process_stream(&stream);
 
@@ -299,24 +516,103 @@ mod tests {
                 ParAbacusConfig::new(256)
                     .with_seed(9)
                     .with_batch_size(batch)
-                    .with_threads(threads),
+                    .with_threads(threads)
+                    .with_pipeline_depth(depth),
             );
             par.process_stream(&stream);
 
+            let label = format!("batch {batch}, threads {threads}, depth {depth}");
             assert_close(seq.estimate(), par.estimate());
-            assert_eq!(seq.memory_edges(), par.memory_edges(), "batch {batch}");
+            assert_eq!(par.in_flight_batches(), 0, "{label}");
+            assert_eq!(seq.memory_edges(), par.memory_edges(), "{label}");
             assert_eq!(
                 seq.sampler_state(),
                 par.sampler_state(),
-                "sampler state must match for batch size {batch}"
+                "sampler state must match for {label}"
             );
             // The total work is identical; only its distribution differs.
             assert_eq!(
                 seq.stats().discovered_butterflies,
-                par.stats().discovered_butterflies
+                par.stats().discovered_butterflies,
+                "{label}"
             );
-            assert_eq!(seq.stats().comparisons, par.stats().comparisons);
+            assert_eq!(seq.stats().comparisons, par.stats().comparisons, "{label}");
         }
+    }
+
+    /// The pipeline defers reduction, never correctness: while batches are in
+    /// flight the estimate lags, and `flush` fully synchronises it.
+    #[test]
+    fn pipelined_estimates_synchronise_on_flush() {
+        let stream = dynamic_stream(7, 2_000, 0.2);
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(10_000)
+                .with_seed(0)
+                .with_batch_size(64)
+                .with_threads(4)
+                .with_pipeline_depth(3),
+        );
+        let mut seen_in_flight = 0usize;
+        for element in &stream {
+            par.process(*element);
+            seen_in_flight = seen_in_flight.max(par.in_flight_batches());
+            assert!(par.in_flight_batches() <= 2); // depth - 1
+        }
+        assert!(seen_in_flight > 0, "pipeline never filled");
+        par.flush();
+        assert_eq!(par.in_flight_batches(), 0);
+        let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+        assert!((par.estimate() - truth).abs() < 1e-6);
+        // A second flush is a no-op.
+        par.flush();
+        assert!((par.estimate() - truth).abs() < 1e-6);
+    }
+
+    /// `finish` processes the partial batch, drains the pipeline, and returns
+    /// an estimate consistent with sequential ABACUS over the same stream.
+    #[test]
+    fn finish_flushes_partial_batches_and_matches_abacus() {
+        let stream = dynamic_stream(11, 1_503, 0.15); // not a batch multiple
+        let mut seq = Abacus::new(AbacusConfig::new(128).with_seed(4));
+        seq.process_stream(&stream);
+
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(128)
+                .with_seed(4)
+                .with_batch_size(250)
+                .with_threads(4)
+                .with_pipeline_depth(2),
+        );
+        for element in &stream {
+            par.process(*element);
+        }
+        assert!(par.pending_elements() > 0, "stream must end mid-batch");
+        let final_estimate = par.finish();
+        assert_close(seq.estimate(), final_estimate);
+        assert_close(par.estimate(), final_estimate);
+        assert_eq!(par.pending_elements(), 0);
+        assert_eq!(par.in_flight_batches(), 0);
+        assert_eq!(seq.stats().comparisons, par.stats().comparisons);
+    }
+
+    /// Regression: dropping an estimator with a non-empty buffer (and batches
+    /// still in flight) must neither hang nor panic — the pending work is
+    /// discarded and the worker threads are joined.
+    #[test]
+    fn dropping_with_pending_work_is_safe() {
+        let stream = dynamic_stream(13, 1_000, 0.2);
+        let mut par = ParAbacus::new(
+            ParAbacusConfig::new(5_000)
+                .with_seed(0)
+                .with_batch_size(300)
+                .with_threads(4)
+                .with_pipeline_depth(4),
+        );
+        for element in &stream {
+            par.process(*element);
+        }
+        assert!(par.pending_elements() > 0 || par.in_flight_batches() > 0);
+        drop(par); // must return promptly without counting the pending work
     }
 
     #[test]
@@ -399,13 +695,14 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
         /// Parity with sequential ABACUS holds for arbitrary batch sizes,
-        /// thread counts, budgets and deletion ratios.
+        /// thread counts, pipeline depths, budgets and deletion ratios.
         #[test]
         fn parity_with_abacus(
             seed in 0u64..1_000,
             budget in 8usize..200,
             batch in 1usize..300,
             threads in 1usize..8,
+            depth in 1usize..5,
             alpha in 0.0f64..0.4,
         ) {
             let stream = dynamic_stream(seed, 800, alpha);
@@ -415,7 +712,8 @@ mod tests {
                 ParAbacusConfig::new(budget)
                     .with_seed(seed)
                     .with_batch_size(batch)
-                    .with_threads(threads),
+                    .with_threads(threads)
+                    .with_pipeline_depth(depth),
             );
             par.process_stream(&stream);
             let scale = seq.estimate().abs().max(1.0);

@@ -31,12 +31,17 @@ use super::versioned::{VersionView, VersionedDeltas};
 /// `range` against their respective sample versions.
 #[derive(Debug, Clone)]
 pub(super) struct CountTask {
-    /// The live (post-batch) sample.
+    /// Monotone id of the mini-batch this chunk belongs to.  With the
+    /// pipelined engine several batches are in flight at once and their chunk
+    /// results interleave on the shared result channel; the id lets the
+    /// coordinator collect exactly one batch's results at a time.
+    pub batch: u64,
+    /// The sealed (post-batch) sample version the chunk counts against.
     pub sample: Arc<SampleGraph>,
-    /// The sealed delta log of the current batch.
+    /// The sealed delta log of the batch.
     pub deltas: Arc<VersionedDeltas>,
     /// The batch elements.
-    pub batch: Arc<Vec<StreamElement>>,
+    pub elements: Arc<Vec<StreamElement>>,
     /// Pre-update Random Pairing triplets, one per batch element.
     pub triplets: Arc<Vec<RandomPairingState>>,
     /// The half-open element range this task covers.
@@ -51,6 +56,8 @@ pub(super) struct CountTask {
 /// The result of one executed [`CountTask`].
 #[derive(Debug, Clone, Copy)]
 pub(super) struct ChunkResult {
+    /// The mini-batch the result belongs to.
+    pub batch: u64,
     /// The chunk the result belongs to.
     pub chunk_index: usize,
     /// Signed, extrapolated partial count contributed by the chunk.
@@ -68,7 +75,7 @@ pub(super) fn execute_task(task: &CountTask) -> ChunkResult {
     let mut partial = 0.0f64;
     let mut stats = ProcessingStats::default();
     for position in task.range.clone() {
-        let element = task.batch[position];
+        let element = task.elements[position];
         let view = VersionView::new(&task.sample, &task.deltas, position as u32);
         let per_edge = count_butterflies_with_edge(&view, element.edge);
         let is_insert = element.delta.is_insert();
@@ -79,17 +86,28 @@ pub(super) fn execute_task(task: &CountTask) -> ChunkResult {
         stats.record_element(is_insert, per_edge.butterflies, per_edge.comparisons);
     }
     ChunkResult {
+        batch: task.batch,
         chunk_index: task.chunk_index,
         partial,
         stats,
     }
 }
 
+/// What a worker reports per executed chunk: the result, or the panic
+/// message if the chunk panicked.  Propagating panics through the channel
+/// keeps a buggy kernel a loud test failure instead of a coordinator that
+/// blocks forever on a result that will never arrive.
+type WorkerReport = Result<ChunkResult, String>;
+
 /// A fixed-size pool of persistent counting workers.
 #[derive(Debug)]
 pub(super) struct CountingPool {
     task_tx: Option<Sender<CountTask>>,
-    result_rx: Receiver<ChunkResult>,
+    result_rx: Receiver<WorkerReport>,
+    /// Results that arrived for a newer batch while an older one was being
+    /// collected (workers finish chunks in arbitrary order across in-flight
+    /// batches); handed out by a later [`collect_batch`](Self::collect_batch).
+    parked: Vec<ChunkResult>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -98,7 +116,7 @@ impl CountingPool {
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "a counting pool needs at least one worker");
         let (task_tx, task_rx) = crossbeam::channel::unbounded::<CountTask>();
-        let (result_tx, result_rx) = crossbeam::channel::unbounded::<ChunkResult>();
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<WorkerReport>();
         let handles = (0..workers)
             .map(|index| {
                 let task_rx = task_rx.clone();
@@ -107,12 +125,17 @@ impl CountingPool {
                     .name(format!("parabacus-worker-{index}"))
                     .spawn(move || {
                         while let Ok(task) = task_rx.recv() {
-                            let result = execute_task(&task);
+                            let report =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    execute_task(&task)
+                                }))
+                                .map_err(|payload| panic_message(&payload));
                             // Release the Arc handles before reporting, so the
-                            // coordinator can mutate the sample in place once
-                            // all results of the batch arrived.
+                            // coordinator can recycle the version's buffers
+                            // once all results of the batch arrived.
                             drop(task);
-                            if result_tx.send(result).is_err() {
+                            let failed = report.is_err();
+                            if result_tx.send(report).is_err() || failed {
                                 break;
                             }
                         }
@@ -123,6 +146,7 @@ impl CountingPool {
         CountingPool {
             task_tx: Some(task_tx),
             result_rx,
+            parked: Vec::new(),
             workers: handles,
         }
     }
@@ -136,15 +160,50 @@ impl CountingPool {
             .expect("PARABACUS worker threads terminated unexpectedly");
     }
 
-    /// Collects exactly `count` chunk results (in completion order).
-    pub fn collect(&self, count: usize) -> Vec<ChunkResult> {
-        (0..count)
-            .map(|_| {
-                self.result_rx
-                    .recv()
-                    .expect("PARABACUS worker threads terminated unexpectedly")
-            })
-            .collect()
+    /// Collects exactly the `count` chunk results of mini-batch `batch` (in
+    /// completion order), parking results of other in-flight batches for
+    /// their own later collection.
+    ///
+    /// When [`collect_batch`](Self::collect_batch) returns, every worker that
+    /// executed a chunk of `batch` has already dropped its task — and with it
+    /// its `Arc` handles on that batch's sample version — so the coordinator
+    /// can recycle the version's buffer.
+    /// # Panics
+    /// Re-raises (as a coordinator panic) any panic that occurred on a worker
+    /// thread while executing a chunk.
+    pub fn collect_batch(&mut self, batch: u64, count: usize) -> Vec<ChunkResult> {
+        let mut results = Vec::with_capacity(count);
+        self.parked.retain(|result| {
+            if result.batch == batch {
+                results.push(*result);
+                false
+            } else {
+                true
+            }
+        });
+        while results.len() < count {
+            let report = self
+                .result_rx
+                .recv()
+                .expect("PARABACUS worker threads terminated unexpectedly");
+            match report {
+                Ok(result) if result.batch == batch => results.push(result),
+                Ok(result) => self.parked.push(result),
+                Err(message) => panic!("PARABACUS worker panicked: {message}"),
+            }
+        }
+        results
+    }
+}
+
+/// Best-effort extraction of a human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -184,15 +243,16 @@ mod tests {
         ]
     }
 
-    fn task_for(batch: Vec<StreamElement>, range: Range<usize>) -> CountTask {
+    fn task_for(elements: Vec<StreamElement>, range: Range<usize>) -> CountTask {
         let sample = sample_with(&[(0, 11), (1, 10), (1, 11)]);
         let mut deltas = VersionedDeltas::new();
         deltas.seal(&sample);
-        let triplets = triplets_for(batch.len());
+        let triplets = triplets_for(elements.len());
         CountTask {
+            batch: 0,
             sample: Arc::new(sample),
             deltas: Arc::new(deltas),
-            batch: Arc::new(batch),
+            elements: Arc::new(elements),
             triplets: Arc::new(triplets),
             range,
             chunk_index: 0,
@@ -227,14 +287,14 @@ mod tests {
 
     #[test]
     fn pool_runs_tasks_and_returns_all_results() {
-        let pool = CountingPool::new(3);
+        let mut pool = CountingPool::new(3);
         let batch = vec![StreamElement::insert(Edge::new(0, 10)); 8];
         for chunk in 0..4usize {
             let mut task = task_for(batch.clone(), (chunk * 2)..(chunk * 2 + 2));
             task.chunk_index = chunk;
             pool.submit(task);
         }
-        let mut results = pool.collect(4);
+        let mut results = pool.collect_batch(0, 4);
         results.sort_by_key(|r| r.chunk_index);
         assert_eq!(results.len(), 4);
         for (i, result) in results.iter().enumerate() {
@@ -244,12 +304,37 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_batches_are_collected_separately() {
+        let mut pool = CountingPool::new(4);
+        let elements = vec![StreamElement::insert(Edge::new(0, 10)); 2];
+        // Two in-flight batches with two chunks each, submitted interleaved.
+        for chunk in 0..2usize {
+            for batch_id in 0..2u64 {
+                let mut task = task_for(elements.clone(), 0..2);
+                task.batch = batch_id;
+                task.chunk_index = chunk;
+                pool.submit(task);
+            }
+        }
+        // Collect the batches in order; results of batch 1 that complete
+        // early must be parked, not lost and not misattributed.
+        for batch_id in 0..2u64 {
+            let results = pool.collect_batch(batch_id, 2);
+            assert_eq!(results.len(), 2);
+            assert!(results.iter().all(|r| r.batch == batch_id));
+            assert_eq!(results.iter().map(|r| r.stats.elements).sum::<u64>(), 4);
+        }
+        assert!(pool.parked.is_empty());
+    }
+
+    #[test]
     fn workers_release_their_handles_before_reporting() {
-        let pool = CountingPool::new(2);
-        let batch = Arc::new(vec![StreamElement::insert(Edge::new(0, 10)); 4]);
+        let mut pool = CountingPool::new(2);
+        let elements = Arc::new(vec![StreamElement::insert(Edge::new(0, 10)); 4]);
         let mut task = task_for(Vec::new(), 0..0);
-        task.batch = Arc::clone(&batch);
-        task.triplets = Arc::new(triplets_for(batch.len()));
+        task.batch = 0;
+        task.elements = Arc::clone(&elements);
+        task.triplets = Arc::new(triplets_for(elements.len()));
         task.range = 0..4;
         pool.submit(task.clone());
         pool.submit(CountTask {
@@ -257,10 +342,10 @@ mod tests {
             chunk_index: 1,
             ..task
         });
-        let _ = pool.collect(2);
+        let _ = pool.collect_batch(0, 2);
         // Both workers reported, so the only remaining strong reference to the
-        // batch is the local one.
-        assert_eq!(Arc::strong_count(&batch), 1);
+        // element vector is the local one.
+        assert_eq!(Arc::strong_count(&elements), 1);
     }
 
     #[test]

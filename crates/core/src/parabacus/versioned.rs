@@ -83,9 +83,17 @@ struct VertexLog {
 }
 
 /// Per-vertex log of the adjacency changes applied during one mini-batch.
+///
+/// Besides the per-vertex query indexes, the log keeps the batch's edge-level
+/// operations in application order ([`replay_onto`](Self::replay_onto)): the
+/// pipelined PARABACUS engine uses it to bring a stale double-buffered sample
+/// copy up to date in O(batch) instead of re-cloning the whole sample.
 #[derive(Debug, Clone, Default)]
 pub struct VersionedDeltas {
     per_vertex: FxHashMap<VertexRef, VertexLog>,
+    /// Edge-level `(edge, added)` operations in the exact order they were
+    /// applied to the live sample.
+    ops: Vec<(Edge, bool)>,
     recorded_ops: usize,
     sealed: bool,
 }
@@ -115,8 +123,31 @@ impl VersionedDeltas {
         // the outer map but clearing it gives the same semantics and the
         // allocator a chance to reuse the buckets.
         self.per_vertex.clear();
+        self.ops.clear();
         self.recorded_ops = 0;
         self.sealed = false;
+    }
+
+    /// Re-applies this batch's sample mutations, in order, to `sample`.
+    ///
+    /// `sample` must be in exactly the state the live sample had *before*
+    /// this batch (the pipelined engine guarantees that by replaying batches
+    /// in dispatch order onto the recycled buffer).  Afterwards `sample` is
+    /// semantically — and, because [`SampleGraph`]'s mutations are
+    /// deterministic in the operation sequence, structurally — identical to
+    /// the live sample after this batch, so subsequent Random Pairing
+    /// decisions (including random-victim eviction) are bit-for-bit the same
+    /// as if they had run on the original buffer.
+    pub fn replay_onto(&self, sample: &mut SampleGraph) {
+        use abacus_sampling::SampleStore;
+        for &(edge, added) in &self.ops {
+            if added {
+                sample.store_insert(edge);
+            } else {
+                let removed = sample.store_remove(&edge);
+                debug_assert!(removed, "replay removed an edge that was not present");
+            }
+        }
     }
 
     /// Records that `edge` was added to / removed from the sample while
@@ -127,6 +158,7 @@ impl VersionedDeltas {
     pub fn record(&mut self, version: u32, added: bool, edge: Edge) {
         assert!(!self.sealed, "cannot record into a sealed delta log");
         self.recorded_ops += 1;
+        self.ops.push((edge, added));
         self.per_vertex
             .entry(edge.left_ref())
             .or_default()
@@ -552,6 +584,38 @@ mod tests {
         assert!(!v1.view_contains(VertexRef::left(1), 10));
         let v2 = VersionView::new(&sample, &deltas, 2);
         assert!(v2.view_contains(VertexRef::left(1), 10));
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_sample_structurally() {
+        let mut sample = SampleGraph::new();
+        for i in 0..6u32 {
+            sample.store_insert(edge(i, i + 10));
+        }
+        let before = sample.clone();
+
+        let mut deltas = VersionedDeltas::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for (version, &(op, l, r)) in [(0u8, 7u32, 20u32), (1, 0, 10), (2, 8, 21), (0, 9, 22)]
+            .iter()
+            .enumerate()
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, version as u32);
+            match op {
+                0 => rec.store_insert(edge(l, r)),
+                1 => {
+                    rec.store_remove(&edge(l, r));
+                }
+                _ => rec.store_replace_random(edge(l, r), &mut rng),
+            }
+        }
+
+        let mut replica = before;
+        deltas.replay_onto(&mut replica);
+        // Structural equality matters: the dense edge vector must have the
+        // same slot order so later random-victim draws pick the same edges.
+        assert_eq!(replica.edges(), sample.edges());
+        assert_eq!(replica.len(), sample.len());
     }
 
     #[test]

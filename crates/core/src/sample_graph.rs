@@ -6,9 +6,8 @@
 //! so that the Random Pairing policy can evict a uniformly random edge in
 //! O(1).
 //!
-//! [`SampleGraph`] implements both
-//! [`SampleStore`](abacus_sampling::SampleStore) (so the sampling policy can
-//! drive it) and [`NeighborhoodView`](abacus_graph::NeighborhoodView) (so the
+//! [`SampleGraph`] implements both [`SampleStore`] (so the sampling policy
+//! can drive it) and [`NeighborhoodView`] (so the
 //! per-edge butterfly kernel can query it).
 
 use abacus_graph::adjacency::AdjacencySet;

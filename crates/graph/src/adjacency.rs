@@ -13,20 +13,100 @@
 //! The container never stores duplicates and supports O(1) expected insert,
 //! remove and membership operations — exactly what the per-edge butterfly
 //! counting kernel needs.
+//!
+//! Large sets additionally memoise a sorted copy of their elements
+//! ([`LargeSet::sorted`], invalidated on every mutation) so that the
+//! intersection kernels can switch to a cache-friendly sorted-merge when both
+//! operands are hubs — the hot case of the per-edge counting phase, where the
+//! sample is frozen and the cache is built once and reused for every
+//! intersection of the batch.
 
 use crate::fxhash::FxHashSet;
 use std::collections::hash_set;
+use std::sync::OnceLock;
 
 /// Maximum number of neighbors kept in the vector representation.
 pub const SMALL_THRESHOLD: usize = 32;
 
+/// The hash-backed representation of a large neighbor set, plus a lazily
+/// built sorted copy of the elements.
+///
+/// The sorted copy feeds the sorted-merge intersection kernel
+/// ([`crate::intersect::intersection_count`] and friends).  It is built on
+/// first use — typically during a counting phase, when the owning graph is
+/// immutable — and dropped by any subsequent mutation, so it can never go
+/// stale.  Building is thread-safe ([`OnceLock`]), which matters because
+/// PARABACUS worker threads intersect shared, frozen samples concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct LargeSet {
+    set: FxHashSet<u32>,
+    sorted: OnceLock<Vec<u32>>,
+}
+
+impl LargeSet {
+    fn with_capacity(capacity: usize) -> Self {
+        LargeSet {
+            set: crate::fxhash::fx_hashset_with_capacity(capacity),
+            sorted: OnceLock::new(),
+        }
+    }
+
+    /// The elements in ascending order, memoised until the next mutation.
+    #[must_use]
+    pub fn sorted(&self) -> &[u32] {
+        self.sorted.get_or_init(|| {
+            let mut v: Vec<u32> = self.set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// O(1) expected membership probe.
+    #[must_use]
+    pub fn contains(&self, x: u32) -> bool {
+        self.set.contains(&x)
+    }
+
+    fn invalidate(&mut self) {
+        self.sorted.take();
+    }
+}
+
 /// A set of neighbor identifiers (`u32`) with a size-adaptive representation.
+///
+/// ```
+/// use abacus_graph::adjacency::AdjacencySet;
+///
+/// let mut neighbors = AdjacencySet::new();
+/// assert!(neighbors.insert(7));
+/// assert!(!neighbors.insert(7)); // duplicates are rejected
+/// assert!(neighbors.contains(7));
+/// assert!(neighbors.remove(7));
+/// assert!(neighbors.is_empty());
+///
+/// // Collecting promotes past the small-vector threshold automatically.
+/// let hub: AdjacencySet = (0..100u32).collect();
+/// assert_eq!(hub.len(), 100);
+/// assert_eq!(hub.to_sorted_vec().first(), Some(&0));
+/// ```
 #[derive(Debug, Clone)]
 pub enum AdjacencySet {
     /// Unsorted vector representation for small sets.
     Small(Vec<u32>),
     /// Hash-set representation for large sets.
-    Large(FxHashSet<u32>),
+    Large(LargeSet),
 }
 
 impl Default for AdjacencySet {
@@ -49,7 +129,7 @@ impl AdjacencySet {
         if capacity <= SMALL_THRESHOLD {
             AdjacencySet::Small(Vec::with_capacity(capacity))
         } else {
-            AdjacencySet::Large(crate::fxhash::fx_hashset_with_capacity(capacity))
+            AdjacencySet::Large(LargeSet::with_capacity(capacity))
         }
     }
 
@@ -76,7 +156,7 @@ impl AdjacencySet {
     pub fn contains(&self, x: u32) -> bool {
         match self {
             AdjacencySet::Small(v) => v.contains(&x),
-            AdjacencySet::Large(s) => s.contains(&x),
+            AdjacencySet::Large(s) => s.contains(x),
         }
     }
 
@@ -88,17 +168,22 @@ impl AdjacencySet {
                     return false;
                 }
                 if v.len() == SMALL_THRESHOLD {
-                    let mut set: FxHashSet<u32> =
-                        crate::fxhash::fx_hashset_with_capacity(SMALL_THRESHOLD * 2);
-                    set.extend(v.iter().copied());
-                    set.insert(x);
-                    *self = AdjacencySet::Large(set);
+                    let mut large = LargeSet::with_capacity(SMALL_THRESHOLD * 2);
+                    large.set.extend(v.iter().copied());
+                    large.set.insert(x);
+                    *self = AdjacencySet::Large(large);
                 } else {
                     v.push(x);
                 }
                 true
             }
-            AdjacencySet::Large(s) => s.insert(x),
+            AdjacencySet::Large(s) => {
+                let inserted = s.set.insert(x);
+                if inserted {
+                    s.invalidate();
+                }
+                inserted
+            }
         }
     }
 
@@ -113,7 +198,13 @@ impl AdjacencySet {
                     false
                 }
             }
-            AdjacencySet::Large(s) => s.remove(&x),
+            AdjacencySet::Large(s) => {
+                let removed = s.set.remove(&x);
+                if removed {
+                    s.invalidate();
+                }
+                removed
+            }
         }
     }
 
@@ -121,7 +212,10 @@ impl AdjacencySet {
     pub fn clear(&mut self) {
         match self {
             AdjacencySet::Small(v) => v.clear(),
-            AdjacencySet::Large(s) => s.clear(),
+            AdjacencySet::Large(s) => {
+                s.set.clear();
+                s.invalidate();
+            }
         }
     }
 
@@ -129,7 +223,19 @@ impl AdjacencySet {
     pub fn iter(&self) -> AdjacencyIter<'_> {
         match self {
             AdjacencySet::Small(v) => AdjacencyIter::Small(v.iter()),
-            AdjacencySet::Large(s) => AdjacencyIter::Large(s.iter()),
+            AdjacencySet::Large(s) => AdjacencyIter::Large(s.set.iter()),
+        }
+    }
+
+    /// The large-set representation, if this set has been promoted.
+    ///
+    /// The intersection kernels use this to reach the memoised sorted copy
+    /// without exposing the representation choice anywhere else.
+    #[must_use]
+    pub fn as_large(&self) -> Option<&LargeSet> {
+        match self {
+            AdjacencySet::Small(_) => None,
+            AdjacencySet::Large(s) => Some(s),
         }
     }
 
@@ -150,7 +256,13 @@ impl AdjacencySet {
             // A hashbrown bucket stores the element plus one control byte and
             // the table is at most ~8/7 over-allocated; 8 bytes/entry of
             // capacity is a serviceable estimate for accounting purposes.
-            AdjacencySet::Large(s) => s.capacity() * 8,
+            // The memoised sorted copy is accounted only once built.
+            AdjacencySet::Large(s) => {
+                s.set.capacity() * 8
+                    + s.sorted
+                        .get()
+                        .map_or(0, |v| v.capacity() * std::mem::size_of::<u32>())
+            }
         }
     }
 }
@@ -278,6 +390,30 @@ mod tests {
         let seen: BTreeSet<u32> = s.iter().collect();
         assert_eq!(seen.len(), 100);
         assert_eq!(s.iter().len(), 100);
+    }
+
+    #[test]
+    fn sorted_cache_is_built_lazily_and_invalidated_on_mutation() {
+        let mut s: AdjacencySet = (0..80u32).rev().collect();
+        let large = s.as_large().expect("80 elements must be Large");
+        let expected: Vec<u32> = (0..80).collect();
+        assert_eq!(large.sorted(), &expected[..]);
+
+        s.insert(200);
+        let mut expected: Vec<u32> = (0..80).collect();
+        expected.push(200);
+        assert_eq!(s.as_large().unwrap().sorted(), &expected[..]);
+
+        s.remove(0);
+        assert_eq!(s.as_large().unwrap().sorted(), &expected[1..]);
+
+        // Failed mutations keep the cache.
+        let before = s.as_large().unwrap().sorted().as_ptr();
+        s.insert(200);
+        s.remove(0);
+        assert_eq!(s.as_large().unwrap().sorted().as_ptr(), before);
+
+        assert!(AdjacencySet::new().as_large().is_none());
     }
 
     #[test]

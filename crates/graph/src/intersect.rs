@@ -6,18 +6,34 @@
 //! larger one supports O(1) membership probes, which is why ABACUS picks the
 //! "cheapest side" before intersecting.
 //!
-//! Two kernels are provided:
+//! Two kernel families are provided:
 //!
-//! * [`intersection_count`] / [`intersection_count_excluding`] — hash-probe
-//!   intersection over [`AdjacencySet`]s (the production kernel),
-//! * [`sorted_merge_intersection_count`] — classic two-pointer merge over
-//!   sorted slices, kept as an ablation target for the micro-benchmarks.
+//! * [`intersection_count`] / [`intersection_count_excluding`] — the
+//!   production kernels over [`AdjacencySet`]s.  They probe the larger set
+//!   with the elements of the smaller one, **except** when both operands are
+//!   hash-backed hubs of comparable size: then they switch to a two-pointer
+//!   sorted merge over the sets' memoised sorted copies
+//!   ([`LargeSet::sorted`](crate::adjacency::LargeSet::sorted)), which walks
+//!   memory sequentially instead of cache-missing once per probe,
+//! * [`sorted_merge_intersection_count`] — the bare two-pointer merge over
+//!   sorted slices, usable directly and kept as an ablation target for the
+//!   micro-benchmarks.
 //!
-//! All kernels report the number of membership *probes* (`comparisons`) they
-//! performed; PARABACUS aggregates these per worker thread to reproduce the
-//! load-balance experiment (Fig. 10).
+//! The production kernels report `comparisons` under the *probe model* of the
+//! paper — the number of membership probes the probe kernel performs, i.e.
+//! the size of the smaller set after exclusions — regardless of which code
+//! path actually ran.  This keeps the per-thread workload counters of the
+//! load-balance experiment (Fig. 10) — and PARABACUS/ABACUS work parity —
+//! independent of kernel selection.  Only [`sorted_merge_intersection_count`]
+//! reports its literal pointer advances, since measuring those is the point
+//! of the ablation.
 
 use crate::adjacency::AdjacencySet;
+
+/// Use the sorted-merge path only when the larger hub is at most this many
+/// times the smaller one: a merge always advances through both sets, so with
+/// heavily skewed sizes probing the big set `|small|` times is cheaper.
+const MERGE_SIZE_RATIO: usize = 8;
 
 /// Result of an intersection: how many common elements and how many probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,11 +53,68 @@ impl IntersectionResult {
     }
 }
 
-/// Counts `|a ∩ b|` by probing the larger set with elements of the smaller.
+/// Whether the hub-vs-hub sorted-merge path applies to this operand pair.
+///
+/// Which path runs can never change the reported numbers: counts are exact
+/// set intersections either way, and `comparisons` follow the probe model in
+/// both paths, so ABACUS/PARABACUS work parity is independent of this
+/// decision.
+#[inline]
+fn merge_applies(small: &AdjacencySet, large: &AdjacencySet) -> bool {
+    // Both operands must actually be hash-backed: a `Large` set that shrank
+    // can be outsized by a vector-backed `Small` one, which has no sorted
+    // cache to merge over.
+    small.as_large().is_some()
+        && large.as_large().is_some()
+        && large.len() <= small.len().saturating_mul(MERGE_SIZE_RATIO)
+}
+
+/// Two-pointer match count over the memoised sorted copies, skipping
+/// `exclude` (pass a value outside the id space to skip nothing).
+#[inline]
+fn merge_count(small: &AdjacencySet, large: &AdjacencySet, exclude: Option<u32>) -> u64 {
+    let (a, b) = (
+        small
+            .as_large()
+            .expect("merge path requires Large")
+            .sorted(),
+        large
+            .as_large()
+            .expect("merge path requires Large")
+            .sorted(),
+    );
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if Some(a[i]) != exclude {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts `|a ∩ b|` by probing the larger set with elements of the smaller,
+/// or by a sorted merge when both operands are comparably sized hubs.
 #[inline]
 #[must_use]
 pub fn intersection_count(a: &AdjacencySet, b: &AdjacencySet) -> IntersectionResult {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if merge_applies(small, large) {
+        return IntersectionResult {
+            count: merge_count(small, large, None),
+            // Probe model: what the probe kernel would have performed.
+            comparisons: small.len() as u64,
+        };
+    }
     let mut count = 0u64;
     let mut comparisons = 0u64;
     for x in small.iter() {
@@ -66,6 +139,13 @@ pub fn intersection_count_excluding(
     exclude: u32,
 ) -> IntersectionResult {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if merge_applies(small, large) {
+        return IntersectionResult {
+            count: merge_count(small, large, Some(exclude)),
+            // Probe model: the probe kernel skips `exclude` without probing.
+            comparisons: small.len() as u64 - u64::from(small.contains(exclude)),
+        };
+    }
     let mut count = 0u64;
     let mut comparisons = 0u64;
     for x in small.iter() {
@@ -167,6 +247,97 @@ mod tests {
     }
 
     #[test]
+    fn sorted_merge_with_one_empty_side_is_free() {
+        let r = sorted_merge_intersection_count(&[], &[1, 2, 3]);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.comparisons, 0);
+        let r = sorted_merge_intersection_count(&[1, 2, 3], &[]);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.comparisons, 0);
+        let r = sorted_merge_intersection_count(&[], &[]);
+        assert_eq!(r, IntersectionResult::default());
+    }
+
+    #[test]
+    fn sorted_merge_with_identical_inputs_matches_everything() {
+        let v: Vec<u32> = (0..50).collect();
+        let r = sorted_merge_intersection_count(&v, &v);
+        assert_eq!(r.count, 50);
+        assert_eq!(r.comparisons, 50); // every advance is a match
+    }
+
+    #[test]
+    fn sorted_merge_comparisons_are_bounded_by_total_length() {
+        let a: Vec<u32> = (0..40).map(|x| x * 2).collect(); // evens
+        let b: Vec<u32> = (0..40).map(|x| x * 2 + 1).collect(); // odds
+        let r = sorted_merge_intersection_count(&a, &b);
+        assert_eq!(r.count, 0);
+        assert!(r.comparisons <= (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must be sorted")]
+    fn sorted_merge_rejects_duplicates_in_debug_builds() {
+        // The duplicate-free (strictly ascending) invariant is enforced by a
+        // debug assertion; `w[0] < w[1]` fails on the repeated 2.
+        let _ = sorted_merge_intersection_count(&[1, 2, 2, 3], &[2]);
+    }
+
+    #[test]
+    fn hub_pairs_take_the_merge_path_with_probe_model_comparisons() {
+        // Both sets are Large (>32 elements) and comparably sized, so the
+        // kernels merge the memoised sorted copies — but the reported
+        // comparisons must still follow the probe model.
+        let a: AdjacencySet = (0..60u32).collect();
+        let b: AdjacencySet = (30..100u32).collect();
+        assert!(a.as_large().is_some() && b.as_large().is_some());
+
+        let r = intersection_count(&a, &b);
+        assert_eq!(r.count, 30);
+        assert_eq!(r.comparisons, 60); // |a| = the smaller side
+
+        let r = intersection_count_excluding(&a, &b, 30);
+        assert_eq!(r.count, 29);
+        assert_eq!(r.comparisons, 59); // the excluded member is never probed
+        let r = intersection_count_excluding(&a, &b, 1_000);
+        assert_eq!(r.count, 30);
+        assert_eq!(r.comparisons, 60);
+    }
+
+    #[test]
+    fn shrunken_large_sets_fall_back_to_probing() {
+        // Regression: a `Large` set that shrank below the small threshold can
+        // be the *smaller* operand of a `Small`-variant set; the merge path
+        // must not be taken (the vector side has no sorted cache).
+        let mut shrunk: AdjacencySet = (0..40u32).collect();
+        for x in 8..40 {
+            shrunk.remove(x);
+        }
+        assert!(shrunk.as_large().is_some() && shrunk.len() == 8);
+        let small_variant: AdjacencySet = (0..20u32).collect();
+        assert!(small_variant.as_large().is_none());
+        let r = intersection_count(&shrunk, &small_variant);
+        assert_eq!(r.count, 8);
+        assert_eq!(r.comparisons, 8);
+        let r = intersection_count_excluding(&shrunk, &small_variant, 3);
+        assert_eq!(r.count, 7);
+        assert_eq!(r.comparisons, 7);
+    }
+
+    #[test]
+    fn skewed_hub_pairs_keep_the_probe_path() {
+        // Size ratio beyond MERGE_SIZE_RATIO: probing |small| times beats
+        // advancing through both sets.
+        let small: AdjacencySet = (0..40u32).collect();
+        let large: AdjacencySet = (0..1_000u32).collect();
+        assert!(!merge_applies(&small, &large));
+        let r = intersection_count(&small, &large);
+        assert_eq!(r.count, 40);
+        assert_eq!(r.comparisons, 40);
+    }
+
+    #[test]
     fn sorted_merge_matches_hash_probe() {
         let a = set(&[1, 5, 9, 11, 20]);
         let b = set(&[5, 9, 10, 20, 30]);
@@ -215,6 +386,26 @@ mod tests {
             let av = a.to_sorted_vec();
             let bv = b.to_sorted_vec();
             prop_assert_eq!(sorted_merge_intersection_count(&av, &bv).count, expected);
+        }
+
+        /// The sorted-merge kernel agrees with `intersection_count` on random
+        /// sets of every size class (Small/Small, Small/Large, Large/Large),
+        /// and the production kernels' probe-model comparisons depend only on
+        /// the smaller operand regardless of which path ran.
+        #[test]
+        fn sorted_merge_agrees_with_production_kernel(
+            xs in proptest::collection::btree_set(0u32..400, 0..120),
+            ys in proptest::collection::btree_set(0u32..400, 0..120),
+        ) {
+            let a: AdjacencySet = xs.iter().copied().collect();
+            let b: AdjacencySet = ys.iter().copied().collect();
+            let av: Vec<u32> = xs.iter().copied().collect();
+            let bv: Vec<u32> = ys.iter().copied().collect();
+            let merged = sorted_merge_intersection_count(&av, &bv);
+            let probed = intersection_count(&a, &b);
+            prop_assert_eq!(merged.count, probed.count);
+            prop_assert_eq!(probed.comparisons, xs.len().min(ys.len()) as u64);
+            prop_assert!(merged.comparisons <= (xs.len() + ys.len()) as u64);
         }
     }
 }

@@ -3,9 +3,9 @@
 //! Bounded-memory sampling schemes for data streams, decoupled from what the
 //! sample physically stores:
 //!
-//! * [`store`] — the [`SampleStore`](store::SampleStore) trait (ABACUS stores
-//!   its sample as a graph, the baselines as edge reservoirs, tests as plain
-//!   vectors) plus a reference [`VecSampleStore`](store::VecSampleStore),
+//! * [`store`] — the [`SampleStore`] trait (ABACUS stores its sample as a
+//!   graph, the baselines as edge reservoirs, tests as plain vectors) plus a
+//!   reference [`VecSampleStore`],
 //! * [`random_pairing`] — Random Pairing (Gemulla et al., VLDB J. 2008), the
 //!   scheme ABACUS uses to keep a *uniform* bounded sample under both
 //!   insertions and deletions (Algorithm 2 of the paper),

@@ -55,6 +55,29 @@ impl RandomPairingState {
 /// The policy is generic over the [`SampleStore`] that physically holds the
 /// sampled items, so the same implementation drives both the unit-test vector
 /// store and ABACUS's adjacency-list sample graph.
+///
+/// ```
+/// use abacus_sampling::{RandomPairing, SampleStore, VecSampleStore};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut policy = RandomPairing::new(2);
+/// let mut store: VecSampleStore<u32> = VecSampleStore::default();
+/// let mut rng = StdRng::seed_from_u64(7);
+///
+/// // Within budget every insertion is sampled.
+/// policy.insert(10, &mut store, &mut rng);
+/// policy.insert(20, &mut store, &mut rng);
+/// assert_eq!(store.store_len(), 2);
+///
+/// // A deletion of a sampled item leaves a "bad deletion" debt that the
+/// // next insertion pays off instead of being sampled afresh.
+/// policy.delete(&10, &mut store);
+/// assert_eq!(policy.state().bad_deletions, 1);
+/// policy.insert(30, &mut store, &mut rng);
+/// assert_eq!(policy.state().outstanding_deletions(), 0);
+/// assert_eq!(policy.state().live_items, 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RandomPairing {
     budget: usize,
