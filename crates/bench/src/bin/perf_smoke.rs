@@ -1,0 +1,327 @@
+//! Fixed-seed perf-smoke harness: emits machine-readable benchmark artifacts
+//! so the perf trajectory of the counting hot path is tracked in CI.
+//!
+//! Two JSON files are written (to `ABACUS_BENCH_DIR`, default the current
+//! directory):
+//!
+//! * `BENCH_intersect.json` — median ns/op of every intersection kernel
+//!   (probe / merge / branchless merge / gallop / adaptive) at three
+//!   operand-size ratios,
+//! * `BENCH_parabacus.json` — ABACUS and single-thread PARABACUS wall time
+//!   and throughput over a fixed dataset-analog stream, with the frozen CSR
+//!   counting snapshot on and off, plus the snapshot's counting-phase
+//!   reduction in percent.
+//!
+//! Everything is seeded; run-to-run noise comes only from the machine.  Keep
+//! the workload small — this runs on every CI push.
+//!
+//! Run with `cargo run --release -p abacus-bench --bin perf_smoke`.
+
+use abacus_core::{
+    Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SnapshotMode,
+};
+use abacus_graph::intersect::{
+    intersection_count_with, sorted_adaptive_count, sorted_gallop_count,
+    sorted_merge_count_branchless, sorted_merge_intersection_count, KernelTuning,
+};
+use abacus_graph::AdjacencySet;
+use abacus_stream::{Dataset, StreamElement};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median of the measured values (input order is irrelevant).
+fn median(mut values: Vec<f64>) -> f64 {
+    assert!(!values.is_empty(), "median of zero samples");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    values[values.len() / 2]
+}
+
+/// One emitted measurement row.
+struct Row {
+    name: String,
+    median_ns_per_op: f64,
+    ops_per_second: f64,
+}
+
+fn json_document(bench: &str, rows: &[Row], extra: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    for (key, value) in extra {
+        out.push_str(&format!("  \"{key}\": {value:.3},\n"));
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_op\": {:.1}, \"ops_per_second\": {:.0}}}{comma}\n",
+            row.name, row.median_ns_per_op, row.ops_per_second
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Times `routine` (`iterations` calls per trial, median over `trials`).
+fn measure<F: FnMut()>(trials: usize, iterations: usize, mut routine: F) -> f64 {
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            routine();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e9 / iterations as f64);
+    }
+    median(samples)
+}
+
+fn sorted_ids(len: usize, rng: &mut StdRng) -> Vec<u32> {
+    let mut out = Vec::with_capacity(len);
+    let mut next = 0u32;
+    while out.len() < len {
+        next += rng.random_range(1u32..=8);
+        out.push(next);
+    }
+    out
+}
+
+fn intersect_rows(trials: usize) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let small_len = 256usize;
+    let small_sorted = sorted_ids(small_len, &mut rng);
+    let small_set: AdjacencySet = small_sorted.iter().copied().collect();
+    let probe_only = KernelTuning {
+        merge_size_ratio: 0,
+        ..KernelTuning::default()
+    };
+    let mut rows = Vec::new();
+    for ratio in [1usize, 8, 64] {
+        let large_sorted = sorted_ids(small_len * ratio, &mut rng);
+        let large_set: AdjacencySet = large_sorted.iter().copied().collect();
+        let iterations = 2_000;
+        let kernels: Vec<(String, Box<dyn FnMut() + '_>)> = vec![
+            (
+                format!("probe/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(intersection_count_with(&small_set, &large_set, probe_only));
+                }),
+            ),
+            (
+                format!("merge/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(sorted_merge_intersection_count(
+                        &small_sorted,
+                        &large_sorted,
+                    ));
+                }),
+            ),
+            (
+                format!("merge_branchless/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(sorted_merge_count_branchless(&small_sorted, &large_sorted));
+                }),
+            ),
+            (
+                format!("gallop/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(sorted_gallop_count(&small_sorted, &large_sorted));
+                }),
+            ),
+            (
+                format!("adaptive/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(sorted_adaptive_count(
+                        &small_sorted,
+                        &large_sorted,
+                        KernelTuning::default(),
+                    ));
+                }),
+            ),
+        ];
+        for (name, mut kernel) in kernels {
+            let ns = measure(trials, iterations, &mut kernel);
+            rows.push(Row {
+                name,
+                median_ns_per_op: ns,
+                ops_per_second: 1e9 / ns.max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+/// One timed PARABACUS run: (total seconds, counting-phase seconds).
+fn run_parabacus(
+    stream: &[StreamElement],
+    budget: usize,
+    batch: usize,
+    snapshot: SnapshotMode,
+) -> (f64, f64) {
+    let mut estimator = ParAbacus::new(
+        ParAbacusConfig::new(budget)
+            .with_seed(SEED)
+            .with_batch_size(batch)
+            .with_threads(1)
+            .with_pipeline_depth(1)
+            .with_snapshot(snapshot),
+    );
+    let start = Instant::now();
+    estimator.process_stream(stream);
+    let total = start.elapsed().as_secs_f64();
+    black_box(estimator.estimate());
+    (total, estimator.phase_timings().counting_seconds)
+}
+
+/// One timed ABACUS run (total seconds).
+fn run_abacus(stream: &[StreamElement], budget: usize, snapshot: SnapshotMode) -> f64 {
+    let mut estimator = Abacus::new(
+        AbacusConfig::new(budget)
+            .with_seed(SEED)
+            .with_snapshot(snapshot),
+    );
+    let start = Instant::now();
+    estimator.process_stream(stream);
+    let total = start.elapsed().as_secs_f64();
+    black_box(estimator.estimate());
+    total
+}
+
+/// The fig9/fig4-style workloads at threads = 1: the Movielens-like (probe
+/// dense) and Trackers-like (hub skewed) analogs at the speedup scale,
+/// budget 7500, batch size 10000 (fig9; Movielens-like additionally at the
+/// fig4 default M = 500), with the snapshot off, forced on, and in the
+/// shipped adaptive `auto` mode.
+///
+/// The runs of every configuration are *interleaved per trial* and the
+/// reduction metrics are medians of per-trial ratios: this container's
+/// throughput drifts by tens of percent over seconds, so back-to-back
+/// pairing is the only way to get a stable comparison.
+fn parabacus_rows(trials: usize) -> (Vec<Row>, Vec<(String, f64)>) {
+    let budget = env_usize("ABACUS_PERF_SMOKE_BUDGET", 7_500);
+    let scale = env_usize("ABACUS_PERF_SMOKE_SCALE", 4) as u32;
+    let take = env_usize("ABACUS_PERF_SMOKE_ELEMENTS", usize::MAX);
+
+    let mut rows = Vec::new();
+    let mut extra = vec![("budget".to_string(), budget as f64)];
+
+    for dataset in [Dataset::MovielensLike, Dataset::TrackersLike] {
+        let name = match dataset {
+            Dataset::MovielensLike => "movielens",
+            _ => "trackers",
+        };
+        let stream: Vec<StreamElement> = dataset
+            .spec()
+            .scaled(scale.max(1))
+            .stream(0.2, SEED)
+            .into_iter()
+            .take(take)
+            .collect();
+        let elements = stream.len() as f64;
+        extra.push((format!("{name}_stream_elements"), elements));
+
+        let _ = run_abacus(&stream, budget, SnapshotMode::Off); // warm-up
+        let mut abacus = (Vec::new(), Vec::new(), Vec::new()); // off, on, ratio
+        for _ in 0..trials {
+            let off = run_abacus(&stream, budget, SnapshotMode::Off);
+            let on = run_abacus(&stream, budget, SnapshotMode::On);
+            abacus.0.push(off);
+            abacus.1.push(on);
+            abacus.2.push(on / off);
+        }
+        for (label, secs) in [
+            ("snapshot_off", median(abacus.0)),
+            ("snapshot_on", median(abacus.1)),
+        ] {
+            rows.push(Row {
+                name: format!("{name}/abacus/{label}"),
+                median_ns_per_op: secs * 1e9 / elements,
+                ops_per_second: elements / secs.max(1e-12),
+            });
+        }
+        extra.push((
+            format!("{name}_abacus_snapshot_reduction_percent"),
+            100.0 * (1.0 - median(abacus.2)),
+        ));
+
+        let batches: &[usize] = if dataset == Dataset::MovielensLike {
+            &[10_000, 500]
+        } else {
+            &[10_000]
+        };
+        for &batch in batches {
+            const MODES: [(&str, SnapshotMode); 3] = [
+                ("off", SnapshotMode::Off),
+                ("on", SnapshotMode::On),
+                ("auto", SnapshotMode::Auto),
+            ];
+            let mut totals: [Vec<f64>; 3] = Default::default();
+            let mut counting: [Vec<f64>; 3] = Default::default();
+            let mut on_ratio = Vec::new();
+            let mut auto_ratio = Vec::new();
+            for _ in 0..trials {
+                for (i, (_, mode)) in MODES.iter().enumerate() {
+                    let (total, count) = run_parabacus(&stream, budget, batch, *mode);
+                    totals[i].push(total);
+                    counting[i].push(count);
+                }
+                let last = |v: &Vec<f64>| *v.last().expect("just pushed");
+                on_ratio.push(last(&counting[1]) / last(&counting[0]));
+                auto_ratio.push(last(&counting[2]) / last(&counting[0]));
+            }
+            for (i, (label, _)) in MODES.iter().enumerate() {
+                rows.push(Row {
+                    name: format!("{name}/parabacus_t1_m{batch}/snapshot_{label}"),
+                    median_ns_per_op: median(totals[i].clone()) * 1e9 / elements,
+                    ops_per_second: elements / median(totals[i].clone()).max(1e-12),
+                });
+                rows.push(Row {
+                    name: format!("{name}/parabacus_t1_m{batch}/counting_{label}"),
+                    median_ns_per_op: median(counting[i].clone()) * 1e9 / elements,
+                    ops_per_second: elements / median(counting[i].clone()).max(1e-12),
+                });
+            }
+            extra.push((
+                format!("{name}_parabacus_t1_m{batch}_on_counting_reduction_percent"),
+                100.0 * (1.0 - median(on_ratio)),
+            ));
+            extra.push((
+                format!("{name}_parabacus_t1_m{batch}_auto_counting_reduction_percent"),
+                100.0 * (1.0 - median(auto_ratio)),
+            ));
+        }
+    }
+    (rows, extra)
+}
+
+fn main() {
+    let trials = env_usize("ABACUS_PERF_SMOKE_TRIALS", 3).max(1);
+    let out_dir = std::env::var("ABACUS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+
+    let rows = intersect_rows(trials);
+    let intersect_json = json_document("intersect", &rows, &[]);
+    let intersect_path = format!("{out_dir}/BENCH_intersect.json");
+    std::fs::write(&intersect_path, &intersect_json).expect("write BENCH_intersect.json");
+    println!("wrote {intersect_path}");
+
+    let (rows, extra) = parabacus_rows(trials);
+    let parabacus_json = json_document("parabacus", &rows, &extra);
+    let parabacus_path = format!("{out_dir}/BENCH_parabacus.json");
+    std::fs::write(&parabacus_path, &parabacus_json).expect("write BENCH_parabacus.json");
+    println!("wrote {parabacus_path}");
+
+    for (key, value) in &extra {
+        println!("{key} = {value:.2}");
+    }
+}

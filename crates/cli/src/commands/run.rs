@@ -5,7 +5,7 @@ use crate::args::Arguments;
 use crate::error::CliError;
 use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
 use abacus_core::{
-    Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig,
+    Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig, SnapshotMode,
 };
 use abacus_metrics::{relative_error_percent, Throughput};
 use abacus_stream::{final_graph, StreamElement};
@@ -64,6 +64,9 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     )?;
     let seed: u64 = args.parsed_or("seed", 0, "an unsigned integer")?;
     let pipeline_depth: usize = args.parsed_or("pipeline-depth", 2, "a positive integer")?;
+    // Frozen CSR counting snapshot ablation knob (ABACUS/PARABACUS only).
+    let snapshot: SnapshotMode =
+        args.parsed_or("snapshot", SnapshotMode::Auto, "on, off, or auto")?;
     let want_truth = args.flag("ground-truth");
     args.reject_unused()?;
     if budget < 2 {
@@ -90,7 +93,11 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
 
     let (estimate, memory_edges, throughput, name) = match algorithm {
         AlgorithmChoice::Abacus => timed(
-            Abacus::new(AbacusConfig::new(budget).with_seed(seed)),
+            Abacus::new(
+                AbacusConfig::new(budget)
+                    .with_seed(seed)
+                    .with_snapshot(snapshot),
+            ),
             &workload.stream,
         ),
         AlgorithmChoice::ParAbacus => timed(
@@ -99,7 +106,8 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
                     .with_seed(seed)
                     .with_batch_size(batch)
                     .with_threads(threads)
-                    .with_pipeline_depth(pipeline_depth),
+                    .with_pipeline_depth(pipeline_depth)
+                    .with_snapshot(snapshot),
             ),
             &workload.stream,
         ),
@@ -219,6 +227,38 @@ mod tests {
                 "--pipeline-depth",
                 "0",
             ])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_modes_are_parsed_and_leave_estimates_unchanged() {
+        let path = biclique_file("snapshot.txt");
+        let path_str = path.to_str().unwrap();
+        for algorithm in ["abacus", "parabacus"] {
+            for mode in ["on", "off", "auto"] {
+                let out = run(&args(&[
+                    "--input",
+                    path_str,
+                    "--algorithm",
+                    algorithm,
+                    "--budget",
+                    "100",
+                    "--snapshot",
+                    mode,
+                ]))
+                .unwrap();
+                // Budget covers the stream: the K_{3,3} count is exact with
+                // every backing.
+                assert!(
+                    out.contains("estimate:         9.0"),
+                    "{algorithm} --snapshot {mode}: {out}"
+                );
+            }
+        }
+        assert!(matches!(
+            run(&args(&["--input", path_str, "--snapshot", "sometimes"])),
             Err(CliError::InvalidValue { .. })
         ));
         std::fs::remove_file(&path).ok();

@@ -19,8 +19,10 @@ use crate::config::AbacusConfig;
 use crate::counter::ButterflyCounter;
 use crate::probability::increment;
 use crate::sample_graph::SampleGraph;
+use crate::snapshot::{entries_to_edge_equivalents, MirroredSample, SnapshotView};
 use crate::stats::ProcessingStats;
 use abacus_graph::count_butterflies_with_edge;
+use abacus_graph::csr::CsrSnapshot;
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
 use rand::rngs::StdRng;
@@ -31,6 +33,11 @@ use rand::SeedableRng;
 pub struct Abacus {
     config: AbacusConfig,
     sample: SampleGraph,
+    /// Frozen CSR mirror of `sample` that the per-edge counting runs
+    /// against when the configuration enables it (kept in lock-step by
+    /// [`MirroredSample`]); `None` means counting probes the hash-backed
+    /// sample directly.
+    snapshot: Option<CsrSnapshot>,
     policy: RandomPairing,
     rng: StdRng,
     estimate: f64,
@@ -56,9 +63,14 @@ impl Abacus {
     /// ```
     #[must_use]
     pub fn new(config: AbacusConfig) -> Self {
+        let mut sample = SampleGraph::with_budget(config.budget);
+        sample.set_kernel_tuning(config.kernel);
         Abacus {
             config,
-            sample: SampleGraph::with_budget(config.budget),
+            sample,
+            snapshot: config
+                .snapshot_enabled()
+                .then(|| CsrSnapshot::new(config.kernel)),
             policy: RandomPairing::new(config.budget),
             rng: StdRng::seed_from_u64(config.seed),
             estimate: 0.0,
@@ -78,6 +90,12 @@ impl Abacus {
         &self.sample
     }
 
+    /// The frozen CSR counting snapshot, when enabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<&CsrSnapshot> {
+        self.snapshot.as_ref()
+    }
+
     /// The Random Pairing bookkeeping triplet `{|E|, c_b, c_g}`.
     #[must_use]
     pub fn sampler_state(&self) -> RandomPairingState {
@@ -93,7 +111,15 @@ impl Abacus {
     /// Processes one element: refine the estimate, then update the sample.
     fn process_element(&mut self, element: StreamElement) {
         // --- 1. Refine the butterfly count against the *current* sample. ---
-        let per_edge = count_butterflies_with_edge(&self.sample, element.edge);
+        // The snapshot mirrors the sample exactly and reports probe-model
+        // comparisons, so which backing counts cannot change any number.
+        let per_edge = match &self.snapshot {
+            Some(snapshot) => count_butterflies_with_edge(
+                &SnapshotView::new(snapshot, &self.sample),
+                element.edge,
+            ),
+            None => count_butterflies_with_edge(&self.sample, element.edge),
+        };
         let is_insert = element.delta.is_insert();
         if per_edge.butterflies > 0 {
             let delta = increment(self.config.budget, self.policy.state(), is_insert)
@@ -104,11 +130,26 @@ impl Abacus {
             .record_element(is_insert, per_edge.butterflies, per_edge.comparisons);
 
         // --- 2. Update the sample via Random Pairing. ---
-        match element.delta {
-            EdgeDelta::Insert => self
-                .policy
-                .insert(element.edge, &mut self.sample, &mut self.rng),
-            EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
+        match &mut self.snapshot {
+            Some(snapshot) => {
+                let mut mirrored = MirroredSample::new(&mut self.sample, snapshot);
+                match element.delta {
+                    EdgeDelta::Insert => {
+                        self.policy
+                            .insert(element.edge, &mut mirrored, &mut self.rng);
+                    }
+                    EdgeDelta::Delete => {
+                        self.policy.delete(&element.edge, &mut mirrored);
+                    }
+                }
+            }
+            None => match element.delta {
+                EdgeDelta::Insert => {
+                    self.policy
+                        .insert(element.edge, &mut self.sample, &mut self.rng)
+                }
+                EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
+            },
         }
     }
 }
@@ -123,7 +164,16 @@ impl ButterflyCounter for Abacus {
     }
 
     fn memory_edges(&self) -> usize {
-        self.sample.len()
+        // Honest accounting: besides the sampled edges themselves, charge the
+        // memoised sorted copies of hub adjacency sets and the CSR snapshot
+        // arenas (in edge equivalents), so the Table 2 memory numbers include
+        // every counting-side duplicate of the sample.
+        let aux = self.sample.sorted_cache_entries()
+            + self
+                .snapshot
+                .as_ref()
+                .map_or(0, CsrSnapshot::resident_entries);
+        self.sample.len() + entries_to_edge_equivalents(aux)
     }
 
     fn name(&self) -> &'static str {
@@ -167,6 +217,10 @@ mod tests {
             assert_eq!(abacus.estimate(), want);
         }
         assert_eq!(abacus.name(), "ABACUS");
+        // Auto keeps the sequential estimator on the hash path (no snapshot
+        // arenas) and the sets are too small for sorted caches, so the
+        // accounting sees exactly the sampled edges.
+        assert_eq!(abacus.sample().len(), 4);
         assert_eq!(abacus.memory_edges(), 4);
         assert_eq!(abacus.stats().elements, 8);
     }
@@ -182,7 +236,10 @@ mod tests {
         let mut abacus = Abacus::new(AbacusConfig::new(64).with_seed(5));
         for element in &stream {
             abacus.process(*element);
-            assert!(abacus.memory_edges() <= 64);
+            assert!(abacus.sample().len() <= 64);
+            // Auxiliary structures (sorted caches; no snapshot at this
+            // budget) are bounded by one duplicate of the sample.
+            assert!(abacus.memory_edges() <= 2 * 64);
         }
         assert_eq!(
             abacus.sampler_state().live_items,
@@ -244,6 +301,40 @@ mod tests {
             large <= small * 1.1,
             "error did not improve with budget: small-k {small}, large-k {large}"
         );
+    }
+
+    /// The frozen-snapshot ablation: On and Off backings produce bit-equal
+    /// estimates, identical probe-model comparisons, and the same sampler
+    /// state over a dynamic stream with evictions.
+    #[test]
+    fn snapshot_backing_is_an_exact_ablation() {
+        use crate::config::SnapshotMode;
+        let edges = uniform_bipartite(50, 50, 1_500, &mut rand::rngs::StdRng::seed_from_u64(31));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.25),
+            &mut rand::rngs::StdRng::seed_from_u64(32),
+        );
+        for budget in [64usize, 400] {
+            let base = AbacusConfig::new(budget).with_seed(5);
+            let mut with = Abacus::new(base.with_snapshot(SnapshotMode::On));
+            let mut without = Abacus::new(base.with_snapshot(SnapshotMode::Off));
+            assert!(with.snapshot().is_some());
+            assert!(without.snapshot().is_none());
+            for element in &stream {
+                with.process(*element);
+                without.process(*element);
+                assert_eq!(with.estimate().to_bits(), without.estimate().to_bits());
+            }
+            assert_eq!(with.stats().comparisons, without.stats().comparisons);
+            assert_eq!(with.sampler_state(), without.sampler_state());
+            assert_eq!(with.sample().len(), without.sample().len());
+            assert_eq!(
+                with.snapshot().unwrap().num_edges(),
+                with.sample().len(),
+                "snapshot fell out of lock-step"
+            );
+        }
     }
 
     #[test]

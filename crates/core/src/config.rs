@@ -1,5 +1,65 @@
 //! Estimator configuration.
 
+use abacus_graph::intersect::KernelTuning;
+
+/// Smallest budget at which [`SnapshotMode::Auto`] enables the frozen CSR
+/// counting snapshot.
+///
+/// Below this the adjacency sets are tiny, the probe kernels are already
+/// cache-resident, and the per-element snapshot maintenance would cost more
+/// than the intersections it accelerates.
+pub const AUTO_SNAPSHOT_MIN_BUDGET: usize = 256;
+
+/// Whether the estimators count against a frozen CSR snapshot of the sample
+/// (see `abacus_graph::csr`) instead of the hash-backed sample itself.
+///
+/// Which backing counts is purely a performance choice: estimates are
+/// bit-identical (up to floating-point summation order across worker
+/// threads) and the probe-model `comparisons` counters are unchanged, which
+/// the snapshot-parity test suite asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Always count against the hash-backed sample (the ablation baseline).
+    Off,
+    /// Always maintain and count against the CSR snapshot.
+    On,
+    /// Let each estimator enable the snapshot when it is expected to pay for
+    /// its maintenance (the default).  Sequential ABACUS always keeps the
+    /// hash path (per-element mirroring measured net-negative); PARABACUS
+    /// enables the snapshot per batch once the budget reaches
+    /// [`AUTO_SNAPSHOT_MIN_BUDGET`], the mini-batch is large enough, and the
+    /// observed probe count dwarfs the observed mutation count (see
+    /// `ParAbacus`).  Which backing counts is numerically invisible, so this
+    /// only ever affects wall time.
+    #[default]
+    Auto,
+}
+
+impl SnapshotMode {
+    /// Resolves the mode for a concrete memory budget.
+    #[must_use]
+    pub fn enabled_for(self, budget: usize) -> bool {
+        match self {
+            SnapshotMode::Off => false,
+            SnapshotMode::On => true,
+            SnapshotMode::Auto => budget >= AUTO_SNAPSHOT_MIN_BUDGET,
+        }
+    }
+}
+
+impl std::str::FromStr for SnapshotMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw.to_ascii_lowercase().as_str() {
+            "off" => Ok(SnapshotMode::Off),
+            "on" => Ok(SnapshotMode::On),
+            "auto" => Ok(SnapshotMode::Auto),
+            other => Err(format!("unknown snapshot mode '{other}'")),
+        }
+    }
+}
+
 /// Configuration of the sequential ABACUS estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbacusConfig {
@@ -8,6 +68,10 @@ pub struct AbacusConfig {
     pub budget: usize,
     /// Seed of the estimator's private RNG (sampling decisions only).
     pub seed: u64,
+    /// Whether counting runs against the frozen CSR snapshot.
+    pub snapshot: SnapshotMode,
+    /// Cutover ratios of the adaptive intersection kernels.
+    pub kernel: KernelTuning,
 }
 
 impl AbacusConfig {
@@ -21,7 +85,12 @@ impl AbacusConfig {
             budget >= 2,
             "ABACUS requires a memory budget of at least 2 edges"
         );
-        AbacusConfig { budget, seed: 0 }
+        AbacusConfig {
+            budget,
+            seed: 0,
+            snapshot: SnapshotMode::default(),
+            kernel: KernelTuning::default(),
+        }
     }
 
     /// Returns the configuration with a different RNG seed.
@@ -30,16 +99,39 @@ impl AbacusConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns the configuration with a different snapshot mode.
+    #[must_use]
+    pub fn with_snapshot(mut self, snapshot: SnapshotMode) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
+    /// Returns the configuration with different kernel cutovers.
+    #[must_use]
+    pub fn with_kernel_tuning(mut self, kernel: KernelTuning) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Whether the sequential estimator counts against the CSR snapshot.
+    ///
+    /// `Auto` resolves to the hash path here: ABACUS mirrors every sample
+    /// mutation into the snapshot *per element*, and on the bench workloads
+    /// that maintenance costs more than the sorted kernels recover (the
+    /// mini-batch PARABACUS amortises the same maintenance per batch and
+    /// decides adaptively instead).  `On` forces the snapshot for ablation.
+    #[must_use]
+    pub fn snapshot_enabled(&self) -> bool {
+        self.snapshot == SnapshotMode::On
+    }
 }
 
 impl Default for AbacusConfig {
     fn default() -> Self {
         // A sensible laptop-scale default mirroring the paper's mid-range
         // sample size after dataset scaling (see DESIGN.md).
-        AbacusConfig {
-            budget: 3_000,
-            seed: 0,
-        }
+        AbacusConfig::new(3_000)
     }
 }
 
@@ -61,6 +153,10 @@ pub struct ParAbacusConfig {
     /// alternating phase-1/phase-2 schedule; the default of `2` overlaps each
     /// batch's sequential phase with the previous batch's parallel phase.
     pub pipeline_depth: usize,
+    /// Whether phase-2 counting runs against the frozen CSR snapshot.
+    pub snapshot: SnapshotMode,
+    /// Cutover ratios of the adaptive intersection kernels.
+    pub kernel: KernelTuning,
 }
 
 impl ParAbacusConfig {
@@ -81,6 +177,8 @@ impl ParAbacusConfig {
             batch_size: 500,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             pipeline_depth: 2,
+            snapshot: SnapshotMode::default(),
+            kernel: KernelTuning::default(),
         }
     }
 
@@ -124,12 +222,40 @@ impl ParAbacusConfig {
         self
     }
 
-    /// The equivalent sequential configuration (same budget and seed).
+    /// Returns the configuration with a different snapshot mode.
+    #[must_use]
+    pub fn with_snapshot(mut self, snapshot: SnapshotMode) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
+    /// Returns the configuration with different kernel cutovers.
+    #[must_use]
+    pub fn with_kernel_tuning(mut self, kernel: KernelTuning) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Whether this configuration is *eligible* to count against the CSR
+    /// snapshot: always under `On`, never under `Off`, and — under `Auto` —
+    /// when the budget clears [`AUTO_SNAPSHOT_MIN_BUDGET`].  For an eligible
+    /// `Auto` configuration the estimator additionally decides per batch
+    /// from its observed counting density whether the snapshot pays for its
+    /// maintenance (see `ParAbacus`).
+    #[must_use]
+    pub fn snapshot_enabled(&self) -> bool {
+        self.snapshot.enabled_for(self.budget)
+    }
+
+    /// The equivalent sequential configuration (same budget, seed, snapshot
+    /// mode, and kernel cutovers).
     #[must_use]
     pub fn sequential(&self) -> AbacusConfig {
         AbacusConfig {
             budget: self.budget,
             seed: self.seed,
+            snapshot: self.snapshot,
+            kernel: self.kernel,
         }
     }
 }
@@ -156,6 +282,48 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_budget_panics() {
         let _ = AbacusConfig::new(1);
+    }
+
+    #[test]
+    fn snapshot_mode_resolution_and_parsing() {
+        assert!(!SnapshotMode::Off.enabled_for(1_000_000));
+        assert!(SnapshotMode::On.enabled_for(2));
+        assert!(!SnapshotMode::Auto.enabled_for(AUTO_SNAPSHOT_MIN_BUDGET - 1));
+        assert!(SnapshotMode::Auto.enabled_for(AUTO_SNAPSHOT_MIN_BUDGET));
+        assert_eq!("on".parse::<SnapshotMode>().unwrap(), SnapshotMode::On);
+        assert_eq!("OFF".parse::<SnapshotMode>().unwrap(), SnapshotMode::Off);
+        assert_eq!("Auto".parse::<SnapshotMode>().unwrap(), SnapshotMode::Auto);
+        assert!("sometimes".parse::<SnapshotMode>().is_err());
+    }
+
+    #[test]
+    fn snapshot_and_kernel_settings_flow_through_builders() {
+        let tuning = KernelTuning {
+            merge_size_ratio: 3,
+            gallop_size_ratio: 99,
+        };
+        let c = AbacusConfig::new(100)
+            .with_snapshot(SnapshotMode::On)
+            .with_kernel_tuning(tuning);
+        assert!(c.snapshot_enabled());
+        assert_eq!(c.kernel, tuning);
+
+        let p = ParAbacusConfig::new(100)
+            .with_snapshot(SnapshotMode::Off)
+            .with_kernel_tuning(tuning);
+        assert!(!p.snapshot_enabled());
+        let seq = p.sequential();
+        assert_eq!(seq.snapshot, SnapshotMode::Off);
+        assert_eq!(seq.kernel, tuning);
+        // Auto: the parallel estimator is eligible above the budget
+        // threshold; the sequential one stays on the hash path (per-element
+        // mirroring measured slower than the kernels it feeds).
+        assert!(!ParAbacusConfig::new(64).snapshot_enabled());
+        assert!(ParAbacusConfig::new(3_000).snapshot_enabled());
+        assert!(!AbacusConfig::new(3_000).snapshot_enabled());
+        assert!(AbacusConfig::new(3_000)
+            .with_snapshot(SnapshotMode::On)
+            .snapshot_enabled());
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! * [`counter`] — the [`ButterflyCounter`] trait shared by every estimator
 //!   in the workspace (ABACUS, PARABACUS, the exact oracle, FLEET, CAS),
 //! * [`sample_graph`] — the bounded sample stored as a bipartite graph,
+//! * [`snapshot`] — glue keeping the frozen CSR counting snapshot
+//!   (`abacus_graph::csr`) in lock-step with the sample,
 //! * [`probability`] — the butterfly-discovery probability of Eq. 1 and the
 //!   reciprocal-increment rule,
 //! * [`abacus`] — Algorithm 1,
@@ -47,10 +49,11 @@ pub mod monitor;
 pub mod parabacus;
 pub mod probability;
 pub mod sample_graph;
+pub mod snapshot;
 pub mod stats;
 
 pub use abacus::Abacus;
-pub use config::{AbacusConfig, ParAbacusConfig};
+pub use config::{AbacusConfig, ParAbacusConfig, SnapshotMode, AUTO_SNAPSHOT_MIN_BUDGET};
 pub use counter::ButterflyCounter;
 pub use exact::ExactCounter;
 pub use local::LocalAbacus;

@@ -225,7 +225,10 @@ mod tests {
                 plain.estimate(),
                 local.estimate()
             );
-            assert_eq!(plain.memory_edges(), local.memory_edges());
+            // Sampled state is identical; `memory_edges` differs by the
+            // counting-side auxiliaries (CSR snapshot, sorted caches) that
+            // the plain estimator charges and LocalAbacus does not use.
+            assert_eq!(plain.sample().len(), local.memory_edges());
         }
     }
 

@@ -57,7 +57,9 @@ pub mod versioned;
 use crate::config::ParAbacusConfig;
 use crate::counter::ButterflyCounter;
 use crate::sample_graph::SampleGraph;
+use crate::snapshot::entries_to_edge_equivalents;
 use crate::stats::ProcessingStats;
+use abacus_graph::csr::CsrSnapshot;
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
 use pool::{execute_task, ChunkResult, CountTask, CountingPool};
@@ -94,6 +96,17 @@ pub struct ParAbacus {
     config: ParAbacusConfig,
     /// The live sample, reflecting phase 1 of every dispatched batch.
     sample: Arc<SampleGraph>,
+    /// Frozen CSR mirror of the live sample that phase-2 counting runs
+    /// against when enabled.  Kept in lock-step by replaying each batch's
+    /// sealed op log (O(batch), mirroring `VersionedDeltas::replay_onto`);
+    /// while older batches still pin the `Arc`, `Arc::make_mut` clones the
+    /// flat arenas (a memcpy, not a rebuild) before patching.  `None` while
+    /// the snapshot is off (mode `Off`, or `Auto` deciding the maintenance
+    /// would cost more than the sorted kernels recover).
+    snapshot: Option<Arc<CsrSnapshot>>,
+    /// Cumulative sample mutations replayed across all sealed batches (the
+    /// maintenance-cost side of the `Auto` profitability estimate).
+    replayed_ops: u64,
     policy: RandomPairing,
     rng: StdRng,
     estimate: f64,
@@ -156,9 +169,13 @@ impl ParAbacus {
     /// ```
     #[must_use]
     pub fn new(config: ParAbacusConfig) -> Self {
+        let mut sample = SampleGraph::with_budget(config.budget);
+        sample.set_kernel_tuning(config.kernel);
         ParAbacus {
             config,
-            sample: Arc::new(SampleGraph::with_budget(config.budget)),
+            sample: Arc::new(sample),
+            snapshot: None,
+            replayed_ops: 0,
             policy: RandomPairing::new(config.budget),
             rng: StdRng::seed_from_u64(config.seed),
             estimate: 0.0,
@@ -192,6 +209,13 @@ impl ParAbacus {
     #[must_use]
     pub fn sample(&self) -> &SampleGraph {
         &self.sample
+    }
+
+    /// The frozen CSR counting snapshot, when enabled (mirrors the live
+    /// sample after the last dispatched batch).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<&CsrSnapshot> {
+        self.snapshot.as_deref()
     }
 
     /// The Random Pairing bookkeeping triplet after the last dispatched
@@ -252,6 +276,39 @@ impl ParAbacus {
         }
         while !self.in_flight.is_empty() {
             self.collect_oldest();
+        }
+    }
+
+    /// Whether phase 2 of the batch just sealed should count against the
+    /// frozen CSR snapshot.
+    ///
+    /// `On`/`Off` are unconditional.  `Auto` estimates profitability from
+    /// observed work: maintaining the snapshot costs O(row) per replayed
+    /// sample mutation, counting against it saves on every intersection
+    /// probe — so the snapshot pays off when the cumulative probe count
+    /// dwarfs the cumulative mutation count.  The cutover (8×) comes from
+    /// the dataset-analog sweeps in `BENCH_parabacus.json`: probe-heavy
+    /// analogs (Movielens-like, ~13 probes/element) gain >20% counting time,
+    /// while mutation-dominated ones (Orkut-like, ~0.1 probes/element) would
+    /// pay more in replay than they save.  Which backing counts never
+    /// changes estimates or probe-model comparisons, so this adaptivity is
+    /// invisible in every reported number.
+    fn snapshot_wanted(&self) -> bool {
+        const AUTO_PROBES_PER_OP: u64 = 8;
+        const AUTO_WARMUP_BATCHES: u64 = 2;
+        /// Below this mini-batch size the per-batch savings no longer cover
+        /// the snapshot's per-batch costs (measured: M = 500 regresses a few
+        /// percent while M = 10000 gains — see `BENCH_parabacus.json`).
+        const AUTO_MIN_BATCH: usize = 2_000;
+        match self.config.snapshot {
+            crate::config::SnapshotMode::Off => false,
+            crate::config::SnapshotMode::On => true,
+            crate::config::SnapshotMode::Auto => {
+                self.config.snapshot_enabled()
+                    && self.config.batch_size >= AUTO_MIN_BATCH
+                    && self.batches > AUTO_WARMUP_BATCHES
+                    && self.stats.comparisons >= AUTO_PROBES_PER_OP * self.replayed_ops
+            }
         }
     }
 
@@ -377,6 +434,34 @@ impl ParAbacus {
         // binary search.
         deltas.seal(&sample);
         self.sample = Arc::new(sample);
+
+        // Bring the frozen CSR mirror up to the sealed post-batch state by
+        // replaying the batch's op log — O(batch) row patches, with the
+        // O(sample) compaction amortised behind the snapshot's churn
+        // threshold.  Workers of still-in-flight batches pin the previous
+        // snapshot `Arc`, in which case `make_mut` clones the arenas first.
+        self.replayed_ops += deltas.recorded_ops() as u64;
+        if self.snapshot_wanted() {
+            match &mut self.snapshot {
+                Some(snapshot) => {
+                    let snapshot = Arc::make_mut(snapshot);
+                    for (edge, added) in deltas.ops() {
+                        snapshot.apply(edge, added);
+                    }
+                }
+                None => {
+                    // (Re)build wholesale from the sealed sample — only on
+                    // enable transitions, which the cumulative statistics
+                    // make rare.
+                    self.snapshot = Some(Arc::new(CsrSnapshot::from_edges(
+                        self.sample.edges().iter().copied(),
+                        self.config.kernel,
+                    )));
+                }
+            }
+        } else {
+            self.snapshot = None;
+        }
         self.timings.sequential_seconds += phase1_start.elapsed().as_secs_f64();
 
         // --- Phase 2: parallel per-edge counting. ---------------------------
@@ -387,6 +472,7 @@ impl ParAbacus {
         let chunk_task = |chunk_index: usize| CountTask {
             batch: batch_id,
             sample: Arc::clone(&self.sample),
+            snapshot: self.snapshot.as_ref().map(Arc::clone),
             deltas: Arc::clone(&deltas_arc),
             elements: Arc::clone(&elements),
             triplets: Arc::clone(&triplets),
@@ -457,7 +543,15 @@ impl ButterflyCounter for ParAbacus {
     }
 
     fn memory_edges(&self) -> usize {
-        self.sample.len() + self.buffer.len()
+        // Honest accounting, mirroring `Abacus::memory_edges`: buffered
+        // elements, sampled edges, plus the edge equivalents of the memoised
+        // sorted copies and the CSR snapshot arenas.
+        let aux = self.sample.sorted_cache_entries()
+            + self
+                .snapshot
+                .as_deref()
+                .map_or(0, CsrSnapshot::resident_entries);
+        self.sample.len() + self.buffer.len() + entries_to_edge_equivalents(aux)
     }
 
     fn name(&self) -> &'static str {
@@ -524,7 +618,9 @@ mod tests {
             let label = format!("batch {batch}, threads {threads}, depth {depth}");
             assert_close(seq.estimate(), par.estimate());
             assert_eq!(par.in_flight_batches(), 0, "{label}");
-            assert_eq!(seq.memory_edges(), par.memory_edges(), "{label}");
+            // Sampled state is identical; `memory_edges` itself may differ by
+            // the lazily built sorted caches each code path happened to touch.
+            assert_eq!(seq.sample().len(), par.sample().len(), "{label}");
             assert_eq!(
                 seq.sampler_state(),
                 par.sampler_state(),
@@ -537,6 +633,44 @@ mod tests {
                 "{label}"
             );
             assert_eq!(seq.stats().comparisons, par.stats().comparisons, "{label}");
+        }
+    }
+
+    /// The frozen-snapshot ablation: with identical seeds, snapshot-backed
+    /// and hash-backed counting produce the same estimates (bit-equal at one
+    /// thread), identical comparisons, and a snapshot in lock-step with the
+    /// live sample, across pipeline depths.
+    #[test]
+    fn snapshot_backing_is_an_exact_ablation() {
+        use crate::config::SnapshotMode;
+        let stream = dynamic_stream(21, 3_000, 0.2);
+        for &(threads, depth) in &[(1usize, 1usize), (1, 3), (4, 2)] {
+            let base = ParAbacusConfig::new(300)
+                .with_seed(8)
+                .with_batch_size(128)
+                .with_threads(threads)
+                .with_pipeline_depth(depth);
+            let mut with = ParAbacus::new(base.with_snapshot(SnapshotMode::On));
+            let mut without = ParAbacus::new(base.with_snapshot(SnapshotMode::Off));
+            with.process_stream(&stream);
+            without.process_stream(&stream);
+            if threads == 1 {
+                assert_eq!(
+                    with.estimate().to_bits(),
+                    without.estimate().to_bits(),
+                    "threads {threads}, depth {depth}"
+                );
+            } else {
+                assert_close(with.estimate(), without.estimate());
+            }
+            assert_eq!(with.stats().comparisons, without.stats().comparisons);
+            assert_eq!(with.sampler_state(), without.sampler_state());
+            assert_eq!(
+                with.snapshot().expect("snapshot enabled").num_edges(),
+                with.sample().len(),
+                "snapshot fell out of lock-step (threads {threads}, depth {depth})"
+            );
+            assert!(without.snapshot().is_none());
         }
     }
 

@@ -18,6 +18,7 @@ use crate::probability::increment;
 use crate::sample_graph::SampleGraph;
 use crate::stats::ProcessingStats;
 use abacus_graph::count_butterflies_with_edge;
+use abacus_graph::csr::CsrSnapshot;
 use abacus_sampling::RandomPairingState;
 use abacus_stream::StreamElement;
 use crossbeam::channel::{Receiver, Sender};
@@ -38,6 +39,9 @@ pub(super) struct CountTask {
     pub batch: u64,
     /// The sealed (post-batch) sample version the chunk counts against.
     pub sample: Arc<SampleGraph>,
+    /// The frozen CSR mirror of the sealed sample; when present, the
+    /// versioned views count against it instead of the hash-backed sample.
+    pub snapshot: Option<Arc<CsrSnapshot>>,
     /// The sealed delta log of the batch.
     pub deltas: Arc<VersionedDeltas>,
     /// The batch elements.
@@ -76,7 +80,12 @@ pub(super) fn execute_task(task: &CountTask) -> ChunkResult {
     let mut stats = ProcessingStats::default();
     for position in task.range.clone() {
         let element = task.elements[position];
-        let view = VersionView::new(&task.sample, &task.deltas, position as u32);
+        let view = match &task.snapshot {
+            Some(snapshot) => {
+                VersionView::over_snapshot(snapshot, &task.sample, &task.deltas, position as u32)
+            }
+            None => VersionView::new(&task.sample, &task.deltas, position as u32),
+        };
         let per_edge = count_butterflies_with_edge(&view, element.edge);
         let is_insert = element.delta.is_insert();
         if per_edge.butterflies > 0 {
@@ -251,6 +260,7 @@ mod tests {
         CountTask {
             batch: 0,
             sample: Arc::new(sample),
+            snapshot: None,
             deltas: Arc::new(deltas),
             elements: Arc::new(elements),
             triplets: Arc::new(triplets),
@@ -258,6 +268,25 @@ mod tests {
             chunk_index: 0,
             budget: 100,
         }
+    }
+
+    #[test]
+    fn snapshot_backed_tasks_count_identically() {
+        use abacus_graph::intersect::KernelTuning;
+        let batch = vec![
+            StreamElement::insert(Edge::new(0, 10)),
+            StreamElement::delete(Edge::new(0, 10)),
+        ];
+        let hash_task = task_for(batch, 0..2);
+        let mut snap_task = hash_task.clone();
+        snap_task.snapshot = Some(Arc::new(abacus_graph::csr::CsrSnapshot::from_edges(
+            hash_task.sample.edges().iter().copied(),
+            KernelTuning::default(),
+        )));
+        let hash_result = execute_task(&hash_task);
+        let snap_result = execute_task(&snap_task);
+        assert_eq!(hash_result.partial.to_bits(), snap_result.partial.to_bits());
+        assert_eq!(hash_result.stats, snap_result.stats);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //!    speedup shape (Figs. 8–9).
 
 use crate::sample_graph::SampleGraph;
+use abacus_graph::adjacency::AdjacencySet;
+use abacus_graph::csr::CsrSnapshot;
 use abacus_graph::{Edge, FxHashMap, NeighborhoodView, VertexRef};
 use abacus_sampling::SampleStore;
 use rand::Rng;
@@ -82,13 +84,16 @@ struct VertexLog {
     resurrections: Vec<OverrideInterval>,
 }
 
+/// Words in the touched-vertex prefilter (8192 bits = 1 KiB, hot in L1).
+const FILTER_WORDS: usize = 128;
+
 /// Per-vertex log of the adjacency changes applied during one mini-batch.
 ///
 /// Besides the per-vertex query indexes, the log keeps the batch's edge-level
 /// operations in application order ([`replay_onto`](Self::replay_onto)): the
 /// pipelined PARABACUS engine uses it to bring a stale double-buffered sample
 /// copy up to date in O(batch) instead of re-cloning the whole sample.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VersionedDeltas {
     per_vertex: FxHashMap<VertexRef, VertexLog>,
     /// Edge-level `(edge, added)` operations in the exact order they were
@@ -96,6 +101,34 @@ pub struct VersionedDeltas {
     ops: Vec<(Edge, bool)>,
     recorded_ops: usize,
     sealed: bool,
+    /// Bloom-style one-hash prefilter over the touched vertices, built by
+    /// [`seal`](Self::seal).  The per-edge counting kernels ask "was this
+    /// vertex touched by the batch?" several times per intersection; for the
+    /// overwhelmingly common *no*, one L1-resident bit test replaces a hash
+    /// map probe.  False positives merely fall through to the map.
+    touched_filter: Box<[u64; FILTER_WORDS]>,
+}
+
+impl Default for VersionedDeltas {
+    fn default() -> Self {
+        VersionedDeltas {
+            per_vertex: FxHashMap::default(),
+            ops: Vec::new(),
+            recorded_ops: 0,
+            sealed: false,
+            touched_filter: Box::new([0u64; FILTER_WORDS]),
+        }
+    }
+}
+
+/// Word index and mask of a vertex's prefilter bit.
+#[inline]
+fn filter_slot(v: VertexRef) -> (usize, u64) {
+    let side_bit = u64::from(matches!(v.side, abacus_graph::Side::Right));
+    let x = (u64::from(v.id) << 1) | side_bit;
+    let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let bit = (h >> 51) as usize; // top 13 bits → 8192 positions
+    (bit >> 6, 1u64 << (bit & 63))
 }
 
 impl VersionedDeltas {
@@ -109,6 +142,15 @@ impl VersionedDeltas {
     #[must_use]
     pub fn recorded_ops(&self) -> usize {
         self.recorded_ops
+    }
+
+    /// The batch's edge-level `(edge, added)` operations in application
+    /// order — the same sequence [`replay_onto`](Self::replay_onto) applies
+    /// to a stale sample buffer.  The pipelined engine also replays it onto
+    /// the frozen CSR snapshot, which keeps snapshot maintenance O(batch)
+    /// instead of O(sample).
+    pub fn ops(&self) -> impl Iterator<Item = (Edge, bool)> + '_ {
+        self.ops.iter().copied()
     }
 
     /// Whether [`seal`](Self::seal) has been called since the last mutation.
@@ -187,14 +229,21 @@ impl VersionedDeltas {
     /// were recorded against, *after* all batch updates have been applied —
     /// exactly the state PARABACUS keeps between batches.
     pub fn seal(&mut self, live: &SampleGraph) {
+        self.touched_filter.fill(0);
         for (&vertex, log) in &mut self.per_vertex {
             log.build_indexes(vertex, live);
+            let (word, mask) = filter_slot(vertex);
+            self.touched_filter[word] |= mask;
         }
         self.sealed = true;
     }
 
     fn log(&self, v: VertexRef) -> Option<&VertexLog> {
         debug_assert!(self.sealed, "delta log queried before seal()");
+        let (word, mask) = filter_slot(v);
+        if self.touched_filter[word] & mask == 0 {
+            return None;
+        }
         self.per_vertex.get(&v)
     }
 }
@@ -338,11 +387,92 @@ impl SampleStore<Edge> for RecordingSample<'_> {
 /// so far, the shared `(neighbor, is_insert)` run relevant to this version.
 type ResolvedDeltaCache = std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u32, bool)>>)>>;
 
+/// The live (post-batch) state a [`VersionView`] reconstructs versions
+/// against: the hash-backed sample itself, or — when the snapshot is
+/// enabled — the frozen CSR mirror *plus* the sample.  Both structures
+/// mirror the same sealed state and report identical adjacency and
+/// probe-model comparisons, so the choice is invisible in every reported
+/// number.
+///
+/// With the snapshot enabled the view routes each operation to whichever
+/// structure serves it fastest: the untouched-vertex intersection fast path
+/// runs the CSR's adaptive sorted kernels, while the slow path (vertices the
+/// batch touched, where probes interleave with override lookups) probes the
+/// sample's O(1) hash sets — a sorted CSR row would pay a binary search per
+/// probe there.
+#[derive(Debug, Clone, Copy)]
+enum Backing<'a> {
+    Hash(&'a SampleGraph),
+    Csr(&'a CsrSnapshot, &'a SampleGraph),
+}
+
+/// A vertex's live neighborhood resolved once, for repeated membership
+/// probes inside one intersection.
+struct ResolvedRow<'a>(Option<&'a AdjacencySet>);
+
+impl ResolvedRow<'_> {
+    #[inline]
+    fn contains(&self, x: u32) -> bool {
+        self.0.is_some_and(|s| s.contains(x))
+    }
+}
+
+impl<'a> Backing<'a> {
+    #[inline]
+    fn view_degree(&self, v: VertexRef) -> usize {
+        match self {
+            Backing::Hash(sample) => sample.view_degree(v),
+            Backing::Csr(snapshot, _) => snapshot.view_degree(v),
+        }
+    }
+
+    #[inline]
+    fn view_contains(&self, v: VertexRef, neighbor: u32) -> bool {
+        match self {
+            Backing::Hash(sample) => sample.view_contains(v, neighbor),
+            Backing::Csr(_, sample) => sample.view_contains(v, neighbor),
+        }
+    }
+
+    #[inline]
+    fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
+        match self {
+            Backing::Hash(sample) => sample.view_for_each_neighbor(v, f),
+            Backing::Csr(snapshot, _) => snapshot.view_for_each_neighbor(v, f),
+        }
+    }
+
+    #[inline]
+    fn view_intersection_excluding(
+        &self,
+        a: VertexRef,
+        b: VertexRef,
+        exclude: u32,
+    ) -> abacus_graph::intersect::IntersectionResult {
+        match self {
+            Backing::Hash(sample) => sample.view_intersection_excluding(a, b, exclude),
+            Backing::Csr(snapshot, sample) => crate::snapshot::SnapshotView::new(snapshot, sample)
+                .view_intersection_excluding(a, b, exclude),
+        }
+    }
+
+    /// Resolves `v`'s live neighborhood for repeated point probes: always the
+    /// hash set when a sample is available, since per-probe O(1) beats a
+    /// binary search over a sorted row.
+    #[inline]
+    fn resolved_row(&self, v: VertexRef) -> ResolvedRow<'a> {
+        match self {
+            Backing::Hash(sample) | Backing::Csr(_, sample) => ResolvedRow(sample.neighbors(v)),
+        }
+    }
+}
+
 /// A read-only view of the sample *as it was* at a given version of the
 /// current mini-batch.
 ///
 /// The backing [`VersionedDeltas`] must have been [sealed](VersionedDeltas::seal)
-/// against the same live sample.
+/// against the same live sample (and, when counting runs over the frozen
+/// snapshot, the snapshot must mirror exactly that sealed state).
 ///
 /// The view caches, per queried vertex, the overrides that are *active* at
 /// its version (usually none or a handful), so repeated probes against the
@@ -351,7 +481,7 @@ type ResolvedDeltaCache = std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u3
 /// cheap to query but not `Copy`; create one view per processed element.
 #[derive(Debug)]
 pub struct VersionView<'a> {
-    sample: &'a SampleGraph,
+    backing: Backing<'a>,
     deltas: &'a VersionedDeltas,
     version: u32,
     resolved: ResolvedDeltaCache,
@@ -363,7 +493,25 @@ impl<'a> VersionView<'a> {
     #[must_use]
     pub fn new(sample: &'a SampleGraph, deltas: &'a VersionedDeltas, version: u32) -> Self {
         VersionView {
-            sample,
+            backing: Backing::Hash(sample),
+            deltas,
+            version,
+            resolved: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Creates the view of version `version` over the frozen CSR snapshot of
+    /// the sealed post-batch sample; `sample` must be that same sealed state
+    /// (the view uses its hash sets for point probes on the slow path).
+    #[must_use]
+    pub fn over_snapshot(
+        snapshot: &'a CsrSnapshot,
+        sample: &'a SampleGraph,
+        deltas: &'a VersionedDeltas,
+        version: u32,
+    ) -> Self {
+        VersionView {
+            backing: Backing::Csr(snapshot, sample),
             deltas,
             version,
             resolved: std::cell::RefCell::new(Vec::new()),
@@ -395,12 +543,12 @@ impl<'a> VersionView<'a> {
         f: &mut impl FnMut(u32),
     ) {
         if active.is_empty() {
-            self.sample.view_for_each_neighbor(v, f);
+            self.backing.view_for_each_neighbor(v, f);
             return;
         }
         // Live neighbors, skipping those that were absent at this version
         // (overrides kept for live neighbors are always `present == false`).
-        self.sample.view_for_each_neighbor(v, &mut |n| {
+        self.backing.view_for_each_neighbor(v, &mut |n| {
             if lookup(active, n).is_none() {
                 f(n);
             }
@@ -429,7 +577,7 @@ fn lookup(active: &[(u32, bool)], neighbor: u32) -> Option<bool> {
 
 impl NeighborhoodView for VersionView<'_> {
     fn view_degree(&self, v: VertexRef) -> usize {
-        let live = self.sample.view_degree(v) as i64;
+        let live = self.backing.view_degree(v) as i64;
         let Some(log) = self.deltas.log(v) else {
             return live as usize;
         };
@@ -448,7 +596,7 @@ impl NeighborhoodView for VersionView<'_> {
                 return present;
             }
         }
-        self.sample.view_contains(v, neighbor)
+        self.backing.view_contains(v, neighbor)
     }
 
     fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
@@ -464,19 +612,19 @@ impl NeighborhoodView for VersionView<'_> {
         exclude: u32,
     ) -> abacus_graph::intersect::IntersectionResult {
         if self.deltas.log(a).is_none() && self.deltas.log(b).is_none() {
-            // Neither endpoint was touched by the batch: the live sample is
+            // Neither endpoint was touched by the batch: the live backing is
             // the historic truth and its specialised kernel applies.
-            return self.sample.view_intersection_excluding(a, b, exclude);
+            return self.backing.view_intersection_excluding(a, b, exclude);
         }
 
         // Iterate the smaller historic neighborhood, probe the other one with
-        // both its active overrides and its live adjacency set resolved once.
+        // both its active overrides and its live neighborhood resolved once.
         let (iterate, probe) = if self.view_degree(a) <= self.view_degree(b) {
             (a, b)
         } else {
             (b, a)
         };
-        let probe_live = self.sample.neighbors(probe);
+        let probe_live = self.backing.resolved_row(probe);
         let probe_active = self.active_overrides(probe);
         let probe_active = probe_active.as_deref().map_or(&[][..], Vec::as_slice);
         let iterate_active = self.active_overrides(iterate);
@@ -489,7 +637,7 @@ impl NeighborhoodView for VersionView<'_> {
             result.comparisons += 1;
             let present = match lookup(probe_active, x) {
                 Some(present) => present,
-                None => probe_live.is_some_and(|n| n.contains(x)),
+                None => probe_live.contains(x),
             };
             if present {
                 result.count += 1;
@@ -669,8 +817,99 @@ mod tests {
         }
     }
 
+    #[test]
+    fn ops_iterator_reports_the_recorded_sequence() {
+        let mut sample = SampleGraph::new();
+        let mut deltas = VersionedDeltas::new();
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 0);
+            rec.store_insert(edge(1, 10));
+        }
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 1);
+            assert!(rec.store_remove(&edge(1, 10)));
+        }
+        let ops: Vec<(Edge, bool)> = deltas.ops().collect();
+        assert_eq!(ops, vec![(edge(1, 10), true), (edge(1, 10), false)]);
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A `VersionView` over the frozen CSR snapshot of the sealed sample
+        /// reports exactly what the hash-backed view reports — adjacency,
+        /// degrees, membership, and intersections with identical probe-model
+        /// comparisons — at every version of a random batch.
+        #[test]
+        fn snapshot_backed_views_match_hash_backed_views(
+            ops in proptest::collection::vec((0u8..3, 0u32..6, 0u32..6), 1..40),
+            seed in any::<u64>(),
+        ) {
+            use abacus_graph::csr::CsrSnapshot;
+            use abacus_graph::intersect::KernelTuning;
+
+            let mut sample = SampleGraph::new();
+            for i in 0..4u32 {
+                sample.store_insert(edge(i, i + 10));
+            }
+            let mut deltas = VersionedDeltas::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut versions = 0u32;
+            for (version, (op, l, r)) in (0u32..).zip(ops) {
+                versions = version + 1;
+                let e = edge(l, r + 10);
+                let mut rec = RecordingSample::new(&mut sample, &mut deltas, version);
+                match op {
+                    0 => {
+                        if !rec.store_contains(&e) {
+                            rec.store_insert(e);
+                        }
+                    }
+                    1 => {
+                        let _ = rec.store_remove(&e);
+                    }
+                    _ => {
+                        if rec.store_len() > 0 && !rec.store_contains(&e) {
+                            rec.store_replace_random(e, &mut rng);
+                        }
+                    }
+                }
+            }
+            deltas.seal(&sample);
+            let snapshot = CsrSnapshot::from_edges(
+                sample.edges().iter().copied(),
+                KernelTuning::default(),
+            );
+
+            for v in 0..=versions {
+                let hash_view = VersionView::new(&sample, &deltas, v);
+                let snap_view = VersionView::over_snapshot(&snapshot, &sample, &deltas, v);
+                for id in 0..20u32 {
+                    for side in [Side::Left, Side::Right] {
+                        let vref = VertexRef::new(side, id);
+                        prop_assert_eq!(
+                            view_neighbors(&snap_view, vref),
+                            view_neighbors(&hash_view, vref)
+                        );
+                        prop_assert_eq!(
+                            snap_view.view_degree(vref),
+                            hash_view.view_degree(vref)
+                        );
+                        for n in 0..20u32 {
+                            prop_assert_eq!(
+                                snap_view.view_contains(vref, n),
+                                hash_view.view_contains(vref, n)
+                            );
+                        }
+                        let other = VertexRef::new(side, (id + 1) % 20);
+                        prop_assert_eq!(
+                            snap_view.view_intersection_excluding(vref, other, id),
+                            hash_view.view_intersection_excluding(vref, other, id)
+                        );
+                    }
+                }
+            }
+        }
 
         /// Reference check: apply a random batch of sample mutations through
         /// the recording wrapper, snapshotting the sample before each one.

@@ -11,6 +11,7 @@
 //! per-edge butterfly kernel can query it).
 
 use abacus_graph::adjacency::AdjacencySet;
+use abacus_graph::intersect::KernelTuning;
 use abacus_graph::{Edge, EdgeKey, FxHashMap, NeighborhoodView, Side, VertexRef};
 use abacus_sampling::SampleStore;
 use rand::{Rng, RngExt};
@@ -22,6 +23,7 @@ pub struct SampleGraph {
     adj_right: FxHashMap<u32, AdjacencySet>,
     edges: Vec<Edge>,
     slots: FxHashMap<EdgeKey, usize>,
+    kernel: KernelTuning,
 }
 
 impl SampleGraph {
@@ -39,7 +41,15 @@ impl SampleGraph {
             adj_right: FxHashMap::default(),
             edges: Vec::with_capacity(k),
             slots: abacus_graph::fxhash::fx_hashmap_with_capacity(k * 2),
+            kernel: KernelTuning::default(),
         }
+    }
+
+    /// Sets the cutover ratios used by this sample's intersection kernels
+    /// (see [`KernelTuning`]); the estimators wire their configuration's
+    /// values through here.
+    pub fn set_kernel_tuning(&mut self, kernel: KernelTuning) {
+        self.kernel = kernel;
     }
 
     /// Number of sampled edges.
@@ -139,6 +149,19 @@ impl SampleGraph {
         true
     }
 
+    /// Total entries held by the memoised sorted copies of hub adjacency
+    /// sets ([`abacus_graph::adjacency::LargeSet::sorted`]) — auxiliary
+    /// storage the estimators charge (in edge equivalents) to their
+    /// `memory_edges` accounting.
+    #[must_use]
+    pub fn sorted_cache_entries(&self) -> usize {
+        self.adj_left
+            .values()
+            .chain(self.adj_right.values())
+            .filter_map(|set| set.as_large().and_then(|l| l.sorted_cache_len()))
+            .sum()
+    }
+
     /// Approximate heap footprint in bytes (used for memory accounting in the
     /// space-complexity sanity tests).
     #[must_use]
@@ -217,9 +240,12 @@ impl NeighborhoodView for SampleGraph {
         // Resolve both adjacency sets once and intersect them directly instead
         // of paying one map lookup per probe.
         match (self.neighbors(a), self.neighbors(b)) {
-            (Some(na), Some(nb)) => {
-                abacus_graph::intersect::intersection_count_excluding(na, nb, exclude)
-            }
+            (Some(na), Some(nb)) => abacus_graph::intersect::intersection_count_excluding_with(
+                na,
+                nb,
+                exclude,
+                self.kernel,
+            ),
             _ => abacus_graph::intersect::IntersectionResult::default(),
         }
     }

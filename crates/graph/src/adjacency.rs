@@ -28,6 +28,15 @@ use std::sync::OnceLock;
 /// Maximum number of neighbors kept in the vector representation.
 pub const SMALL_THRESHOLD: usize = 32;
 
+/// Capacity reserved by the first insertion into an empty `Small` vector.
+///
+/// A fresh `Vec<u32>` would otherwise crawl through the 4 → 8 reallocation
+/// ladder while a vertex accumulates its first neighbors — measurable churn
+/// in the insert-heavy phase of a stream, where every new vertex takes this
+/// path.  32 bytes per active vertex buys the whole `Small` range at most
+/// two grow steps (8 → 16 → 32).
+const SMALL_PRESIZE: usize = 8;
+
 /// The hash-backed representation of a large neighbor set, plus a lazily
 /// built sorted copy of the elements.
 ///
@@ -59,6 +68,15 @@ impl LargeSet {
             v.sort_unstable();
             v
         })
+    }
+
+    /// Length of the memoised sorted copy, or `None` when it has not been
+    /// built since the last mutation.  Peeking never builds the copy — the
+    /// estimators use this for honest memory accounting without inflating
+    /// the very footprint they are measuring.
+    #[must_use]
+    pub fn sorted_cache_len(&self) -> Option<usize> {
+        self.sorted.get().map(Vec::len)
     }
 
     /// Number of elements.
@@ -173,6 +191,9 @@ impl AdjacencySet {
                     large.set.insert(x);
                     *self = AdjacencySet::Large(large);
                 } else {
+                    if v.capacity() == 0 {
+                        v.reserve(SMALL_PRESIZE);
+                    }
                     v.push(x);
                 }
                 true
@@ -320,6 +341,25 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use std::collections::BTreeSet;
+
+    #[test]
+    fn first_insert_presizes_the_small_vector() {
+        let mut s = AdjacencySet::new();
+        assert!(s.insert(1));
+        let AdjacencySet::Small(v) = &s else {
+            panic!("one element must stay Small");
+        };
+        assert!(v.capacity() >= SMALL_PRESIZE);
+    }
+
+    #[test]
+    fn sorted_cache_len_peeks_without_building() {
+        let s: AdjacencySet = (0..80u32).collect();
+        let large = s.as_large().expect("80 elements must be Large");
+        assert_eq!(large.sorted_cache_len(), None);
+        let _ = large.sorted();
+        assert_eq!(large.sorted_cache_len(), Some(80));
+    }
 
     #[test]
     fn insert_contains_remove_small() {

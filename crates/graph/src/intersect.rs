@@ -17,7 +17,12 @@
 //!   memory sequentially instead of cache-missing once per probe,
 //! * [`sorted_merge_intersection_count`] — the bare two-pointer merge over
 //!   sorted slices, usable directly and kept as an ablation target for the
-//!   micro-benchmarks.
+//!   micro-benchmarks,
+//! * the **sorted-slice kernels** powering the frozen CSR counting snapshot
+//!   ([`crate::csr::CsrSnapshot`]): [`sorted_merge_count_branchless`] for
+//!   comparable sizes, [`sorted_gallop_count`] for skewed sizes, and
+//!   [`sorted_adaptive_count`] which dispatches between them by the
+//!   [`KernelTuning`] cutovers.
 //!
 //! The production kernels report `comparisons` under the *probe model* of the
 //! paper — the number of membership probes the probe kernel performs, i.e.
@@ -30,10 +35,50 @@
 
 use crate::adjacency::AdjacencySet;
 
-/// Use the sorted-merge path only when the larger hub is at most this many
-/// times the smaller one: a merge always advances through both sets, so with
-/// heavily skewed sizes probing the big set `|small|` times is cheaper.
-const MERGE_SIZE_RATIO: usize = 8;
+/// Default for [`KernelTuning::merge_size_ratio`]: use the sorted-merge path
+/// only when the larger hub is at most this many times the smaller one — a
+/// merge always advances through both sets, so with heavily skewed sizes
+/// probing the big set `|small|` times is cheaper.
+pub const DEFAULT_MERGE_SIZE_RATIO: usize = 8;
+
+/// Default for [`KernelTuning::gallop_size_ratio`]: over sorted slices,
+/// switch from the two-pointer merge to galloping (exponential) search once
+/// the larger side exceeds this multiple of the smaller one.  A merge
+/// advances `|small| + |large|` cursor steps while a gallop pays about
+/// `log₂(ratio) + 2` probes per small element, so the break-even sits near
+/// ratio 4; the `intersect` micro-benchmark and the dataset-analog sweeps
+/// back this default (see `crates/bench/benches/intersect.rs`).
+pub const DEFAULT_GALLOP_SIZE_RATIO: usize = 4;
+
+/// Cutover ratios of the adaptive intersection kernels.
+///
+/// The defaults are justified by the `intersect` micro-benchmark
+/// (`cargo bench -p abacus-bench --bench intersect`), which sweeps probe,
+/// merge, and gallop kernels across operand-size ratios.  The values are
+/// wired through `AbacusConfig` so ablations can move the cutovers without
+/// recompiling.
+///
+/// Which kernel runs never changes reported numbers: counts are exact set
+/// intersections on every path and the production kernels report probe-model
+/// `comparisons` (see the module docs), so tuning only affects wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Hash-backed hub pairs switch from probing to the sorted merge when
+    /// `|large| <= |small| * merge_size_ratio`.
+    pub merge_size_ratio: usize,
+    /// Sorted CSR slices switch from the merge to galloping search when
+    /// `|large| > |small| * gallop_size_ratio`.
+    pub gallop_size_ratio: usize,
+}
+
+impl Default for KernelTuning {
+    fn default() -> Self {
+        KernelTuning {
+            merge_size_ratio: DEFAULT_MERGE_SIZE_RATIO,
+            gallop_size_ratio: DEFAULT_GALLOP_SIZE_RATIO,
+        }
+    }
+}
 
 /// Result of an intersection: how many common elements and how many probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,13 +105,13 @@ impl IntersectionResult {
 /// both paths, so ABACUS/PARABACUS work parity is independent of this
 /// decision.
 #[inline]
-fn merge_applies(small: &AdjacencySet, large: &AdjacencySet) -> bool {
+fn merge_applies(small: &AdjacencySet, large: &AdjacencySet, tuning: KernelTuning) -> bool {
     // Both operands must actually be hash-backed: a `Large` set that shrank
     // can be outsized by a vector-backed `Small` one, which has no sorted
     // cache to merge over.
     small.as_large().is_some()
         && large.as_large().is_some()
-        && large.len() <= small.len().saturating_mul(MERGE_SIZE_RATIO)
+        && large.len() <= small.len().saturating_mul(tuning.merge_size_ratio)
 }
 
 /// Two-pointer match count over the memoised sorted copies, skipping
@@ -107,8 +152,19 @@ fn merge_count(small: &AdjacencySet, large: &AdjacencySet, exclude: Option<u32>)
 #[inline]
 #[must_use]
 pub fn intersection_count(a: &AdjacencySet, b: &AdjacencySet) -> IntersectionResult {
+    intersection_count_with(a, b, KernelTuning::default())
+}
+
+/// [`intersection_count`] with explicit cutover tuning.
+#[inline]
+#[must_use]
+pub fn intersection_count_with(
+    a: &AdjacencySet,
+    b: &AdjacencySet,
+    tuning: KernelTuning,
+) -> IntersectionResult {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if merge_applies(small, large) {
+    if merge_applies(small, large, tuning) {
         return IntersectionResult {
             count: merge_count(small, large, None),
             // Probe model: what the probe kernel would have performed.
@@ -138,8 +194,20 @@ pub fn intersection_count_excluding(
     b: &AdjacencySet,
     exclude: u32,
 ) -> IntersectionResult {
+    intersection_count_excluding_with(a, b, exclude, KernelTuning::default())
+}
+
+/// [`intersection_count_excluding`] with explicit cutover tuning.
+#[inline]
+#[must_use]
+pub fn intersection_count_excluding_with(
+    a: &AdjacencySet,
+    b: &AdjacencySet,
+    exclude: u32,
+    tuning: KernelTuning,
+) -> IntersectionResult {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if merge_applies(small, large) {
+    if merge_applies(small, large, tuning) {
         return IntersectionResult {
             count: merge_count(small, large, Some(exclude)),
             // Probe model: the probe kernel skips `exclude` without probing.
@@ -197,6 +265,238 @@ pub fn sorted_merge_intersection_count(a: &[u32], b: &[u32]) -> IntersectionResu
         }
     }
     IntersectionResult { count, comparisons }
+}
+
+/// Branchless two-pointer match count over strictly ascending slices.
+///
+/// The inner loop advances both cursors with data-independent arithmetic
+/// (`i += (x <= y)`, `j += (y <= x)`) instead of a three-way branch, which
+/// lets the CPU run it without branch mispredictions — the hot loop of the
+/// frozen-snapshot counting path when operand sizes are comparable.
+#[inline]
+#[must_use]
+pub fn sorted_merge_count_branchless(a: &[u32], b: &[u32]) -> u64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted");
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        count += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+/// First index `>= from` whose element is `>= target`, found by galloping:
+/// double the step until the element is overshot, then binary-search the last
+/// doubled window.  O(log distance) instead of O(log len), which is what
+/// makes repeated searches with an advancing cursor linear overall.
+#[inline]
+fn gallop_lower_bound(slice: &[u32], from: usize, target: u32) -> usize {
+    if from >= slice.len() || slice[from] >= target {
+        return from;
+    }
+    // Invariant: slice[lo] < target.
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < slice.len() && slice[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(slice.len());
+    lo + 1 + slice[lo + 1..hi].partition_point(|&v| v < target)
+}
+
+/// Match count over strictly ascending slices by galloping the larger slice
+/// with the elements of the smaller one.
+///
+/// The cursor into `large` only moves forward, so the total gallop work is
+/// O(|small| · log(|large| / |small|)) — the right kernel when the operand
+/// sizes are heavily skewed.
+#[inline]
+#[must_use]
+pub fn sorted_gallop_count(small: &[u32], large: &[u32]) -> u64 {
+    debug_assert!(
+        small.windows(2).all(|w| w[0] < w[1]),
+        "input small must be sorted"
+    );
+    debug_assert!(
+        large.windows(2).all(|w| w[0] < w[1]),
+        "input large must be sorted"
+    );
+    let mut cursor = 0usize;
+    let mut count = 0u64;
+    for &x in small {
+        cursor = gallop_lower_bound(large, cursor, x);
+        if cursor == large.len() {
+            break;
+        }
+        if large[cursor] == x {
+            count += 1;
+            cursor += 1;
+        }
+    }
+    count
+}
+
+/// Classic two-pointer match count over strictly ascending slices (count
+/// only, no comparison accounting).
+#[inline]
+#[must_use]
+pub fn sorted_merge_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Adaptive match count over strictly ascending slices: two-pointer merge
+/// for comparable sizes, galloping search beyond
+/// [`KernelTuning::gallop_size_ratio`].
+#[inline]
+#[must_use]
+pub fn sorted_adaptive_count(a: &[u32], b: &[u32], tuning: KernelTuning) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() > small.len().saturating_mul(tuning.gallop_size_ratio) {
+        sorted_gallop_count(small, large)
+    } else {
+        sorted_merge_count(small, large)
+    }
+}
+
+/// Binary-search membership probe over a strictly ascending slice.
+#[inline]
+#[must_use]
+pub fn sorted_contains(slice: &[u32], x: u32) -> bool {
+    slice.binary_search(&x).is_ok()
+}
+
+/// Adaptive `|a ∩ b \ {exclude}|` over strictly ascending slices with the
+/// probe-model `comparisons` of the production kernels.  The gallop branch
+/// folds the `exclude` bookkeeping into its scan; the merge branch pays one
+/// extra O(log |small|) membership search up front.
+///
+/// This is the kernel the frozen CSR snapshot runs per wedge: two-pointer
+/// merge for comparable sizes, galloping search beyond
+/// [`KernelTuning::gallop_size_ratio`].
+#[inline]
+#[must_use]
+pub fn sorted_intersection_excluding(
+    a: &[u32],
+    b: &[u32],
+    exclude: u32,
+    tuning: KernelTuning,
+) -> IntersectionResult {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return IntersectionResult::default();
+    }
+    let (count, excluded_from_small) =
+        if large.len() > small.len().saturating_mul(tuning.gallop_size_ratio) {
+            gallop_excluding(small, large, exclude)
+        } else {
+            merge_excluding(small, large, exclude)
+        };
+    IntersectionResult {
+        count,
+        // Probe model: the probe kernel iterates the smaller operand and
+        // skips `exclude` without probing.
+        comparisons: small.len() as u64 - u64::from(excluded_from_small),
+    }
+}
+
+/// Two-pointer merge counting matches other than `exclude`; also reports
+/// whether `exclude` is a member of `small`.  (The three-way-branch shape
+/// compiles measurably faster than a "branchless" arithmetic-advance loop on
+/// current x86 — see the `intersect` micro-benchmark.)
+#[inline]
+fn merge_excluding(small: &[u32], large: &[u32], exclude: u32) -> (u64, bool) {
+    let excluded = sorted_contains(small, exclude);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut count = 0u64;
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += u64::from(small[i] != exclude);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (count, excluded)
+}
+
+/// Counts `|small ∩ large \ {exclude}|` by iterating a sorted slice and
+/// probing an [`AdjacencySet`], with probe-model comparisons.
+///
+/// This is the skew kernel of the hybrid snapshot view: a contiguous slice
+/// walk feeding O(1) expected hash probes beats both a full merge (which
+/// must advance through the huge operand) and galloping (O(log) per probe)
+/// once the larger side is a hash-backed hub many times the smaller one.
+#[inline]
+#[must_use]
+pub fn slice_probe_excluding(
+    small: &[u32],
+    large: &AdjacencySet,
+    exclude: u32,
+) -> IntersectionResult {
+    let mut count = 0u64;
+    let mut comparisons = 0u64;
+    for &x in small {
+        if x == exclude {
+            continue;
+        }
+        comparisons += 1;
+        if large.contains(x) {
+            count += 1;
+        }
+    }
+    IntersectionResult { count, comparisons }
+}
+
+/// Gallop counting matches other than `exclude`; also reports whether
+/// `exclude` is a member of `small`.
+#[inline]
+fn gallop_excluding(small: &[u32], large: &[u32], exclude: u32) -> (u64, bool) {
+    let mut cursor = 0usize;
+    let mut count = 0u64;
+    let mut excluded = false;
+    for &x in small {
+        if x == exclude {
+            excluded = true;
+            continue;
+        }
+        if cursor == large.len() {
+            continue; // still must finish scanning `small` for `exclude`
+        }
+        cursor = gallop_lower_bound(large, cursor, x);
+        if cursor < large.len() && large[cursor] == x {
+            count += 1;
+            cursor += 1;
+        }
+    }
+    (count, excluded)
 }
 
 #[cfg(test)]
@@ -331,7 +631,7 @@ mod tests {
         // advancing through both sets.
         let small: AdjacencySet = (0..40u32).collect();
         let large: AdjacencySet = (0..1_000u32).collect();
-        assert!(!merge_applies(&small, &large));
+        assert!(!merge_applies(&small, &large, KernelTuning::default()));
         let r = intersection_count(&small, &large);
         assert_eq!(r.count, 40);
         assert_eq!(r.comparisons, 40);
@@ -358,7 +658,118 @@ mod tests {
         assert_eq!(intersection_count(&b, &a).comparisons, 100);
     }
 
+    #[test]
+    fn branchless_merge_and_gallop_agree_with_the_classic_merge() {
+        let a: Vec<u32> = (0..200).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..400).map(|x| x * 2).collect();
+        let expected = sorted_merge_intersection_count(&a, &b).count;
+        assert_eq!(sorted_merge_count_branchless(&a, &b), expected);
+        assert_eq!(sorted_gallop_count(&a, &b), expected);
+        assert_eq!(
+            sorted_adaptive_count(&a, &b, KernelTuning::default()),
+            expected
+        );
+        // Empty operands are free on every kernel.
+        assert_eq!(sorted_merge_count_branchless(&[], &b), 0);
+        assert_eq!(sorted_gallop_count(&[], &b), 0);
+        assert_eq!(sorted_gallop_count(&a, &[]), 0);
+        assert_eq!(sorted_adaptive_count(&[], &[], KernelTuning::default()), 0);
+    }
+
+    #[test]
+    fn gallop_lower_bound_walks_forward_only() {
+        let v: Vec<u32> = (0..100).map(|x| x * 2).collect();
+        assert_eq!(gallop_lower_bound(&v, 0, 0), 0);
+        assert_eq!(gallop_lower_bound(&v, 0, 1), 1);
+        assert_eq!(gallop_lower_bound(&v, 0, 198), 99);
+        assert_eq!(gallop_lower_bound(&v, 0, 500), 100); // past the end
+        assert_eq!(gallop_lower_bound(&v, 50, 10), 50); // never moves backwards
+        assert_eq!(gallop_lower_bound(&[], 0, 7), 0);
+    }
+
+    #[test]
+    fn adaptive_count_picks_gallop_for_skewed_sizes() {
+        // 4 vs 4096 elements: ratio far beyond the gallop cutover; the result
+        // must be identical either way.
+        let small: Vec<u32> = vec![5, 1_000, 2_000, 4_095];
+        let large: Vec<u32> = (0..4_096).collect();
+        let tuning = KernelTuning::default();
+        assert!(large.len() > small.len() * tuning.gallop_size_ratio);
+        assert_eq!(sorted_adaptive_count(&small, &large, tuning), 4);
+        // Forcing the merge path gives the same count.
+        let merge_only = KernelTuning {
+            gallop_size_ratio: usize::MAX,
+            ..tuning
+        };
+        assert_eq!(sorted_adaptive_count(&small, &large, merge_only), 4);
+    }
+
+    #[test]
+    fn sorted_contains_probes_by_binary_search() {
+        let v: Vec<u32> = (0..50).map(|x| x * 2).collect();
+        assert!(sorted_contains(&v, 0));
+        assert!(sorted_contains(&v, 98));
+        assert!(!sorted_contains(&v, 99));
+        assert!(!sorted_contains(&[], 1));
+    }
+
+    #[test]
+    fn merge_cutover_is_tunable() {
+        // With the ratio forced to 0 a comparably sized hub pair falls back to
+        // probing; the result (count and probe-model comparisons) is the same.
+        let a: AdjacencySet = (0..60u32).collect();
+        let b: AdjacencySet = (30..100u32).collect();
+        let probe_only = KernelTuning {
+            merge_size_ratio: 0,
+            ..KernelTuning::default()
+        };
+        assert!(!merge_applies(&a, &b, probe_only));
+        let default = intersection_count(&a, &b);
+        let tuned = intersection_count_with(&a, &b, probe_only);
+        assert_eq!(default, tuned);
+        let default = intersection_count_excluding(&a, &b, 30);
+        let tuned = intersection_count_excluding_with(&a, &b, 30, probe_only);
+        assert_eq!(default, tuned);
+    }
+
     proptest! {
+        /// The sorted-slice kernels (classic merge, branchless merge, gallop,
+        /// adaptive) all agree with the BTreeSet reference on random inputs,
+        /// and the fused excluding kernel matches the hash kernels' count and
+        /// probe-model comparisons exactly.
+        #[test]
+        fn sorted_kernels_agree_on_random_slices(
+            xs in proptest::collection::btree_set(0u32..600, 0..250),
+            ys in proptest::collection::btree_set(0u32..600, 0..250),
+            exclude in 0u32..600,
+        ) {
+            let a: Vec<u32> = xs.iter().copied().collect();
+            let b: Vec<u32> = ys.iter().copied().collect();
+            let expected = xs.intersection(&ys).count() as u64;
+            prop_assert_eq!(sorted_merge_count_branchless(&a, &b), expected);
+            prop_assert_eq!(sorted_gallop_count(&a, &b), expected);
+            prop_assert_eq!(sorted_gallop_count(&b, &a), expected);
+            prop_assert_eq!(sorted_adaptive_count(&a, &b, KernelTuning::default()), expected);
+
+            let sa: AdjacencySet = xs.iter().copied().collect();
+            let sb: AdjacencySet = ys.iter().copied().collect();
+            let want = intersection_count_excluding(&sa, &sb, exclude);
+            for tuning in [
+                KernelTuning::default(),
+                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: 0 }, // force gallop
+                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: usize::MAX }, // force merge
+            ] {
+                prop_assert_eq!(
+                    sorted_intersection_excluding(&a, &b, exclude, tuning),
+                    want
+                );
+                prop_assert_eq!(
+                    sorted_intersection_excluding(&b, &a, exclude, tuning),
+                    want
+                );
+            }
+        }
+
         #[test]
         fn matches_btreeset_reference(
             xs in proptest::collection::btree_set(0u32..500, 0..200),

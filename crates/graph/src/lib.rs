@@ -15,7 +15,10 @@
 //!   oracle, ABACUS, and the FLEET baseline (Algorithm 1, lines 7–11 of the
 //!   paper),
 //! * [`intersect`] — set-intersection primitives with comparison accounting
-//!   (used for the load-balance experiment, Fig. 10),
+//!   (used for the load-balance experiment, Fig. 10), including the adaptive
+//!   sorted-slice kernels (branchless merge / galloping search),
+//! * [`csr`] — the frozen CSR counting snapshot the estimators intersect
+//!   against in their per-edge hot loop,
 //! * [`fxhash`] — a fast, DoS-insensitive hasher for integer keys (the
 //!   `rustc-hash` algorithm re-implemented locally),
 //! * [`stats`] — the dataset statistics reported in Table II of the paper.
@@ -30,6 +33,7 @@ pub mod adjacency;
 pub mod bipartite;
 pub mod bitruss;
 pub mod clustering;
+pub mod csr;
 pub mod edge;
 pub mod exact;
 pub mod fxhash;
@@ -42,9 +46,11 @@ pub use adjacency::AdjacencySet;
 pub use bipartite::BipartiteGraph;
 pub use bitruss::{bitruss_decomposition, BitrussDecomposition};
 pub use clustering::{butterfly_clustering_coefficient, count_caterpillars};
+pub use csr::CsrSnapshot;
 pub use edge::{Edge, EdgeKey};
 pub use exact::{count_butterflies, count_butterflies_per_left_vertex, ExactCounts};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intersect::KernelTuning;
 pub use peredge::{count_butterflies_with_edge, NeighborhoodView, PerEdgeCount};
 pub use stats::GraphStatistics;
 pub use vertex::{Side, VertexRef};

@@ -6,6 +6,16 @@
 //! adjacency sets (so that per-edge butterfly counting is fast), while the
 //! sampling policy only needs four operations: insert, remove, replace a
 //! uniformly random victim, and report the size.
+//!
+//! Because the policy is generic over this trait, stores compose by
+//! *wrapping*: `abacus-core` drives the same policy through a recording
+//! wrapper (PARABACUS's `RecordingSample`, which logs every adjacency delta
+//! for the versioned views) and a mirroring wrapper (`MirroredSample`, which
+//! keeps the frozen CSR counting snapshot in lock-step with the sample).
+//! Wrappers must preserve the exact state transitions — and, for
+//! [`store_replace_random`](SampleStore::store_replace_random), the exact
+//! RNG consumption — of the store they wrap, so that sampling decisions are
+//! bit-for-bit reproducible whichever wrapper is active.
 
 use rand::{Rng, RngExt};
 

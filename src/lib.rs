@@ -51,6 +51,7 @@ pub mod prelude {
     pub use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
     pub use abacus_core::{
         Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig,
+        SnapshotMode,
     };
     pub use abacus_graph::{count_butterflies, BipartiteGraph, Edge, GraphStatistics};
     pub use abacus_metrics::{relative_error, relative_error_percent, Throughput};

@@ -35,7 +35,10 @@ fn parabacus_matches_abacus_on_a_dataset_analog() {
             abacus.estimate(),
             parabacus.estimate()
         );
-        assert_eq!(abacus.memory_edges(), parabacus.memory_edges());
+        // Sampled state is identical; `memory_edges` itself may differ by
+        // the counting-side auxiliaries (CSR snapshot arenas, sorted-copy
+        // caches) each estimator maintains.
+        assert_eq!(abacus.sample().len(), parabacus.sample().len());
         assert_eq!(
             abacus.sampler_state(),
             parabacus.sampler_state(),
