@@ -1,0 +1,72 @@
+//! Streaming-ingest column: end-to-end ABACUS ingestion throughput through
+//! each driver — materialized slice, on-disk text source, on-disk binary
+//! source — over a Movielens-like fully dynamic workload.
+//!
+//! The drivers are bit-identical in output (asserted by
+//! `tests/streaming_parity.rs`); this bench tracks what the bounded-memory
+//! paths *cost* (or save: the binary decoder usually beats materialized text
+//! ingest on wall clock, besides never holding the stream).
+//!
+//! Run with `cargo bench -p abacus-bench --bench ingest`.
+
+use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
+use abacus_stream::binary::write_binary_stream_to_path;
+use abacus_stream::io::write_stream_to_path;
+use abacus_stream::{open_path_source, Dataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const BUDGET: usize = 1_500;
+
+fn scratch_files() -> (Vec<abacus_stream::StreamElement>, PathBuf, PathBuf) {
+    let stream = Dataset::MovielensLike.stream(0.2, 0);
+    let dir = std::env::temp_dir().join(format!("abacus_bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create ingest bench scratch dir");
+    let text = dir.join("stream.txt");
+    let binary = dir.join("stream.abst");
+    write_stream_to_path(&stream, &text).expect("write text stream");
+    write_binary_stream_to_path(&stream, &binary).expect("write binary stream");
+    (stream, text, binary)
+}
+
+fn bench_ingest_drivers(c: &mut Criterion) {
+    let (stream, text, binary) = scratch_files();
+    let mut group = c.benchmark_group("ingest");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("materialized", "slice"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let mut counter = Abacus::new(AbacusConfig::new(BUDGET).with_seed(1));
+                counter.process_stream(stream);
+                black_box(counter.estimate())
+            });
+        },
+    );
+
+    for (label, path) in [("text", &text), ("binary", &binary)] {
+        group.bench_with_input(BenchmarkId::new("streamed", label), path, |b, path| {
+            b.iter(|| {
+                let mut counter = Abacus::new(AbacusConfig::new(BUDGET).with_seed(1));
+                let mut source = open_path_source(path).expect("open stream file");
+                counter
+                    .process_source(&mut *source)
+                    .expect("stream the workload");
+                black_box(counter.estimate())
+            });
+        });
+    }
+
+    group.finish();
+    std::fs::remove_file(&text).ok();
+    std::fs::remove_file(&binary).ok();
+}
+
+criterion_group!(benches, bench_ingest_drivers);
+criterion_main!(benches);

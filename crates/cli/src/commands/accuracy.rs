@@ -1,19 +1,24 @@
 //! `abacus accuracy` — average relative error over repeated runs.
+//!
+//! Works against a generated dataset analog (`--dataset`) *or* any stream
+//! file (`--input`).  File workloads are never materialized: the ground
+//! truth comes from one streaming replay into the final graph and every
+//! trial re-opens the file and feeds ABACUS through the pull-based source
+//! driver, keeping memory at O(final graph + budget).  Dataset workloads are
+//! generated once and shared across trials.
 
-use super::{parse_alpha, parse_dataset};
+use super::WorkloadInput;
 use crate::args::Arguments;
 use crate::error::CliError;
 use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
 use abacus_metrics::{relative_error_percent, Summary};
-use abacus_stream::final_graph;
+use abacus_stream::{replay_source, SliceSource};
 
-/// Runs ABACUS `--trials` times with different seeds against a generated
-/// dataset analog and reports the mean / spread of the relative error, the
-/// protocol of the paper's accuracy experiments (Figs. 3 and 5).
+/// Runs ABACUS `--trials` times with different seeds against the workload
+/// and reports the mean / spread of the relative error, the protocol of the
+/// paper's accuracy experiments (Figs. 3 and 5).
 pub fn run(args: &Arguments) -> Result<String, CliError> {
-    let dataset = parse_dataset(args.require("dataset")?)?;
-    let alpha = parse_alpha(args)?;
-    let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
+    let input = WorkloadInput::from_args(args)?;
     let budget: usize = args.parsed_or("budget", 1_500, "a positive integer")?;
     let trials: u64 = args.parsed_or("trials", 5, "a positive integer")?;
     args.reject_unused()?;
@@ -24,36 +29,58 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
             expected: "an integer of at least 2",
         });
     }
-    if trials == 0 || scale == 0 {
+    if trials == 0 {
         return Err(CliError::InvalidValue {
-            option: if trials == 0 { "trials" } else { "scale" }.to_string(),
+            option: "trials".to_string(),
             value: "0".to_string(),
             expected: "a positive integer",
         });
     }
 
-    let stream = dataset.spec().scaled(scale).stream(alpha, 0);
-    let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
+    // Generated datasets materialize once and are reused across trials (the
+    // generators are in-memory anyway); file inputs stay on disk and are
+    // re-streamed per trial instead.
+    let generated = if input.is_file() {
+        None
+    } else {
+        Some(input.materialize()?)
+    };
+
+    // Ground truth: one streaming replay into the final graph.
+    let truth = {
+        let (graph, _) = match &generated {
+            Some(stream) => replay_source(&mut SliceSource::new(stream)),
+            None => replay_source(&mut *input.open()?),
+        }
+        .map_err(|e| CliError::Io(e.to_string()))?;
+        abacus_graph::count_butterflies(&graph) as f64
+    };
     if truth <= 0.0 {
         return Ok(format!(
             "{}: final graph has no butterflies; nothing to estimate\n",
-            dataset.name()
+            input.label()
         ));
     }
 
-    let summary = Summary::from_values((0..trials).map(|seed| {
+    let mut errors = Vec::with_capacity(trials as usize);
+    for seed in 0..trials {
         let mut abacus = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
-        abacus.process_stream(&stream);
-        relative_error_percent(truth, abacus.estimate())
-    }));
+        match &generated {
+            Some(stream) => abacus.process_source(&mut SliceSource::new(stream)),
+            None => abacus.process_source(&mut *input.open()?),
+        }
+        .map_err(|e| CliError::Io(e.to_string()))?;
+        errors.push(relative_error_percent(truth, abacus.estimate()));
+    }
+    let summary = Summary::from_values(errors);
 
     Ok(format!(
-        "dataset:           {} (alpha {alpha}, scale {scale})\n\
+        "workload:          {}\n\
          budget (edges):    {budget}\n\
          trials:            {trials}\n\
          exact butterflies: {truth:.0}\n\
          relative error:    {:.2}% mean, {:.2}% std, {:.2}% min, {:.2}% max\n",
-        dataset.name(),
+        input.label(),
         summary.mean(),
         summary.std_dev(),
         summary.min(),
@@ -99,6 +126,36 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("0.00% mean"), "{out}");
+    }
+
+    #[test]
+    fn input_files_are_streamed_per_trial() {
+        use abacus_graph::Edge;
+        use abacus_stream::io::write_stream_to_path;
+        use abacus_stream::StreamElement;
+        let dir = std::env::temp_dir().join("abacus_cli_accuracy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("k33.txt");
+        let mut stream = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        write_stream_to_path(&stream, &path).unwrap();
+        // A covering budget makes every trial exact: 0% error across the board.
+        let out = run(&args(&[
+            "--input",
+            path.to_str().unwrap(),
+            "--budget",
+            "100",
+            "--trials",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("exact butterflies: 9"), "{out}");
+        assert!(out.contains("0.00% mean"), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -3,17 +3,44 @@
 use super::{parse_alpha, parse_dataset};
 use crate::args::Arguments;
 use crate::error::CliError;
+use abacus_stream::binary::write_binary_stream_to_path;
 use abacus_stream::io::write_stream_to_path;
 use abacus_stream::StreamStats;
 
+/// Output encodings of `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Binary,
+}
+
+fn parse_format(args: &Arguments) -> Result<OutputFormat, CliError> {
+    match args
+        .get("format")
+        .unwrap_or("text")
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "text" => Ok(OutputFormat::Text),
+        "binary" => Ok(OutputFormat::Binary),
+        other => Err(CliError::InvalidValue {
+            option: "format".to_string(),
+            value: other.to_string(),
+            expected: "text or binary",
+        }),
+    }
+}
+
 /// Generates the requested dataset analog and writes it in the `+ u v` /
-/// `- u v` text format.
+/// `- u v` text format or, with `--format binary`, the compact `ABST1`
+/// varint-delta binary format.
 pub fn run(args: &Arguments) -> Result<String, CliError> {
     let dataset = parse_dataset(args.require("dataset")?)?;
     let output = args.require("output")?.to_string();
     let alpha = parse_alpha(args)?;
     let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
     let trial: u64 = args.parsed_or("trial", 0, "an unsigned integer")?;
+    let format = parse_format(args)?;
     if scale == 0 {
         return Err(CliError::InvalidValue {
             option: "scale".to_string(),
@@ -24,16 +51,24 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     args.reject_unused()?;
 
     let stream = dataset.spec().scaled(scale).stream(alpha, trial);
-    write_stream_to_path(&stream, &output).map_err(|e| CliError::Io(e.to_string()))?;
+    match format {
+        OutputFormat::Text => write_stream_to_path(&stream, &output),
+        OutputFormat::Binary => write_binary_stream_to_path(&stream, &output),
+    }
+    .map_err(|e| CliError::Io(e.to_string()))?;
     let stats = StreamStats::compute(&stream);
 
     Ok(format!(
-        "wrote {} ({} elements: {} insertions, {} deletions) to {}\n",
+        "wrote {} ({} elements: {} insertions, {} deletions) to {} ({} format)\n",
         dataset.name(),
         stream.len(),
         stats.insertions,
         stats.deletions,
-        output
+        output,
+        match format {
+            OutputFormat::Text => "text",
+            OutputFormat::Binary => "binary",
+        }
     ))
 }
 
@@ -76,6 +111,51 @@ mod tests {
     }
 
     use abacus_stream::Dataset;
+
+    #[test]
+    fn binary_format_round_trips_and_is_smaller() {
+        use abacus_stream::binary::read_binary_stream_from_path;
+        let text_path = temp_path("orkut.txt");
+        let binary_path = temp_path("orkut.abst");
+        for (path, format) in [(&text_path, "text"), (&binary_path, "binary")] {
+            let out = run(&args(&[
+                "--dataset",
+                "orkut",
+                "--alpha",
+                "0.2",
+                "--output",
+                path.to_str().unwrap(),
+                "--format",
+                format,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("({format} format)")), "{out}");
+        }
+        let text = read_stream_from_path(&text_path).unwrap();
+        let binary = read_binary_stream_from_path(&binary_path).unwrap();
+        assert_eq!(text, binary, "formats must encode the same stream");
+        let size = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
+        assert!(
+            size(&binary_path) < size(&text_path) / 2,
+            "binary {} vs text {}",
+            size(&binary_path),
+            size(&text_path)
+        );
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&binary_path).ok();
+
+        assert!(matches!(
+            run(&args(&[
+                "--dataset",
+                "orkut",
+                "--output",
+                "x.abst",
+                "--format",
+                "protobuf",
+            ])),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
 
     #[test]
     fn missing_required_options_are_reported() {

@@ -11,7 +11,9 @@ pub mod stats;
 
 use crate::args::Arguments;
 use crate::error::CliError;
-use abacus_stream::{io::read_stream_from_path, Dataset, GraphStream};
+use abacus_stream::{
+    open_path_source, Dataset, DatasetSpec, ElementSource, GraphStream, IterSource,
+};
 
 /// Parses a `--dataset` name into one of the four analog datasets.
 pub(crate) fn parse_dataset(name: &str) -> Result<Dataset, CliError> {
@@ -29,43 +31,102 @@ pub(crate) fn parse_dataset(name: &str) -> Result<Dataset, CliError> {
 }
 
 /// A workload described by the common `--input` / `--dataset` options.
-#[derive(Debug)]
-pub(crate) struct Workload {
-    /// Short label for result lines ("stream.txt" or "Movielens-like").
-    pub label: String,
-    /// The stream elements.
-    pub stream: GraphStream,
+///
+/// The description is cheap and re-openable: [`open`](Self::open) yields a
+/// fresh pull-based source each call (O(budget + chunk) ingest memory for
+/// files), while [`materialize`](Self::materialize) is the explicit
+/// O(stream)-memory fallback for consumers that need the whole workload
+/// (ground truth).
+#[derive(Debug, Clone)]
+pub(crate) enum WorkloadInput {
+    /// A stream file on disk (text or `ABST1` binary, sniffed per open).
+    File {
+        /// The `--input` path.
+        path: String,
+    },
+    /// A generated dataset analog (materialized in memory per open — the
+    /// generators are in-memory; files are the bounded-memory path).
+    Dataset {
+        /// The (scaled) generator specification.
+        spec: DatasetSpec,
+        /// Deletion ratio α.
+        alpha: f64,
+        /// Trial seed offset.
+        trial: u64,
+        /// Scale factor (for the label only; `spec` is already scaled).
+        scale: u32,
+    },
 }
 
-/// Loads the stream from `--input <path>`, or generates it from `--dataset`
-/// (with `--alpha`, `--scale`, `--trial`).
-pub(crate) fn load_workload(args: &Arguments) -> Result<Workload, CliError> {
-    if let Some(path) = args.get("input") {
-        let stream = read_stream_from_path(path).map_err(|e| CliError::Io(e.to_string()))?;
-        return Ok(Workload {
-            label: path.to_string(),
-            stream,
-        });
+impl WorkloadInput {
+    /// Parses the common `--input` / `--dataset` (+ `--alpha`, `--scale`,
+    /// `--trial`) options.
+    pub fn from_args(args: &Arguments) -> Result<Self, CliError> {
+        if let Some(path) = args.get("input") {
+            return Ok(WorkloadInput::File {
+                path: path.to_string(),
+            });
+        }
+        let Some(name) = args.get("dataset") else {
+            return Err(CliError::MissingOption("input (or --dataset)"));
+        };
+        let dataset = parse_dataset(name)?;
+        let alpha = parse_alpha(args)?;
+        let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
+        let trial: u64 = args.parsed_or("trial", 0, "an unsigned integer")?;
+        if scale == 0 {
+            return Err(CliError::InvalidValue {
+                option: "scale".to_string(),
+                value: "0".to_string(),
+                expected: "a positive integer",
+            });
+        }
+        Ok(WorkloadInput::Dataset {
+            spec: dataset.spec().scaled(scale),
+            alpha,
+            trial,
+            scale,
+        })
     }
-    let Some(name) = args.get("dataset") else {
-        return Err(CliError::MissingOption("input (or --dataset)"));
-    };
-    let dataset = parse_dataset(name)?;
-    let alpha = parse_alpha(args)?;
-    let scale: u32 = args.parsed_or("scale", 1, "a positive integer")?;
-    let trial: u64 = args.parsed_or("trial", 0, "an unsigned integer")?;
-    if scale == 0 {
-        return Err(CliError::InvalidValue {
-            option: "scale".to_string(),
-            value: "0".to_string(),
-            expected: "a positive integer",
-        });
+
+    /// Short label for result lines ("stream.txt" or "Movielens-like ...").
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadInput::File { path } => path.clone(),
+            WorkloadInput::Dataset {
+                spec, alpha, scale, ..
+            } => {
+                format!("{} (alpha {alpha}, scale {scale})", spec.dataset.name())
+            }
+        }
     }
-    let stream = dataset.spec().scaled(scale).stream(alpha, trial);
-    Ok(Workload {
-        label: format!("{} (alpha {alpha}, scale {scale})", dataset.name()),
-        stream,
-    })
+
+    /// Whether the workload is a file on disk — the case where pull-based
+    /// ingestion genuinely bounds memory (generated datasets materialize
+    /// inside [`open`](Self::open), since the generators are in-memory).
+    pub fn is_file(&self) -> bool {
+        matches!(self, WorkloadInput::File { .. })
+    }
+
+    /// Opens a fresh pull-based source over the workload.
+    pub fn open(&self) -> Result<Box<dyn ElementSource>, CliError> {
+        match self {
+            WorkloadInput::File { path } => {
+                open_path_source(path).map_err(|e| CliError::Io(e.to_string()))
+            }
+            WorkloadInput::Dataset {
+                spec, alpha, trial, ..
+            } => Ok(Box::new(IterSource::new(
+                spec.stream(*alpha, *trial).into_iter(),
+            ))),
+        }
+    }
+
+    /// Materializes the whole workload in memory (the O(stream) path).
+    pub fn materialize(&self) -> Result<GraphStream, CliError> {
+        let mut source = self.open()?;
+        abacus_stream::read_all(&mut source).map_err(|e| CliError::Io(e.to_string()))
+    }
 }
 
 /// Parses and validates the `--alpha` deletion ratio (default 0.2).
@@ -99,7 +160,7 @@ mod tests {
 
     #[test]
     fn workload_from_dataset_respects_alpha_and_scale() {
-        let workload = load_workload(&args(&[
+        let input = WorkloadInput::from_args(&args(&[
             "--dataset",
             "movielens",
             "--alpha",
@@ -108,17 +169,27 @@ mod tests {
             "1",
         ]))
         .unwrap();
-        assert!(workload.label.contains("Movielens"));
+        assert!(input.label().contains("Movielens"));
         assert_eq!(
-            workload.stream.len(),
+            input.materialize().unwrap().len(),
             Dataset::MovielensLike.spec().edges // no deletions
         );
     }
 
     #[test]
     fn workload_requires_input_or_dataset() {
-        let err = load_workload(&args(&[])).unwrap_err();
+        let err = WorkloadInput::from_args(&args(&[])).unwrap_err();
         assert!(matches!(err, CliError::MissingOption(_)));
+    }
+
+    #[test]
+    fn reopening_a_workload_yields_identical_streams() {
+        let input =
+            WorkloadInput::from_args(&args(&["--dataset", "movielens", "--alpha", "0.2"])).unwrap();
+        let first = input.materialize().unwrap();
+        let second = input.materialize().unwrap();
+        assert_eq!(first, second, "open() must be deterministic per workload");
+        assert_eq!(first, Dataset::MovielensLike.spec().stream(0.2, 0));
     }
 
     #[test]
@@ -130,7 +201,12 @@ mod tests {
 
     #[test]
     fn missing_input_file_is_an_io_error() {
-        let err = load_workload(&args(&["--input", "/definitely/not/here.txt"])).unwrap_err();
-        assert!(matches!(err, CliError::Io(_)));
+        let input =
+            WorkloadInput::from_args(&args(&["--input", "/definitely/not/here.txt"])).unwrap();
+        match input.open() {
+            Err(CliError::Io(_)) => {}
+            Err(other) => panic!("expected an I/O error, got {other}"),
+            Ok(_) => panic!("opening a missing file must fail"),
+        }
     }
 }

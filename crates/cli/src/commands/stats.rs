@@ -1,18 +1,23 @@
 //! `abacus stats` — Table II-style statistics of a stream's final graph.
+//!
+//! The stream is consumed in one pull-based pass: element counters and the
+//! final graph are updated per element, so peak memory is O(final graph) —
+//! never O(stream), which matters for disk-resident traces with deletion
+//! churn far above their live edge count.
 
-use super::load_workload;
+use super::WorkloadInput;
 use crate::args::Arguments;
 use crate::error::CliError;
 use abacus_graph::GraphStatistics;
-use abacus_stream::{final_graph, StreamStats};
+use abacus_stream::replay_source;
 
 /// Replays the stream into a graph and prints its statistics.
 pub fn run(args: &Arguments) -> Result<String, CliError> {
-    let workload = load_workload(args)?;
+    let input = WorkloadInput::from_args(args)?;
     args.reject_unused()?;
 
-    let stream_stats = StreamStats::compute(&workload.stream);
-    let graph = final_graph(&workload.stream);
+    let (graph, stream_stats) =
+        replay_source(&mut *input.open()?).map_err(|e| CliError::Io(e.to_string()))?;
     let graph_stats = GraphStatistics::compute(&graph);
 
     Ok(format!(
@@ -26,8 +31,8 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
          max degree:         {}\n\
          butterflies:        {}\n\
          butterfly density:  {:.3e}\n",
-        workload.label,
-        workload.stream.len(),
+        input.label(),
+        stream_stats.elements,
         stream_stats.insertions,
         stream_stats.deletions,
         graph_stats.edges,
@@ -43,6 +48,7 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
 mod tests {
     use super::*;
     use abacus_graph::Edge;
+    use abacus_stream::binary::write_binary_stream_to_path;
     use abacus_stream::io::write_stream_to_path;
     use abacus_stream::StreamElement;
 
@@ -51,21 +57,24 @@ mod tests {
         Arguments::parse(&raw).unwrap()
     }
 
-    #[test]
-    fn reports_the_exact_butterfly_count_of_a_file() {
-        let dir = std::env::temp_dir().join("abacus_cli_stats_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("biclique.txt");
-        // A 2×2 biclique plus a deleted pendant edge: exactly one butterfly.
-        let stream = vec![
+    /// A 2×2 biclique plus a deleted pendant edge: exactly one butterfly.
+    fn sample_stream() -> Vec<StreamElement> {
+        vec![
             StreamElement::insert(Edge::new(0, 10)),
             StreamElement::insert(Edge::new(0, 11)),
             StreamElement::insert(Edge::new(1, 10)),
             StreamElement::insert(Edge::new(1, 11)),
             StreamElement::insert(Edge::new(2, 11)),
             StreamElement::delete(Edge::new(2, 11)),
-        ];
-        write_stream_to_path(&stream, &path).unwrap();
+        ]
+    }
+
+    #[test]
+    fn reports_the_exact_butterfly_count_of_a_file() {
+        let dir = std::env::temp_dir().join("abacus_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("biclique.txt");
+        write_stream_to_path(&sample_stream(), &path).unwrap();
 
         let out = run(&args(&["--input", path.to_str().unwrap()])).unwrap();
         assert!(out.contains("butterflies:        1"));
@@ -73,6 +82,23 @@ mod tests {
         assert!(out.contains("deletions:          1"));
         assert!(out.contains("final |E|:          4"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_and_text_inputs_report_identically() {
+        let dir = std::env::temp_dir().join("abacus_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("pair.txt");
+        let binary = dir.join("pair.abst");
+        write_stream_to_path(&sample_stream(), &text).unwrap();
+        write_binary_stream_to_path(&sample_stream(), &binary).unwrap();
+        let text_out = run(&args(&["--input", text.to_str().unwrap()])).unwrap();
+        let binary_out = run(&args(&["--input", binary.to_str().unwrap()])).unwrap();
+        // Identical apart from the first (label) line.
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&text_out), tail(&binary_out));
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&binary).ok();
     }
 
     #[test]

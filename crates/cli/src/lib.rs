@@ -12,7 +12,13 @@
 //! ```
 //!
 //! Streams are plain text files with one element per line (`+ u v` /
-//! `- u v`), the format read and written by [`abacus_stream::io`].
+//! `- u v`, the format of [`abacus_stream::io`]) or compact `ABST1` binary
+//! files ([`abacus_stream::binary`]); the format is detected from the file
+//! header.  `run`, `stats`, and `accuracy` ingest files through the
+//! pull-based source pipeline, so they never materialize the stream —
+//! memory stays O(sample budget + pull chunk) no matter how large the file
+//! is (`run --ground-truth` is the documented exception: the exact count
+//! needs the final graph).
 //!
 //! The crate deliberately avoids an argument-parsing dependency: the option
 //! grammar is tiny (`--key value` pairs after a subcommand) and
@@ -64,11 +70,17 @@ COMMANDS:
                --scale <integer dataset scale factor>          (default 1)
                --trial <deletion placement seed>               (default 0)
                --output <path>                                 (required)
+               --format text|binary                            (default text; binary
+                                                                is the compact ABST1
+                                                                varint-delta encoding)
 
     stats      Print Table II-style statistics of a stream's final graph
+               (files are replayed in one streaming pass, never materialized)
                --input <path> | --dataset <name> [--alpha A] [--scale S]
 
     run        Process a stream with one estimator and print its estimate
+               (files are streamed in O(budget + chunk) memory; text or binary
+                input is detected from the file header)
                --input <path> | --dataset <name> [--alpha A] [--scale S]
                --algorithm abacus|parabacus|fleet|cas|exact    (default abacus)
                --budget <max sampled edges>                    (default 3000)
@@ -77,11 +89,15 @@ COMMANDS:
                --pipeline-depth <open batches, parabacus only> (default 2;
                                                                 1 = alternating)
                --seed <estimator RNG seed>                     (default 0)
+               --chunk <ingest pull-chunk size>                (default 0 = the
+                                                                estimator's preference)
                --ground-truth                                  (also compute the exact
-                                                                count and relative error)
+                                                                count and relative error;
+                                                                materializes the stream)
 
     accuracy   Average relative error over repeated runs
-               --dataset <name> [--alpha A] [--scale S]
+               (file inputs are re-streamed per trial, never materialized)
+               --input <path> | --dataset <name> [--alpha A] [--scale S]
                --budget <max sampled edges>                    (default 1500)
                --trials <number of runs>                       (default 5)
 

@@ -68,6 +68,65 @@ fn generate_run_stats_pipeline_exits_zero() {
 }
 
 #[test]
+fn binary_generate_run_accuracy_pipeline_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("abacus_smoke_bin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.abst");
+    let path_str = path.to_str().unwrap();
+
+    let generate = abacus(&[
+        "generate",
+        "--dataset",
+        "movielens",
+        "--alpha",
+        "0.2",
+        "--format",
+        "binary",
+        "--output",
+        path_str,
+    ]);
+    assert!(
+        generate.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&generate.stderr)
+    );
+    assert!(stdout_of(&generate).contains("binary format"));
+
+    // The binary file is streamed straight from disk (no materialization).
+    let run = abacus(&[
+        "run",
+        "--input",
+        path_str,
+        "--algorithm",
+        "parabacus",
+        "--budget",
+        "500",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        run.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let run_out = stdout_of(&run);
+    assert!(run_out.contains("PARABACUS"), "{run_out}");
+    assert!(run_out.contains("ingest:           streamed"), "{run_out}");
+
+    let accuracy = abacus(&[
+        "accuracy", "--input", path_str, "--budget", "2000", "--trials", "2",
+    ]);
+    assert!(
+        accuracy.status.success(),
+        "accuracy failed: {}",
+        String::from_utf8_lossy(&accuracy.stderr)
+    );
+    assert!(stdout_of(&accuracy).contains("relative error"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let unknown = abacus(&["frobnicate"]);
     assert!(!unknown.status.success());

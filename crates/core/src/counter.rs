@@ -1,6 +1,12 @@
 //! The common interface of every streaming butterfly counter in the workspace.
 
-use abacus_stream::StreamElement;
+use abacus_stream::{ElementSource, SliceSource, StreamElement, StreamIoError};
+
+/// Pull-chunk size of the source drivers when an estimator does not override
+/// [`ButterflyCounter::preferred_chunk`] (PARABACUS substitutes its mini-batch
+/// size).  Small enough that the staging buffer is noise next to any sample
+/// budget, large enough to amortize the per-chunk bookkeeping.
+pub const DEFAULT_SOURCE_CHUNK: usize = 4_096;
 
 /// A streaming butterfly-count estimator.
 ///
@@ -11,15 +17,87 @@ pub trait ButterflyCounter {
     /// Processes one stream element (edge insertion or deletion).
     fn process(&mut self, element: StreamElement);
 
-    /// Processes a slice of stream elements in order.
+    /// Processes a slice of stream elements in order and flushes any internal
+    /// buffering ([`finish`](Self::finish)), so the estimate reflects the
+    /// entire input.
     ///
-    /// Batched implementations (PARABACUS) override this to flush any
-    /// partially filled mini-batch at the end, so that the estimate reflects
-    /// the entire input.
+    /// This is the materialized convenience path; it is defined as driving
+    /// [`process_source_chunked`](Self::process_source_chunked) over a
+    /// [`SliceSource`], so the materialized and streamed drivers are the same
+    /// code and produce bit-identical results.
     fn process_stream(&mut self, stream: &[StreamElement]) {
-        for element in stream {
-            self.process(*element);
+        let mut source = SliceSource::new(stream);
+        self.process_source_chunked(&mut source, self.preferred_chunk())
+            .expect("in-memory sources never fail");
+    }
+
+    /// The driver's preferred pull-chunk size for
+    /// [`process_source`](Self::process_source).
+    ///
+    /// Defaults to [`DEFAULT_SOURCE_CHUNK`]; PARABACUS overrides it with its
+    /// mini-batch size so one pull stages exactly one batch.
+    fn preferred_chunk(&self) -> usize {
+        DEFAULT_SOURCE_CHUNK
+    }
+
+    /// Processes every element of a pull-based source in order, then flushes
+    /// ([`finish`](Self::finish)).  Returns the number of elements processed.
+    ///
+    /// Peak additional memory is O(`preferred_chunk`) — the staging buffer —
+    /// regardless of stream length: this is the bounded-memory ingestion
+    /// path for disk-resident or generated-on-the-fly workloads.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first source error and returns it; the chunks staged
+    /// before the erroring one have been processed, the partially staged
+    /// chunk is discarded, and `finish` has *not* been called.
+    fn process_source(&mut self, source: &mut dyn ElementSource) -> Result<u64, StreamIoError> {
+        let chunk = self.preferred_chunk();
+        self.process_source_chunked(source, chunk)
+    }
+
+    /// [`process_source`](Self::process_source) with an explicit pull-chunk
+    /// size.
+    ///
+    /// Chunking only affects staging granularity, never semantics: every
+    /// element is handed to [`process`](Self::process) in stream order and
+    /// the single [`finish`](Self::finish) happens at the end of the source,
+    /// so estimates, sampler state, and work counters are bit-identical
+    /// across chunk sizes and to [`process_stream`](Self::process_stream).
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    ///
+    /// # Errors
+    /// See [`process_source`](Self::process_source).
+    fn process_source_chunked(
+        &mut self,
+        source: &mut dyn ElementSource,
+        chunk: usize,
+    ) -> Result<u64, StreamIoError> {
+        assert!(chunk >= 1, "pull chunk must hold at least one element");
+        let mut staged: Vec<StreamElement> = Vec::new();
+        let mut total = 0u64;
+        loop {
+            staged.clear();
+            while staged.len() < chunk {
+                match source.next_element() {
+                    Some(Ok(element)) => staged.push(element),
+                    Some(Err(error)) => return Err(error),
+                    None => break,
+                }
+            }
+            total += staged.len() as u64;
+            for &element in &staged {
+                self.process(element);
+            }
+            if staged.len() < chunk {
+                break; // the source is exhausted
+            }
         }
+        self.finish();
+        Ok(total)
     }
 
     /// The current butterfly-count estimate.
@@ -60,9 +138,11 @@ mod tests {
     use super::*;
     use abacus_graph::Edge;
 
-    /// A trivial counter used to exercise the default `process_stream`.
+    /// A trivial counter used to exercise the default source drivers.
+    #[derive(Default)]
     struct CountingStub {
         processed: usize,
+        finishes: usize,
     }
 
     impl ButterflyCounter for CountingStub {
@@ -72,6 +152,10 @@ mod tests {
         fn estimate(&self) -> f64 {
             self.processed as f64
         }
+        fn finish(&mut self) -> f64 {
+            self.finishes += 1;
+            self.estimate()
+        }
         fn memory_edges(&self) -> usize {
             0
         }
@@ -80,17 +164,74 @@ mod tests {
         }
     }
 
-    #[test]
-    fn default_process_stream_visits_every_element() {
-        let mut stub = CountingStub { processed: 0 };
-        let stream: Vec<StreamElement> = (0..10u32)
+    fn stream_of(n: u32) -> Vec<StreamElement> {
+        (0..n)
             .map(|i| StreamElement::insert(Edge::new(i, i)))
-            .collect();
-        stub.process_stream(&stream);
+            .collect()
+    }
+
+    #[test]
+    fn default_process_stream_visits_every_element_and_finishes_once() {
+        let mut stub = CountingStub::default();
+        stub.process_stream(&stream_of(10));
         assert_eq!(stub.estimate(), 10.0);
+        assert_eq!(stub.finishes, 1);
         assert_eq!(stub.name(), "stub");
         assert_eq!(stub.memory_edges(), 0);
-        // The default `finish` is the current estimate for eager counters.
-        assert_eq!(stub.finish(), 10.0);
+        assert_eq!(stub.preferred_chunk(), DEFAULT_SOURCE_CHUNK);
+    }
+
+    #[test]
+    fn source_driver_is_chunk_size_independent() {
+        let stream = stream_of(23);
+        for chunk in [1usize, 7, 23, 1_000] {
+            let mut stub = CountingStub::default();
+            let mut source = SliceSource::new(&stream);
+            let total = stub.process_source_chunked(&mut source, chunk).unwrap();
+            assert_eq!(total, 23, "chunk {chunk}");
+            assert_eq!(stub.processed, 23, "chunk {chunk}");
+            assert_eq!(stub.finishes, 1, "chunk {chunk}");
+        }
+        // Empty sources still finish (flushing buffered work is semantics,
+        // not an optimization).
+        let mut stub = CountingStub::default();
+        let total = stub.process_source(&mut SliceSource::new(&[])).unwrap();
+        assert_eq!(total, 0);
+        assert_eq!(stub.finishes, 1);
+    }
+
+    #[test]
+    fn source_driver_stops_at_the_first_error() {
+        struct FailingSource {
+            yielded: usize,
+        }
+        impl abacus_stream::ElementSource for FailingSource {
+            fn next_element(
+                &mut self,
+            ) -> Option<Result<StreamElement, abacus_stream::StreamIoError>> {
+                if self.yielded < 3 {
+                    self.yielded += 1;
+                    Some(Ok(StreamElement::insert(Edge::new(0, self.yielded as u32))))
+                } else {
+                    Some(Err(abacus_stream::StreamIoError::format("boom")))
+                }
+            }
+        }
+        let mut stub = CountingStub::default();
+        let err = stub
+            .process_source_chunked(&mut FailingSource { yielded: 0 }, 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        // The first full chunk (2 elements) was processed before the error
+        // surfaced in the second chunk; no finish happened.
+        assert_eq!(stub.processed, 2);
+        assert_eq!(stub.finishes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk")]
+    fn zero_chunk_panics() {
+        let mut stub = CountingStub::default();
+        let _ = stub.process_source_chunked(&mut SliceSource::new(&[]), 0);
     }
 }

@@ -119,17 +119,37 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
 
     /// Windows whose estimate change is anomalously large compared to the
     /// trailing history.
+    ///
+    /// A window is flagged when its absolute delta exceeds `burst_factor ×`
+    /// the mean absolute delta of the up-to-8 preceding windows.  Two
+    /// properties keep the detector scale-independent:
+    ///
+    /// * the baseline has no absolute floor — only a noise floor relative to
+    ///   the estimate's magnitude (`ε·|estimate|`, guarding against float
+    ///   summation residue), so streams whose per-window changes are
+    ///   fractions of a butterfly can still alert;
+    /// * the earliest windows, which have no trailing history, are compared
+    ///   against the median absolute delta of the *whole* recorded series (a
+    ///   retrospective warm-up baseline), so a spike in window 0 is
+    ///   flaggable instead of being its own baseline.
     #[must_use]
     pub fn anomalous_windows(&self) -> Vec<WindowSnapshot> {
+        // Warm-up baseline: the series' median |delta| (robust against the
+        // spikes the detector is meant to find).
+        let mut sorted: Vec<f64> = self.snapshots.iter().map(|s| s.delta.abs()).collect();
+        sorted.sort_by(f64::total_cmp);
+        let warm_up = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+
         let mut anomalies = Vec::new();
         let mut trailing: Vec<f64> = Vec::new();
         for snapshot in &self.snapshots {
             let baseline = if trailing.is_empty() {
-                snapshot.delta.abs()
+                warm_up
             } else {
                 trailing.iter().sum::<f64>() / trailing.len() as f64
             };
-            if snapshot.delta.abs() > self.burst_factor * baseline.max(1.0) {
+            let noise_floor = f64::EPSILON * snapshot.estimate.abs();
+            if snapshot.delta.abs() > (self.burst_factor * baseline).max(noise_floor) {
                 anomalies.push(*snapshot);
             }
             trailing.push(snapshot.delta.abs());
@@ -140,10 +160,24 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
         anomalies
     }
 
-    /// Forces a snapshot of the current (possibly partial) window.
+    /// Forces a snapshot of the current partial window.
+    ///
+    /// A no-op when the current window is empty (no elements processed since
+    /// the last snapshot) *and* the estimate has not moved: recording it
+    /// would append a duplicate zero-delta window — e.g. when the stream
+    /// length is an exact multiple of `window`, the per-window snapshot has
+    /// already fired — silently deflating the trailing mean that
+    /// [`anomalous_windows`](Self::anomalous_windows) compares against.  An
+    /// empty window whose estimate *did* change (a buffered counter like
+    /// PARABACUS flushing on [`finish`](ButterflyCounter::finish)) is still
+    /// recorded, so the flushed value reaches the series and the
+    /// [`SharedEstimate`] handle.
     pub fn snapshot_now(&mut self) {
         let estimate = self.counter.estimate();
         let previous = self.snapshots.last().map_or(0.0, |s| s.estimate);
+        if self.in_window == 0 && estimate == previous {
+            return;
+        }
         self.snapshots.push(WindowSnapshot {
             window: self.snapshots.len(),
             elements: self.elements,
@@ -167,6 +201,16 @@ impl<C: ButterflyCounter> ButterflyCounter for WindowedMonitor<C> {
 
     fn estimate(&self) -> f64 {
         self.counter.estimate()
+    }
+
+    fn finish(&mut self) -> f64 {
+        // Forward so buffered estimators (PARABACUS) flush through the
+        // monitor; windows stay element-aligned since `process` already ran.
+        self.counter.finish()
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        self.counter.preferred_chunk()
     }
 
     fn memory_edges(&self) -> usize {
@@ -274,5 +318,142 @@ mod tests {
     fn zero_window_panics() {
         let abacus = Abacus::new(AbacusConfig::new(10));
         let _ = WindowedMonitor::new(abacus, 0);
+    }
+
+    /// Regression (follow-up to the empty-window no-op): a *buffered*
+    /// counter's flush happens in `finish`, after the last boundary
+    /// snapshot.  The forced snapshot that makes the flushed estimate
+    /// visible must not be swallowed by the empty-window guard.
+    #[test]
+    fn forced_snapshot_records_a_flush_that_moved_the_estimate() {
+        use crate::parabacus::ParAbacus;
+        let inner = ParAbacus::new(
+            crate::config::ParAbacusConfig::new(1_000)
+                .with_seed(0)
+                .with_batch_size(1_000) // larger than the stream: all buffered
+                .with_threads(2),
+        );
+        let mut monitor = WindowedMonitor::new(inner, 10);
+        let handle = monitor.shared_estimate();
+        monitor.process_stream(&biclique_stream(5, 8)); // 40 elements, 4 windows
+                                                        // Boundary snapshots saw the unflushed (zero) estimate; the
+                                                        // process_stream driver's finish() then flushed the batch.
+        assert_eq!(monitor.snapshots().len(), 4);
+        assert_eq!(monitor.snapshots()[3].estimate, 0.0);
+        let flushed = monitor.estimate();
+        assert!(flushed > 0.0, "finish must have flushed the batch");
+        monitor.snapshot_now();
+        assert_eq!(monitor.snapshots().len(), 5, "the flush must be recordable");
+        assert_eq!(monitor.snapshots()[4].estimate, flushed);
+        assert_eq!(monitor.snapshots()[4].elements, 40);
+        assert_eq!(handle.get(), flushed);
+        // Once recorded, repeating the forced snapshot is a no-op again.
+        monitor.snapshot_now();
+        assert_eq!(monitor.snapshots().len(), 5);
+    }
+
+    /// A counter whose estimate grows by `left / 1000` per element, so tests
+    /// can script arbitrary per-window deltas through the stream itself.
+    struct ScriptedCounter {
+        estimate: f64,
+    }
+
+    impl ButterflyCounter for ScriptedCounter {
+        fn process(&mut self, element: StreamElement) {
+            self.estimate += f64::from(element.edge.left) / 1000.0;
+        }
+        fn estimate(&self) -> f64 {
+            self.estimate
+        }
+        fn memory_edges(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+    }
+
+    /// Regression: the old detector floored the baseline at an absolute 1.0
+    /// butterfly, so a stream whose per-window deltas are all far below one
+    /// butterfly could never alert regardless of how extreme a burst was
+    /// relative to its own history.
+    #[test]
+    fn sub_unit_delta_streams_can_alert() {
+        let mut monitor =
+            WindowedMonitor::new(ScriptedCounter { estimate: 0.0 }, 10).with_burst_factor(8.0);
+        let mut stream = Vec::new();
+        // Quiet background: delta 0.01 per 10-element window.
+        for i in 0..100u32 {
+            stream.push(StreamElement::insert(Edge::new(1, i)));
+        }
+        // Burst: delta 0.5 for one window — 50x the trailing mean, yet half
+        // a butterfly in absolute terms.
+        for i in 0..10u32 {
+            stream.push(StreamElement::insert(Edge::new(50, 1_000 + i)));
+        }
+        monitor.process_stream(&stream);
+        let anomalies = monitor.anomalous_windows();
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert_eq!(anomalies[0].window, 10);
+    }
+
+    /// Regression: the old detector used window 0's own delta as its
+    /// baseline, so a burst arriving in the very first window was
+    /// structurally unflaggable.  The warm-up baseline (series median)
+    /// restores it.
+    #[test]
+    fn a_spike_in_the_first_window_is_flaggable() {
+        let mut monitor =
+            WindowedMonitor::new(ScriptedCounter { estimate: 0.0 }, 10).with_burst_factor(5.0);
+        let mut stream = Vec::new();
+        for i in 0..10u32 {
+            stream.push(StreamElement::insert(Edge::new(800, i))); // window 0: delta 8
+        }
+        for i in 0..80u32 {
+            stream.push(StreamElement::insert(Edge::new(1, 100 + i))); // quiet
+        }
+        monitor.process_stream(&stream);
+        let anomalies = monitor.anomalous_windows();
+        assert_eq!(anomalies.len(), 1, "{anomalies:?}");
+        assert_eq!(anomalies[0].window, 0);
+    }
+
+    /// A flat series must stay quiet: every window matches the warm-up
+    /// median and the trailing mean exactly.
+    #[test]
+    fn uniform_series_raises_no_anomalies() {
+        let mut monitor = WindowedMonitor::new(ScriptedCounter { estimate: 0.0 }, 10);
+        let stream: Vec<StreamElement> = (0..120u32)
+            .map(|i| StreamElement::insert(Edge::new(5, i)))
+            .collect();
+        monitor.process_stream(&stream);
+        assert!(monitor.anomalous_windows().is_empty());
+    }
+
+    /// Regression: a forced snapshot right after a stream whose length is an
+    /// exact multiple of the window used to record a duplicate zero-delta
+    /// window, deflating the trailing mean of the burst detector.
+    #[test]
+    fn forced_snapshots_of_empty_windows_are_no_ops() {
+        let abacus = Abacus::new(AbacusConfig::new(1_000).with_seed(0));
+        let mut monitor = WindowedMonitor::new(abacus, 10);
+        monitor.process_stream(&biclique_stream(5, 8)); // 40 elements: 4 windows
+        assert_eq!(monitor.snapshots().len(), 4);
+        monitor.snapshot_now();
+        assert_eq!(
+            monitor.snapshots().len(),
+            4,
+            "empty forced snapshot must not append a duplicate window"
+        );
+        // A brand-new monitor with nothing processed records nothing either.
+        let mut empty = WindowedMonitor::new(Abacus::new(AbacusConfig::new(10)), 5);
+        empty.snapshot_now();
+        assert!(empty.snapshots().is_empty());
+        // A genuine partial window still snapshots (and only once).
+        monitor.process(StreamElement::insert(Edge::new(99, 1_099)));
+        monitor.snapshot_now();
+        monitor.snapshot_now();
+        assert_eq!(monitor.snapshots().len(), 5);
+        assert_eq!(monitor.snapshots()[4].elements, 41);
     }
 }

@@ -526,11 +526,9 @@ impl ButterflyCounter for ParAbacus {
         }
     }
 
-    fn process_stream(&mut self, stream: &[StreamElement]) {
-        for element in stream {
-            self.process(*element);
-        }
-        self.flush();
+    /// One pull of the source drivers stages exactly one mini-batch.
+    fn preferred_chunk(&self) -> usize {
+        self.config.batch_size
     }
 
     fn estimate(&self) -> f64 {

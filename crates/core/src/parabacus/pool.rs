@@ -201,6 +201,13 @@ impl CountingPool {
                 Err(message) => panic!("PARABACUS worker panicked: {message}"),
             }
         }
+        // Workers finish in scheduler order, which would make the coordinator
+        // reduce the floating-point partials in a run-to-run varying order.
+        // Sorting by chunk index (at most `p` results, trivially cheap) makes
+        // every multi-threaded run bit-reproducible — and bit-identical to
+        // any other driver feeding the same elements (see
+        // `tests/streaming_parity.rs`).
+        results.sort_by_key(|result| result.chunk_index);
         results
     }
 }

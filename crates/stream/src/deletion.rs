@@ -81,9 +81,83 @@ pub fn inject_deletions<R: Rng + ?Sized>(
     stream
 }
 
-/// Same as [`inject_deletions`] but avoids the quadratic re-scan for the
-/// insertion position by tracking positions incrementally.  Produces streams
-/// with the same distributional properties; preferred for large workloads.
+/// A Fenwick (binary indexed) tree over per-gap placement weights, supporting
+/// O(log n) point updates, prefix sums, and weighted selection.
+struct GapWeights {
+    tree: Vec<usize>,
+}
+
+impl GapWeights {
+    /// All `n` gaps start with weight 1 (an empty gap still offers exactly
+    /// one placement position: immediately after its insertion).
+    fn new(n: usize) -> Self {
+        let mut tree = vec![0usize; n + 1];
+        for i in 1..=n {
+            tree[i] += 1;
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                let carried = tree[i];
+                tree[parent] += carried;
+            }
+        }
+        GapWeights { tree }
+    }
+
+    fn add(&mut self, mut index: usize, delta: usize) {
+        index += 1;
+        while index < self.tree.len() {
+            self.tree[index] += delta;
+            index += index & index.wrapping_neg();
+        }
+    }
+
+    /// Sum of the weights of gaps `0..index`.
+    fn prefix(&self, mut index: usize) -> usize {
+        let mut sum = 0;
+        while index > 0 {
+            sum += self.tree[index];
+            index -= index & index.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The smallest gap index whose prefix sum exceeds `target` (i.e. the gap
+    /// holding the `target`-th placement position, 0-based).
+    fn select(&self, mut target: usize) -> usize {
+        let mut index = 0usize;
+        let mut mask = (self.tree.len() - 1).next_power_of_two();
+        while mask > 0 {
+            let next = index + mask;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                index = next;
+            }
+            mask >>= 1;
+        }
+        index // 0-based gap
+    }
+}
+
+/// Same as [`inject_deletions`] but replaces the quadratic re-scan and
+/// `Vec::insert` shifting with weighted gap sampling, for O((n + d) log n)
+/// expected work.  The sampled distribution is *identical* to the sequential
+/// procedure's: both place each deletion (in the same shuffled order)
+/// uniformly at random over the positions of the growing suffix after its
+/// insertion — preferred for large workloads.
+///
+/// # Equivalence
+///
+/// Model the stream as `n` insertion slots, each followed by a *gap* holding
+/// the deletions emitted before the next insertion.  When the sequential
+/// procedure places the deletion of edge `i`, the candidate positions after
+/// insertion `i` are: one per deletion already sitting in a gap `j ≥ i`, plus
+/// one at the end of each such gap — i.e. gap `j` offers `c_j + 1` positions,
+/// where `c_j` is its current occupancy.  Drawing a gap with probability
+/// proportional to `c_j + 1` (a Fenwick-tree weighted draw over the suffix)
+/// and then a uniform offset within the chosen gap is therefore exactly the
+/// sequential procedure's uniform draw, without ever shifting the stream.
+/// The `tests::fast_variant_matches_slow_distribution` test checks this
+/// empirically on the full interleaving-pattern distribution.
 pub fn inject_deletions_fast<R: Rng + ?Sized>(
     edges: &[Edge],
     config: DeletionConfig,
@@ -92,30 +166,29 @@ pub fn inject_deletions_fast<R: Rng + ?Sized>(
     let n = edges.len();
     let num_deletions = ((n as f64) * config.ratio).round() as usize;
 
+    // (b) choose which edges get deleted, in the same shuffled placement
+    // order the sequential variant uses.
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);
-    let mut is_deleted = vec![false; n];
-    for &i in indices.iter().take(num_deletions) {
-        is_deleted[i] = true;
-    }
 
-    // For each deleted edge choose the insertion index (in the insert-only
-    // order) *after which* the deletion will be emitted: uniform in [i, n-1].
-    // Emitting the deletion right after the chosen insertion position spreads
-    // deletions uniformly over the remainder of the stream without a quadratic
-    // pass.
-    let mut pending_deletions: Vec<Vec<Edge>> = vec![Vec::new(); n];
-    for i in 0..n {
-        if is_deleted[i] {
-            let after = rng.random_range(i..n);
-            pending_deletions[after].push(edges[i]);
-        }
+    // (c) place each deletion: weighted gap draw over [i, n), then a uniform
+    // offset among the chosen gap's c_j + 1 positions.
+    let mut gaps: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    let mut weights = GapWeights::new(n);
+    for &i in indices.iter().take(num_deletions) {
+        let before = weights.prefix(i);
+        let total = weights.prefix(n);
+        let gap = weights.select(before + rng.random_range(0..total - before));
+        debug_assert!(gap >= i, "a deletion may never precede its insertion");
+        let offset = rng.random_range(0..=gaps[gap].len());
+        gaps[gap].insert(offset, edges[i]);
+        weights.add(gap, 1);
     }
 
     let mut stream = Vec::with_capacity(n + num_deletions);
     for i in 0..n {
         stream.push(StreamElement::insert(edges[i]));
-        for &edge in &pending_deletions[i] {
+        for &edge in &gaps[i] {
             stream.push(StreamElement::delete(edge));
         }
     }
@@ -230,6 +303,102 @@ mod tests {
         let gone_fast = inject_deletions_fast(&input, DeletionConfig::new(1.0), &mut rng);
         assert_eq!(gone_fast.len(), 2);
         validate_stream(&gone_fast).expect("well-formed");
+    }
+
+    /// Frequency map of sign patterns (e.g. `"+-++--"`) over repeated runs.
+    fn pattern_histogram(
+        variant: fn(&[Edge], DeletionConfig, &mut StdRng) -> GraphStream,
+        n: u32,
+        ratio: f64,
+        trials: usize,
+        seed: u64,
+    ) -> std::collections::BTreeMap<String, usize> {
+        let input = edges(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut histogram = std::collections::BTreeMap::new();
+        for _ in 0..trials {
+            let stream = variant(&input, DeletionConfig::new(ratio), &mut rng);
+            let pattern: String = stream
+                .iter()
+                .map(|e| if e.delta.is_insert() { '+' } else { '-' })
+                .collect();
+            *histogram.entry(pattern).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Total variation distance between two pattern histograms.
+    fn total_variation(
+        a: &std::collections::BTreeMap<String, usize>,
+        b: &std::collections::BTreeMap<String, usize>,
+        trials: usize,
+    ) -> f64 {
+        let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+        let mass = |h: &std::collections::BTreeMap<String, usize>, k: &String| {
+            *h.get(k).unwrap_or(&0) as f64 / trials as f64
+        };
+        keys.iter()
+            .map(|k| (mass(a, k) - mass(b, k)).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Regression for the distribution bug: the old fast variant placed each
+    /// deletion uniformly over *insertion slots* `[i, n-1]`, ignoring how many
+    /// deletions already occupied each gap, so its interleaving-pattern
+    /// distribution measurably diverged from the sequential procedure's
+    /// occupancy-weighted draw (e.g. at n = 2, α = 1 it produced `+-+-` with
+    /// probability 1/2 instead of 5/12).  The fixed variant must match the
+    /// sequential one on the full sign-pattern distribution.
+    #[test]
+    fn fast_variant_matches_slow_distribution() {
+        const TRIALS: usize = 30_000;
+        let slow = pattern_histogram(inject_deletions, 4, 1.0, TRIALS, 0xD15_7A11);
+        let fast = pattern_histogram(inject_deletions_fast, 4, 1.0, TRIALS, 0xD15_7B22);
+        // Calibration: two independent samplings of the *same* (sequential)
+        // distribution, bounding the sampling noise of the statistic.
+        let slow2 = pattern_histogram(inject_deletions, 4, 1.0, TRIALS, 0xD15_7C33);
+        let noise = total_variation(&slow, &slow2, TRIALS);
+        let distance = total_variation(&slow, &fast, TRIALS);
+        assert!(
+            distance < 0.04,
+            "fast/slow pattern distributions diverge: TV {distance:.4} (noise floor {noise:.4})"
+        );
+        assert!(
+            distance < 3.0 * noise.max(0.01),
+            "fast/slow TV {distance:.4} is far above the sampling noise {noise:.4}"
+        );
+    }
+
+    /// The coarser statistic of the same bug: the mean (normalized) stream
+    /// position of deletions must agree between the variants.
+    #[test]
+    fn deletion_positions_match_between_variants() {
+        const TRIALS: usize = 2_000;
+        let mean_position = |variant: fn(&[Edge], DeletionConfig, &mut StdRng) -> GraphStream,
+                             seed: u64| {
+            let input = edges(30);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for _ in 0..TRIALS {
+                let stream = variant(&input, DeletionConfig::new(0.3), &mut rng);
+                let last = (stream.len() - 1) as f64;
+                for (position, element) in stream.iter().enumerate() {
+                    if element.delta.is_delete() {
+                        sum += position as f64 / last;
+                        count += 1;
+                    }
+                }
+            }
+            sum / count as f64
+        };
+        let slow = mean_position(inject_deletions, 51);
+        let fast = mean_position(inject_deletions_fast, 52);
+        assert!(
+            (slow - fast).abs() < 0.01,
+            "mean deletion position: slow {slow:.4} vs fast {fast:.4}"
+        );
     }
 
     #[test]

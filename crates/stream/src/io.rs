@@ -3,14 +3,20 @@
 //! One element per line: `+ <left> <right>` for an insertion, `- <left>
 //! <right>` for a deletion.  Lines starting with `#` and blank lines are
 //! ignored, so real traces exported from other tools can be annotated.
+//!
+//! [`TextSource`] parses the format incrementally (one line per pull) so a
+//! stream can be ingested from disk without ever being materialized;
+//! [`read_stream`] is the materializing convenience built on top of it.
 
 use crate::element::{EdgeDelta, StreamElement};
+use crate::source::ElementSource;
 use crate::stream::GraphStream;
 use abacus_graph::Edge;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
-/// Errors produced while parsing a stream file.
+/// Errors produced while pulling elements from a stream source (text files,
+/// binary files, or adapter pipelines).
 #[derive(Debug)]
 pub enum StreamIoError {
     /// Underlying I/O failure.
@@ -22,6 +28,22 @@ pub enum StreamIoError {
         /// The offending line content.
         content: String,
     },
+    /// A malformed binary stream, or a source contract violation (e.g. a
+    /// deletion handed to an adapter that expects an insert-only input).
+    Format {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl StreamIoError {
+    /// Convenience constructor for [`StreamIoError::Format`].
+    #[must_use]
+    pub fn format(detail: impl Into<String>) -> Self {
+        StreamIoError::Format {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for StreamIoError {
@@ -31,6 +53,7 @@ impl std::fmt::Display for StreamIoError {
             StreamIoError::Parse { line, content } => {
                 write!(f, "parse error on line {line}: {content:?}")
             }
+            StreamIoError::Format { detail } => write!(f, "malformed stream: {detail}"),
         }
     }
 }
@@ -61,51 +84,102 @@ pub fn write_stream_to_path<P: AsRef<Path>>(stream: &[StreamElement], path: P) -
     write_stream(stream, std::fs::File::create(path)?)
 }
 
-/// Reads a stream in the text format from any buffered reader.
-pub fn read_stream<R: BufRead>(reader: R) -> Result<GraphStream, StreamIoError> {
-    let mut out = Vec::new();
-    for (index, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let parse = || StreamIoError::Parse {
-            line: index + 1,
-            content: line.clone(),
-        };
-        let sign = parts.next().ok_or_else(parse)?;
-        let left: u32 = parts
-            .next()
-            .ok_or_else(parse)?
-            .parse()
-            .map_err(|_| parse())?;
-        let right: u32 = parts
-            .next()
-            .ok_or_else(parse)?
-            .parse()
-            .map_err(|_| parse())?;
-        if parts.next().is_some() {
-            return Err(parse());
-        }
-        let delta = match sign {
-            "+" => EdgeDelta::Insert,
-            "-" => EdgeDelta::Delete,
-            _ => return Err(parse()),
-        };
-        out.push(StreamElement {
-            edge: Edge::new(left, right),
-            delta,
-        });
+/// Parses one line of the text format.
+///
+/// Returns `Ok(None)` for blank and `#`-comment lines; `number` is the
+/// 1-based line number used in error reports.
+fn parse_line(line: &str, number: usize) -> Result<Option<StreamElement>, StreamIoError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
     }
-    Ok(out)
+    let mut parts = trimmed.split_whitespace();
+    let parse = || StreamIoError::Parse {
+        line: number,
+        content: trimmed.to_string(),
+    };
+    let sign = parts.next().ok_or_else(parse)?;
+    let left: u32 = parts
+        .next()
+        .ok_or_else(parse)?
+        .parse()
+        .map_err(|_| parse())?;
+    let right: u32 = parts
+        .next()
+        .ok_or_else(parse)?
+        .parse()
+        .map_err(|_| parse())?;
+    if parts.next().is_some() {
+        return Err(parse());
+    }
+    let delta = match sign {
+        "+" => EdgeDelta::Insert,
+        "-" => EdgeDelta::Delete,
+        _ => return Err(parse()),
+    };
+    Ok(Some(StreamElement {
+        edge: Edge::new(left, right),
+        delta,
+    }))
+}
+
+/// A pull-based [`ElementSource`] over the text format: one line is read and
+/// parsed per pull, so memory stays O(longest line) no matter how long the
+/// stream is.
+#[derive(Debug)]
+pub struct TextSource<R: BufRead> {
+    reader: R,
+    line: String,
+    number: usize,
+}
+
+impl<R: BufRead> TextSource<R> {
+    /// Wraps a buffered reader positioned at the start of a text stream.
+    pub fn new(reader: R) -> Self {
+        TextSource {
+            reader,
+            line: String::new(),
+            number: 0,
+        }
+    }
+}
+
+impl TextSource<io::BufReader<std::fs::File>> {
+    /// Opens a text stream file for incremental reading.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Self, StreamIoError> {
+        Ok(TextSource::new(io::BufReader::new(std::fs::File::open(
+            path,
+        )?)))
+    }
+}
+
+impl<R: BufRead> ElementSource for TextSource<R> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(StreamIoError::Io(e))),
+            }
+            self.number += 1;
+            match parse_line(&self.line, self.number) {
+                Ok(Some(element)) => return Some(Ok(element)),
+                Ok(None) => continue, // blank or comment line
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Reads a whole stream in the text format from any buffered reader.
+pub fn read_stream<R: BufRead>(reader: R) -> Result<GraphStream, StreamIoError> {
+    crate::source::read_all(&mut TextSource::new(reader))
 }
 
 /// Reads a stream from a file path.
 pub fn read_stream_from_path<P: AsRef<Path>>(path: P) -> Result<GraphStream, StreamIoError> {
-    let file = std::fs::File::open(path)?;
-    read_stream(io::BufReader::new(file))
+    read_stream(io::BufReader::new(std::fs::File::open(path)?))
 }
 
 #[cfg(test)]
@@ -172,5 +246,39 @@ mod tests {
         assert!(err.to_string().contains("line 7"));
         let io_err = StreamIoError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
         assert!(io_err.to_string().contains("I/O error"));
+        let format_err = StreamIoError::format("truncated record");
+        assert!(format_err.to_string().contains("truncated record"));
+    }
+
+    #[test]
+    fn text_source_pulls_one_element_per_call() {
+        let text = "# trace\n+ 1 2\n\n- 1 2\n+ 3 4";
+        let mut source = TextSource::new(io::BufReader::new(text.as_bytes()));
+        assert_eq!(
+            source.next_element().unwrap().unwrap(),
+            StreamElement::insert(Edge::new(1, 2))
+        );
+        assert_eq!(
+            source.next_element().unwrap().unwrap(),
+            StreamElement::delete(Edge::new(1, 2))
+        );
+        // Last line has no trailing newline; it must still parse.
+        assert_eq!(
+            source.next_element().unwrap().unwrap(),
+            StreamElement::insert(Edge::new(3, 4))
+        );
+        assert!(source.next_element().is_none());
+        assert!(source.next_element().is_none()); // fused at end of stream
+    }
+
+    #[test]
+    fn text_source_reports_errors_with_line_numbers() {
+        let text = "+ 1 2\n? 5 6\n";
+        let mut source = TextSource::new(io::BufReader::new(text.as_bytes()));
+        assert!(source.next_element().unwrap().is_ok());
+        match source.next_element().unwrap().unwrap_err() {
+            StreamIoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
     }
 }

@@ -11,19 +11,32 @@
 //! * [`generators`] — synthetic bipartite graph generators (uniform,
 //!   Chung–Lu power-law, block/community model) and the four scaled-down
 //!   analogs of the paper's KONECT datasets (Table II),
-//! * [`io`] — a line-oriented text format for persisting and replaying
-//!   streams.
+//! * [`source`] — the pull-based [`ElementSource`] ingestion abstraction:
+//!   bounded-memory adapters over slices, iterators, files, and an on-the-fly
+//!   deletion injector,
+//! * [`io`] — the line-oriented text format (incremental [`io::TextSource`]
+//!   plus materializing helpers),
+//! * [`binary`] — the compact `ABST1` varint-delta binary format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod deletion;
 pub mod element;
 pub mod generators;
 pub mod io;
+pub mod source;
 pub mod stream;
 
+pub use binary::{BinarySource, BinaryStreamWriter, BINARY_MAGIC};
 pub use deletion::{inject_deletions, inject_deletions_fast, DeletionConfig};
 pub use element::{EdgeDelta, StreamElement};
 pub use generators::dataset::{Dataset, DatasetSpec};
-pub use stream::{final_graph, validate_stream, GraphStream, StreamStats, StreamValidationError};
+pub use io::{StreamIoError, TextSource};
+pub use source::{
+    open_path_source, read_all, DeletionInjector, ElementSource, IterSource, SliceSource,
+};
+pub use stream::{
+    final_graph, replay_source, validate_stream, GraphStream, StreamStats, StreamValidationError,
+};

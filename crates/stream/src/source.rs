@@ -1,0 +1,504 @@
+//! Pull-based stream sources: bounded-memory ingestion for unbounded streams.
+//!
+//! Every path into the estimators used to materialize the whole workload as a
+//! `Vec<StreamElement>`, making peak memory O(stream) even though
+//! ABACUS/PARABACUS only ever need O(budget) state.  [`ElementSource`] inverts
+//! that: estimators *pull* elements one at a time (or in small chunks) and the
+//! source owns however little buffering its backing medium needs — a slice
+//! cursor, one text line, or a few bytes of a binary record.
+//!
+//! Adapters provided by this crate:
+//!
+//! * [`SliceSource`] / [`IterSource`] — in-memory streams (the materialized
+//!   path, re-expressed as a source),
+//! * [`TextSource`] — the `+ u v` / `- u v` text
+//!   format, parsed incrementally line by line,
+//! * [`BinarySource`] — the compact varint-delta
+//!   binary format,
+//! * [`DeletionInjector`] — on-the-fly α-deletion injection over an
+//!   insert-only source, so fully dynamic workloads no longer require a
+//!   materialized edge list,
+//! * [`open_path_source`] — opens a file as text or binary by sniffing the
+//!   magic header.
+
+use crate::binary::{BinarySource, BINARY_MAGIC};
+use crate::element::StreamElement;
+use crate::io::{StreamIoError, TextSource};
+use crate::stream::GraphStream;
+use abacus_graph::Edge;
+use rand::{Rng, RngExt};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// A pull-based source of stream elements.
+///
+/// Semantically an iterator of `Result<StreamElement, StreamIoError>`;
+/// `None` marks the end of the stream.  Implementations should be fused
+/// (keep returning `None` once exhausted).  The trait is object safe so
+/// drivers can accept `&mut dyn ElementSource`.
+pub trait ElementSource {
+    /// Pulls the next stream element.
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>>;
+
+    /// Bounds on the number of elements remaining, iterator-style.
+    ///
+    /// The default is the uninformative `(0, None)`; in-memory sources
+    /// override it with their exact remainder.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+impl<S: ElementSource + ?Sized> ElementSource for &mut S {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        (**self).next_element()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
+impl<S: ElementSource + ?Sized> ElementSource for Box<S> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        (**self).next_element()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
+/// Drains a source into a materialized stream (the O(stream)-memory path,
+/// for callers that genuinely need the whole workload, e.g. ground truth).
+pub fn read_all<S: ElementSource + ?Sized>(source: &mut S) -> Result<GraphStream, StreamIoError> {
+    let mut out = Vec::with_capacity(source.size_hint().0);
+    while let Some(element) = source.next_element() {
+        out.push(element?);
+    }
+    Ok(out)
+}
+
+/// An infallible source over a borrowed slice.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    slice: &'a [StreamElement],
+    cursor: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice; elements are yielded in order.
+    #[must_use]
+    pub fn new(slice: &'a [StreamElement]) -> Self {
+        SliceSource { slice, cursor: 0 }
+    }
+}
+
+impl ElementSource for SliceSource<'_> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        let element = self.slice.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(Ok(element))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.slice.len() - self.cursor;
+        (remaining, Some(remaining))
+    }
+}
+
+/// An infallible source over any in-memory iterator of elements (an owned
+/// `Vec`, a generator chain, ...).
+#[derive(Debug, Clone)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = StreamElement>> IterSource<I> {
+    /// Wraps an iterator of stream elements.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = StreamElement>> ElementSource for IterSource<I> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        self.iter.next().map(Ok)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// A source backing a file on disk, text or binary resolved by sniffing the
+/// magic header (see [`open_path_source`]).
+pub type FileSource = Box<dyn ElementSource>;
+
+/// Opens a stream file for incremental reading, detecting the format from its
+/// first bytes: files starting with the [`BINARY_MAGIC`] header are parsed as
+/// the compact binary format, everything else as the `+ u v` text format.
+pub fn open_path_source<P: AsRef<Path>>(path: P) -> Result<FileSource, StreamIoError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut probe = [0u8; BINARY_MAGIC.len()];
+    let mut read = 0usize;
+    while read < probe.len() {
+        match file.read(&mut probe[read..])? {
+            0 => break,
+            n => read += n,
+        }
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let reader = BufReader::new(file);
+    if &probe[..read] == BINARY_MAGIC {
+        Ok(Box::new(BinarySource::new(reader)?))
+    } else {
+        Ok(Box::new(TextSource::new(reader)))
+    }
+}
+
+/// A deletion scheduled but not yet emitted by [`DeletionInjector`], ordered
+/// by the insertion slot it trails (random tiebreak shuffles the order of
+/// deletions sharing a slot).
+#[derive(Debug, Clone, Copy)]
+struct PendingDeletion {
+    after: usize,
+    tiebreak: u64,
+    edge: Edge,
+}
+
+impl PartialEq for PendingDeletion {
+    fn eq(&self, other: &Self) -> bool {
+        (self.after, self.tiebreak) == (other.after, other.tiebreak)
+    }
+}
+impl Eq for PendingDeletion {}
+impl PartialOrd for PendingDeletion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDeletion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we pop the smallest slot.
+        (other.after, other.tiebreak).cmp(&(self.after, self.tiebreak))
+    }
+}
+
+/// On-the-fly α-deletion injection over an insert-only source (§VI-A).
+///
+/// For each of the `insertions` edges the source will yield, the injector
+/// decides up front (without materializing anything) whether the edge is one
+/// of the `round(α·n)` deleted ones, and if so schedules its deletion after
+/// an insertion slot drawn uniformly from the remainder of the base stream.
+/// Deletions sharing a slot are emitted in uniformly random order.
+///
+/// # Memory
+///
+/// O(pending deletions): only edges whose deletion has been scheduled but not
+/// yet emitted are held (at most `round(α·n)`, typically far fewer at any
+/// instant) — never the insert-only edge list itself.
+///
+/// # Distribution
+///
+/// This is the *uniform-slot* placement model: each deletion's slot is drawn
+/// independently and uniformly over the insertion slots at or after its own
+/// insertion.  The offline [`inject_deletions`](crate::inject_deletions) /
+/// [`inject_deletions_fast`](crate::inject_deletions_fast) procedures instead
+/// place each deletion uniformly over the *growing suffix* of the stream
+/// (deletions already placed count as positions), which weights slots by
+/// their current occupancy.  The two models agree on every single-deletion
+/// marginal (slot uniform over the suffix) and differ only in higher-order
+/// interleaving statistics; a one-pass adapter cannot reproduce the
+/// occupancy-weighted draw without knowing future scheduling decisions.
+///
+/// # Contract
+///
+/// `insertions` must be the exact number of elements the base source yields;
+/// if the source ends early the remaining scheduled deletions are flushed at
+/// the end (still after their insertions), and extra elements beyond
+/// `insertions` pass through undeleted.  A deletion pulled from the base
+/// source is a [`StreamIoError::Format`] error.
+#[derive(Debug)]
+pub struct DeletionInjector<S, R> {
+    inner: S,
+    rng: R,
+    /// Exact number of insertions the base source is expected to yield.
+    insertions: usize,
+    /// Index of the next insertion to pull from the base source.
+    next_index: usize,
+    /// Insertion indices selected for deletion, in [0, insertions).
+    delete_set: abacus_graph::FxHashSet<usize>,
+    pending: BinaryHeap<PendingDeletion>,
+    ready: VecDeque<StreamElement>,
+    done: bool,
+}
+
+impl<S: ElementSource, R: Rng> DeletionInjector<S, R> {
+    /// Wraps an insert-only source, injecting deletions for `config.ratio` of
+    /// its `insertions` edges.
+    ///
+    /// # Panics
+    /// Panics if `config.ratio` is outside `[0, 1]` (enforced by
+    /// [`DeletionConfig::new`](crate::DeletionConfig::new)).
+    pub fn new(inner: S, config: crate::DeletionConfig, insertions: usize, mut rng: R) -> Self {
+        let num_deletions = ((insertions as f64) * config.ratio).round() as usize;
+        // Floyd's algorithm: a uniform `num_deletions`-subset of [0, n) in
+        // O(num_deletions) time and memory.
+        let mut delete_set = abacus_graph::FxHashSet::default();
+        for j in insertions - num_deletions..insertions {
+            let candidate = rng.random_range(0..=j);
+            if !delete_set.insert(candidate) {
+                delete_set.insert(j);
+            }
+        }
+        DeletionInjector {
+            inner,
+            rng,
+            insertions,
+            next_index: 0,
+            delete_set,
+            pending: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Number of deletions scheduled but not yet emitted.
+    #[must_use]
+    pub fn pending_deletions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Moves every pending deletion scheduled at or before `slot` (or all of
+    /// them) into the ready queue, in heap (slot, random-tiebreak) order.
+    fn release(&mut self, slot: Option<usize>) {
+        while let Some(top) = self.pending.peek() {
+            if slot.is_some_and(|s| top.after > s) {
+                break;
+            }
+            let deletion = self.pending.pop().expect("peeked");
+            self.ready.push_back(StreamElement::delete(deletion.edge));
+        }
+    }
+}
+
+impl<S: ElementSource, R: Rng> ElementSource for DeletionInjector<S, R> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        loop {
+            if let Some(element) = self.ready.pop_front() {
+                return Some(Ok(element));
+            }
+            if self.done {
+                return None;
+            }
+            match self.inner.next_element() {
+                None => {
+                    // Base stream ended (possibly before `insertions`
+                    // elements): flush every scheduled deletion.
+                    self.done = true;
+                    self.release(None);
+                }
+                Some(Err(e)) => return Some(Err(e)),
+                Some(Ok(element)) if element.delta.is_delete() => {
+                    return Some(Err(StreamIoError::format(format!(
+                        "deletion injection requires an insert-only base stream, \
+                         got a deletion of {}",
+                        element.edge
+                    ))));
+                }
+                Some(Ok(insertion)) => {
+                    let index = self.next_index;
+                    self.next_index += 1;
+                    if self.delete_set.remove(&index) {
+                        self.pending.push(PendingDeletion {
+                            after: self.rng.random_range(index..self.insertions),
+                            tiebreak: self.rng.random(),
+                            edge: insertion.edge,
+                        });
+                    }
+                    self.ready.push_back(insertion);
+                    // Deletions trailing this slot were all scheduled by this
+                    // or earlier insertions, so the gap is complete.
+                    self.release(Some(index));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lower, upper) = self.inner.size_hint();
+        let queued = self.ready.len() + self.pending.len();
+        (
+            lower + queued,
+            upper.map(|u| u + queued + self.delete_set.len()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{validate_stream, StreamStats};
+    use crate::DeletionConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn insert_stream(n: u32) -> Vec<StreamElement> {
+        (0..n)
+            .map(|i| StreamElement::insert(Edge::new(i, i + 1_000)))
+            .collect()
+    }
+
+    #[test]
+    fn slice_source_yields_in_order_with_exact_hints() {
+        let stream = insert_stream(5);
+        let mut source = SliceSource::new(&stream);
+        assert_eq!(source.size_hint(), (5, Some(5)));
+        assert_eq!(source.next_element().unwrap().unwrap(), stream[0]);
+        assert_eq!(source.size_hint(), (4, Some(4)));
+        let rest = read_all(&mut source).unwrap();
+        assert_eq!(rest, stream[1..].to_vec());
+        assert!(source.next_element().is_none());
+        assert_eq!(source.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn iter_source_wraps_owned_streams() {
+        let stream = insert_stream(4);
+        let mut source = IterSource::new(stream.clone().into_iter());
+        assert_eq!(read_all(&mut source).unwrap(), stream);
+        assert!(source.next_element().is_none());
+    }
+
+    #[test]
+    fn read_all_through_mut_and_box_references() {
+        let stream = insert_stream(3);
+        let mut source = SliceSource::new(&stream);
+        let by_ref: &mut dyn ElementSource = &mut source;
+        let mut boxed: Box<dyn ElementSource> =
+            Box::new(IterSource::new(stream.clone().into_iter()));
+        assert_eq!(read_all(by_ref).unwrap(), stream);
+        assert_eq!(read_all(&mut boxed).unwrap(), stream);
+    }
+
+    #[test]
+    fn injector_matches_counts_and_validity() {
+        for &(n, ratio) in &[
+            (0usize, 0.5f64),
+            (1, 1.0),
+            (200, 0.0),
+            (200, 0.2),
+            (500, 1.0),
+        ] {
+            let base = insert_stream(n as u32);
+            let mut injector = DeletionInjector::new(
+                SliceSource::new(&base),
+                DeletionConfig::new(ratio),
+                n,
+                StdRng::seed_from_u64(7),
+            );
+            let stream = read_all(&mut injector).unwrap();
+            validate_stream(&stream).expect("every deletion must follow its insertion");
+            let stats = StreamStats::compute(&stream);
+            assert_eq!(stats.insertions, n, "n={n} ratio={ratio}");
+            assert_eq!(
+                stats.deletions,
+                ((n as f64) * ratio).round() as usize,
+                "n={n} ratio={ratio}"
+            );
+            assert_eq!(injector.pending_deletions(), 0);
+        }
+    }
+
+    #[test]
+    fn injector_preserves_insertion_order() {
+        let base = insert_stream(100);
+        let mut injector = DeletionInjector::new(
+            SliceSource::new(&base),
+            DeletionConfig::default(),
+            100,
+            StdRng::seed_from_u64(3),
+        );
+        let stream = read_all(&mut injector).unwrap();
+        let inserted: Vec<StreamElement> = stream
+            .iter()
+            .filter(|e| e.delta.is_insert())
+            .copied()
+            .collect();
+        assert_eq!(inserted, base);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let base = insert_stream(120);
+        let run = |seed: u64| {
+            read_all(&mut DeletionInjector::new(
+                SliceSource::new(&base),
+                DeletionConfig::new(0.3),
+                120,
+                StdRng::seed_from_u64(seed),
+            ))
+            .unwrap()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn injector_flushes_pending_deletions_when_source_ends_early() {
+        let base = insert_stream(10);
+        // Claim 100 insertions but deliver 10: every scheduled deletion must
+        // still be emitted, after its insertion.
+        let mut injector = DeletionInjector::new(
+            SliceSource::new(&base),
+            DeletionConfig::new(1.0),
+            100,
+            StdRng::seed_from_u64(1),
+        );
+        let stream = read_all(&mut injector).unwrap();
+        validate_stream(&stream).expect("well-formed");
+        let stats = StreamStats::compute(&stream);
+        assert_eq!(stats.insertions, 10);
+        assert_eq!(stats.deletions, 10); // ratio 1.0 deletes every seen edge
+    }
+
+    #[test]
+    fn injector_rejects_deletions_in_the_base_stream() {
+        let base = vec![
+            StreamElement::insert(Edge::new(0, 1)),
+            StreamElement::delete(Edge::new(0, 1)),
+        ];
+        let mut injector = DeletionInjector::new(
+            SliceSource::new(&base),
+            DeletionConfig::new(0.0),
+            2,
+            StdRng::seed_from_u64(0),
+        );
+        assert!(injector.next_element().unwrap().is_ok());
+        match injector.next_element().unwrap().unwrap_err() {
+            StreamIoError::Format { detail } => assert!(detail.contains("insert-only")),
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn open_path_source_detects_text() {
+        let dir = std::env::temp_dir().join("abacus_source_sniff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.txt");
+        std::fs::write(&path, "+ 1 2\n- 1 2\n").unwrap();
+        let mut source = open_path_source(&path).unwrap();
+        let stream = read_all(&mut source).unwrap();
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream[0], StreamElement::insert(Edge::new(1, 2)));
+        std::fs::remove_file(&path).ok();
+
+        // Short files (shorter than the magic) must sniff as text, not error.
+        let tiny = dir.join("tiny.txt");
+        std::fs::write(&tiny, "#\n").unwrap();
+        let mut source = open_path_source(&tiny).unwrap();
+        assert!(read_all(&mut source).unwrap().is_empty());
+        std::fs::remove_file(&tiny).ok();
+    }
+}

@@ -126,6 +126,35 @@ pub fn final_graph(stream: &[StreamElement]) -> BipartiteGraph {
     graph
 }
 
+/// Streaming sibling of [`final_graph`]: replays a pull-based source into the
+/// final graph `G(t)` in one pass, also tallying [`StreamStats`], without
+/// ever materializing the stream — peak memory is O(final graph).
+///
+/// # Errors
+/// Stops at the first source error and returns it.
+pub fn replay_source<S: crate::source::ElementSource + ?Sized>(
+    source: &mut S,
+) -> Result<(BipartiteGraph, StreamStats), crate::io::StreamIoError> {
+    let mut graph = BipartiteGraph::new();
+    let mut stats = StreamStats::default();
+    while let Some(element) = source.next_element() {
+        let element = element?;
+        stats.elements += 1;
+        match element.delta {
+            EdgeDelta::Insert => {
+                stats.insertions += 1;
+                graph.insert_edge(element.edge);
+            }
+            EdgeDelta::Delete => {
+                stats.deletions += 1;
+                graph.delete_edge(element.edge);
+            }
+        }
+    }
+    stats.final_edges = graph.num_edges();
+    Ok((graph, stats))
+}
+
 /// Restricts a stream to its insertions (what an insert-only baseline sees
 /// when deletions are simply dropped).
 #[must_use]
@@ -197,6 +226,16 @@ mod tests {
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(Edge::new(0, 1)));
         assert!(!g.has_edge(Edge::new(0, 2)));
+    }
+
+    #[test]
+    fn replay_source_matches_final_graph_and_stats() {
+        let stream = vec![ins(0, 1), ins(0, 2), ins(1, 1), del(0, 2)];
+        let (graph, stats) = replay_source(&mut crate::source::SliceSource::new(&stream)).unwrap();
+        assert_eq!(graph.num_edges(), final_graph(&stream).num_edges());
+        assert!(graph.has_edge(Edge::new(0, 1)));
+        assert!(!graph.has_edge(Edge::new(0, 2)));
+        assert_eq!(stats, StreamStats::compute(&stream));
     }
 
     #[test]

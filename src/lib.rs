@@ -9,7 +9,9 @@
 //!
 //! * [`graph`] — dynamic bipartite graphs, exact butterfly counting,
 //! * [`stream`] — the fully dynamic stream model, deletion injection,
-//!   synthetic dataset analogs,
+//!   synthetic dataset analogs, and the pull-based `ElementSource` ingestion
+//!   pipeline (text + `ABST1` binary formats) for bounded-memory streaming
+//!   from disk,
 //! * [`sampling`] — Random Pairing, reservoir, adaptive and Bernoulli
 //!   sampling policies,
 //! * [`core`] — the ABACUS and PARABACUS estimators plus the exact oracle,
@@ -57,8 +59,8 @@ pub mod prelude {
     pub use abacus_metrics::{relative_error, relative_error_percent, Throughput};
     pub use abacus_sampling::{RandomPairing, ReservoirSampler};
     pub use abacus_stream::{
-        final_graph, inject_deletions_fast, Dataset, DeletionConfig, EdgeDelta, GraphStream,
-        StreamElement,
+        final_graph, inject_deletions_fast, open_path_source, read_all, Dataset, DeletionConfig,
+        EdgeDelta, ElementSource, GraphStream, StreamElement,
     };
 }
 
