@@ -17,9 +17,11 @@
 //! `DESIGN.md` §3.
 
 use crate::sketch::AmsSketch;
-use abacus_core::{ButterflyCounter, ProcessingStats, SampleGraph};
 use abacus_graph::count_butterflies_with_edge;
+use abacus_metrics::ProcessingStats;
 use abacus_sampling::ReservoirSampler;
+use abacus_sampling::SampleGraph;
+use abacus_stream::ButterflyCounter;
 use abacus_stream::{EdgeDelta, StreamElement};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -197,6 +199,10 @@ impl ButterflyCounter for Cas {
 
     fn name(&self) -> &'static str {
         "CAS"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

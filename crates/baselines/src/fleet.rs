@@ -16,9 +16,11 @@
 //! Deletions are **ignored** (the original algorithm has no concept of them);
 //! the estimator exposes how many were dropped so experiments can report it.
 
-use abacus_core::{ButterflyCounter, ProcessingStats, SampleGraph};
 use abacus_graph::count_butterflies_with_edge;
+use abacus_metrics::ProcessingStats;
+use abacus_sampling::SampleGraph;
 use abacus_sampling::{AdaptiveBernoulli, SampleStore};
+use abacus_stream::ButterflyCounter;
 use abacus_stream::{EdgeDelta, StreamElement};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -177,6 +179,10 @@ impl ButterflyCounter for Fleet {
 
     fn name(&self) -> &'static str {
         "FLEET"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Fixed-seed perf-smoke harness: emits machine-readable benchmark artifacts
 //! so the perf trajectory of the counting hot path is tracked in CI.
 //!
-//! Three JSON files are written (to `ABACUS_BENCH_DIR`, default the current
+//! Four JSON files are written (to `ABACUS_BENCH_DIR`, default the current
 //! directory):
 //!
 //! * `BENCH_intersect.json` — median ns/op of every intersection kernel
@@ -13,7 +13,11 @@
 //!   reduction in percent,
 //! * `BENCH_ingest.json` — the streaming-ingest column: ABACUS throughput
 //!   over a ~1M-element on-disk workload through the materialized driver
-//!   and the pull-based text/binary sources, with measured peak heap.
+//!   and the pull-based text/binary sources, with measured peak heap,
+//! * `BENCH_ensemble.json` — the ensemble column: replicate-mode MAPE vs
+//!   ensemble width K (fixed per-replica *and* fixed total memory, which
+//!   move in opposite directions — see `ensemble_rows`), plus ensemble
+//!   throughput at fan-out threads 1 and 2.
 //!
 //! The ingest section doubles as the bounded-memory *assertion*: a counting
 //! global allocator tracks peak heap, and the run aborts if the streamed
@@ -25,6 +29,7 @@
 //!
 //! Run with `cargo run --release -p abacus-bench --bin perf_smoke`.
 
+use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorSpec};
 use abacus_core::{
     Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SnapshotMode,
 };
@@ -532,6 +537,102 @@ fn ingest_rows() -> (Vec<Row>, Vec<(String, f64)>) {
     (rows, extra)
 }
 
+/// The ensemble column: accuracy vs ensemble width K on a fig9-style
+/// Movielens-like workload, plus replicate/partition throughput at fan-out
+/// threads 1 and 2.
+///
+/// Accuracy is reported as MAPE vs the exact count over `trials` seeds, for
+/// **both** memory disciplines, because they answer different questions and
+/// move in opposite directions:
+///
+/// * `fixed_replica` — every replica keeps the full budget (total memory
+///   K×M): replicas are i.i.d., averaging tightens the estimate ~1/√K, so
+///   MAPE improves monotonically-ish from K=1 to K=4.  This is the paper's
+///   "variance ~K× down for the same per-replica budget" story.
+/// * `fixed_total` — the budget is split K ways (replica budget M/K): the
+///   butterfly-discovery probability scales with budget³, so K small
+///   samples are far noisier than one big one and averaging cannot buy the
+///   loss back — MAPE *degrades* with K.  Emitted so the JSON records the
+///   measured trade-off instead of hiding the regime where ensembles lose.
+fn ensemble_rows() -> (Vec<Row>, Vec<(String, f64)>) {
+    let budget = env_usize("ABACUS_PERF_SMOKE_ENSEMBLE_BUDGET", 3_000);
+    let trials = env_usize("ABACUS_PERF_SMOKE_ENSEMBLE_TRIALS", 5).max(1) as u64;
+
+    let stream = Dataset::MovielensLike.stream(0.2, SEED);
+    let elements = stream.len() as f64;
+    let truth = abacus_graph::count_butterflies(&abacus_stream::final_graph(&stream)) as f64;
+
+    let mut rows = Vec::new();
+    let mut extra = vec![
+        ("ensemble_budget".to_string(), budget as f64),
+        ("ensemble_stream_elements".to_string(), elements),
+        ("ensemble_exact_butterflies".to_string(), truth),
+    ];
+
+    // Accuracy vs K, both memory disciplines.
+    let mape = |per_replica: usize, k: usize| -> f64 {
+        (0..trials)
+            .map(|trial| {
+                let spec = EstimatorSpec::abacus(per_replica).with_seed(SEED + trial);
+                let mut ensemble = Ensemble::new(spec, k, EnsembleMode::Replicate);
+                ensemble.process_stream(&stream);
+                100.0 * ((ensemble.estimate() - truth) / truth).abs()
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    for k in [1usize, 2, 4] {
+        let fixed_replica = mape(budget, k);
+        // At K=1 the two disciplines are the same spec; measure once.
+        let fixed_total = if k == 1 {
+            fixed_replica
+        } else {
+            mape((budget / k).max(2), k)
+        };
+        extra.push((
+            format!("ensemble_accuracy_fixed_replica_k{k}_mape_percent"),
+            fixed_replica,
+        ));
+        extra.push((
+            format!("ensemble_accuracy_fixed_total_k{k}_mape_percent"),
+            fixed_total,
+        ));
+    }
+
+    // Throughput of a K=4 ensemble (fixed total memory) at fan-out threads
+    // 1 and 2, replicate and partition.  Partition shards the stream, so it
+    // does ~1/K of replicate's counting work per replica.
+    for mode in [EnsembleMode::Replicate, EnsembleMode::Partition] {
+        for threads in [1usize, 2] {
+            let spec = EstimatorSpec::abacus((budget / 4).max(2)).with_seed(SEED);
+            let mut ensemble = Ensemble::new(spec, 4, mode).with_fan_out_threads(threads);
+            let start = Instant::now();
+            ensemble.process_stream(&stream);
+            let seconds = start.elapsed().as_secs_f64();
+            black_box(ensemble.estimate());
+            rows.push(Row {
+                name: format!("ensemble/{mode}_k4_threads{threads}"),
+                median_ns_per_op: seconds * 1e9 / elements,
+                ops_per_second: elements / seconds.max(1e-12),
+            });
+        }
+    }
+    // The K=1 reference: the bare estimator through the same registry path.
+    {
+        let mut bare = EstimatorSpec::abacus(budget).with_seed(SEED).build();
+        let start = Instant::now();
+        bare.process_stream(&stream);
+        let seconds = start.elapsed().as_secs_f64();
+        black_box(bare.estimate());
+        rows.push(Row {
+            name: "ensemble/bare_k1".to_string(),
+            median_ns_per_op: seconds * 1e9 / elements,
+            ops_per_second: elements / seconds.max(1e-12),
+        });
+    }
+    (rows, extra)
+}
+
 fn main() {
     let trials = env_usize("ABACUS_PERF_SMOKE_TRIALS", 3).max(1);
     let out_dir = std::env::var("ABACUS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -561,4 +662,13 @@ fn main() {
         println!("{key} = {value:.2}");
     }
     println!("ingest memory bound holds: streamed peaks stayed O(budget + chunk)");
+
+    let (rows, extra) = ensemble_rows();
+    let ensemble_json = json_document("ensemble", &rows, &extra);
+    let ensemble_path = format!("{out_dir}/BENCH_ensemble.json");
+    std::fs::write(&ensemble_path, &ensemble_json).expect("write BENCH_ensemble.json");
+    println!("wrote {ensemble_path}");
+    for (key, value) in &extra {
+        println!("{key} = {value:.2}");
+    }
 }

@@ -8,7 +8,8 @@
 //! Run with `cargo run --release -p abacus-bench --bin profile_parabacus`.
 
 use abacus_bench::datasets::prepared_stream;
-use abacus_bench::runners::{run, Algorithm};
+use abacus_bench::runners::run;
+use abacus_core::engine::EstimatorSpec;
 use abacus_core::{ButterflyCounter, ParAbacus, ParAbacusConfig};
 use abacus_stream::Dataset;
 use std::time::Instant;
@@ -34,7 +35,7 @@ fn main() {
         stream.len()
     );
 
-    let abacus = run(Algorithm::Abacus, budget, 0, &stream);
+    let abacus = run(EstimatorSpec::abacus(budget), &stream);
     {
         // One direct run to report the average intersection work per element.
         let mut estimator = abacus_core::Abacus::new(abacus_core::AbacusConfig::new(budget));
@@ -59,13 +60,10 @@ fn main() {
         (10_000, 24, 2),
     ] {
         let result = run(
-            Algorithm::ParAbacus {
-                batch_size,
-                threads,
-                pipeline_depth,
-            },
-            budget,
-            0,
+            EstimatorSpec::parabacus(budget)
+                .with_batch_size(batch_size)
+                .with_threads(threads)
+                .with_pipeline_depth(pipeline_depth),
             &stream,
         );
         // Re-run once through the estimator directly to break the runtime into

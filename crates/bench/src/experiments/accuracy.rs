@@ -6,14 +6,15 @@
 //! three are expected to be comparable.
 
 use crate::datasets::prepared_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::{EstimatorKind, EstimatorSpec};
 use abacus_metrics::{Summary, Table};
 use abacus_stream::Dataset;
 
 /// Mean relative error (%) of one algorithm over `trials` independent runs.
 fn mean_error(
-    algorithm: Algorithm,
+    kind: EstimatorKind,
     budget: usize,
     trials: u64,
     stream: &[abacus_stream::StreamElement],
@@ -21,7 +22,11 @@ fn mean_error(
 ) -> Summary {
     (0..trials)
         .map(|trial| {
-            run(algorithm, budget, 1_000 + trial, stream).relative_error_percent(ground_truth)
+            run(
+                EstimatorSpec::new(kind, budget).with_seed(1_000 + trial),
+                stream,
+            )
+            .relative_error_percent(ground_truth)
         })
         .collect()
 }
@@ -43,21 +48,21 @@ fn accuracy_table(title: &str, alpha: f64, settings: &Settings) -> Table {
         let prepared = prepared_stream(dataset, alpha);
         for &k in &settings.sample_sizes {
             let abacus = mean_error(
-                Algorithm::Abacus,
+                EstimatorKind::Abacus,
                 k,
                 settings.trials,
                 &prepared.stream,
                 prepared.ground_truth,
             );
             let fleet = mean_error(
-                Algorithm::Fleet,
+                EstimatorKind::Fleet,
                 k,
                 settings.trials,
                 &prepared.stream,
                 prepared.ground_truth,
             );
             let cas = mean_error(
-                Algorithm::Cas,
+                EstimatorKind::Cas,
                 k,
                 settings.trials,
                 &prepared.stream,

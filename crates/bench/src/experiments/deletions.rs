@@ -1,8 +1,9 @@
 //! Fig. 6 — impact of the deletion ratio α on ABACUS.
 
 use crate::datasets::prepared_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::EstimatorSpec;
 use abacus_metrics::{Summary, Table};
 use abacus_stream::Dataset;
 
@@ -34,8 +35,11 @@ pub fn fig6a_error_vs_alpha(settings: &Settings) -> Table {
             let prepared = prepared_stream(dataset, alpha);
             let errors: Summary = (0..settings.trials)
                 .map(|trial| {
-                    run(Algorithm::Abacus, k, 2_000 + trial, &prepared.stream)
-                        .relative_error_percent(prepared.ground_truth)
+                    run(
+                        EstimatorSpec::abacus(k).with_seed(2_000 + trial),
+                        &prepared.stream,
+                    )
+                    .relative_error_percent(prepared.ground_truth)
                 })
                 .collect();
             row.push(format!("{:.2}", errors.mean()));
@@ -62,7 +66,7 @@ pub fn fig6b_throughput_vs_alpha(settings: &Settings) -> Table {
         let mut row = vec![dataset.name().to_string()];
         for &alpha in &settings.deletion_ratios {
             let prepared = prepared_stream(dataset, alpha);
-            let result = run(Algorithm::Abacus, k, 0, &prepared.stream);
+            let result = run(EstimatorSpec::abacus(k), &prepared.stream);
             row.push(format!("{:.0}", result.throughput.kilo_per_second()));
         }
         table.add_row(row);

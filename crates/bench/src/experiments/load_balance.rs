@@ -5,8 +5,9 @@
 //! the paper reports per thread to demonstrate load balance.
 
 use crate::datasets::speedup_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::EstimatorSpec;
 use abacus_metrics::Table;
 use abacus_stream::Dataset;
 
@@ -27,13 +28,10 @@ pub fn fig10_load_balance(settings: &Settings) -> Vec<Table> {
         .map(|dataset| {
             let stream = speedup_stream(dataset, settings.default_alpha, settings.speedup_scale);
             let result = run(
-                Algorithm::ParAbacus {
-                    batch_size,
-                    threads,
-                    pipeline_depth: settings.pipeline_depth,
-                },
-                k,
-                0,
+                EstimatorSpec::parabacus(k)
+                    .with_batch_size(batch_size)
+                    .with_threads(threads)
+                    .with_pipeline_depth(settings.pipeline_depth),
                 &stream,
             );
             let workloads = &result.thread_workloads;

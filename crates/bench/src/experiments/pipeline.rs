@@ -14,8 +14,9 @@
 //! improvement.
 
 use crate::datasets::speedup_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::EstimatorSpec;
 use abacus_metrics::Table;
 use abacus_stream::{Dataset, StreamElement};
 
@@ -31,13 +32,10 @@ fn throughput(
     pipeline_depth: usize,
 ) -> f64 {
     run(
-        Algorithm::ParAbacus {
-            batch_size,
-            threads,
-            pipeline_depth,
-        },
-        k,
-        0,
+        EstimatorSpec::parabacus(k)
+            .with_batch_size(batch_size)
+            .with_threads(threads)
+            .with_pipeline_depth(pipeline_depth),
         stream,
     )
     .throughput

@@ -9,8 +9,9 @@
 //! as it does at the paper's dataset sizes.
 
 use crate::datasets::speedup_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::EstimatorSpec;
 use abacus_metrics::Table;
 use abacus_stream::{Dataset, StreamElement};
 use std::collections::HashMap;
@@ -25,7 +26,7 @@ fn sequential_seconds(
     if let Some(&secs) = cache.get(&(dataset, k)) {
         return secs;
     }
-    let result = run(Algorithm::Abacus, k, 0, stream);
+    let result = run(EstimatorSpec::abacus(k), stream);
     let secs = result.throughput.seconds;
     cache.insert((dataset, k), secs);
     secs
@@ -39,13 +40,10 @@ fn parabacus_seconds(
     pipeline_depth: usize,
 ) -> f64 {
     let result = run(
-        Algorithm::ParAbacus {
-            batch_size,
-            threads,
-            pipeline_depth,
-        },
-        k,
-        0,
+        EstimatorSpec::parabacus(k)
+            .with_batch_size(batch_size)
+            .with_threads(threads)
+            .with_pipeline_depth(pipeline_depth),
         stream,
     );
     result.throughput.seconds

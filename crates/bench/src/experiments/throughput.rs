@@ -11,8 +11,9 @@
 //! not evaluated here, so no ground truth is needed.
 
 use crate::datasets::speedup_stream;
-use crate::runners::{run, Algorithm};
+use crate::runners::run;
 use crate::settings::Settings;
+use abacus_core::engine::EstimatorSpec;
 use abacus_metrics::Table;
 use abacus_stream::{stream::insertions_only, Dataset};
 
@@ -40,19 +41,16 @@ pub fn fig4_throughput(settings: &Settings) -> Table {
         let insert_stream = insertions_only(&stream);
         for &k in &settings.speedup_sample_sizes {
             let parabacus = run(
-                Algorithm::ParAbacus {
-                    batch_size: settings.default_batch_size,
-                    threads: settings.max_threads,
-                    pipeline_depth: settings.pipeline_depth,
-                },
-                k,
-                0,
+                EstimatorSpec::parabacus(k)
+                    .with_batch_size(settings.default_batch_size)
+                    .with_threads(settings.max_threads)
+                    .with_pipeline_depth(settings.pipeline_depth),
                 &stream,
             );
-            let abacus_dynamic = run(Algorithm::Abacus, k, 0, &stream);
-            let abacus_insert = run(Algorithm::Abacus, k, 0, &insert_stream);
-            let fleet = run(Algorithm::Fleet, k, 0, &insert_stream);
-            let cas = run(Algorithm::Cas, k, 0, &insert_stream);
+            let abacus_dynamic = run(EstimatorSpec::abacus(k), &stream);
+            let abacus_insert = run(EstimatorSpec::abacus(k), &insert_stream);
+            let fleet = run(EstimatorSpec::fleet(k), &insert_stream);
+            let cas = run(EstimatorSpec::cas(k), &insert_stream);
             table.push_row([
                 dataset.name().to_string(),
                 k.to_string(),

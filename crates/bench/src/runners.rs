@@ -4,52 +4,23 @@
 //! the estimate, the wall-clock throughput, and (where available) per-thread
 //! workload counters.  The experiment modules compose runs into the paper's
 //! tables.
+//!
+//! Estimators are described by [`EstimatorSpec`] and constructed through the
+//! engine registry — the same factory the CLI uses — so the bench harness
+//! and the CLI can never disagree about what an algorithm name means or
+//! which knobs it takes.
 
-use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
-use abacus_core::{Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig};
+use abacus_core::engine::EstimatorSpec;
+use abacus_core::ParAbacus;
 use abacus_metrics::{relative_error_percent, Throughput};
 use abacus_stream::StreamElement;
 use std::time::Instant;
 
-/// The estimators compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// ABACUS (sequential, fully dynamic).
-    Abacus,
-    /// PARABACUS (mini-batch parallel, fully dynamic).
-    ParAbacus {
-        /// Mini-batch size `M`.
-        batch_size: usize,
-        /// Worker threads `p`.
-        threads: usize,
-        /// Pipeline depth (1 = the paper's alternating schedule, 2 = the
-        /// default double-buffered overlap of phase 1 and phase 2).
-        pipeline_depth: usize,
-    },
-    /// FLEET3 (insert-only baseline).
-    Fleet,
-    /// CAS (insert-only baseline).
-    Cas,
-}
-
-impl Algorithm {
-    /// Display name for result tables.
-    #[must_use]
-    pub fn label(&self) -> &'static str {
-        match self {
-            Algorithm::Abacus => "ABACUS",
-            Algorithm::ParAbacus { .. } => "PARABACUS",
-            Algorithm::Fleet => "FLEET",
-            Algorithm::Cas => "CAS",
-        }
-    }
-}
-
 /// Result of one timed run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Which estimator produced the result.
-    pub algorithm: Algorithm,
+    /// The spec that produced the result.
+    pub spec: EstimatorSpec,
     /// Final butterfly-count estimate.
     pub estimate: f64,
     /// Throughput over the whole stream.
@@ -62,6 +33,12 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Display name of the estimator, for result tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.spec.kind.label()
+    }
+
     /// Relative error (%) of the run against a ground-truth count.
     #[must_use]
     pub fn relative_error_percent(&self, ground_truth: f64) -> f64 {
@@ -72,57 +49,20 @@ impl RunResult {
 /// Runs one estimator over a stream, timing the processing loop only (stream
 /// generation and ground-truth computation are excluded, as in the paper).
 #[must_use]
-pub fn run(algorithm: Algorithm, budget: usize, seed: u64, stream: &[StreamElement]) -> RunResult {
-    match algorithm {
-        Algorithm::Abacus => {
-            let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
-            timed(algorithm, &mut estimator, stream, Vec::new())
-        }
-        Algorithm::ParAbacus {
-            batch_size,
-            threads,
-            pipeline_depth,
-        } => {
-            let mut estimator = ParAbacus::new(
-                ParAbacusConfig::new(budget)
-                    .with_seed(seed)
-                    .with_batch_size(batch_size)
-                    .with_threads(threads)
-                    .with_pipeline_depth(pipeline_depth),
-            );
-            let start = Instant::now();
-            estimator.process_stream(stream);
-            let elapsed = start.elapsed();
-            RunResult {
-                algorithm,
-                estimate: estimator.estimate(),
-                throughput: Throughput::new(stream.len() as u64, elapsed),
-                thread_workloads: estimator.thread_workloads().to_vec(),
-                memory_edges: estimator.memory_edges(),
-            }
-        }
-        Algorithm::Fleet => {
-            let mut estimator = Fleet::new(FleetConfig::new(budget).with_seed(seed));
-            timed(algorithm, &mut estimator, stream, Vec::new())
-        }
-        Algorithm::Cas => {
-            let mut estimator = Cas::new(CasConfig::new(budget).with_seed(seed));
-            timed(algorithm, &mut estimator, stream, Vec::new())
-        }
-    }
-}
-
-fn timed<C: ButterflyCounter>(
-    algorithm: Algorithm,
-    estimator: &mut C,
-    stream: &[StreamElement],
-    thread_workloads: Vec<u64>,
-) -> RunResult {
+pub fn run(spec: EstimatorSpec, stream: &[StreamElement]) -> RunResult {
+    let mut estimator = spec.build();
     let start = Instant::now();
     estimator.process_stream(stream);
     let elapsed = start.elapsed();
+    // PARABACUS is the only estimator with per-thread counters; recover it
+    // through the introspection hook instead of a construction-site match.
+    let thread_workloads = estimator
+        .as_any()
+        .and_then(|any| any.downcast_ref::<ParAbacus>())
+        .map(|parabacus| parabacus.thread_workloads().to_vec())
+        .unwrap_or_default();
     RunResult {
-        algorithm,
+        spec,
         estimate: estimator.estimate(),
         throughput: Throughput::new(stream.len() as u64, elapsed),
         thread_workloads,
@@ -140,7 +80,7 @@ pub fn run_abacus_with_checkpoints(
     checkpoint_every: usize,
 ) -> Vec<(usize, f64)> {
     assert!(checkpoint_every > 0);
-    let mut estimator = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+    let mut estimator = EstimatorSpec::abacus(budget).with_seed(seed).build();
     let mut checkpoints = Vec::new();
     let start = Instant::now();
     for (index, element) in stream.iter().enumerate() {
@@ -155,6 +95,7 @@ pub fn run_abacus_with_checkpoints(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abacus_core::engine::EstimatorKind;
     use abacus_graph::Edge;
 
     fn small_stream() -> Vec<StreamElement> {
@@ -170,22 +111,23 @@ mod tests {
     #[test]
     fn all_algorithms_run_and_report() {
         let stream = small_stream();
-        for algorithm in [
-            Algorithm::Abacus,
-            Algorithm::ParAbacus {
-                batch_size: 32,
-                threads: 2,
-                pipeline_depth: 2,
-            },
-            Algorithm::Fleet,
-            Algorithm::Cas,
+        for spec in [
+            EstimatorSpec::abacus(64).with_seed(1),
+            EstimatorSpec::parabacus(64)
+                .with_seed(1)
+                .with_batch_size(32)
+                .with_threads(2),
+            EstimatorSpec::fleet(64).with_seed(1),
+            EstimatorSpec::cas(64).with_seed(1),
         ] {
-            let result = run(algorithm, 64, 1, &stream);
-            assert!(result.estimate >= 0.0, "{}", algorithm.label());
+            let result = run(spec, &stream);
+            assert!(result.estimate >= 0.0, "{}", result.label());
             assert!(result.throughput.per_second() > 0.0);
             assert!(result.memory_edges > 0);
-            if matches!(algorithm, Algorithm::ParAbacus { .. }) {
+            if spec.kind == EstimatorKind::ParAbacus {
                 assert!(!result.thread_workloads.is_empty());
+            } else {
+                assert!(result.thread_workloads.is_empty());
             }
         }
     }
@@ -194,7 +136,7 @@ mod tests {
     fn relative_error_is_computed_against_truth() {
         let stream = small_stream();
         // Budget covers the whole stream: ABACUS is exact.
-        let result = run(Algorithm::Abacus, 1_000, 0, &stream);
+        let result = run(EstimatorSpec::abacus(1_000), &stream);
         let truth = abacus_graph::count_butterflies(&abacus_stream::final_graph(&stream)) as f64;
         assert!(result.relative_error_percent(truth) < 1e-9);
     }

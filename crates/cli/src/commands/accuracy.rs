@@ -7,28 +7,25 @@
 //! driver, keeping memory at O(final graph + budget).  Dataset workloads are
 //! generated once and shared across trials.
 
-use super::WorkloadInput;
+use super::{parse_ensemble, parse_estimator_spec, WorkloadInput};
 use crate::args::Arguments;
 use crate::error::CliError;
-use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
 use abacus_metrics::{relative_error_percent, Summary};
 use abacus_stream::{replay_source, SliceSource};
 
-/// Runs ABACUS `--trials` times with different seeds against the workload
-/// and reports the mean / spread of the relative error, the protocol of the
-/// paper's accuracy experiments (Figs. 3 and 5).
+/// Runs the selected estimator `--trials` times with different seeds against
+/// the workload and reports the mean / spread of the relative error, the
+/// protocol of the paper's accuracy experiments (Figs. 3 and 5).
+///
+/// `--algorithm` selects the estimator through the same engine registry as
+/// `run` (default: `abacus`), and `--ensemble K` measures a K-replica
+/// ensemble per trial instead of a bare estimator.
 pub fn run(args: &Arguments) -> Result<String, CliError> {
     let input = WorkloadInput::from_args(args)?;
-    let budget: usize = args.parsed_or("budget", 1_500, "a positive integer")?;
+    let base = parse_estimator_spec(args, 1_500)?;
+    let ensemble = parse_ensemble(args)?;
     let trials: u64 = args.parsed_or("trials", 5, "a positive integer")?;
     args.reject_unused()?;
-    if budget < 2 {
-        return Err(CliError::InvalidValue {
-            option: "budget".to_string(),
-            value: budget.to_string(),
-            expected: "an integer of at least 2",
-        });
-    }
     if trials == 0 {
         return Err(CliError::InvalidValue {
             option: "trials".to_string(),
@@ -63,24 +60,38 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     }
 
     let mut errors = Vec::with_capacity(trials as usize);
-    for seed in 0..trials {
-        let mut abacus = Abacus::new(AbacusConfig::new(budget).with_seed(seed));
+    for trial in 0..trials {
+        // Trial t runs with seed --seed + t, so --seed shifts the whole
+        // trial sequence for reproducibility instead of being ignored.
+        let spec = base.with_seed(base.seed.wrapping_add(trial));
+        let mut counter = super::build_counter(spec, ensemble);
         match &generated {
-            Some(stream) => abacus.process_source(&mut SliceSource::new(stream)),
-            None => abacus.process_source(&mut *input.open()?),
+            Some(stream) => counter.process_source(&mut SliceSource::new(stream)),
+            None => counter.process_source(&mut *input.open()?),
         }
         .map_err(|e| CliError::Io(e.to_string()))?;
-        errors.push(relative_error_percent(truth, abacus.estimate()));
+        errors.push(relative_error_percent(truth, counter.estimate()));
     }
     let summary = Summary::from_values(errors);
 
+    let ensemble_line = match ensemble {
+        None => String::new(),
+        Some((replicas, mode)) => format!(
+            "ensemble:          {replicas} x {mode} (per-replica budget {})\n",
+            base.budget
+        ),
+    };
     Ok(format!(
         "workload:          {}\n\
-         budget (edges):    {budget}\n\
+         algorithm:         {}\n\
+         {ensemble_line}\
+         budget (edges):    {}\n\
          trials:            {trials}\n\
          exact butterflies: {truth:.0}\n\
          relative error:    {:.2}% mean, {:.2}% std, {:.2}% min, {:.2}% max\n",
         input.label(),
+        base.kind.label(),
+        base.budget,
         summary.mean(),
         summary.std_dev(),
         summary.min(),
@@ -164,5 +175,45 @@ mod tests {
             run(&args(&["--dataset", "movielens", "--trials", "0"])),
             Err(CliError::InvalidValue { .. })
         ));
+        assert!(matches!(
+            run(&args(&["--dataset", "movielens", "--algorithm", "magic"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--dataset", "movielens", "--ensemble", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn ensembles_and_algorithms_flow_through_the_registry() {
+        // A covering budget makes every replicate ensemble exact, so the
+        // mean error is 0 regardless of K.
+        let out = run(&args(&[
+            "--dataset",
+            "movielens",
+            "--budget",
+            "100000",
+            "--trials",
+            "1",
+            "--ensemble",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("ensemble:          2 x replicate"), "{out}");
+        assert!(out.contains("0.00% mean"), "{out}");
+
+        let fleet = run(&args(&[
+            "--dataset",
+            "movielens",
+            "--algorithm",
+            "fleet",
+            "--budget",
+            "2000",
+            "--trials",
+            "1",
+        ]))
+        .unwrap();
+        assert!(fleet.contains("algorithm:         FLEET"), "{fleet}");
     }
 }

@@ -11,9 +11,127 @@ pub mod stats;
 
 use crate::args::Arguments;
 use crate::error::CliError;
+use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorKind, EstimatorSpec};
+use abacus_core::{ButterflyCounter, SnapshotMode};
 use abacus_stream::{
     open_path_source, Dataset, DatasetSpec, ElementSource, GraphStream, IterSource,
 };
+
+/// Parses the common estimator options (`--algorithm`, `--budget`, `--seed`,
+/// `--batch`, `--threads`, `--pipeline-depth`, `--snapshot`) into an
+/// [`EstimatorSpec`] — the one factory path shared by `run` and `accuracy`,
+/// and by the bench harness.
+///
+/// Every invalid value comes back as a [`CliError::InvalidValue`] listing
+/// the accepted choices; nothing in here panics on user input.
+pub(crate) fn parse_estimator_spec(
+    args: &Arguments,
+    default_budget: usize,
+) -> Result<EstimatorSpec, CliError> {
+    let kind =
+        EstimatorKind::parse(args.get("algorithm").unwrap_or("abacus")).map_err(|expected| {
+            CliError::InvalidValue {
+                option: "algorithm".to_string(),
+                value: args.get("algorithm").unwrap_or_default().to_string(),
+                expected,
+            }
+        })?;
+    let budget: usize = args.parsed_or("budget", default_budget, "a positive integer")?;
+    let batch: usize = args.parsed_or("batch", 500, "a positive integer")?;
+    let threads: usize = args.parsed_or(
+        "threads",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        "a positive integer",
+    )?;
+    let seed: u64 = args.parsed_or("seed", 0, "an unsigned integer")?;
+    let pipeline_depth: usize = args.parsed_or("pipeline-depth", 2, "a positive integer")?;
+    // Frozen CSR counting snapshot ablation knob (ABACUS/PARABACUS only).
+    let snapshot: SnapshotMode =
+        args.parsed_or("snapshot", SnapshotMode::Auto, "on, off, or auto")?;
+    if budget < 2 {
+        return Err(CliError::InvalidValue {
+            option: "budget".to_string(),
+            value: budget.to_string(),
+            expected: "an integer of at least 2",
+        });
+    }
+    if batch == 0 || threads == 0 || pipeline_depth == 0 {
+        let option = if batch == 0 {
+            "batch"
+        } else if threads == 0 {
+            "threads"
+        } else {
+            "pipeline-depth"
+        };
+        return Err(CliError::InvalidValue {
+            option: option.to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+    Ok(EstimatorSpec::new(kind, budget)
+        .with_seed(seed)
+        .with_batch_size(batch)
+        .with_threads(threads)
+        .with_pipeline_depth(pipeline_depth)
+        .with_snapshot(snapshot))
+}
+
+/// Parses `--ensemble K` and `--ensemble-mode replicate|partition`.
+///
+/// Returns `None` when no ensemble was requested (the bare-estimator path).
+/// `--ensemble 1` is accepted — it builds a one-replica ensemble, which is
+/// bit-identical to the bare estimator.
+pub(crate) fn parse_ensemble(args: &Arguments) -> Result<Option<(usize, EnsembleMode)>, CliError> {
+    let mode = match args.get("ensemble-mode") {
+        None => EnsembleMode::default(),
+        Some(raw) => EnsembleMode::parse(raw).map_err(|expected| CliError::InvalidValue {
+            option: "ensemble-mode".to_string(),
+            value: raw.to_string(),
+            expected,
+        })?,
+    };
+    match args.get("ensemble") {
+        None => {
+            if args.get("ensemble-mode").is_some() {
+                return Err(CliError::MissingOption(
+                    "ensemble (required when --ensemble-mode is set)",
+                ));
+            }
+            Ok(None)
+        }
+        Some(raw) => {
+            let replicas: usize = raw.parse().map_err(|_| CliError::InvalidValue {
+                option: "ensemble".to_string(),
+                value: raw.to_string(),
+                expected: "a positive integer",
+            })?;
+            if replicas == 0 {
+                return Err(CliError::InvalidValue {
+                    option: "ensemble".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer",
+                });
+            }
+            Ok(Some((replicas, mode)))
+        }
+    }
+}
+
+/// Builds the estimator a command's options describe: the bare spec, or a
+/// K-replica [`Ensemble`] fanning out over up to `spec.threads` workers —
+/// the one construction point `run` and `accuracy` share.
+pub(crate) fn build_counter(
+    spec: EstimatorSpec,
+    ensemble: Option<(usize, EnsembleMode)>,
+) -> Box<dyn ButterflyCounter + Send> {
+    match ensemble {
+        None => spec.build(),
+        Some((replicas, mode)) => {
+            Box::new(Ensemble::new(spec, replicas, mode).with_fan_out_threads(spec.threads))
+        }
+    }
+}
 
 /// Parses a `--dataset` name into one of the four analog datasets.
 pub(crate) fn parse_dataset(name: &str) -> Result<Dataset, CliError> {

@@ -7,126 +7,26 @@
 //! needs the final graph); the report's `ingest:` line states which path
 //! ran.
 
-use super::WorkloadInput;
+use super::{parse_ensemble, WorkloadInput};
 use crate::args::Arguments;
 use crate::error::CliError;
-use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
-use abacus_core::{
-    Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig, SnapshotMode,
-};
+use abacus_core::engine::Ensemble;
 use abacus_metrics::{relative_error_percent, Throughput};
 use abacus_stream::final_graph;
 use std::time::Instant;
 
-/// Which estimator `--algorithm` selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AlgorithmChoice {
-    Abacus,
-    ParAbacus,
-    Fleet,
-    Cas,
-    Exact,
-}
-
-fn parse_algorithm(name: &str) -> Result<AlgorithmChoice, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "abacus" => Ok(AlgorithmChoice::Abacus),
-        "parabacus" => Ok(AlgorithmChoice::ParAbacus),
-        "fleet" => Ok(AlgorithmChoice::Fleet),
-        "cas" => Ok(AlgorithmChoice::Cas),
-        "exact" => Ok(AlgorithmChoice::Exact),
-        other => Err(CliError::InvalidValue {
-            option: "algorithm".to_string(),
-            value: other.to_string(),
-            expected: "abacus, parabacus, fleet, cas, or exact",
-        }),
-    }
-}
-
-/// Builds the selected estimator behind the shared [`ButterflyCounter`]
-/// interface.
-#[allow(clippy::too_many_arguments)]
-fn build_counter(
-    algorithm: AlgorithmChoice,
-    budget: usize,
-    batch: usize,
-    threads: usize,
-    seed: u64,
-    pipeline_depth: usize,
-    snapshot: SnapshotMode,
-) -> Box<dyn ButterflyCounter> {
-    match algorithm {
-        AlgorithmChoice::Abacus => Box::new(Abacus::new(
-            AbacusConfig::new(budget)
-                .with_seed(seed)
-                .with_snapshot(snapshot),
-        )),
-        AlgorithmChoice::ParAbacus => Box::new(ParAbacus::new(
-            ParAbacusConfig::new(budget)
-                .with_seed(seed)
-                .with_batch_size(batch)
-                .with_threads(threads)
-                .with_pipeline_depth(pipeline_depth)
-                .with_snapshot(snapshot),
-        )),
-        AlgorithmChoice::Fleet => Box::new(Fleet::new(FleetConfig::new(budget).with_seed(seed))),
-        AlgorithmChoice::Cas => Box::new(Cas::new(CasConfig::new(budget).with_seed(seed))),
-        AlgorithmChoice::Exact => Box::new(ExactCounter::new()),
-    }
-}
-
 /// Runs the selected estimator over the workload and formats a small report.
 pub fn run(args: &Arguments) -> Result<String, CliError> {
     let input = WorkloadInput::from_args(args)?;
-    let algorithm = parse_algorithm(args.get("algorithm").unwrap_or("abacus"))?;
-    let budget: usize = args.parsed_or("budget", 3_000, "a positive integer")?;
-    let batch: usize = args.parsed_or("batch", 500, "a positive integer")?;
-    let threads: usize = args.parsed_or(
-        "threads",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        "a positive integer",
-    )?;
-    let seed: u64 = args.parsed_or("seed", 0, "an unsigned integer")?;
-    let pipeline_depth: usize = args.parsed_or("pipeline-depth", 2, "a positive integer")?;
-    // Frozen CSR counting snapshot ablation knob (ABACUS/PARABACUS only).
-    let snapshot: SnapshotMode =
-        args.parsed_or("snapshot", SnapshotMode::Auto, "on, off, or auto")?;
+    let spec = super::parse_estimator_spec(args, 3_000)?;
+    let ensemble = parse_ensemble(args)?;
     // Pull-chunk size of the streamed ingest path; 0 = the estimator's
     // preferred chunk (PARABACUS: its batch size).
     let chunk: usize = args.parsed_or("chunk", 0, "a non-negative integer")?;
     let want_truth = args.flag("ground-truth");
     args.reject_unused()?;
-    if budget < 2 {
-        return Err(CliError::InvalidValue {
-            option: "budget".to_string(),
-            value: budget.to_string(),
-            expected: "an integer of at least 2",
-        });
-    }
-    if batch == 0 || threads == 0 || pipeline_depth == 0 {
-        let option = if batch == 0 {
-            "batch"
-        } else if threads == 0 {
-            "threads"
-        } else {
-            "pipeline-depth"
-        };
-        return Err(CliError::InvalidValue {
-            option: option.to_string(),
-            value: "0".to_string(),
-            expected: "a positive integer",
-        });
-    }
 
-    let mut counter = build_counter(
-        algorithm,
-        budget,
-        batch,
-        threads,
-        seed,
-        pipeline_depth,
-        snapshot,
-    );
+    let mut counter = super::build_counter(spec, ensemble);
 
     // Ground truth needs the final graph, which only a materialized stream
     // can provide without a second pass over a re-openable source; everything
@@ -185,6 +85,26 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
         throughput.seconds,
         throughput.per_second(),
     );
+    if let Some(ensemble) = counter
+        .as_any()
+        .and_then(|any| any.downcast_ref::<Ensemble>())
+    {
+        report.push_str(&format!(
+            "ensemble:         {} x {} over {} (per-replica budget {})\n",
+            ensemble.replicas(),
+            ensemble.mode(),
+            ensemble.spec().kind,
+            ensemble.spec().budget,
+        ));
+        if let Some(summary) = ensemble.replicate_summary() {
+            report.push_str(&format!(
+                "replica spread:   std dev {:.1}, 95% CI {:.1} .. {:.1}\n",
+                summary.std_dev,
+                summary.mean - summary.ci95_half_width,
+                summary.mean + summary.ci95_half_width,
+            ));
+        }
+    }
     if let Some(truth) = truth {
         report.push_str(&format!(
             "exact count:      {truth:.0}\nrelative error:   {:.2}%\n",
@@ -389,14 +309,131 @@ mod tests {
     fn bad_algorithm_and_budget_are_rejected() {
         let path = biclique_file("rejects.txt");
         let path_str = path.to_str().unwrap();
+        for bad in [
+            &["--input", path_str, "--algorithm", "magic"][..],
+            &["--input", path_str, "--budget", "1"],
+            &["--input", path_str, "--budget", "minus one"],
+            &["--input", path_str, "--threads", "0"],
+            &["--input", path_str, "--ensemble", "0"],
+            &["--input", path_str, "--ensemble", "four"],
+            &[
+                "--input",
+                path_str,
+                "--ensemble",
+                "2",
+                "--ensemble-mode",
+                "shard",
+            ],
+        ] {
+            match run(&args(bad)) {
+                Err(CliError::InvalidValue { expected, .. }) => {
+                    assert!(!expected.is_empty(), "{bad:?}");
+                }
+                other => panic!("{bad:?}: expected InvalidValue, got {other:?}"),
+            }
+        }
+        // The listed-choices message surfaces the full canonical name list.
+        match run(&args(&["--input", path_str, "--algorithm", "magic"])) {
+            Err(err) => {
+                let message = err.to_string();
+                for name in ["abacus", "parabacus", "local", "fleet", "cas", "exact"] {
+                    assert!(message.contains(name), "{message}");
+                }
+            }
+            Ok(_) => panic!("unknown algorithm must be rejected"),
+        }
+        // --ensemble-mode without --ensemble has no defensible default K.
         assert!(matches!(
-            run(&args(&["--input", path_str, "--algorithm", "magic"])),
-            Err(CliError::InvalidValue { .. })
+            run(&args(&[
+                "--input",
+                path_str,
+                "--ensemble-mode",
+                "partition"
+            ])),
+            Err(CliError::MissingOption(_))
         ));
-        assert!(matches!(
-            run(&args(&["--input", path_str, "--budget", "1"])),
-            Err(CliError::InvalidValue { .. })
-        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn local_algorithm_runs_through_the_registry() {
+        let path = biclique_file("local.txt");
+        let out = run(&args(&[
+            "--input",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "local",
+            "--budget",
+            "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("algorithm:        ABACUS-local"), "{out}");
+        assert!(out.contains("estimate:         9.0"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ensemble_reports_replicas_and_matches_bare_at_k1() {
+        let path = biclique_file("ensemble.txt");
+        let path_str = path.to_str().unwrap();
+        let bare = run(&args(&["--input", path_str, "--budget", "100"])).unwrap();
+        let one = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "100",
+            "--ensemble",
+            "1",
+        ]))
+        .unwrap();
+        // Same estimate line, bit for bit (K=1 replicate ≡ bare estimator).
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("estimate:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(line(&bare), line(&one));
+        assert!(
+            one.contains("ensemble:         1 x replicate over abacus"),
+            "{one}"
+        );
+        assert!(one.contains("replica spread:"), "{one}");
+
+        let four = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "25",
+            "--ensemble",
+            "4",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            four.contains("ensemble:         4 x replicate over abacus"),
+            "{four}"
+        );
+        assert!(four.contains("(per-replica budget 25)"), "{four}");
+
+        let sharded = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "100",
+            "--ensemble",
+            "2",
+            "--ensemble-mode",
+            "partition",
+        ]))
+        .unwrap();
+        assert!(
+            sharded.contains("algorithm:        ENSEMBLE-partition"),
+            "{sharded}"
+        );
+        // Partition mode sums per-shard local counts; no CI line.
+        assert!(!sharded.contains("replica spread:"), "{sharded}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -82,13 +82,24 @@ COMMANDS:
                (files are streamed in O(budget + chunk) memory; text or binary
                 input is detected from the file header)
                --input <path> | --dataset <name> [--alpha A] [--scale S]
-               --algorithm abacus|parabacus|fleet|cas|exact    (default abacus)
-               --budget <max sampled edges>                    (default 3000)
+               --algorithm abacus|parabacus|local|fleet|cas|exact
+                                                               (default abacus)
+               --budget <max sampled edges per estimator>      (default 3000)
                --batch <mini-batch size, parabacus only>       (default 500)
-               --threads <worker threads, parabacus only>      (default all)
+               --threads <worker threads: parabacus counting,
+                          or ensemble fan-out>                 (default all)
                --pipeline-depth <open batches, parabacus only> (default 2;
                                                                 1 = alternating)
                --seed <estimator RNG seed>                     (default 0)
+               --ensemble <K replicas>                         (default: none;
+                                                                K=1 is bit-identical
+                                                                to the bare estimator)
+               --ensemble-mode replicate|partition             (default replicate:
+                                                                mean of K full-stream
+                                                                replicas; partition
+                                                                hash-shards the stream
+                                                                and sums per-shard
+                                                                local counts)
                --chunk <ingest pull-chunk size>                (default 0 = the
                                                                 estimator's preference)
                --ground-truth                                  (also compute the exact
@@ -98,8 +109,10 @@ COMMANDS:
     accuracy   Average relative error over repeated runs
                (file inputs are re-streamed per trial, never materialized)
                --input <path> | --dataset <name> [--alpha A] [--scale S]
-               --budget <max sampled edges>                    (default 1500)
+               --algorithm <name, as in run>                   (default abacus)
+               --budget <max sampled edges per estimator>      (default 1500)
                --trials <number of runs>                       (default 5)
+               --ensemble <K> / --ensemble-mode <mode>         (as in run)
 
     help       Show this message
 "

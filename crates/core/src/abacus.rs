@@ -179,6 +179,10 @@ impl ButterflyCounter for Abacus {
     fn name(&self) -> &'static str {
         "ABACUS"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,563 @@
+//! [`Ensemble`]: K independent estimator replicas behind one
+//! [`ButterflyCounter`] face.
+//!
+//! The single-instance estimators bound their variance only through the
+//! memory budget.  An ensemble adds a second, horizontally scalable axis:
+//!
+//! * **Replicate mode** — every replica sees the *full* stream with an
+//!   independently derived seed; the ensemble estimate is the **mean** of
+//!   the replica estimates.  Replicas are i.i.d., so averaging K of them
+//!   cuts the estimator variance by ~K at the cost of K× the memory and
+//!   work — the classic multi-sample trick of FLEET-style sketches.  The
+//!   replica spread is surfaced as a sample standard deviation and a 95%
+//!   confidence interval ([`Ensemble::replicate_summary`]), which the bare
+//!   estimators cannot provide from a single run.
+//! * **Partition mode** — each edge is hash-routed to exactly **one**
+//!   replica (deletions follow their insertions, since routing is a pure
+//!   function of the edge), and the ensemble estimate is the **sum** of the
+//!   per-shard estimates.  Memory and work shard K ways, but a butterfly is
+//!   only observed if all four of its edges landed in the same shard:
+//!   partition estimates are *per-shard local counts* and systematically
+//!   miss cross-shard butterflies.  Partition mode is therefore a
+//!   throughput/locality tool, not an unbiased global estimator — the
+//!   trade-off is documented rather than hidden.
+//!
+//! # Exactness discipline
+//!
+//! A `K = 1` replicate ensemble is **bit-identical** to the bare estimator
+//! built from the same spec: replica 0 inherits the base seed
+//! ([`derive_seed`]`(base, 0) == base`), every element reaches the replica's
+//! `process` in stream order, and the single `finish` happens at the end of
+//! the source — exactly the contract of the bare driver.  Fan-out threads
+//! never change results either: each replica is owned by exactly one worker
+//! per chunk and processes its elements sequentially, and estimates are
+//! merged in replica-index order, so the merged estimate is bit-reproducible
+//! across thread counts and interleavings.  Both properties are asserted by
+//! `tests/ensemble_parity.rs`.
+
+use crate::counter::ButterflyCounter;
+use crate::engine::EstimatorSpec;
+use abacus_sampling::{derive_seed, splitmix64};
+use abacus_stream::{ElementSource, StreamElement, StreamIoError};
+use serde::{Deserialize, Serialize};
+
+/// How the ensemble distributes the stream across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EnsembleMode {
+    /// Every replica processes the full stream under an independent seed;
+    /// the ensemble estimate is the mean of the replica estimates (variance
+    /// ↓ ~K× at K× the memory).  The default.
+    #[default]
+    Replicate,
+    /// Each edge is hash-routed to one replica; the ensemble estimate is
+    /// the sum of per-shard estimates.  Memory and work shard K ways, but
+    /// cross-shard butterflies are not observed (per-shard local counts).
+    Partition,
+}
+
+impl EnsembleMode {
+    /// The canonical choice list, phrased for error messages.
+    pub const EXPECTED_NAMES: &'static str = "replicate or partition";
+
+    /// The canonical (lower-case) name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EnsembleMode::Replicate => "replicate",
+            EnsembleMode::Partition => "partition",
+        }
+    }
+
+    /// Parses a mode from its canonical name, case-insensitively.
+    ///
+    /// # Errors
+    /// Returns [`EnsembleMode::EXPECTED_NAMES`] for anything unrecognised.
+    pub fn parse(raw: &str) -> Result<Self, &'static str> {
+        match raw.to_ascii_lowercase().as_str() {
+            "replicate" => Ok(EnsembleMode::Replicate),
+            "partition" => Ok(EnsembleMode::Partition),
+            _ => Err(Self::EXPECTED_NAMES),
+        }
+    }
+}
+
+impl std::str::FromStr for EnsembleMode {
+    type Err = &'static str;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        EnsembleMode::parse(raw)
+    }
+}
+
+impl std::fmt::Display for EnsembleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Replica-spread statistics of a replicate-mode ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleSummary {
+    /// Mean of the replica estimates (the ensemble estimate).
+    pub mean: f64,
+    /// Sample standard deviation (n−1) of the replica estimates; 0 for K=1.
+    pub std_dev: f64,
+    /// Standard error of the mean, `std_dev / sqrt(K)`.
+    pub std_err: f64,
+    /// Half-width of the normal-approximation 95% confidence interval,
+    /// `1.96 · std_err`.  (K is small, so treat it as indicative, not a
+    /// calibrated guarantee.)
+    pub ci95_half_width: f64,
+}
+
+/// K estimator replicas driven as one [`ButterflyCounter`].
+///
+/// Replicas are built once, from per-replica specs whose seeds come from
+/// [`derive_seed`], and live for the whole stream.  The single-element
+/// [`process`](ButterflyCounter::process) path feeds them inline; the
+/// pull-based [`process_source_chunked`](ButterflyCounter::process_source_chunked)
+/// path stages one chunk at a time and fans it out to up to
+/// [`fan_out_threads`](Ensemble::with_fan_out_threads) worker threads, each
+/// worker owning a disjoint set of replicas for the duration of the chunk.
+///
+/// ```
+/// use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorSpec};
+/// use abacus_core::ButterflyCounter;
+/// use abacus_graph::Edge;
+/// use abacus_stream::StreamElement;
+///
+/// let mut ensemble = Ensemble::new(EstimatorSpec::abacus(64), 4, EnsembleMode::Replicate);
+/// for l in 0..2u32 {
+///     for r in 0..2u32 {
+///         ensemble.process(StreamElement::insert(Edge::new(l, r)));
+///     }
+/// }
+/// // Budget covers the stream: all four replicas are exact, so the mean is too.
+/// assert_eq!(ensemble.estimate(), 1.0);
+/// assert_eq!(ensemble.replicas(), 4);
+/// ```
+pub struct Ensemble {
+    base: EstimatorSpec,
+    mode: EnsembleMode,
+    replicas: Vec<Box<dyn ButterflyCounter + Send>>,
+    fan_out_threads: usize,
+    /// Per-replica routing buffers (partition mode), reused across chunks.
+    routed: Vec<Vec<StreamElement>>,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("base", &self.base)
+            .field("mode", &self.mode)
+            .field("replicas", &self.replicas.len())
+            .field("fan_out_threads", &self.fan_out_threads)
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Builds an ensemble of `replicas` copies of `base`, each constructed
+    /// through the engine registry with seed `derive_seed(base.seed, i)`.
+    ///
+    /// Every replica gets the full per-replica budget `base.budget`; for a
+    /// fixed *total* memory comparison, divide the budget before calling
+    /// (`base.budget / replicas`).
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn new(base: EstimatorSpec, replicas: usize, mode: EnsembleMode) -> Self {
+        assert!(replicas >= 1, "an ensemble needs at least one replica");
+        let replicas = (0..replicas as u64)
+            .map(|i| base.with_seed(derive_seed(base.seed, i)).build())
+            .collect();
+        Ensemble {
+            base,
+            mode,
+            replicas,
+            fan_out_threads: 1,
+            routed: Vec::new(),
+        }
+    }
+
+    /// Returns the ensemble with a different fan-out worker count for the
+    /// chunked source driver (default 1 = inline).  Thread count never
+    /// affects results, only wall time.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_fan_out_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one fan-out thread is required");
+        self.fan_out_threads = threads;
+        self
+    }
+
+    /// Number of replicas K.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The distribution mode.
+    #[must_use]
+    pub fn mode(&self) -> EnsembleMode {
+        self.mode
+    }
+
+    /// The base spec the replicas were derived from.
+    #[must_use]
+    pub fn spec(&self) -> EstimatorSpec {
+        self.base
+    }
+
+    /// Read access to replica `index`, for introspection and parity tests
+    /// (downcast through [`ButterflyCounter::as_any`]).
+    #[must_use]
+    pub fn replica(&self, index: usize) -> &dyn ButterflyCounter {
+        &*self.replicas[index]
+    }
+
+    /// The current per-replica estimates, in replica order.
+    #[must_use]
+    pub fn replica_estimates(&self) -> Vec<f64> {
+        self.replicas.iter().map(|r| r.estimate()).collect()
+    }
+
+    /// Replica-spread statistics — replicate mode only (`None` under
+    /// partition, where replicas estimate disjoint shards and their spread
+    /// is not an error bar).
+    #[must_use]
+    pub fn replicate_summary(&self) -> Option<EnsembleSummary> {
+        if self.mode != EnsembleMode::Replicate {
+            return None;
+        }
+        let summary = abacus_metrics::Summary::from_values(self.replica_estimates());
+        let mean = summary.mean();
+        let std_dev = summary.std_dev();
+        let std_err = std_dev / (summary.count() as f64).sqrt();
+        Some(EnsembleSummary {
+            mean,
+            std_dev,
+            std_err,
+            ci95_half_width: 1.96 * std_err,
+        })
+    }
+
+    /// The shard an edge routes to in partition mode: a splitmix64 avalanche
+    /// of the packed edge key, reduced mod K.  Purely a function of the
+    /// edge, so a deletion always follows its insertion to the same shard.
+    fn route(&self, element: StreamElement) -> usize {
+        // Full-width avalanche so shard occupancy is balanced even for the
+        // generators' sequential vertex ids.
+        (splitmix64(element.edge.key().0) % self.replicas.len() as u64) as usize
+    }
+
+    /// Merges the replica estimates in replica-index order (deterministic
+    /// regardless of which worker drove which replica).
+    fn merged_estimate(&self) -> f64 {
+        let sum: f64 = self.replicas.iter().map(|r| r.estimate()).sum();
+        match self.mode {
+            EnsembleMode::Replicate => sum / self.replicas.len() as f64,
+            EnsembleMode::Partition => sum,
+        }
+    }
+
+    /// Drives one staged chunk through every replica, fanning out to worker
+    /// threads when configured.  Each replica is owned by exactly one worker
+    /// for the duration of the chunk and sees its elements in stream order,
+    /// so results are independent of the thread count.
+    fn dispatch_chunk(&mut self, staged: &[StreamElement]) {
+        if staged.is_empty() {
+            return;
+        }
+        let workers = self.fan_out_threads.min(self.replicas.len());
+        match self.mode {
+            EnsembleMode::Replicate => {
+                if workers <= 1 {
+                    for replica in &mut self.replicas {
+                        for &element in staged {
+                            replica.process(element);
+                        }
+                    }
+                } else {
+                    let per_worker = self.replicas.len().div_ceil(workers);
+                    std::thread::scope(|scope| {
+                        for group in self.replicas.chunks_mut(per_worker) {
+                            scope.spawn(move || {
+                                for replica in group {
+                                    for &element in staged {
+                                        replica.process(element);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+            EnsembleMode::Partition => {
+                self.routed.resize_with(self.replicas.len(), Vec::new);
+                for buffer in &mut self.routed {
+                    buffer.clear();
+                }
+                for &element in staged {
+                    let shard = self.route(element);
+                    self.routed[shard].push(element);
+                }
+                if workers <= 1 {
+                    for (replica, buffer) in self.replicas.iter_mut().zip(&self.routed) {
+                        for &element in buffer {
+                            replica.process(element);
+                        }
+                    }
+                } else {
+                    let per_worker = self.replicas.len().div_ceil(workers);
+                    let routed = &self.routed;
+                    std::thread::scope(|scope| {
+                        for (group_index, group) in self.replicas.chunks_mut(per_worker).enumerate()
+                        {
+                            scope.spawn(move || {
+                                let start = group_index * per_worker;
+                                for (offset, replica) in group.iter_mut().enumerate() {
+                                    for &element in &routed[start + offset] {
+                                        replica.process(element);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl ButterflyCounter for Ensemble {
+    fn process(&mut self, element: StreamElement) {
+        match self.mode {
+            EnsembleMode::Replicate => {
+                for replica in &mut self.replicas {
+                    replica.process(element);
+                }
+            }
+            EnsembleMode::Partition => {
+                let shard = self.route(element);
+                self.replicas[shard].process(element);
+            }
+        }
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        // Replicas are homogeneous; honour their staging preference so a
+        // PARABACUS ensemble stages whole mini-batches per pull.
+        self.replicas[0].preferred_chunk()
+    }
+
+    fn process_source_chunked(
+        &mut self,
+        source: &mut dyn ElementSource,
+        chunk: usize,
+    ) -> Result<u64, StreamIoError> {
+        assert!(chunk >= 1, "pull chunk must hold at least one element");
+        let mut staged: Vec<StreamElement> = Vec::new();
+        let mut total = 0u64;
+        loop {
+            staged.clear();
+            while staged.len() < chunk {
+                match source.next_element() {
+                    Some(Ok(element)) => staged.push(element),
+                    Some(Err(error)) => return Err(error),
+                    None => break,
+                }
+            }
+            total += staged.len() as u64;
+            self.dispatch_chunk(&staged);
+            if staged.len() < chunk {
+                break; // the source is exhausted
+            }
+        }
+        self.finish();
+        Ok(total)
+    }
+
+    fn estimate(&self) -> f64 {
+        self.merged_estimate()
+    }
+
+    fn finish(&mut self) -> f64 {
+        for replica in &mut self.replicas {
+            replica.finish();
+        }
+        self.merged_estimate()
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.replicas.iter().map(|r| r.memory_edges()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            EnsembleMode::Replicate => "ENSEMBLE-replicate",
+            EnsembleMode::Partition => "ENSEMBLE-partition",
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EstimatorKind;
+    use abacus_graph::Edge;
+    use abacus_stream::generators::random::uniform_bipartite;
+    use abacus_stream::{inject_deletions_fast, DeletionConfig, SliceSource};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(edges: usize) -> Vec<StreamElement> {
+        let base = uniform_bipartite(60, 60, edges, &mut StdRng::seed_from_u64(5));
+        inject_deletions_fast(
+            &base,
+            DeletionConfig::new(0.2),
+            &mut StdRng::seed_from_u64(6),
+        )
+    }
+
+    #[test]
+    fn mode_names_parse_and_display() {
+        assert_eq!(
+            EnsembleMode::parse("replicate").unwrap(),
+            EnsembleMode::Replicate
+        );
+        assert_eq!(
+            EnsembleMode::parse("PARTITION").unwrap(),
+            EnsembleMode::Partition
+        );
+        assert_eq!(
+            EnsembleMode::parse("shard").unwrap_err(),
+            EnsembleMode::EXPECTED_NAMES
+        );
+        assert_eq!(EnsembleMode::Replicate.to_string(), "replicate");
+        assert_eq!(EnsembleMode::default(), EnsembleMode::Replicate);
+    }
+
+    #[test]
+    fn replicate_estimate_is_the_mean_of_the_replicas() {
+        let stream = workload(800);
+        let mut ensemble = Ensemble::new(
+            EstimatorSpec::abacus(128).with_seed(3),
+            4,
+            EnsembleMode::Replicate,
+        );
+        ensemble.process_stream(&stream);
+        let estimates = ensemble.replica_estimates();
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        assert_eq!(ensemble.estimate().to_bits(), mean.to_bits());
+        let summary = ensemble.replicate_summary().unwrap();
+        assert_eq!(summary.mean.to_bits(), mean.to_bits());
+        assert!(summary.std_dev >= 0.0);
+        assert!((summary.ci95_half_width - 1.96 * summary.std_err).abs() < 1e-12);
+        // Replicas drew different seeds, so (with a sub-covering budget)
+        // their trajectories differ.
+        assert!(
+            estimates.windows(2).any(|w| w[0] != w[1]),
+            "replicas appear seed-correlated: {estimates:?}"
+        );
+    }
+
+    #[test]
+    fn partition_routes_every_element_to_exactly_one_shard() {
+        let stream = workload(600);
+        let mut ensemble = Ensemble::new(EstimatorSpec::exact(), 3, EnsembleMode::Partition);
+        ensemble.process_stream(&stream);
+        // Shards partition the stream: element counts over the exact
+        // replicas sum to the stream length.
+        let processed: u64 = (0..3)
+            .map(|i| {
+                ensemble
+                    .replica(i)
+                    .as_any()
+                    .unwrap()
+                    .downcast_ref::<crate::ExactCounter>()
+                    .unwrap()
+                    .stats()
+                    .elements
+            })
+            .sum();
+        assert_eq!(processed, stream.len() as u64);
+        // And the ensemble estimate is the sum of the shard counts.
+        let sum: f64 = ensemble.replica_estimates().iter().sum();
+        assert_eq!(ensemble.estimate().to_bits(), sum.to_bits());
+        assert!(ensemble.replicate_summary().is_none());
+    }
+
+    #[test]
+    fn partition_deletions_follow_their_insertions() {
+        // Insert then delete the same edge: both must land on one shard, so
+        // every shard's final graph is empty.
+        let mut ensemble = Ensemble::new(EstimatorSpec::exact(), 4, EnsembleMode::Partition);
+        let mut stream = Vec::new();
+        for l in 0..20u32 {
+            for r in 0..5u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        for element in &stream.clone() {
+            stream.push(StreamElement::delete(element.edge));
+        }
+        ensemble.process_stream(&stream);
+        assert_eq!(ensemble.estimate(), 0.0);
+        assert_eq!(ensemble.memory_edges(), 0);
+    }
+
+    #[test]
+    fn fan_out_threads_do_not_change_results() {
+        let stream = workload(900);
+        for mode in [EnsembleMode::Replicate, EnsembleMode::Partition] {
+            let fingerprint = |threads: usize| {
+                let mut ensemble = Ensemble::new(EstimatorSpec::abacus(100).with_seed(11), 3, mode)
+                    .with_fan_out_threads(threads);
+                ensemble
+                    .process_source_chunked(&mut SliceSource::new(&stream), 64)
+                    .unwrap();
+                (
+                    ensemble.estimate().to_bits(),
+                    ensemble
+                        .replica_estimates()
+                        .iter()
+                        .map(|e| e.to_bits())
+                        .collect::<Vec<_>>(),
+                    ensemble.memory_edges(),
+                )
+            };
+            let single = fingerprint(1);
+            for threads in [2usize, 3, 8] {
+                assert_eq!(fingerprint(threads), single, "{mode} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_drives_parabacus_replicas_with_their_preferred_chunk() {
+        let ensemble = Ensemble::new(
+            EstimatorSpec::parabacus(64)
+                .with_batch_size(77)
+                .with_threads(1),
+            2,
+            EnsembleMode::Replicate,
+        );
+        assert_eq!(ensemble.preferred_chunk(), 77);
+        assert_eq!(ensemble.spec().kind, EstimatorKind::ParAbacus);
+        assert_eq!(ensemble.name(), "ENSEMBLE-replicate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = Ensemble::new(EstimatorSpec::abacus(64), 0, EnsembleMode::Replicate);
+    }
+}

@@ -86,7 +86,11 @@ impl ButterflyCounter for ExactCounter {
     }
 
     fn name(&self) -> &'static str {
-        "Exact"
+        "EXACT"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -117,7 +121,7 @@ mod tests {
             exact.process(*element);
             assert_eq!(exact.exact_count(), want);
         }
-        assert_eq!(exact.name(), "Exact");
+        assert_eq!(exact.name(), "EXACT");
         assert_eq!(exact.memory_edges(), 5);
         assert_eq!(exact.stats().elements, 7);
     }

@@ -23,9 +23,14 @@
 //! Modules:
 //!
 //! * [`config`] — estimator configuration (memory budget, seed, batching),
-//! * [`counter`] — the [`ButterflyCounter`] trait shared by every estimator
-//!   in the workspace (ABACUS, PARABACUS, the exact oracle, FLEET, CAS),
-//! * [`sample_graph`] — the bounded sample stored as a bipartite graph,
+//! * [`engine`] — the estimator registry ([`EstimatorSpec`] →
+//!   [`ButterflyCounter`]) and the sharded [`Ensemble`] execution layer,
+//! * [`counter`] — re-export of the [`ButterflyCounter`] trait (defined in
+//!   `abacus_stream`, the stream-consumer interface shared by every
+//!   estimator: ABACUS, PARABACUS, the exact oracle, FLEET, CAS, ensembles),
+//! * [`sample_graph`] — re-export of the bounded sample stored as a
+//!   bipartite graph (defined in `abacus_sampling` next to the policies
+//!   that drive it),
 //! * [`snapshot`] — glue keeping the frozen CSR counting snapshot
 //!   (`abacus_graph::csr`) in lock-step with the sample,
 //! * [`probability`] — the butterfly-discovery probability of Eq. 1 and the
@@ -35,26 +40,35 @@
 //! * [`parabacus`] — mini-batch parallel processing with versioned samples
 //!   and a two-stage pipelined engine that overlaps sample-version creation
 //!   with counting,
-//! * [`stats`] — per-run processing statistics (work counters, discoveries).
+//! * [`stats`] — re-export of the per-run processing statistics (defined in
+//!   `abacus_metrics`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abacus;
 pub mod config;
-pub mod counter;
+pub mod engine;
 pub mod exact;
 pub mod local;
 pub mod monitor;
 pub mod parabacus;
 pub mod probability;
-pub mod sample_graph;
 pub mod snapshot;
-pub mod stats;
+
+// The trait, the sample store, and the work counters moved down the crate
+// stack (stream / sampling / metrics) so the insert-only baselines no longer
+// depend on this crate — which lets the engine registry here construct
+// *every* estimator in the workspace, baselines included.  The original
+// module paths stay valid through these re-exports.
+pub use abacus_metrics::stats;
+pub use abacus_sampling::sample_graph;
+pub use abacus_stream::counter;
 
 pub use abacus::Abacus;
 pub use config::{AbacusConfig, ParAbacusConfig, SnapshotMode, AUTO_SNAPSHOT_MIN_BUDGET};
 pub use counter::ButterflyCounter;
+pub use engine::{Ensemble, EnsembleMode, EnsembleSummary, EstimatorKind, EstimatorSpec};
 pub use exact::ExactCounter;
 pub use local::LocalAbacus;
 pub use monitor::{SharedEstimate, WindowedMonitor};

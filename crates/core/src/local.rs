@@ -188,6 +188,10 @@ impl ButterflyCounter for LocalAbacus {
     fn name(&self) -> &'static str {
         "ABACUS-local"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

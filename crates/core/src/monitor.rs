@@ -220,6 +220,10 @@ impl<C: ButterflyCounter> ButterflyCounter for WindowedMonitor<C> {
     fn name(&self) -> &'static str {
         self.counter.name()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.counter.as_any()
+    }
 }
 
 #[cfg(test)]

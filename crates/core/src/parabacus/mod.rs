@@ -555,6 +555,10 @@ impl ButterflyCounter for ParAbacus {
     fn name(&self) -> &'static str {
         "PARABACUS"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! * [`throughput`] — edges-per-second throughput measurements,
 //! * [`timer`] — simple wall-clock timers and elapsed-time series,
 //! * [`summary`] — mean / standard deviation / min / max over repeated trials,
+//! * [`stats`] — the per-run work counters every estimator accumulates
+//!   (elements, discoveries, set-intersection probes),
 //! * [`table`] — Markdown and CSV table rendering used by every experiment
 //!   binary to print paper-shaped result tables.
 
@@ -15,12 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod stats;
 pub mod summary;
 pub mod table;
 pub mod throughput;
 pub mod timer;
 
 pub use error::{absolute_error, relative_error, relative_error_percent};
+pub use stats::ProcessingStats;
 pub use summary::Summary;
 pub use table::Table;
 pub use throughput::Throughput;

@@ -10,10 +10,10 @@
 //! can drive it) and [`NeighborhoodView`] (so the
 //! per-edge butterfly kernel can query it).
 
+use crate::store::SampleStore;
 use abacus_graph::adjacency::AdjacencySet;
 use abacus_graph::intersect::KernelTuning;
 use abacus_graph::{Edge, EdgeKey, FxHashMap, NeighborhoodView, Side, VertexRef};
-use abacus_sampling::SampleStore;
 use rand::{Rng, RngExt};
 
 /// A bounded sample of edges organised as a bipartite graph.

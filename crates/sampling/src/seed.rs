@@ -1,0 +1,95 @@
+//! Per-replica seed derivation for ensemble estimators.
+//!
+//! An ensemble runs K statistically independent replicas of one estimator.
+//! Independence hinges on the replicas drawing *unrelated* random streams, so
+//! their seeds must differ — and differ well: adjacent seeds fed to a PRNG
+//! with a weak seeding function can produce correlated trajectories, which
+//! would silently void the ~K× variance reduction the ensemble exists for.
+
+/// The 64-bit golden-ratio increment of the splitmix64 generator.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64's finalizer: a bijective avalanche mix of the full 64-bit word
+/// (Steele, Lea, Flood — OOPSLA 2014; the same mix seeds `StdRng` in many
+/// ecosystems).  Public because ensemble partition routing uses the same
+/// mix to shard edge keys.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of ensemble replica `replica` from a base seed.
+///
+/// Two deliberate properties:
+///
+/// * **Replica 0 inherits the base seed unchanged.**  An ensemble of one is
+///   thereby *bit-identical* to the bare estimator built with the same seed —
+///   the exactness discipline the parity test suite asserts for every
+///   estimator kind.
+/// * **Replicas ≥ 1 receive splitmix64-scrambled seeds** along the
+///   golden-ratio sequence `base + i·γ`, so consecutive replica indices land
+///   on uncorrelated points of the seed space rather than adjacent integers.
+///
+/// The derivation is a pure function of `(base, replica)`: stable across
+/// runs, machines, and thread counts.
+///
+/// ```
+/// use abacus_sampling::derive_seed;
+///
+/// assert_eq!(derive_seed(42, 0), 42); // ensemble of one ≡ the bare estimator
+/// assert_ne!(derive_seed(42, 1), derive_seed(42, 2));
+/// assert_eq!(derive_seed(42, 3), derive_seed(42, 3)); // stable
+/// ```
+#[must_use]
+pub fn derive_seed(base: u64, replica: u64) -> u64 {
+    if replica == 0 {
+        base
+    } else {
+        splitmix64(base.wrapping_add(replica.wrapping_mul(GOLDEN_GAMMA)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn replica_zero_is_the_base_seed() {
+        for base in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(derive_seed(base, 0), base);
+        }
+    }
+
+    #[test]
+    fn replicas_never_share_a_seed() {
+        // Far beyond any plausible ensemble width, across several bases
+        // (including adjacent ones, the classic weak-seeding trap).
+        for base in [0u64, 1, 2, 7, 1_000_003, u64::MAX - 1] {
+            let seeds: HashSet<u64> = (0..1_024).map(|i| derive_seed(base, i)).collect();
+            assert_eq!(seeds.len(), 1_024, "seed collision under base {base}");
+        }
+    }
+
+    #[test]
+    fn derivation_is_stable_across_runs() {
+        // Pinned values: changing the derivation would silently re-randomise
+        // every ensemble experiment, so the constants are locked by test.
+        assert_eq!(derive_seed(0, 0), 0);
+        assert_eq!(derive_seed(0, 1), splitmix64(GOLDEN_GAMMA));
+        assert_eq!(derive_seed(42, 2), derive_seed(42, 2));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn scrambled_seeds_differ_from_naive_offsets() {
+        // The whole point of the splitmix finalizer: replica i's seed is not
+        // `base + i` (adjacent integers seed correlated StdRng streams).
+        for i in 1..64u64 {
+            assert_ne!(derive_seed(100, i), 100 + i);
+        }
+    }
+}

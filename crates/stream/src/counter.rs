@@ -1,6 +1,6 @@
 //! The common interface of every streaming butterfly counter in the workspace.
 
-use abacus_stream::{ElementSource, SliceSource, StreamElement, StreamIoError};
+use crate::{ElementSource, SliceSource, StreamElement, StreamIoError};
 
 /// Pull-chunk size of the source drivers when an estimator does not override
 /// [`ButterflyCounter::preferred_chunk`] (PARABACUS substitutes its mini-batch
@@ -131,6 +131,18 @@ pub trait ButterflyCounter {
 
     /// A short human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Introspection hook for callers holding the estimator behind
+    /// `dyn ButterflyCounter` (the engine registry, ensemble replicas, the
+    /// bench harness) that need a concrete type back — per-thread workload
+    /// counters, sampler state for parity fingerprints, and the like.
+    ///
+    /// Returns `None` by default so trivial implementations (test stubs,
+    /// wrappers without interesting state) need not opt in; every first-class
+    /// estimator in the workspace overrides it with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -205,15 +217,13 @@ mod tests {
         struct FailingSource {
             yielded: usize,
         }
-        impl abacus_stream::ElementSource for FailingSource {
-            fn next_element(
-                &mut self,
-            ) -> Option<Result<StreamElement, abacus_stream::StreamIoError>> {
+        impl ElementSource for FailingSource {
+            fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
                 if self.yielded < 3 {
                     self.yielded += 1;
                     Some(Ok(StreamElement::insert(Edge::new(0, self.yielded as u32))))
                 } else {
-                    Some(Err(abacus_stream::StreamIoError::format("boom")))
+                    Some(Err(StreamIoError::format("boom")))
                 }
             }
         }

@@ -14,6 +14,10 @@
 //! * [`source`] — the pull-based [`ElementSource`] ingestion abstraction:
 //!   bounded-memory adapters over slices, iterators, files, and an on-the-fly
 //!   deletion injector,
+//! * [`counter`] — the [`ButterflyCounter`] trait: the *consumer* half of the
+//!   stream model, implemented by every estimator in the workspace (ABACUS,
+//!   PARABACUS, the exact oracle, the insert-only baselines, ensembles) and
+//!   driven through the pull-based source machinery above,
 //! * [`io`] — the line-oriented text format (incremental [`io::TextSource`]
 //!   plus materializing helpers),
 //! * [`binary`] — the compact `ABST1` varint-delta binary format.
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod counter;
 pub mod deletion;
 pub mod element;
 pub mod generators;
@@ -30,6 +35,7 @@ pub mod source;
 pub mod stream;
 
 pub use binary::{BinarySource, BinaryStreamWriter, BINARY_MAGIC};
+pub use counter::{ButterflyCounter, DEFAULT_SOURCE_CHUNK};
 pub use deletion::{inject_deletions, inject_deletions_fast, DeletionConfig};
 pub use element::{EdgeDelta, StreamElement};
 pub use generators::dataset::{Dataset, DatasetSpec};

@@ -52,12 +52,13 @@ pub use abacus_stream as stream;
 pub mod prelude {
     pub use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
     pub use abacus_core::{
-        Abacus, AbacusConfig, ButterflyCounter, ExactCounter, ParAbacus, ParAbacusConfig,
+        Abacus, AbacusConfig, ButterflyCounter, Ensemble, EnsembleMode, EnsembleSummary,
+        EstimatorKind, EstimatorSpec, ExactCounter, LocalAbacus, ParAbacus, ParAbacusConfig,
         SnapshotMode,
     };
     pub use abacus_graph::{count_butterflies, BipartiteGraph, Edge, GraphStatistics};
     pub use abacus_metrics::{relative_error, relative_error_percent, Throughput};
-    pub use abacus_sampling::{RandomPairing, ReservoirSampler};
+    pub use abacus_sampling::{derive_seed, RandomPairing, ReservoirSampler};
     pub use abacus_stream::{
         final_graph, inject_deletions_fast, open_path_source, read_all, Dataset, DeletionConfig,
         EdgeDelta, ElementSource, GraphStream, StreamElement,
