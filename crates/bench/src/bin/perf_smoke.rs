@@ -1,12 +1,11 @@
 //! Fixed-seed perf-smoke harness: emits machine-readable benchmark artifacts
 //! so the perf trajectory of the counting hot path is tracked in CI.
 //!
-//! Four JSON files are written (to `ABACUS_BENCH_DIR`, default the current
+//! Five JSON files are written (to `ABACUS_BENCH_DIR`, default the current
 //! directory):
 //!
 //! * `BENCH_intersect.json` — median ns/op of every intersection kernel
-//!   (probe / merge / branchless merge / gallop / adaptive) at three
-//!   operand-size ratios,
+//!   (probe / merge / gallop / adaptive) at three operand-size ratios,
 //! * `BENCH_parabacus.json` — ABACUS and single-thread PARABACUS wall time
 //!   and throughput over a fixed dataset-analog stream, with the frozen CSR
 //!   counting snapshot on and off, plus the snapshot's counting-phase
@@ -17,7 +16,11 @@
 //! * `BENCH_ensemble.json` — the ensemble column: replicate-mode MAPE vs
 //!   ensemble width K (fixed per-replica *and* fixed total memory, which
 //!   move in opposite directions — see `ensemble_rows`), plus ensemble
-//!   throughput at fan-out threads 1 and 2.
+//!   throughput at fan-out threads 1 and 2,
+//! * `BENCH_views.json` — the delta-circuit column: per-view incremental
+//!   maintenance vs refreshing the same state by offline recomputation once
+//!   per mini-batch (see `views_rows`), plus the whole five-view panel on
+//!   one circuit.
 //!
 //! The ingest section doubles as the bounded-memory *assertion*: a counting
 //! global allocator tracks peak heap, and the run aborts if the streamed
@@ -31,13 +34,17 @@
 
 use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorSpec};
 use abacus_core::{
-    Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SnapshotMode,
+    Abacus, AbacusConfig, ButterflyCounter, Circuit, ParAbacus, ParAbacusConfig, SnapshotMode,
+    ViewKind, WindowedMonitor,
 };
 use abacus_graph::intersect::{
     intersection_count_with, sorted_adaptive_count, sorted_gallop_count,
-    sorted_merge_count_branchless, sorted_merge_intersection_count, KernelTuning,
+    sorted_merge_intersection_count, KernelTuning,
 };
-use abacus_graph::AdjacencySet;
+use abacus_graph::{
+    bitruss_decomposition, AdjacencySet, BipartiteGraph, ClusteringState, EdgeSupports,
+    VertexButterflyCounts,
+};
 use abacus_stream::{Dataset, StreamElement};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -228,12 +235,6 @@ fn intersect_rows(trials: usize) -> Vec<Row> {
                         &small_sorted,
                         &large_sorted,
                     ));
-                }),
-            ),
-            (
-                format!("merge_branchless/ratio{ratio}"),
-                Box::new(|| {
-                    black_box(sorted_merge_count_branchless(&small_sorted, &large_sorted));
                 }),
             ),
             (
@@ -633,6 +634,199 @@ fn ensemble_rows() -> (Vec<Row>, Vec<(String, f64)>) {
     (rows, extra)
 }
 
+/// The delta-circuit column: per-view incremental maintenance vs refreshing
+/// the same state by offline recomputation once per mini-batch, on a
+/// fixed-seed Movielens-like fully dynamic stream.
+///
+/// Both sides ingest the identical stream through the identical ABACUS
+/// estimator config; the incremental side carries the view inside a
+/// [`Circuit`], the offline side applies elements to a plain graph and
+/// recomputes the view's state from scratch at every batch boundary (the
+/// pre-circuit serving strategy).  The anomaly view has no offline
+/// recomputation — its counterpart is the legacy `WindowedMonitor` wrapper
+/// it replaced, so that pair measures the cost of view re-registration.
+///
+/// The headline is the `views/all/*` pair: serving the *whole* five-view
+/// panel from one circuit (a single shared enumeration per element) vs the
+/// pre-circuit stack (monitor wrapper + plain graph + all four graph-derived
+/// states recomputed every batch).  Per-view rows are diagnostics — a view
+/// whose offline refresh is cheap (the clustering scalar) can individually
+/// lose to recomputation while the panel still wins by an order of
+/// magnitude, because the offline side pays every refresh, led by the
+/// bitruss peel, where the circuit's enumeration cost is shared.
+fn views_rows(trials: usize) -> (Vec<Row>, Vec<(String, f64)>) {
+    let take = env_usize("ABACUS_PERF_SMOKE_VIEW_ELEMENTS", 20_000);
+    let batch = env_usize("ABACUS_PERF_SMOKE_VIEW_BATCH", 2_000).max(1);
+    let budget = 3_000;
+    let stream: Vec<StreamElement> = Dataset::MovielensLike
+        .stream(0.3, SEED)
+        .into_iter()
+        .take(take)
+        .collect();
+    let elements = stream.len() as f64;
+    let estimator = || Abacus::new(AbacusConfig::new(budget).with_seed(SEED));
+
+    let mut rows = Vec::new();
+    let mut extra = vec![
+        ("views_stream_elements".to_string(), elements),
+        ("views_recompute_batch".to_string(), batch as f64),
+        ("views_budget".to_string(), budget as f64),
+    ];
+
+    // Incremental: the full circuit run, estimator included (the honest
+    // serving cost of keeping that one view live).
+    let incremental = |kind: ViewKind| -> f64 {
+        let mut samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut circuit = Circuit::new(estimator()).with_view(kind.build());
+            let start = Instant::now();
+            circuit.process_stream(&stream);
+            circuit.finish();
+            samples.push(start.elapsed().as_secs_f64());
+            black_box(circuit.view_reports());
+        }
+        median(samples)
+    };
+
+    // Offline: estimator + graph maintenance + a from-scratch recompute of
+    // the view's state at every batch boundary and at stream end.
+    let recompute = |kind: ViewKind| -> f64 {
+        let mut samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut est = estimator();
+            let mut graph = BipartiteGraph::new();
+            let refresh = |graph: &BipartiteGraph| match kind {
+                ViewKind::PerEdge => {
+                    black_box(EdgeSupports::recompute(graph).total_support() as u64)
+                }
+                ViewKind::Vertex => {
+                    black_box(VertexButterflyCounts::recompute(graph).butterflies() as u64)
+                }
+                ViewKind::Clustering => {
+                    black_box(ClusteringState::recompute(graph).coefficient().to_bits())
+                }
+                ViewKind::Bitruss => black_box(bitruss_decomposition(graph).max_bitruss()),
+                ViewKind::Anomaly => unreachable!("anomaly has no offline recomputation"),
+            };
+            let start = Instant::now();
+            for (i, &element) in stream.iter().enumerate() {
+                est.process(element);
+                if element.delta.is_insert() {
+                    graph.insert_edge(element.edge);
+                } else {
+                    graph.delete_edge(element.edge);
+                }
+                if (i + 1).is_multiple_of(batch) {
+                    refresh(&graph);
+                }
+            }
+            est.finish();
+            if !stream.len().is_multiple_of(batch) {
+                refresh(&graph);
+            }
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        median(samples)
+    };
+
+    for kind in ViewKind::ALL {
+        let inc = incremental(kind);
+        let off = match kind {
+            ViewKind::Anomaly => {
+                // The legacy wrapper path the view replaced.
+                let mut samples = Vec::with_capacity(trials);
+                for _ in 0..trials {
+                    let mut monitor = WindowedMonitor::new(estimator(), 1_024);
+                    let start = Instant::now();
+                    monitor.process_stream(&stream);
+                    monitor.finish();
+                    samples.push(start.elapsed().as_secs_f64());
+                    black_box(monitor.snapshots().len());
+                }
+                median(samples)
+            }
+            _ => recompute(kind),
+        };
+        let offline_label = if kind == ViewKind::Anomaly {
+            "monitor_wrapper"
+        } else {
+            "recompute_per_batch"
+        };
+        for (label, secs) in [("incremental", inc), (offline_label, off)] {
+            rows.push(Row {
+                name: format!("views/{kind}/{label}"),
+                median_ns_per_op: secs * 1e9 / elements,
+                ops_per_second: elements / secs.max(1e-12),
+            });
+        }
+        extra.push((format!("views_{kind}_incremental_speedup_x"), off / inc));
+    }
+
+    // The whole panel at once — the headline comparison.  Incremental: one
+    // circuit hosting all five views (one shared enumeration per element).
+    // Offline: the pre-circuit serving stack — a `WindowedMonitor` for the
+    // anomaly series plus a plain graph, with all four graph-derived states
+    // recomputed from scratch at every batch boundary.
+    {
+        let inc = {
+            let mut samples = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let mut circuit = Circuit::new(estimator());
+                for kind in ViewKind::ALL {
+                    assert!(circuit.subscribe_view(kind.build()).is_ok());
+                }
+                let start = Instant::now();
+                circuit.process_stream(&stream);
+                circuit.finish();
+                samples.push(start.elapsed().as_secs_f64());
+                black_box(circuit.view_reports());
+            }
+            median(samples)
+        };
+        let off = {
+            let mut samples = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let mut monitor = WindowedMonitor::new(estimator(), 1_024);
+                let mut graph = BipartiteGraph::new();
+                let refresh = |graph: &BipartiteGraph| {
+                    black_box(EdgeSupports::recompute(graph).total_support() as u64);
+                    black_box(VertexButterflyCounts::recompute(graph).butterflies() as u64);
+                    black_box(ClusteringState::recompute(graph).coefficient().to_bits());
+                    black_box(bitruss_decomposition(graph).max_bitruss());
+                };
+                let start = Instant::now();
+                for (i, &element) in stream.iter().enumerate() {
+                    monitor.process(element);
+                    if element.delta.is_insert() {
+                        graph.insert_edge(element.edge);
+                    } else {
+                        graph.delete_edge(element.edge);
+                    }
+                    if (i + 1).is_multiple_of(batch) {
+                        refresh(&graph);
+                    }
+                }
+                monitor.finish();
+                if !stream.len().is_multiple_of(batch) {
+                    refresh(&graph);
+                }
+                samples.push(start.elapsed().as_secs_f64());
+                black_box(monitor.snapshots().len());
+            }
+            median(samples)
+        };
+        for (label, secs) in [("incremental", inc), ("recompute_per_batch", off)] {
+            rows.push(Row {
+                name: format!("views/all/{label}"),
+                median_ns_per_op: secs * 1e9 / elements,
+                ops_per_second: elements / secs.max(1e-12),
+            });
+        }
+        extra.push(("views_all_incremental_speedup_x".to_string(), off / inc));
+    }
+    (rows, extra)
+}
+
 fn main() {
     let trials = env_usize("ABACUS_PERF_SMOKE_TRIALS", 3).max(1);
     let out_dir = std::env::var("ABACUS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -668,6 +862,15 @@ fn main() {
     let ensemble_path = format!("{out_dir}/BENCH_ensemble.json");
     std::fs::write(&ensemble_path, &ensemble_json).expect("write BENCH_ensemble.json");
     println!("wrote {ensemble_path}");
+    for (key, value) in &extra {
+        println!("{key} = {value:.2}");
+    }
+
+    let (rows, extra) = views_rows(trials);
+    let views_json = json_document("views", &rows, &extra);
+    let views_path = format!("{out_dir}/BENCH_views.json");
+    std::fs::write(&views_path, &views_json).expect("write BENCH_views.json");
+    println!("wrote {views_path}");
     for (key, value) in &extra {
         println!("{key} = {value:.2}");
     }

@@ -12,7 +12,7 @@ pub mod stats;
 use crate::args::Arguments;
 use crate::error::CliError;
 use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorKind, EstimatorSpec};
-use abacus_core::{ButterflyCounter, SnapshotMode};
+use abacus_core::{ButterflyCounter, Circuit, SnapshotMode, ViewKind};
 use abacus_stream::{
     open_path_source, Dataset, DatasetSpec, ElementSource, GraphStream, IterSource,
 };
@@ -118,19 +118,51 @@ pub(crate) fn parse_ensemble(args: &Arguments) -> Result<Option<(usize, Ensemble
     }
 }
 
-/// Builds the estimator a command's options describe: the bare spec, or a
-/// K-replica [`Ensemble`] fanning out over up to `spec.threads` workers —
-/// the one construction point `run` and `accuracy` share.
+/// The circuit type `run --views` builds, spelled out once so the report
+/// path can downcast [`ButterflyCounter::as_any`] back to it.
+pub(crate) type BoxedCircuit = Circuit<Box<dyn ButterflyCounter + Send>>;
+
+/// Parses `--views` (a comma-separated [`ViewKind`] list, e.g.
+/// `peredge,vertex,anomaly`, or `all`) into the kinds to subscribe.
+///
+/// Returns an empty list when the option is absent (no circuit is built).
+pub(crate) fn parse_views(args: &Arguments) -> Result<Vec<ViewKind>, CliError> {
+    match args.get("views") {
+        None => Ok(Vec::new()),
+        Some(raw) => ViewKind::parse_list(raw).map_err(|expected| CliError::InvalidValue {
+            option: "views".to_string(),
+            value: raw.to_string(),
+            expected,
+        }),
+    }
+}
+
+/// Builds the estimator a command's options describe: the bare spec, a
+/// K-replica [`Ensemble`] fanning out over up to `spec.threads` workers,
+/// and/or a delta [`Circuit`] with the requested views subscribed — the one
+/// construction point `run` and `accuracy` share.
 pub(crate) fn build_counter(
     spec: EstimatorSpec,
     ensemble: Option<(usize, EnsembleMode)>,
+    views: &[ViewKind],
 ) -> Box<dyn ButterflyCounter + Send> {
-    match ensemble {
-        None => spec.build(),
+    let base: Box<dyn ButterflyCounter + Send> = match ensemble {
+        None if views.is_empty() => return spec.build(),
+        None => return spec.build_with_views(views),
         Some((replicas, mode)) => {
             Box::new(Ensemble::new(spec, replicas, mode).with_fan_out_threads(spec.threads))
         }
+    };
+    if views.is_empty() {
+        return base;
     }
+    let mut circuit = Circuit::new(base);
+    for &kind in views {
+        circuit
+            .subscribe_view(kind.build())
+            .unwrap_or_else(|_| unreachable!("circuits accept every view"));
+    }
+    Box::new(circuit)
 }
 
 /// Parses a `--dataset` name into one of the four analog datasets.

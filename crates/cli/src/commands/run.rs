@@ -23,10 +23,11 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     // Pull-chunk size of the streamed ingest path; 0 = the estimator's
     // preferred chunk (PARABACUS: its batch size).
     let chunk: usize = args.parsed_or("chunk", 0, "a non-negative integer")?;
+    let views = super::parse_views(args)?;
     let want_truth = args.flag("ground-truth");
     args.reject_unused()?;
 
-    let mut counter = super::build_counter(spec, ensemble);
+    let mut counter = super::build_counter(spec, ensemble, &views);
 
     // Ground truth needs the final graph, which only a materialized stream
     // can provide without a second pass over a re-openable source; everything
@@ -85,10 +86,17 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
         throughput.seconds,
         throughput.per_second(),
     );
-    if let Some(ensemble) = counter
+    // With `--views` the counter is a delta circuit wrapping the estimator
+    // (or the ensemble); reach through it for the ensemble line and append
+    // one report line per subscribed view.
+    let circuit = counter
         .as_any()
-        .and_then(|any| any.downcast_ref::<Ensemble>())
-    {
+        .and_then(|any| any.downcast_ref::<super::BoxedCircuit>());
+    let ensemble_any = match circuit {
+        Some(circuit) => circuit.estimator().as_any(),
+        None => counter.as_any(),
+    };
+    if let Some(ensemble) = ensemble_any.and_then(|any| any.downcast_ref::<Ensemble>()) {
         report.push_str(&format!(
             "ensemble:         {} x {} over {} (per-replica budget {})\n",
             ensemble.replicas(),
@@ -110,6 +118,13 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
             "exact count:      {truth:.0}\nrelative error:   {:.2}%\n",
             relative_error_percent(truth, counter.estimate())
         ));
+    }
+    if let Some(circuit) = circuit {
+        for (name, lines) in circuit.view_reports() {
+            for line in lines {
+                report.push_str(&format!("{:<18}{line}\n", format!("view {name}:")));
+            }
+        }
     }
     Ok(report)
 }
@@ -352,6 +367,79 @@ mod tests {
             ])),
             Err(CliError::MissingOption(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn views_report_one_line_each_and_reject_unknown_names() {
+        let path = biclique_file("views.txt");
+        let path_str = path.to_str().unwrap();
+        let out = run(&args(&[
+            "--input",
+            path_str,
+            "--algorithm",
+            "exact",
+            "--views",
+            "all",
+        ]))
+        .unwrap();
+        // K_{3,3}: 9 butterflies, every edge supports 4 of them.
+        assert!(out.contains("estimate:         9.0"), "{out}");
+        assert!(
+            out.contains("view peredge:     9 live edges, total support 36"),
+            "{out}"
+        );
+        assert!(out.contains("view vertex:      9 butterflies"), "{out}");
+        assert!(out.contains("view clustering:  coefficient"), "{out}");
+        assert!(
+            out.contains("view bitruss:     1 tiers, innermost 4-bitruss (9 edges)"),
+            "{out}"
+        );
+        assert!(out.contains("view anomaly:"), "{out}");
+
+        // A subset subscribes only the named views, in the given order.
+        let subset = run(&args(&[
+            "--input",
+            path_str,
+            "--views",
+            "clustering,vertex",
+        ]))
+        .unwrap();
+        assert!(!subset.contains("view peredge:"), "{subset}");
+        assert!(subset.contains("view clustering:"), "{subset}");
+        assert!(subset.contains("view vertex:"), "{subset}");
+
+        // Views compose with ensembles: the circuit wraps the ensemble and
+        // both report blocks appear.
+        let combined = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "100",
+            "--ensemble",
+            "2",
+            "--views",
+            "vertex",
+        ]))
+        .unwrap();
+        assert!(
+            combined.contains("ensemble:         2 x replicate"),
+            "{combined}"
+        );
+        assert!(
+            combined.contains("view vertex:      9 butterflies"),
+            "{combined}"
+        );
+
+        match run(&args(&["--input", path_str, "--views", "peredge,nope"])) {
+            Err(CliError::InvalidValue {
+                option, expected, ..
+            }) => {
+                assert_eq!(option, "views");
+                assert!(expected.contains("bitruss"), "{expected}");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -105,6 +105,11 @@ COMMANDS:
                --ground-truth                                  (also compute the exact
                                                                 count and relative error;
                                                                 materializes the stream)
+               --views peredge,vertex,clustering,bitruss,anomaly|all
+                                                               (default: none; subscribe
+                                                                incremental delta views
+                                                                and print one report
+                                                                line per view)
 
     accuracy   Average relative error over repeated runs
                (file inputs are re-streamed per trial, never materialized)

@@ -1,0 +1,587 @@
+//! The incremental multi-view delta circuit: one ingest, N bit-exact live
+//! views.
+//!
+//! [`Circuit`] wraps any [`ButterflyCounter`] and threads every stream
+//! element through three synchronized consumers:
+//!
+//! 1. the wrapped **estimator** (view #0 — the global estimate),
+//! 2. an **authoritative graph** replaying the full edge relation,
+//! 3. every subscribed [`DeltaView`], each folding the element's delta into
+//!    live derived state (per-edge supports, per-vertex counts, clustering
+//!    coefficient, bitruss tiers, anomaly windows).
+//!
+//! The circuit enumerates the butterflies a mutation creates or destroys
+//! **once** — with [`for_each_butterfly_with_edge`] against the pre-insert /
+//! post-delete graph, the same orientation the exact oracle counts with —
+//! and fans the `(x, w)` partner pairs out to every view that wants them, so
+//! adding a view costs only its fold, not another enumeration.  Views are
+//! maintained inside `process`, single-threaded and element-ordered, which
+//! makes their state independent of the host estimator's chunk size, thread
+//! count, and pipeline depth by construction.
+//!
+//! ```
+//! use abacus_core::circuit::{Circuit, ViewKind};
+//! use abacus_core::{ButterflyCounter, ExactCounter};
+//! use abacus_stream::StreamElement;
+//! use abacus_graph::Edge;
+//!
+//! let mut circuit = Circuit::new(ExactCounter::new())
+//!     .with_view(ViewKind::Clustering.build());
+//! for (l, r) in [(0, 10), (0, 11), (1, 10), (1, 11)] {
+//!     circuit.process(StreamElement::insert(Edge::new(l, r)));
+//! }
+//! assert_eq!(circuit.estimate(), 1.0);
+//! assert_eq!(circuit.view_reports().len(), 1);
+//! ```
+
+mod views;
+
+pub use views::{
+    AnomalyView, BitrussView, ClusteringView, PerEdgeView, PerVertexView, DEFAULT_ANOMALY_WINDOW,
+};
+
+use crate::counter::ButterflyCounter;
+use abacus_graph::{for_each_butterfly_with_edge, BipartiteGraph};
+use abacus_stream::{DeltaEvent, DeltaView, StreamElement};
+
+/// Every view the registry can build, in canonical presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// Per-edge butterfly supports ([`PerEdgeView`]).
+    PerEdge,
+    /// Per-vertex butterfly counts ([`PerVertexView`]).
+    Vertex,
+    /// Butterfly clustering coefficient ([`ClusteringView`]).
+    Clustering,
+    /// Bitruss-tier membership ([`BitrussView`]).
+    Bitruss,
+    /// Windowed anomaly series ([`AnomalyView`]).
+    Anomaly,
+}
+
+impl ViewKind {
+    /// Every kind, in canonical presentation order.
+    pub const ALL: [ViewKind; 5] = [
+        ViewKind::PerEdge,
+        ViewKind::Vertex,
+        ViewKind::Clustering,
+        ViewKind::Bitruss,
+        ViewKind::Anomaly,
+    ];
+
+    /// The canonical choice list, phrased for error messages — shared by the
+    /// CLI's `--views` option so the two cannot drift apart.
+    pub const EXPECTED_NAMES: &'static str =
+        "peredge, vertex, clustering, bitruss, anomaly, or all";
+
+    /// The canonical (lower-case) name, accepted by [`ViewKind::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewKind::PerEdge => "peredge",
+            ViewKind::Vertex => "vertex",
+            ViewKind::Clustering => "clustering",
+            ViewKind::Bitruss => "bitruss",
+            ViewKind::Anomaly => "anomaly",
+        }
+    }
+
+    /// Parses a kind from its canonical name, case-insensitively.
+    ///
+    /// # Errors
+    /// Returns [`ViewKind::EXPECTED_NAMES`] for anything unrecognised.
+    pub fn parse(raw: &str) -> Result<Self, &'static str> {
+        let lower = raw.trim().to_ascii_lowercase();
+        ViewKind::ALL
+            .into_iter()
+            .find(|kind| kind.name() == lower)
+            .ok_or(Self::EXPECTED_NAMES)
+    }
+
+    /// Parses a comma-separated view list (e.g. `peredge,vertex,anomaly`).
+    ///
+    /// `all` expands to every kind; duplicates collapse to their first
+    /// occurrence so a view is never registered (and paid for) twice.
+    ///
+    /// # Errors
+    /// Returns [`ViewKind::EXPECTED_NAMES`] when any entry is unrecognised.
+    pub fn parse_list(raw: &str) -> Result<Vec<Self>, &'static str> {
+        let mut kinds = Vec::new();
+        for entry in raw.split(',') {
+            if entry.trim().eq_ignore_ascii_case("all") {
+                for kind in ViewKind::ALL {
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                }
+                continue;
+            }
+            let kind = ViewKind::parse(entry)?;
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        Ok(kinds)
+    }
+
+    /// Builds the described view with its registry defaults (the anomaly
+    /// view snapshots every [`DEFAULT_ANOMALY_WINDOW`] elements; construct
+    /// [`AnomalyView`] directly for a custom window).
+    #[must_use]
+    pub fn build(self) -> Box<dyn DeltaView + Send> {
+        match self {
+            ViewKind::PerEdge => Box::new(PerEdgeView::new()),
+            ViewKind::Vertex => Box::new(PerVertexView::new()),
+            ViewKind::Clustering => Box::new(ClusteringView::new()),
+            ViewKind::Bitruss => Box::new(BitrussView::new()),
+            ViewKind::Anomaly => Box::new(AnomalyView::default()),
+        }
+    }
+}
+
+impl std::str::FromStr for ViewKind {
+    type Err = &'static str;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        ViewKind::parse(raw)
+    }
+}
+
+impl std::fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A delta circuit: an estimator plus an authoritative graph fanning each
+/// element's delta out to subscribed views.
+///
+/// The circuit is itself a [`ButterflyCounter`], so it slots into every
+/// driver in the workspace (sources, monitors, the CLI, the bench harness)
+/// wherever the bare estimator would.  `estimate`/`finish` delegate to the
+/// wrapped estimator; `memory_edges` additionally charges the authoritative
+/// graph the views fold against.
+pub struct Circuit<C: ButterflyCounter> {
+    estimator: C,
+    graph: BipartiteGraph,
+    views: Vec<Box<dyn DeltaView + Send>>,
+    scratch: Vec<(u32, u32)>,
+    elements: u64,
+    wants_pairs: bool,
+    wants_graph: bool,
+}
+
+impl<C: ButterflyCounter> std::fmt::Debug for Circuit<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("estimator", &self.estimator.name())
+            .field(
+                "views",
+                &self.views.iter().map(|v| v.name()).collect::<Vec<_>>(),
+            )
+            .field("edges", &self.graph.num_edges())
+            .field("elements", &self.elements)
+            .finish()
+    }
+}
+
+impl<C: ButterflyCounter> Circuit<C> {
+    /// Wraps `estimator` in a circuit with no views subscribed yet.
+    #[must_use]
+    pub fn new(estimator: C) -> Self {
+        Circuit {
+            estimator,
+            graph: BipartiteGraph::new(),
+            views: Vec::new(),
+            scratch: Vec::new(),
+            elements: 0,
+            wants_pairs: false,
+            wants_graph: false,
+        }
+    }
+
+    /// Builder-style [`add_view`](Self::add_view).
+    #[must_use]
+    pub fn with_view(mut self, view: Box<dyn DeltaView + Send>) -> Self {
+        self.add_view(view);
+        self
+    }
+
+    /// Subscribes a view.  Views folded from element 0 onward stay bit-exact
+    /// with offline recomputation; subscribing mid-stream is allowed but the
+    /// view then only reflects deltas from this point on.
+    ///
+    /// Both maintenance costs are demand-driven: butterfly enumeration runs
+    /// only once a view with [`needs_butterflies`] subscribes, and the
+    /// authoritative graph replica is maintained only once a view with
+    /// [`needs_graph`] (or [`needs_butterflies`] — enumeration reads the
+    /// replica) subscribes.  A replica-free circuit (e.g. anomaly-only)
+    /// cannot detect duplicate inserts or absent deletes and reports every
+    /// element as applied, which is exactly what its estimate-only views
+    /// expect.
+    ///
+    /// [`needs_butterflies`]: DeltaView::needs_butterflies
+    /// [`needs_graph`]: DeltaView::needs_graph
+    pub fn add_view(&mut self, view: Box<dyn DeltaView + Send>) {
+        self.wants_pairs = self.wants_pairs || view.needs_butterflies();
+        self.wants_graph = self.wants_graph || view.needs_butterflies() || view.needs_graph();
+        self.views.push(view);
+    }
+
+    /// The wrapped estimator.
+    #[must_use]
+    pub fn estimator(&self) -> &C {
+        &self.estimator
+    }
+
+    /// The authoritative graph (every applied insertion minus every applied
+    /// deletion, i.e. the current edge relation of the stream).  Stays empty
+    /// when no subscribed view needs it — replica maintenance is
+    /// demand-driven (see [`add_view`](Self::add_view)).
+    #[must_use]
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Stream elements processed so far.
+    #[must_use]
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// The subscribed views, in subscription order.
+    #[must_use]
+    pub fn views(&self) -> &[Box<dyn DeltaView + Send>] {
+        &self.views
+    }
+
+    /// One `(name, lines)` report per subscribed view, evaluated against the
+    /// circuit's current graph.
+    #[must_use]
+    pub fn view_reports(&self) -> Vec<(&'static str, Vec<String>)> {
+        self.views
+            .iter()
+            .map(|view| (view.name(), view.report(&self.graph)))
+            .collect()
+    }
+
+    /// The first subscribed view of concrete type `V`, if any — the typed
+    /// hatch parity tests and report paths use to read maintained state.
+    #[must_use]
+    pub fn view_state<V: 'static>(&self) -> Option<&V> {
+        self.views
+            .iter()
+            .find_map(|view| view.as_any().downcast_ref::<V>())
+    }
+
+    /// Consumes the circuit and returns the wrapped estimator.
+    #[must_use]
+    pub fn into_estimator(self) -> C {
+        self.estimator
+    }
+
+    fn fan_out(&mut self, element: StreamElement, applied: bool) {
+        let event = DeltaEvent {
+            element,
+            applied,
+            graph: &self.graph,
+            butterflies: &self.scratch,
+            estimate: self.estimator.estimate(),
+            elements: self.elements,
+        };
+        for view in &mut self.views {
+            view.apply_delta(&event);
+        }
+    }
+
+    fn enumerate_pairs(&mut self, element: StreamElement) {
+        let graph = &self.graph;
+        let scratch = &mut self.scratch;
+        for_each_butterfly_with_edge(graph, element.edge, &mut |x, w| scratch.push((x, w)));
+    }
+}
+
+impl<C: ButterflyCounter + 'static> ButterflyCounter for Circuit<C> {
+    /// Processes one element: estimator first, then the view fan-out, with
+    /// the graph mutated in the exact oracle's orientation — insertions are
+    /// enumerated and fanned out against the graph *without* the new edge
+    /// (it is inserted after), deletions against the graph with the edge
+    /// already removed.  When no subscribed view needs the graph the replica
+    /// is skipped and every element fans out as applied.
+    fn process(&mut self, element: StreamElement) {
+        self.elements += 1;
+        self.scratch.clear();
+        if !self.wants_graph {
+            // Replica-free fast path: no subscribed view reads the graph or
+            // the applied flag, so skip replica maintenance entirely.
+            self.estimator.process(element);
+            self.fan_out(element, true);
+            return;
+        }
+        if element.delta.is_insert() {
+            let applied = !self.graph.has_edge(element.edge);
+            if applied && self.wants_pairs {
+                self.enumerate_pairs(element);
+            }
+            self.estimator.process(element);
+            self.fan_out(element, applied);
+            if applied {
+                self.graph.insert_edge(element.edge);
+            }
+        } else {
+            let applied = self.graph.delete_edge(element.edge);
+            if applied && self.wants_pairs {
+                self.enumerate_pairs(element);
+            }
+            self.estimator.process(element);
+            self.fan_out(element, applied);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimator.estimate()
+    }
+
+    fn finish(&mut self) -> f64 {
+        let estimate = self.estimator.finish();
+        for view in &mut self.views {
+            view.finish(estimate);
+        }
+        estimate
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        self.estimator.preferred_chunk()
+    }
+
+    fn memory_edges(&self) -> usize {
+        self.estimator.memory_edges() + self.graph.num_edges()
+    }
+
+    fn name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    /// Returns the *circuit*, so front ends can reach
+    /// [`view_reports`](Self::view_reports) /
+    /// [`view_state`](Self::view_state); the wrapped estimator stays
+    /// reachable through [`estimator`](Self::estimator).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn subscribe_view(
+        &mut self,
+        view: Box<dyn DeltaView + Send>,
+    ) -> Result<(), Box<dyn DeltaView + Send>> {
+        self.add_view(view);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Abacus, AbacusConfig, ExactCounter, WindowedMonitor};
+    use abacus_graph::Edge;
+    use abacus_graph::{
+        bitruss_decomposition, butterfly_clustering_coefficient, EdgeSupports,
+        VertexButterflyCounts,
+    };
+    use abacus_stream::StreamElement;
+
+    fn scripted_stream() -> Vec<StreamElement> {
+        let mut stream = Vec::new();
+        // Build K_{3,3}, poke holes, refill — exercising inserts, deletes,
+        // duplicate inserts, and deletes of absent edges.
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        stream.push(StreamElement::insert(Edge::new(0, 10))); // duplicate
+        stream.push(StreamElement::delete(Edge::new(1, 11)));
+        stream.push(StreamElement::delete(Edge::new(1, 11))); // absent
+        stream.push(StreamElement::delete(Edge::new(2, 12)));
+        stream.push(StreamElement::insert(Edge::new(1, 11))); // refill
+        stream
+    }
+
+    #[test]
+    fn kinds_round_trip_and_lists_parse() {
+        for kind in ViewKind::ALL {
+            assert_eq!(ViewKind::parse(kind.name()).unwrap(), kind);
+            assert_eq!(kind.name().parse::<ViewKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+            assert!(ViewKind::EXPECTED_NAMES.contains(kind.name()));
+        }
+        assert_eq!(
+            ViewKind::parse_list("peredge, VERTEX ,peredge").unwrap(),
+            vec![ViewKind::PerEdge, ViewKind::Vertex]
+        );
+        assert_eq!(ViewKind::parse_list("all").unwrap(), ViewKind::ALL.to_vec());
+        assert_eq!(
+            ViewKind::parse_list("peredge,nope").unwrap_err(),
+            ViewKind::EXPECTED_NAMES
+        );
+    }
+
+    #[test]
+    fn circuit_matches_every_offline_recomputation_on_a_scripted_stream() {
+        let mut circuit = Circuit::new(ExactCounter::new());
+        for kind in ViewKind::ALL {
+            assert!(circuit.subscribe_view(kind.build()).is_ok());
+        }
+        for &element in &scripted_stream() {
+            circuit.process(element);
+        }
+        circuit.finish();
+
+        let graph = circuit.graph();
+        let supports = &circuit.view_state::<PerEdgeView>().unwrap().supports();
+        assert_eq!(**supports, EdgeSupports::recompute(graph));
+        let counts = circuit.view_state::<PerVertexView>().unwrap().counts();
+        assert_eq!(*counts, VertexButterflyCounts::recompute(graph));
+        let clustering = circuit.view_state::<ClusteringView>().unwrap().state();
+        assert_eq!(
+            clustering.coefficient().to_bits(),
+            butterfly_clustering_coefficient(graph).to_bits()
+        );
+        let bitruss = circuit.view_state::<BitrussView>().unwrap().state();
+        assert_eq!(
+            bitruss.decomposition(graph).tier_sizes(),
+            bitruss_decomposition(graph).tier_sizes()
+        );
+        // The oracle estimator agrees with the circuit's own graph.
+        assert_eq!(circuit.estimate(), counts.butterflies() as f64);
+        assert_eq!(circuit.elements(), scripted_stream().len() as u64);
+        // Every view produced a report line.
+        let reports = circuit.view_reports();
+        assert_eq!(reports.len(), ViewKind::ALL.len());
+        assert!(reports.iter().all(|(_, lines)| !lines.is_empty()));
+    }
+
+    #[test]
+    fn anomaly_view_matches_the_windowed_monitor_bit_for_bit() {
+        // A *valid* stream (no duplicate inserts / absent deletes): the
+        // sampling estimators assert stream validity, and the monitor parity
+        // must hold on exactly the streams they accept.
+        let mut stream = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        stream.push(StreamElement::delete(Edge::new(1, 11)));
+        stream.push(StreamElement::delete(Edge::new(2, 12)));
+        stream.push(StreamElement::insert(Edge::new(1, 11)));
+        let window = 4;
+
+        let mut circuit = Circuit::new(Abacus::new(AbacusConfig::new(64).with_seed(9)))
+            .with_view(Box::new(AnomalyView::new(window)));
+        circuit.process_stream(&stream);
+
+        let mut monitor =
+            WindowedMonitor::new(Abacus::new(AbacusConfig::new(64).with_seed(9)), window);
+        monitor.process_stream(&stream);
+        monitor.snapshot_now();
+
+        let view = circuit.view_state::<AnomalyView>().unwrap();
+        assert_eq!(view.series().snapshots(), monitor.snapshots());
+        assert!(!view.series().snapshots().is_empty());
+    }
+
+    #[test]
+    fn unapplied_elements_leave_graph_views_untouched_but_count_for_anomaly() {
+        let mut circuit = Circuit::new(ExactCounter::new())
+            .with_view(ViewKind::PerEdge.build())
+            .with_view(Box::new(AnomalyView::new(1)));
+        circuit.process(StreamElement::insert(Edge::new(0, 10)));
+        circuit.process(StreamElement::insert(Edge::new(0, 10))); // duplicate
+        circuit.process(StreamElement::delete(Edge::new(5, 50))); // absent
+        let supports = circuit.view_state::<PerEdgeView>().unwrap().supports();
+        assert_eq!(supports.len(), 1, "only the applied insert is tracked");
+        let series = circuit.view_state::<AnomalyView>().unwrap().series();
+        assert_eq!(series.elements(), 3, "anomaly view sees every element");
+        assert_eq!(circuit.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn circuit_skips_enumeration_when_no_view_needs_it() {
+        // An anomaly-only circuit must not pay for butterfly enumeration:
+        // with `wants_pairs` false the scratch stays empty even on a dense
+        // insert, which we can observe through a probe view subscribed later.
+        struct PairProbe {
+            pairs: usize,
+        }
+        impl DeltaView for PairProbe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn needs_butterflies(&self) -> bool {
+                false
+            }
+            fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+                self.pairs += event.butterflies.len();
+            }
+            fn report(&self, _graph: &BipartiteGraph) -> Vec<String> {
+                Vec::new()
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut circuit =
+            Circuit::new(ExactCounter::new()).with_view(Box::new(PairProbe { pairs: 0 }));
+        for (l, r) in [(0, 10), (0, 11), (1, 10), (1, 11)] {
+            circuit.process(StreamElement::insert(Edge::new(l, r)));
+        }
+        assert_eq!(circuit.view_state::<PairProbe>().unwrap().pairs, 0);
+        assert_eq!(circuit.estimate(), 1.0, "the estimator still counts");
+    }
+
+    #[test]
+    fn anomaly_only_circuits_skip_the_graph_replica() {
+        // No subscribed view needs the graph, so the circuit should not pay
+        // for replica maintenance — the graph stays empty, memory_edges
+        // charges only the estimator, and the estimate is untouched.
+        let mut circuit =
+            Circuit::new(ExactCounter::new()).with_view(Box::new(AnomalyView::new(2)));
+        for (l, r) in [(0, 10), (0, 11), (1, 10), (1, 11)] {
+            circuit.process(StreamElement::insert(Edge::new(l, r)));
+        }
+        assert_eq!(
+            circuit.graph().num_edges(),
+            0,
+            "replica maintenance skipped"
+        );
+        assert_eq!(circuit.estimate(), 1.0, "the estimator still counts");
+        assert_eq!(circuit.memory_edges(), circuit.estimator().memory_edges());
+        let series = circuit.view_state::<AnomalyView>().unwrap().series();
+        assert_eq!(series.elements(), 4, "every element fans out as applied");
+        // Subscribing a graph-needing view mid-stream flips maintenance on
+        // for subsequent elements.
+        circuit.add_view(ViewKind::PerEdge.build());
+        circuit.process(StreamElement::insert(Edge::new(2, 12)));
+        assert_eq!(circuit.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn boxed_estimators_slot_into_the_circuit() {
+        use crate::engine::EstimatorSpec;
+        let mut circuit: Circuit<Box<dyn ButterflyCounter + Send>> =
+            Circuit::new(EstimatorSpec::exact().build());
+        circuit.add_view(ViewKind::Vertex.build());
+        for (l, r) in [(0, 10), (0, 11), (1, 10), (1, 11)] {
+            circuit.process(StreamElement::insert(Edge::new(l, r)));
+        }
+        assert_eq!(circuit.name(), "EXACT");
+        assert_eq!(circuit.estimate(), 1.0);
+        assert_eq!(
+            circuit.memory_edges(),
+            circuit.estimator().memory_edges() + 4
+        );
+        let counts = circuit.view_state::<PerVertexView>().unwrap().counts();
+        assert_eq!(counts.butterflies(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! The built-in [`DeltaView`] implementations the circuit registry offers.
+//!
+//! Each view is a thin adapter folding [`DeltaEvent`]s into one of the
+//! delta-maintained states in `abacus-graph` (or, for the anomaly view, the
+//! windowed series in `abacus-metrics`).  The states own the incremental
+//! arithmetic and its bit-parity contract with offline recomputation; the
+//! adapters own the event plumbing — which events to ignore, which side of
+//! the enumeration to feed where, and how to phrase a report line.
+
+use abacus_graph::{
+    BipartiteGraph, BitrussState, ClusteringState, EdgeSupports, Side, VertexButterflyCounts,
+};
+use abacus_metrics::AnomalySeries;
+use abacus_stream::{DeltaEvent, DeltaView};
+use std::any::Any;
+
+/// Snapshot cadence (in stream elements) of an [`AnomalyView`] built through
+/// the registry ([`ViewKind::build`](crate::circuit::ViewKind::build)).
+pub const DEFAULT_ANOMALY_WINDOW: usize = 1_024;
+
+/// Live per-edge butterfly supports (view `peredge`).
+///
+/// Maintains [`EdgeSupports`] — the support of every live edge, the input to
+/// bitruss peeling — and bit-matches `abacus_graph::bitruss::edge_supports`
+/// on the circuit's graph at every element.
+#[derive(Debug, Default)]
+pub struct PerEdgeView {
+    supports: EdgeSupports,
+}
+
+impl PerEdgeView {
+    /// An empty per-edge view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maintained edge → support map.
+    #[must_use]
+    pub fn supports(&self) -> &EdgeSupports {
+        &self.supports
+    }
+}
+
+impl DeltaView for PerEdgeView {
+    fn name(&self) -> &'static str {
+        "peredge"
+    }
+
+    fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+        if !event.applied {
+            return;
+        }
+        if event.element.delta.is_insert() {
+            self.supports
+                .apply_insert(event.element.edge, event.butterflies);
+        } else {
+            self.supports
+                .apply_delete(event.element.edge, event.butterflies);
+        }
+    }
+
+    fn report(&self, _graph: &BipartiteGraph) -> Vec<String> {
+        let peak = self.supports.max_support().map_or_else(
+            || "-".to_string(),
+            |(e, s)| format!("{s} on ({}, {})", e.left, e.right),
+        );
+        vec![format!(
+            "{} live edges, total support {}, max support {peak}",
+            self.supports.len(),
+            self.supports.total_support(),
+        )]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Live per-vertex butterfly counts (view `vertex`).
+///
+/// Maintains [`VertexButterflyCounts`] and bit-matches
+/// `count_butterflies_per_side_vertex` on both partitions.
+#[derive(Debug, Default)]
+pub struct PerVertexView {
+    counts: VertexButterflyCounts,
+}
+
+impl PerVertexView {
+    /// An empty per-vertex view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maintained per-vertex counts.
+    #[must_use]
+    pub fn counts(&self) -> &VertexButterflyCounts {
+        &self.counts
+    }
+}
+
+impl DeltaView for PerVertexView {
+    fn name(&self) -> &'static str {
+        "vertex"
+    }
+
+    fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+        if !event.applied {
+            return;
+        }
+        if event.element.delta.is_insert() {
+            self.counts
+                .apply_insert(event.element.edge, event.butterflies);
+        } else {
+            self.counts
+                .apply_delete(event.element.edge, event.butterflies);
+        }
+    }
+
+    fn report(&self, _graph: &BipartiteGraph) -> Vec<String> {
+        let hot = |side: Side| {
+            self.counts
+                .max_vertex(side)
+                .map_or_else(|| "-".to_string(), |(id, c)| format!("{side}{id} ({c})"))
+        };
+        vec![format!(
+            "{} butterflies, hottest left {}, hottest right {}",
+            self.counts.butterflies(),
+            hot(Side::Left),
+            hot(Side::Right),
+        )]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Live butterfly clustering coefficient (view `clustering`).
+///
+/// Maintains [`ClusteringState`] (exact butterfly and caterpillar totals);
+/// its `coefficient()` bit-matches `butterfly_clustering_coefficient`.
+#[derive(Debug, Default)]
+pub struct ClusteringView {
+    state: ClusteringState,
+}
+
+impl ClusteringView {
+    /// An empty clustering view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maintained butterfly / caterpillar totals.
+    #[must_use]
+    pub fn state(&self) -> &ClusteringState {
+        &self.state
+    }
+}
+
+impl DeltaView for ClusteringView {
+    fn name(&self) -> &'static str {
+        "clustering"
+    }
+
+    fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+        if !event.applied {
+            return;
+        }
+        let wings = event.butterflies.len() as u64;
+        if event.element.delta.is_insert() {
+            self.state
+                .apply_insert(event.graph, event.element.edge, wings);
+        } else {
+            self.state
+                .apply_delete(event.graph, event.element.edge, wings);
+        }
+    }
+
+    fn report(&self, _graph: &BipartiteGraph) -> Vec<String> {
+        vec![format!(
+            "coefficient {:.6} ({} butterflies / {} caterpillars)",
+            self.state.coefficient(),
+            self.state.butterflies(),
+            self.state.caterpillars(),
+        )]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Live bitruss-tier membership (view `bitruss`).
+///
+/// Maintains the per-edge supports incrementally ([`BitrussState`]); the
+/// decomposition itself is peeled on demand at report time, which is the
+/// expensive part the incremental supports make cheap to refresh.
+#[derive(Debug, Default)]
+pub struct BitrussView {
+    state: BitrussState,
+}
+
+impl BitrussView {
+    /// An empty bitruss view.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The maintained support state.
+    #[must_use]
+    pub fn state(&self) -> &BitrussState {
+        &self.state
+    }
+}
+
+impl DeltaView for BitrussView {
+    fn name(&self) -> &'static str {
+        "bitruss"
+    }
+
+    fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+        if !event.applied {
+            return;
+        }
+        if event.element.delta.is_insert() {
+            self.state
+                .apply_insert(event.element.edge, event.butterflies);
+        } else {
+            self.state
+                .apply_delete(event.element.edge, event.butterflies);
+        }
+    }
+
+    fn report(&self, graph: &BipartiteGraph) -> Vec<String> {
+        let decomposition = self.state.decomposition(graph);
+        let tiers = decomposition.tier_sizes();
+        let top = tiers.last().map_or_else(
+            || "-".to_string(),
+            |&(k, n)| format!("{k}-bitruss ({n} edges)"),
+        );
+        vec![format!("{} tiers, innermost {top}", tiers.len())]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Windowed estimate series with burst detection (view `anomaly`).
+///
+/// Feeds the hosting estimator's running estimate into an [`AnomalySeries`]
+/// — the same state behind [`WindowedMonitor`](crate::monitor::WindowedMonitor)
+/// — so registering this view on a circuit produces bit-identical snapshots
+/// to wrapping the same estimator in a monitor.  Unlike the graph-derived
+/// views it observes *every* stream element (duplicate inserts and absent
+/// deletes included), keeping its windows element-aligned with the monitor.
+#[derive(Debug)]
+pub struct AnomalyView {
+    series: AnomalySeries,
+}
+
+impl AnomalyView {
+    /// A view that snapshots every `window` elements.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        AnomalyView {
+            series: AnomalySeries::new(window),
+        }
+    }
+
+    /// Sets the burst-detection factor (see
+    /// [`AnomalySeries::with_burst_factor`]).
+    #[must_use]
+    pub fn with_burst_factor(mut self, factor: f64) -> Self {
+        self.series = self.series.with_burst_factor(factor);
+        self
+    }
+
+    /// The recorded windowed series.
+    #[must_use]
+    pub fn series(&self) -> &AnomalySeries {
+        &self.series
+    }
+}
+
+impl Default for AnomalyView {
+    fn default() -> Self {
+        AnomalyView::new(DEFAULT_ANOMALY_WINDOW)
+    }
+}
+
+impl DeltaView for AnomalyView {
+    fn name(&self) -> &'static str {
+        "anomaly"
+    }
+
+    fn needs_butterflies(&self) -> bool {
+        false
+    }
+
+    fn needs_graph(&self) -> bool {
+        false
+    }
+
+    fn apply_delta(&mut self, event: &DeltaEvent<'_>) {
+        self.series.observe(event.estimate);
+    }
+
+    fn finish(&mut self, estimate: f64) {
+        self.series.force_snapshot(estimate);
+    }
+
+    fn report(&self, _graph: &BipartiteGraph) -> Vec<String> {
+        let anomalies = self.series.anomalous_windows();
+        let last = self
+            .series
+            .snapshots()
+            .last()
+            .map_or_else(|| "-".to_string(), |s| format!("{:.1}", s.estimate));
+        vec![format!(
+            "{} windows of {}, {} anomalous, last estimate {last}",
+            self.series.snapshots().len(),
+            self.series.window(),
+            anomalies.len(),
+        )]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

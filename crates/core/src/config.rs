@@ -25,10 +25,12 @@ pub enum SnapshotMode {
     On,
     /// Let each estimator enable the snapshot when it is expected to pay for
     /// its maintenance (the default).  Sequential ABACUS always keeps the
-    /// hash path (per-element mirroring measured net-negative); PARABACUS
-    /// enables the snapshot per batch once the budget reaches
-    /// [`AUTO_SNAPSHOT_MIN_BUDGET`], the mini-batch is large enough, and the
-    /// observed probe count dwarfs the observed mutation count (see
+    /// hash path (per-element mirroring measured net-negative: −37% on the
+    /// Movielens-like analog, −6.6% on Trackers-like — see
+    /// `BENCH_parabacus.json`); PARABACUS enables the snapshot per batch
+    /// once the budget reaches [`AUTO_SNAPSHOT_MIN_BUDGET`], the mini-batch
+    /// is large enough, and the observed probe density (probes per sample
+    /// mutation) sits inside the measured profitability band (see
     /// `ParAbacus`).  Which backing counts is numerically invisible, so this
     /// only ever affects wall time.
     #[default]
@@ -118,7 +120,10 @@ impl AbacusConfig {
     ///
     /// `Auto` resolves to the hash path here: ABACUS mirrors every sample
     /// mutation into the snapshot *per element*, and on the bench workloads
-    /// that maintenance costs more than the sorted kernels recover (the
+    /// that maintenance costs more than the sorted kernels recover —
+    /// `BENCH_parabacus.json` measures forcing the snapshot on as a −37%
+    /// regression on the Movielens-like analog and −6.6% on Trackers-like,
+    /// so there is no sequential workload in the sweep where it pays (the
     /// mini-batch PARABACUS amortises the same maintenance per batch and
     /// decides adaptively instead).  `On` forces the snapshot for ablation.
     #[must_use]

@@ -309,6 +309,28 @@ impl EstimatorSpec {
             EstimatorKind::Exact => Box::new(ExactCounter::new()),
         }
     }
+
+    /// Builds the described estimator wrapped in a delta
+    /// [`Circuit`](crate::circuit::Circuit) with the given views subscribed
+    /// — the construction point behind the CLI's `--views` option.
+    ///
+    /// With an empty view list this still returns a circuit (so callers can
+    /// rely on the graph-replaying wrapper uniformly); use
+    /// [`build`](Self::build) when no views are wanted and the authoritative
+    /// graph would be dead weight.
+    #[must_use]
+    pub fn build_with_views(
+        &self,
+        views: &[crate::circuit::ViewKind],
+    ) -> Box<dyn ButterflyCounter + Send> {
+        let mut circuit = crate::circuit::Circuit::new(self.build());
+        for &kind in views {
+            circuit
+                .subscribe_view(kind.build())
+                .unwrap_or_else(|_| unreachable!("circuits accept every view"));
+        }
+        Box::new(circuit)
+    }
 }
 
 #[cfg(test)]

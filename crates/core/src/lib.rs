@@ -36,6 +36,9 @@
 //! * [`probability`] — the butterfly-discovery probability of Eq. 1 and the
 //!   reciprocal-increment rule,
 //! * [`abacus`] — Algorithm 1,
+//! * [`circuit`] — the incremental multi-view delta circuit: one ingest
+//!   fanned out to N bit-exact live views (per-edge supports, per-vertex
+//!   counts, clustering coefficient, bitruss tiers, anomaly windows),
 //! * [`exact`] — the exact streaming oracle (unbounded memory, ground truth),
 //! * [`parabacus`] — mini-batch parallel processing with versioned samples
 //!   and a two-stage pipelined engine that overlaps sample-version creation
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod abacus;
+pub mod circuit;
 pub mod config;
 pub mod engine;
 pub mod exact;
@@ -66,6 +70,7 @@ pub use abacus_sampling::sample_graph;
 pub use abacus_stream::counter;
 
 pub use abacus::Abacus;
+pub use circuit::{Circuit, ViewKind};
 pub use config::{AbacusConfig, ParAbacusConfig, SnapshotMode, AUTO_SNAPSHOT_MIN_BUDGET};
 pub use counter::ButterflyCounter;
 pub use engine::{Ensemble, EnsembleMode, EnsembleSummary, EstimatorKind, EstimatorSpec};

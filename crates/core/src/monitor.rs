@@ -3,16 +3,23 @@
 //! Streaming deployments rarely want only the final count: anomaly detectors
 //! (§I of the paper) watch how the butterfly count *evolves* and alert when a
 //! window's change is abnormal.  [`WindowedMonitor`] wraps any
-//! [`ButterflyCounter`], snapshots its estimate every `window` elements, and
-//! keeps the series plus a simple burst detector.  The latest estimate is also
-//! published through a [`SharedEstimate`] handle (a `parking_lot`-guarded
-//! cell) so dashboards or detector threads can read it without touching the
-//! estimator itself.
+//! [`ButterflyCounter`] and feeds its estimate into an
+//! [`AnomalySeries`] — the estimator-agnostic
+//! windowed series in `abacus-metrics` that records a snapshot every `window`
+//! elements and runs the burst detector.  The same series type backs the
+//! delta circuit's anomaly view (`abacus_core::circuit::AnomalyView`), so the
+//! wrapper and the view produce bit-identical snapshots over the same
+//! estimate sequence.  The latest estimate is also published through a
+//! [`SharedEstimate`] handle (a `parking_lot`-guarded cell) so dashboards or
+//! detector threads can read it without touching the estimator itself.
 
 use crate::counter::ButterflyCounter;
+use abacus_metrics::AnomalySeries;
 use abacus_stream::StreamElement;
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+pub use abacus_metrics::WindowSnapshot;
 
 /// A cheap, cloneable handle to the most recent published estimate.
 #[derive(Debug, Clone, Default)]
@@ -38,30 +45,13 @@ impl SharedEstimate {
     }
 }
 
-/// One recorded window.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WindowSnapshot {
-    /// Index of the window (0-based).
-    pub window: usize,
-    /// Number of stream elements processed up to and including this window.
-    pub elements: u64,
-    /// Estimate at the end of the window.
-    pub estimate: f64,
-    /// Change of the estimate relative to the previous window.
-    pub delta: f64,
-}
-
 /// Wraps an estimator and records its estimate once per window of stream
 /// elements.
 #[derive(Debug)]
 pub struct WindowedMonitor<C: ButterflyCounter> {
     counter: C,
-    window: usize,
-    in_window: usize,
-    elements: u64,
-    snapshots: Vec<WindowSnapshot>,
+    series: AnomalySeries,
     shared: SharedEstimate,
-    burst_factor: f64,
 }
 
 impl<C: ButterflyCounter> WindowedMonitor<C> {
@@ -71,15 +61,10 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
     /// Panics if `window` is zero.
     #[must_use]
     pub fn new(counter: C, window: usize) -> Self {
-        assert!(window >= 1, "window must contain at least one element");
         WindowedMonitor {
             counter,
-            window,
-            in_window: 0,
-            elements: 0,
-            snapshots: Vec::new(),
+            series: AnomalySeries::new(window),
             shared: SharedEstimate::new(),
-            burst_factor: 8.0,
         }
     }
 
@@ -88,8 +73,7 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
     /// preceding windows).  Default: 8.
     #[must_use]
     pub fn with_burst_factor(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0, "burst factor must be positive");
-        self.burst_factor = factor;
+        self.series = self.series.with_burst_factor(factor);
         self
     }
 
@@ -102,7 +86,7 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
     /// The recorded window snapshots.
     #[must_use]
     pub fn snapshots(&self) -> &[WindowSnapshot] {
-        &self.snapshots
+        self.series.snapshots()
     }
 
     /// The wrapped estimator.
@@ -118,84 +102,35 @@ impl<C: ButterflyCounter> WindowedMonitor<C> {
     }
 
     /// Windows whose estimate change is anomalously large compared to the
-    /// trailing history.
-    ///
-    /// A window is flagged when its absolute delta exceeds `burst_factor ×`
-    /// the mean absolute delta of the up-to-8 preceding windows.  Two
-    /// properties keep the detector scale-independent:
-    ///
-    /// * the baseline has no absolute floor — only a noise floor relative to
-    ///   the estimate's magnitude (`ε·|estimate|`, guarding against float
-    ///   summation residue), so streams whose per-window changes are
-    ///   fractions of a butterfly can still alert;
-    /// * the earliest windows, which have no trailing history, are compared
-    ///   against the median absolute delta of the *whole* recorded series (a
-    ///   retrospective warm-up baseline), so a spike in window 0 is
-    ///   flaggable instead of being its own baseline.
+    /// trailing history — see
+    /// [`AnomalySeries::anomalous_windows`](abacus_metrics::AnomalySeries::anomalous_windows)
+    /// for the detector's baseline and noise-floor rules.
     #[must_use]
     pub fn anomalous_windows(&self) -> Vec<WindowSnapshot> {
-        // Warm-up baseline: the series' median |delta| (robust against the
-        // spikes the detector is meant to find).
-        let mut sorted: Vec<f64> = self.snapshots.iter().map(|s| s.delta.abs()).collect();
-        sorted.sort_by(f64::total_cmp);
-        let warm_up = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
-
-        let mut anomalies = Vec::new();
-        let mut trailing: Vec<f64> = Vec::new();
-        for snapshot in &self.snapshots {
-            let baseline = if trailing.is_empty() {
-                warm_up
-            } else {
-                trailing.iter().sum::<f64>() / trailing.len() as f64
-            };
-            let noise_floor = f64::EPSILON * snapshot.estimate.abs();
-            if snapshot.delta.abs() > (self.burst_factor * baseline).max(noise_floor) {
-                anomalies.push(*snapshot);
-            }
-            trailing.push(snapshot.delta.abs());
-            if trailing.len() > 8 {
-                trailing.remove(0);
-            }
-        }
-        anomalies
+        self.series.anomalous_windows()
     }
 
     /// Forces a snapshot of the current partial window.
     ///
-    /// A no-op when the current window is empty (no elements processed since
-    /// the last snapshot) *and* the estimate has not moved: recording it
-    /// would append a duplicate zero-delta window — e.g. when the stream
-    /// length is an exact multiple of `window`, the per-window snapshot has
-    /// already fired — silently deflating the trailing mean that
-    /// [`anomalous_windows`](Self::anomalous_windows) compares against.  An
-    /// empty window whose estimate *did* change (a buffered counter like
+    /// A no-op when the current window is empty *and* the estimate has not
+    /// moved (see
+    /// [`AnomalySeries::force_snapshot`](abacus_metrics::AnomalySeries::force_snapshot));
+    /// an empty window whose estimate *did* change (a buffered counter like
     /// PARABACUS flushing on [`finish`](ButterflyCounter::finish)) is still
     /// recorded, so the flushed value reaches the series and the
     /// [`SharedEstimate`] handle.
     pub fn snapshot_now(&mut self) {
-        let estimate = self.counter.estimate();
-        let previous = self.snapshots.last().map_or(0.0, |s| s.estimate);
-        if self.in_window == 0 && estimate == previous {
-            return;
+        if let Some(snapshot) = self.series.force_snapshot(self.counter.estimate()) {
+            self.shared.publish(snapshot.estimate);
         }
-        self.snapshots.push(WindowSnapshot {
-            window: self.snapshots.len(),
-            elements: self.elements,
-            estimate,
-            delta: estimate - previous,
-        });
-        self.shared.publish(estimate);
-        self.in_window = 0;
     }
 }
 
 impl<C: ButterflyCounter> ButterflyCounter for WindowedMonitor<C> {
     fn process(&mut self, element: StreamElement) {
         self.counter.process(element);
-        self.elements += 1;
-        self.in_window += 1;
-        if self.in_window >= self.window {
-            self.snapshot_now();
+        if let Some(snapshot) = self.series.observe(self.counter.estimate()) {
+            self.shared.publish(snapshot.estimate);
         }
     }
 

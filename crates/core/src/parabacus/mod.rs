@@ -107,6 +107,12 @@ pub struct ParAbacus {
     /// Cumulative sample mutations replayed across all sealed batches (the
     /// maintenance-cost side of the `Auto` profitability estimate).
     replayed_ops: u64,
+    /// `(stats.comparisons, replayed_ops)` at the previous batch's snapshot
+    /// decision: the `Auto` heuristic judges *marginal* (batch-over-batch)
+    /// probe density, which converges to the workload's steady state within
+    /// a batch or two, where the cumulative ratio would drag the sample-fill
+    /// transient through the profitability band mid-stream.
+    density_marker: (u64, u64),
     policy: RandomPairing,
     rng: StdRng,
     estimate: f64,
@@ -176,6 +182,7 @@ impl ParAbacus {
             sample: Arc::new(sample),
             snapshot: None,
             replayed_ops: 0,
+            density_marker: (0, 0),
             policy: RandomPairing::new(config.budget),
             rng: StdRng::seed_from_u64(config.seed),
             estimate: 0.0,
@@ -246,6 +253,15 @@ impl ParAbacus {
         self.batches
     }
 
+    /// Cumulative sample mutations replayed into counting backings over all
+    /// collected batches — the denominator of the probe-density ratio the
+    /// `--snapshot auto` heuristic weighs [`stats`](Self::stats)
+    /// `.comparisons` against (see `BENCH_parabacus.json`).
+    #[must_use]
+    pub fn replayed_ops(&self) -> u64 {
+        self.replayed_ops
+    }
+
     /// Number of elements buffered but not yet part of a dispatched batch.
     #[must_use]
     pub fn pending_elements(&self) -> usize {
@@ -284,17 +300,28 @@ impl ParAbacus {
     ///
     /// `On`/`Off` are unconditional.  `Auto` estimates profitability from
     /// observed work: maintaining the snapshot costs O(row) per replayed
-    /// sample mutation, counting against it saves on every intersection
-    /// probe — so the snapshot pays off when the cumulative probe count
-    /// dwarfs the cumulative mutation count.  The cutover (8×) comes from
-    /// the dataset-analog sweeps in `BENCH_parabacus.json`: probe-heavy
-    /// analogs (Movielens-like, ~13 probes/element) gain >20% counting time,
-    /// while mutation-dominated ones (Orkut-like, ~0.1 probes/element) would
-    /// pay more in replay than they save.  Which backing counts never
-    /// changes estimates or probe-model comparisons, so this adaptivity is
-    /// invisible in every reported number.
+    /// sample mutation, counting against it saves on intersection probes —
+    /// but only inside a *band* of probe density (probes per replayed
+    /// mutation, measured batch-over-batch via `density_marker`).  Below
+    /// the band (mutation-dominated workloads, Orkut-like at ~0.1
+    /// probes/element) the replay costs more than it saves.  Above the band
+    /// the hash path — with its memoised sorted hub copies — is already
+    /// cache-hot and the marginal kernel savings no longer cover the
+    /// maintenance: the fig9 sweeps behind `BENCH_parabacus.json` put the
+    /// hub-skewed Trackers-like analog at density ~18 probes/op (where the
+    /// snapshot has paid up to ~19% counting time) and the probe-dense
+    /// Movielens-like analog at ~60 (where forcing it on measured *negative*
+    /// and the old one-sided `>= 8×` rule lost 1–2% by enabling anyway).
+    /// The ceiling (32×) is the geometric midpoint of those two measured
+    /// densities.  Marginal rather than cumulative density matters on
+    /// exactly that boundary: while the sample fills, the cumulative ratio
+    /// climbs *through* the band and wrongly enables the snapshot
+    /// mid-stream on workloads whose steady state lies above it.  Which
+    /// backing counts never changes estimates or probe-model comparisons,
+    /// so this adaptivity is invisible in every reported number.
     fn snapshot_wanted(&self) -> bool {
         const AUTO_PROBES_PER_OP: u64 = 8;
+        const AUTO_MAX_PROBES_PER_OP: u64 = 32;
         const AUTO_WARMUP_BATCHES: u64 = 2;
         /// Below this mini-batch size the per-batch savings no longer cover
         /// the snapshot's per-batch costs (measured: M = 500 regresses a few
@@ -304,10 +331,13 @@ impl ParAbacus {
             crate::config::SnapshotMode::Off => false,
             crate::config::SnapshotMode::On => true,
             crate::config::SnapshotMode::Auto => {
+                let probes = self.stats.comparisons.saturating_sub(self.density_marker.0);
+                let ops = self.replayed_ops.saturating_sub(self.density_marker.1);
                 self.config.snapshot_enabled()
                     && self.config.batch_size >= AUTO_MIN_BATCH
                     && self.batches > AUTO_WARMUP_BATCHES
-                    && self.stats.comparisons >= AUTO_PROBES_PER_OP * self.replayed_ops
+                    && probes >= AUTO_PROBES_PER_OP * ops
+                    && probes <= AUTO_MAX_PROBES_PER_OP * ops
             }
         }
     }
@@ -441,7 +471,13 @@ impl ParAbacus {
         // threshold.  Workers of still-in-flight batches pin the previous
         // snapshot `Arc`, in which case `make_mut` clones the arenas first.
         self.replayed_ops += deltas.recorded_ops() as u64;
-        if self.snapshot_wanted() {
+        let snapshot_wanted = self.snapshot_wanted();
+        // Start the next batch's marginal-density window at this decision
+        // point (comparisons lag by the still-in-flight batches, which is a
+        // deterministic function of the pipeline depth — noise-free, just
+        // shifted by a batch).
+        self.density_marker = (self.stats.comparisons, self.replayed_ops);
+        if snapshot_wanted {
             match &mut self.snapshot {
                 Some(snapshot) => {
                     let snapshot = Arc::make_mut(snapshot);

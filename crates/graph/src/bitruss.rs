@@ -32,7 +32,7 @@ pub fn edge_supports(graph: &BipartiteGraph) -> FxHashMap<Edge, u64> {
 }
 
 /// Result of a bitruss decomposition.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitrussDecomposition {
     /// The bitruss number of every edge of the input graph: the largest `k`
     /// such that the edge belongs to the k-bitruss.
@@ -64,6 +64,19 @@ impl BitrussDecomposition {
     pub fn k_bitruss_graph(&self, k: u64) -> BipartiteGraph {
         BipartiteGraph::from_edges(self.k_bitruss_edges(k))
     }
+
+    /// Number of edges per bitruss tier, ascending by tier: the membership
+    /// summary the delta circuit reports per batch.
+    #[must_use]
+    pub fn tier_sizes(&self) -> Vec<(u64, usize)> {
+        let mut tiers: FxHashMap<u64, usize> = FxHashMap::default();
+        for &number in self.bitruss_numbers.values() {
+            *tiers.entry(number).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<(u64, usize)> = tiers.into_iter().collect();
+        sizes.sort_unstable();
+        sizes
+    }
 }
 
 /// Computes the bitruss number of every edge by bottom-up peeling.
@@ -73,9 +86,25 @@ impl BitrussDecomposition {
 /// intersections on the shrinking graph.
 #[must_use]
 pub fn bitruss_decomposition(graph: &BipartiteGraph) -> BitrussDecomposition {
+    peel_from_supports(graph, edge_supports(graph))
+}
+
+/// [`bitruss_decomposition`] with the initial butterfly supports supplied by
+/// the caller instead of recomputed from scratch.
+///
+/// `supports` must map exactly the edges of `graph` to their butterfly
+/// supports — the invariant the delta-maintained
+/// [`EdgeSupports`](crate::peredge::EdgeSupports) guarantees — so the peeling
+/// (which is deterministic given the graph and supports) produces the same
+/// decomposition as the offline path, without the `O(Σ d²)` support pass.
+#[must_use]
+pub fn peel_from_supports(
+    graph: &BipartiteGraph,
+    supports: FxHashMap<Edge, u64>,
+) -> BitrussDecomposition {
     // Work on a mutable copy: edges are physically removed as they are peeled.
     let mut remaining = graph.clone();
-    let mut supports = edge_supports(&remaining);
+    let mut supports = supports;
 
     // Ordered set of (support, edge) for O(log n) minimum extraction and
     // re-prioritisation.
@@ -130,6 +159,64 @@ pub fn bitruss_decomposition(graph: &BipartiteGraph) -> BitrussDecomposition {
     }
 
     BitrussDecomposition { bitruss_numbers }
+}
+
+/// Delta-maintained bitruss-tier membership.
+///
+/// Bitruss numbers are a global fixpoint — a single edge mutation can cascade
+/// through arbitrarily many tiers — so there is no cheap per-edge patch for
+/// the decomposition itself.  What *can* be maintained incrementally is the
+/// expensive first phase: the butterfly support of every live edge.  This
+/// state wraps a delta-maintained [`EdgeSupports`](crate::peredge::EdgeSupports)
+/// and runs only the peeling
+/// phase ([`peel_from_supports`]) when a decomposition is requested, which is
+/// deterministic given graph + supports and therefore bit-matches the offline
+/// [`bitruss_decomposition`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitrussState {
+    supports: crate::peredge::EdgeSupports,
+}
+
+impl BitrussState {
+    /// State of an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offline recomputation of the supports from scratch.
+    #[must_use]
+    pub fn recompute(graph: &BipartiteGraph) -> Self {
+        BitrussState {
+            supports: crate::peredge::EdgeSupports::recompute(graph),
+        }
+    }
+
+    /// Applies an edge insertion (see
+    /// [`EdgeSupports::apply_insert`](crate::peredge::EdgeSupports::apply_insert)).
+    pub fn apply_insert(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        self.supports.apply_insert(edge, butterflies);
+    }
+
+    /// Applies an edge deletion (see
+    /// [`EdgeSupports::apply_delete`](crate::peredge::EdgeSupports::apply_delete)).
+    pub fn apply_delete(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        self.supports.apply_delete(edge, butterflies);
+    }
+
+    /// The maintained per-edge supports.
+    #[must_use]
+    pub fn supports(&self) -> &crate::peredge::EdgeSupports {
+        &self.supports
+    }
+
+    /// Peels the maintained supports into a full bitruss decomposition of
+    /// `graph` (which must be the graph the supports were maintained
+    /// against).
+    #[must_use]
+    pub fn decomposition(&self, graph: &BipartiteGraph) -> BitrussDecomposition {
+        peel_from_supports(graph, self.supports.supports().clone())
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +305,57 @@ mod tests {
         let core = decomposition.k_bitruss_graph(4);
         assert_eq!(core.num_edges(), 9);
         assert_eq!(count_butterflies(&core), 9);
+    }
+
+    #[test]
+    fn tier_sizes_summarise_the_decomposition() {
+        // K_{3,3} core (bitruss 4) plus two pendant edges (bitruss 0).
+        let mut edges = Vec::new();
+        for l in 0..3u32 {
+            for r in 10..13u32 {
+                edges.push((l, r));
+            }
+        }
+        edges.extend_from_slice(&[(7, 10), (0, 99)]);
+        let decomposition = bitruss_decomposition(&graph(&edges));
+        assert_eq!(decomposition.tier_sizes(), vec![(0, 2), (4, 9)]);
+        assert!(BitrussDecomposition::default().tier_sizes().is_empty());
+    }
+
+    #[test]
+    fn delta_maintained_state_peels_to_the_offline_decomposition() {
+        let script: &[(u32, u32)] = &[
+            (0, 10),
+            (0, 11),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (0, 12),
+            (3, 12),
+            (3, 10),
+        ];
+        let mut g = BipartiteGraph::new();
+        let mut state = BitrussState::new();
+        for &(l, r) in script {
+            let e = Edge::new(l, r);
+            let mut pairs = Vec::new();
+            crate::peredge::for_each_butterfly_with_edge(&g, e, &mut |x, w| pairs.push((x, w)));
+            state.apply_insert(e, &pairs);
+            g.insert_edge(e);
+        }
+        for &(l, r) in &[(1, 11), (0, 12)] {
+            let e = Edge::new(l, r);
+            g.delete_edge(e);
+            let mut pairs = Vec::new();
+            crate::peredge::for_each_butterfly_with_edge(&g, e, &mut |x, w| pairs.push((x, w)));
+            state.apply_delete(e, &pairs);
+        }
+        assert_eq!(state, BitrussState::recompute(&g));
+        let incremental = state.decomposition(&g);
+        let offline = bitruss_decomposition(&g);
+        assert_eq!(incremental.bitruss_numbers, offline.bitruss_numbers);
+        assert_eq!(incremental.tier_sizes(), offline.tier_sizes());
     }
 
     proptest! {

@@ -16,6 +16,7 @@
 //!   `v` to the caterpillars whose middle edge touches `v`.
 
 use crate::bipartite::BipartiteGraph;
+use crate::edge::Edge;
 use crate::exact::{count_butterflies, count_butterflies_per_side_vertex};
 use crate::fxhash::FxHashMap;
 use crate::vertex::{Side, VertexRef};
@@ -84,6 +85,102 @@ pub fn per_vertex_clustering_coefficient(
         out.insert(v, coefficient);
     }
     out
+}
+
+/// Delta-maintained global clustering-coefficient state.
+///
+/// Tracks the exact butterfly count `B` and caterpillar count `C` as signed
+/// 128-bit integers so that [`coefficient`](Self::coefficient) can reproduce
+/// [`butterfly_clustering_coefficient`] bit for bit without ever touching the
+/// whole graph again:
+///
+/// * `ΔB` per mutation is the number of butterflies the mutated edge
+///   completes — exactly what the streaming estimators already enumerate,
+/// * `ΔC` for inserting `{u, v}` into a graph with degrees measured *without*
+///   the edge is `d_u·d_v + Σ_{r ∈ N(u)} (d_r − 1) + Σ_{l ∈ N(v)} (d_l − 1)`:
+///   the new middle edge owns `d_u·d_v` caterpillars, and every existing edge
+///   incident to `u` or `v` gains one choice of outer neighbor.  Deletion is
+///   the symmetric negative against the post-delete graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusteringState {
+    butterflies: i128,
+    caterpillars: i128,
+}
+
+impl ClusteringState {
+    /// State of an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offline recomputation from scratch: the ground truth the incremental
+    /// path must bit-match.
+    #[must_use]
+    pub fn recompute(graph: &BipartiteGraph) -> Self {
+        ClusteringState {
+            butterflies: count_butterflies(graph) as i128,
+            caterpillars: count_caterpillars(graph) as i128,
+        }
+    }
+
+    /// Applies the insertion of `edge` into `graph`, where `graph` does *not*
+    /// yet contain `edge` and `created` is the number of butterflies the edge
+    /// completes against that pre-insert graph.
+    pub fn apply_insert(&mut self, graph: &BipartiteGraph, edge: Edge, created: u64) {
+        self.butterflies += i128::from(created);
+        self.caterpillars += caterpillar_delta(graph, edge);
+    }
+
+    /// Applies the deletion of `edge` from `graph`, where `graph` has already
+    /// removed `edge` and `destroyed` is the number of butterflies the edge
+    /// completed against that post-delete graph.
+    pub fn apply_delete(&mut self, graph: &BipartiteGraph, edge: Edge, destroyed: u64) {
+        self.butterflies -= i128::from(destroyed);
+        self.caterpillars -= caterpillar_delta(graph, edge);
+    }
+
+    /// Current exact butterfly count.
+    #[must_use]
+    pub fn butterflies(&self) -> i128 {
+        self.butterflies
+    }
+
+    /// Current exact caterpillar (3-edge path) count.
+    #[must_use]
+    pub fn caterpillars(&self) -> i128 {
+        self.caterpillars
+    }
+
+    /// The global butterfly clustering coefficient `4·B / C` (0 when the
+    /// graph has no caterpillars), bit-identical to
+    /// [`butterfly_clustering_coefficient`] on the same graph.
+    #[must_use]
+    pub fn coefficient(&self) -> f64 {
+        if self.caterpillars == 0 {
+            return 0.0;
+        }
+        4.0 * self.butterflies as f64 / self.caterpillars as f64
+    }
+}
+
+/// Caterpillars gained when `edge` joins `graph` (equivalently, lost when it
+/// leaves), where `graph` excludes `edge`.
+fn caterpillar_delta(graph: &BipartiteGraph, edge: Edge) -> i128 {
+    let u = edge.left_ref();
+    let v = edge.right_ref();
+    let mut delta = graph.degree(u) as i128 * graph.degree(v) as i128;
+    if let Some(neighbors) = graph.neighbors(u) {
+        for r in neighbors.iter() {
+            delta += graph.degree(VertexRef::right(r)) as i128 - 1;
+        }
+    }
+    if let Some(neighbors) = graph.neighbors(v) {
+        for l in neighbors.iter() {
+            delta += graph.degree(VertexRef::left(l)) as i128 - 1;
+        }
+    }
+    delta
 }
 
 #[cfg(test)]
@@ -170,5 +267,53 @@ mod tests {
         assert_eq!(butterfly_clustering_coefficient(&empty), 0.0);
         assert_eq!(count_caterpillars_at(&empty, VertexRef::left(0)), 0);
         assert!(per_vertex_clustering_coefficient(&empty, Side::Left).is_empty());
+    }
+
+    #[test]
+    fn clustering_state_tracks_inserts_and_deletes_bit_exactly() {
+        let script: &[(u32, u32)] = &[
+            (0, 10),
+            (0, 11),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (0, 12),
+            (3, 12),
+            (3, 10),
+        ];
+        let mut g = BipartiteGraph::new();
+        let mut state = ClusteringState::new();
+        for &(l, r) in script {
+            let e = Edge::new(l, r);
+            let created = crate::peredge::count_butterflies_with_edge(&g, e).butterflies;
+            state.apply_insert(&g, e, created); // pre-insert graph
+            g.insert_edge(e);
+            assert_eq!(state, ClusteringState::recompute(&g), "after +({l},{r})");
+            assert!(
+                state.coefficient().to_bits() == butterfly_clustering_coefficient(&g).to_bits(),
+                "coefficient after +({l},{r})"
+            );
+        }
+        for &(l, r) in &[(1, 11), (0, 10), (2, 12), (0, 11)] {
+            let e = Edge::new(l, r);
+            g.delete_edge(e);
+            let destroyed = crate::peredge::count_butterflies_with_edge(&g, e).butterflies;
+            state.apply_delete(&g, e, destroyed); // post-delete graph
+            assert_eq!(state, ClusteringState::recompute(&g), "after -({l},{r})");
+            assert!(
+                state.coefficient().to_bits() == butterfly_clustering_coefficient(&g).to_bits(),
+                "coefficient after -({l},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_state_empty_graph_coefficient_is_zero() {
+        let state = ClusteringState::new();
+        assert_eq!(state.coefficient(), 0.0);
+        assert_eq!(state.butterflies(), 0);
+        assert_eq!(state.caterpillars(), 0);
+        assert_eq!(state, ClusteringState::recompute(&BipartiteGraph::new()));
     }
 }

@@ -7,8 +7,8 @@
 //! per side, one dense offsets table plus one contiguous arena of **sorted**
 //! neighbor ids, with vertex ids interned into dense slots.  All
 //! intersections of a counting phase then run over flat sorted slices using
-//! the adaptive kernels of [`crate::intersect`] — two-pointer branchless
-//! merge for comparable sizes, galloping search for skewed ones — instead of
+//! the adaptive kernels of [`crate::intersect`] — two-pointer merge for
+//! comparable sizes, galloping search for heavily skewed ones — instead of
 //! hashing once per probe.
 //!
 //! # Incremental maintenance

@@ -19,10 +19,12 @@
 //!   sorted slices, usable directly and kept as an ablation target for the
 //!   micro-benchmarks,
 //! * the **sorted-slice kernels** powering the frozen CSR counting snapshot
-//!   ([`crate::csr::CsrSnapshot`]): [`sorted_merge_count_branchless`] for
-//!   comparable sizes, [`sorted_gallop_count`] for skewed sizes, and
+//!   ([`crate::csr::CsrSnapshot`]): [`sorted_merge_count`] for comparable
+//!   sizes, [`sorted_gallop_count`] for heavily skewed sizes, and
 //!   [`sorted_adaptive_count`] which dispatches between them by the
-//!   [`KernelTuning`] cutovers.
+//!   [`KernelTuning`] cutovers.  (An arithmetic-advance "branchless" merge
+//!   variant was benchmarked at 2.7× the classic merge's latency across all
+//!   size ratios and retired; see `BENCH_intersect.json`.)
 //!
 //! The production kernels report `comparisons` under the *probe model* of the
 //! paper — the number of membership probes the probe kernel performs, i.e.
@@ -43,12 +45,19 @@ pub const DEFAULT_MERGE_SIZE_RATIO: usize = 8;
 
 /// Default for [`KernelTuning::gallop_size_ratio`]: over sorted slices,
 /// switch from the two-pointer merge to galloping (exponential) search once
-/// the larger side exceeds this multiple of the smaller one.  A merge
-/// advances `|small| + |large|` cursor steps while a gallop pays about
-/// `log₂(ratio) + 2` probes per small element, so the break-even sits near
-/// ratio 4; the `intersect` micro-benchmark and the dataset-analog sweeps
-/// back this default (see `crates/bench/benches/intersect.rs`).
-pub const DEFAULT_GALLOP_SIZE_RATIO: usize = 4;
+/// the larger side exceeds this multiple of the smaller one.
+///
+/// The nominal cost model (merge advances `|small| + |large|` cursors, gallop
+/// pays ~`log₂(ratio) + 2` probes per small element) puts the break-even near
+/// ratio 4, but the measured picture is different: on the committed
+/// `BENCH_intersect.json` workloads the branchy merge runs at 527–586 ns/op
+/// through ratio 64 while the gallop needs 946–969 ns/op at those same
+/// ratios — per-element galloping mispredicts its doubling loop and forfeits
+/// the merge's sequential prefetching.  The cutover therefore sits at 128:
+/// galloping is reserved for the extreme-skew regime (a handful of elements
+/// against a multi-thousand-entry hub slice) where its O(|small|·log) bound
+/// actually wins.
+pub const DEFAULT_GALLOP_SIZE_RATIO: usize = 128;
 
 /// Cutover ratios of the adaptive intersection kernels.
 ///
@@ -265,30 +274,6 @@ pub fn sorted_merge_intersection_count(a: &[u32], b: &[u32]) -> IntersectionResu
         }
     }
     IntersectionResult { count, comparisons }
-}
-
-/// Branchless two-pointer match count over strictly ascending slices.
-///
-/// The inner loop advances both cursors with data-independent arithmetic
-/// (`i += (x <= y)`, `j += (y <= x)`) instead of a three-way branch, which
-/// lets the CPU run it without branch mispredictions — the hot loop of the
-/// frozen-snapshot counting path when operand sizes are comparable.
-#[inline]
-#[must_use]
-pub fn sorted_merge_count_branchless(a: &[u32], b: &[u32]) -> u64 {
-    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted");
-    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted");
-    let mut i = 0usize;
-    let mut j = 0usize;
-    let mut count = 0u64;
-    while i < a.len() && j < b.len() {
-        let x = a[i];
-        let y = b[j];
-        count += u64::from(x == y);
-        i += usize::from(x <= y);
-        j += usize::from(y <= x);
-    }
-    count
 }
 
 /// First index `>= from` whose element is `>= target`, found by galloping:
@@ -659,18 +644,16 @@ mod tests {
     }
 
     #[test]
-    fn branchless_merge_and_gallop_agree_with_the_classic_merge() {
+    fn gallop_agrees_with_the_classic_merge() {
         let a: Vec<u32> = (0..200).map(|x| x * 3).collect();
         let b: Vec<u32> = (0..400).map(|x| x * 2).collect();
         let expected = sorted_merge_intersection_count(&a, &b).count;
-        assert_eq!(sorted_merge_count_branchless(&a, &b), expected);
         assert_eq!(sorted_gallop_count(&a, &b), expected);
         assert_eq!(
             sorted_adaptive_count(&a, &b, KernelTuning::default()),
             expected
         );
         // Empty operands are free on every kernel.
-        assert_eq!(sorted_merge_count_branchless(&[], &b), 0);
         assert_eq!(sorted_gallop_count(&[], &b), 0);
         assert_eq!(sorted_gallop_count(&a, &[]), 0);
         assert_eq!(sorted_adaptive_count(&[], &[], KernelTuning::default()), 0);
@@ -733,10 +716,10 @@ mod tests {
     }
 
     proptest! {
-        /// The sorted-slice kernels (classic merge, branchless merge, gallop,
-        /// adaptive) all agree with the BTreeSet reference on random inputs,
-        /// and the fused excluding kernel matches the hash kernels' count and
-        /// probe-model comparisons exactly.
+        /// The sorted-slice kernels (classic merge, gallop, adaptive) all
+        /// agree with the BTreeSet reference on random inputs, and the fused
+        /// excluding kernel matches the hash kernels' count and probe-model
+        /// comparisons exactly.
         #[test]
         fn sorted_kernels_agree_on_random_slices(
             xs in proptest::collection::btree_set(0u32..600, 0..250),
@@ -746,7 +729,7 @@ mod tests {
             let a: Vec<u32> = xs.iter().copied().collect();
             let b: Vec<u32> = ys.iter().copied().collect();
             let expected = xs.intersection(&ys).count() as u64;
-            prop_assert_eq!(sorted_merge_count_branchless(&a, &b), expected);
+            prop_assert_eq!(sorted_merge_count(&a, &b), expected);
             prop_assert_eq!(sorted_gallop_count(&a, &b), expected);
             prop_assert_eq!(sorted_gallop_count(&b, &a), expected);
             prop_assert_eq!(sorted_adaptive_count(&a, &b, KernelTuning::default()), expected);

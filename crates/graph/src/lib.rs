@@ -16,7 +16,7 @@
 //!   paper),
 //! * [`intersect`] — set-intersection primitives with comparison accounting
 //!   (used for the load-balance experiment, Fig. 10), including the adaptive
-//!   sorted-slice kernels (branchless merge / galloping search),
+//!   sorted-slice kernels (two-pointer merge / galloping search),
 //! * [`csr`] — the frozen CSR counting snapshot the estimators intersect
 //!   against in their per-edge hot loop,
 //! * [`fxhash`] — a fast, DoS-insensitive hasher for integer keys (the
@@ -44,13 +44,16 @@ pub mod vertex;
 
 pub use adjacency::AdjacencySet;
 pub use bipartite::BipartiteGraph;
-pub use bitruss::{bitruss_decomposition, BitrussDecomposition};
-pub use clustering::{butterfly_clustering_coefficient, count_caterpillars};
+pub use bitruss::{bitruss_decomposition, peel_from_supports, BitrussDecomposition, BitrussState};
+pub use clustering::{butterfly_clustering_coefficient, count_caterpillars, ClusteringState};
 pub use csr::CsrSnapshot;
 pub use edge::{Edge, EdgeKey};
 pub use exact::{count_butterflies, count_butterflies_per_left_vertex, ExactCounts};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intersect::KernelTuning;
-pub use peredge::{count_butterflies_with_edge, NeighborhoodView, PerEdgeCount};
+pub use peredge::{
+    count_butterflies_with_edge, for_each_butterfly_with_edge, EdgeSupports, NeighborhoodView,
+    PerEdgeCount,
+};
 pub use stats::GraphStatistics;
-pub use vertex::{Side, VertexRef};
+pub use vertex::{Side, VertexButterflyCounts, VertexRef};

@@ -17,7 +17,9 @@
 //! to iterate: the one whose neighbors have the smaller cumulative degree, so
 //! that the set intersections probe the smaller sets.
 
+use crate::bipartite::BipartiteGraph;
 use crate::edge::Edge;
+use crate::fxhash::FxHashMap;
 use crate::intersect::IntersectionResult;
 use crate::vertex::VertexRef;
 
@@ -170,6 +172,164 @@ fn count_via_anchor<G: NeighborhoodView + ?Sized>(
     result
 }
 
+/// Calls `f(x, w)` once for every butterfly `{u, v, x, w}` that
+/// `edge = {u, v}` forms with the edges of `view`: `w` ranges over the
+/// right-side partners `N(u) \ {v}` and `x` over the left-side partners
+/// `N(w) ∩ N(v) \ {u}`, so each butterfly is reported exactly once and the
+/// number of callbacks equals
+/// [`count_butterflies_with_edge`]`(view, edge).butterflies`.
+///
+/// This is the enumerating twin of the counting kernel: the delta-maintained
+/// views ([`EdgeSupports`], `VertexButterflyCounts`) need the *identities* of
+/// the three completing edges `{u, w}`, `{x, w}`, `{x, v}`, not just how many
+/// butterflies the mutation touches.  Like the counting kernel it never looks
+/// at `edge` itself, so the enumeration is identical whether `edge` is already
+/// present in the view or not.
+pub fn for_each_butterfly_with_edge<G: NeighborhoodView + ?Sized>(
+    view: &G,
+    edge: Edge,
+    f: &mut dyn FnMut(u32, u32),
+) {
+    let u = edge.left_ref();
+    let v = edge.right_ref();
+    if view.view_degree(v) == 0 || view.view_degree(u) == 0 {
+        return;
+    }
+    view.view_for_each_neighbor(u, &mut |w_id| {
+        if w_id == edge.right {
+            return;
+        }
+        let w = VertexRef::right(w_id);
+        // Iterate the smaller of N(w) and N(v), probe the other; both sets
+        // hold left-side vertices, so either order yields the partners `x`.
+        let (iterate, probe) = if view.view_degree(w) <= view.view_degree(v) {
+            (w, v)
+        } else {
+            (v, w)
+        };
+        view.view_for_each_neighbor(iterate, &mut |x| {
+            if x != edge.left && view.view_contains(probe, x) {
+                f(x, w_id);
+            }
+        });
+    });
+}
+
+/// Delta-maintained butterfly support of every live edge.
+///
+/// The incremental counterpart of [`edge_supports`](crate::bitruss::edge_supports):
+/// instead of recomputing the per-edge kernel over the whole graph after every
+/// mutation, the map is patched with the butterflies the mutated edge
+/// completes (as enumerated by [`for_each_butterfly_with_edge`] against the
+/// pre-insert / post-delete graph, the same convention the streaming
+/// estimators use).
+///
+/// Invariant: after a sequence of [`apply_insert`](Self::apply_insert) /
+/// [`apply_delete`](Self::apply_delete) calls mirroring the graph's
+/// mutations, the map equals `edge_supports` of the current graph bit for
+/// bit — including live edges whose support is (or has dropped back to) zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSupports {
+    supports: FxHashMap<Edge, u64>,
+}
+
+impl EdgeSupports {
+    /// Empty support map (matching an empty graph).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offline recomputation from scratch: the ground truth the incremental
+    /// path must bit-match.
+    #[must_use]
+    pub fn recompute(graph: &BipartiteGraph) -> Self {
+        EdgeSupports {
+            supports: crate::bitruss::edge_supports(graph),
+        }
+    }
+
+    /// Applies the insertion of `edge`, whose enumerated butterfly partners
+    /// are `butterflies` (the `(x, w)` pairs reported by
+    /// [`for_each_butterfly_with_edge`] against the graph *without* `edge`).
+    ///
+    /// The new edge enters with support `butterflies.len()`; each completing
+    /// edge `{u, w}`, `{x, w}`, `{x, v}` gains one butterfly.
+    pub fn apply_insert(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        *self.supports.entry(edge).or_insert(0) += butterflies.len() as u64;
+        for &(x, w) in butterflies {
+            for other in [
+                Edge::new(edge.left, w),
+                Edge::new(x, w),
+                Edge::new(x, edge.right),
+            ] {
+                *self.supports.entry(other).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Applies the deletion of `edge`, whose enumerated butterfly partners are
+    /// `butterflies` (reported against the graph *after* removing `edge`).
+    ///
+    /// The deleted edge leaves the map; each formerly completing edge loses
+    /// one butterfly but stays tracked — live edges with support zero are part
+    /// of the offline answer too.
+    pub fn apply_delete(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        self.supports.remove(&edge);
+        for &(x, w) in butterflies {
+            for other in [
+                Edge::new(edge.left, w),
+                Edge::new(x, w),
+                Edge::new(x, edge.right),
+            ] {
+                if let Some(support) = self.supports.get_mut(&other) {
+                    *support = support.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Support of one edge (`None` if the edge is not live).
+    #[must_use]
+    pub fn support(&self, edge: Edge) -> Option<u64> {
+        self.supports.get(&edge).copied()
+    }
+
+    /// The full edge → support map.
+    #[must_use]
+    pub fn supports(&self) -> &FxHashMap<Edge, u64> {
+        &self.supports
+    }
+
+    /// Number of live edges tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// `true` when no edges are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.supports.is_empty()
+    }
+
+    /// Sum of all supports (four times the global butterfly count).
+    #[must_use]
+    pub fn total_support(&self) -> u128 {
+        self.supports.values().map(|&s| u128::from(s)).sum()
+    }
+
+    /// The edge with the largest support, ties broken by the larger edge key
+    /// so the answer is deterministic across hash-map iteration orders.
+    #[must_use]
+    pub fn max_support(&self) -> Option<(Edge, u64)> {
+        self.supports
+            .iter()
+            .map(|(&e, &s)| (e, s))
+            .max_by_key(|&(e, s)| (s, e.key()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +472,99 @@ mod tests {
         // Neighbors of R10 are L0 (deg 2) and L1 (deg 1) => 3.
         assert_eq!(g.view_neighbor_degree_sum(VertexRef::right(10)), 3);
         assert_eq!(g.view_neighbor_degree_sum(VertexRef::left(42)), 0);
+    }
+
+    fn enumerate(g: &BipartiteGraph, edge: Edge) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        for_each_butterfly_with_edge(g, edge, &mut |x, w| pairs.push((x, w)));
+        pairs
+    }
+
+    #[test]
+    fn enumeration_agrees_with_the_counting_kernel() {
+        let g = graph(&[
+            (0, 10),
+            (0, 11),
+            (0, 12),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (3, 12),
+            (3, 10),
+        ]);
+        for l in 0..5u32 {
+            for r in 10..14u32 {
+                let e = Edge::new(l, r);
+                let pairs = enumerate(&g, e);
+                let counted = count_butterflies_with_edge(&g, e).butterflies;
+                assert_eq!(pairs.len() as u64, counted, "edge ({l},{r})");
+                // Each reported pair completes a genuine butterfly, and no
+                // butterfly is reported twice.
+                let mut seen = pairs.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), pairs.len(), "edge ({l},{r})");
+                for (x, w) in pairs {
+                    assert_ne!(x, l);
+                    assert_ne!(w, r);
+                    assert!(g.has_edge(Edge::new(l, w)), "edge ({l},{r}) via {x},{w}");
+                    assert!(g.has_edge(Edge::new(x, w)), "edge ({l},{r}) via {x},{w}");
+                    assert!(g.has_edge(Edge::new(x, r)), "edge ({l},{r}) via {x},{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_supports_track_inserts_and_deletes_bit_exactly() {
+        let script: &[(u32, u32)] = &[
+            (0, 10),
+            (0, 11),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (0, 12),
+            (3, 12),
+            (3, 10),
+        ];
+        let mut g = BipartiteGraph::new();
+        let mut supports = EdgeSupports::new();
+        for &(l, r) in script {
+            let e = Edge::new(l, r);
+            let pairs = enumerate(&g, e); // pre-insert view
+            supports.apply_insert(e, &pairs);
+            g.insert_edge(e);
+            assert_eq!(supports, EdgeSupports::recompute(&g), "after +({l},{r})");
+        }
+        for &(l, r) in &[(1, 11), (0, 10), (2, 12)] {
+            let e = Edge::new(l, r);
+            g.delete_edge(e);
+            let pairs = enumerate(&g, e); // post-delete view
+            supports.apply_delete(e, &pairs);
+            assert_eq!(supports, EdgeSupports::recompute(&g), "after -({l},{r})");
+        }
+        assert_eq!(supports.len(), g.num_edges());
+        assert_eq!(
+            supports.total_support() % 4,
+            0,
+            "every butterfly is counted on four edges"
+        );
+    }
+
+    #[test]
+    fn edge_supports_accessors() {
+        let g = graph(&[(0, 10), (0, 11), (1, 10), (1, 11)]);
+        let supports = EdgeSupports::recompute(&g);
+        assert!(!supports.is_empty());
+        assert_eq!(supports.len(), 4);
+        assert_eq!(supports.support(Edge::new(0, 10)), Some(1));
+        assert_eq!(supports.support(Edge::new(7, 7)), None);
+        assert_eq!(supports.total_support(), 4);
+        let (edge, support) = supports.max_support().unwrap();
+        assert_eq!(support, 1);
+        // Deterministic tie-break: the largest edge key wins.
+        assert_eq!(edge, Edge::new(1, 11));
     }
 }

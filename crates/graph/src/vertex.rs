@@ -9,6 +9,10 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::bipartite::BipartiteGraph;
+use crate::edge::Edge;
+use crate::fxhash::FxHashMap;
+
 /// The bipartition a vertex belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Side {
@@ -97,6 +101,117 @@ impl fmt::Display for VertexRef {
     }
 }
 
+/// Delta-maintained butterfly counts for every vertex of both partitions.
+///
+/// The incremental counterpart of
+/// [`count_butterflies_per_side_vertex`](crate::exact::count_butterflies_per_side_vertex):
+/// each butterfly `{u, v, x, w}` created (destroyed) by an edge mutation adds
+/// (removes) one count on each of its four vertices.  The `(x, w)` partner
+/// pairs come from
+/// [`for_each_butterfly_with_edge`](crate::peredge::for_each_butterfly_with_edge)
+/// run against the pre-insert / post-delete graph.
+///
+/// Invariant: the per-side maps equal the offline recomputation bit for bit.
+/// Like the offline maps, only vertices with a *positive* count are present —
+/// a count decremented to zero leaves the map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VertexButterflyCounts {
+    left: FxHashMap<u32, u64>,
+    right: FxHashMap<u32, u64>,
+}
+
+impl VertexButterflyCounts {
+    /// Empty counts (matching an empty graph).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offline recomputation from scratch: the ground truth the incremental
+    /// path must bit-match.
+    #[must_use]
+    pub fn recompute(graph: &BipartiteGraph) -> Self {
+        VertexButterflyCounts {
+            left: crate::exact::count_butterflies_per_side_vertex(graph, Side::Left),
+            right: crate::exact::count_butterflies_per_side_vertex(graph, Side::Right),
+        }
+    }
+
+    /// Applies the insertion of `edge = {u, v}` with enumerated butterfly
+    /// partners `butterflies` (the `(x, w)` pairs): `u` and `v` each gain one
+    /// butterfly per pair, and each partner gains one.
+    pub fn apply_insert(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        let created = butterflies.len() as u64;
+        if created == 0 {
+            return;
+        }
+        *self.left.entry(edge.left).or_insert(0) += created;
+        *self.right.entry(edge.right).or_insert(0) += created;
+        for &(x, w) in butterflies {
+            *self.left.entry(x).or_insert(0) += 1;
+            *self.right.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Applies the deletion of `edge` with partners enumerated against the
+    /// post-delete graph; counts that reach zero are removed to preserve the
+    /// positive-counts-only invariant.
+    pub fn apply_delete(&mut self, edge: Edge, butterflies: &[(u32, u32)]) {
+        let destroyed = butterflies.len() as u64;
+        if destroyed == 0 {
+            return;
+        }
+        Self::decrement(&mut self.left, edge.left, destroyed);
+        Self::decrement(&mut self.right, edge.right, destroyed);
+        for &(x, w) in butterflies {
+            Self::decrement(&mut self.left, x, 1);
+            Self::decrement(&mut self.right, w, 1);
+        }
+    }
+
+    fn decrement(map: &mut FxHashMap<u32, u64>, id: u32, by: u64) {
+        if let Some(count) = map.get_mut(&id) {
+            *count = count.saturating_sub(by);
+            if *count == 0 {
+                map.remove(&id);
+            }
+        }
+    }
+
+    /// Butterfly count of one vertex (0 if untracked).
+    #[must_use]
+    pub fn count(&self, v: VertexRef) -> u64 {
+        self.side(v.side).get(&v.id).copied().unwrap_or(0)
+    }
+
+    /// The id → count map of one partition (positive counts only).
+    #[must_use]
+    pub fn side(&self, side: Side) -> &FxHashMap<u32, u64> {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Global butterfly count implied by the per-vertex counts (each butterfly
+    /// contains exactly two left vertices).
+    #[must_use]
+    pub fn butterflies(&self) -> u128 {
+        self.left.values().map(|&c| u128::from(c)).sum::<u128>() / 2
+    }
+
+    /// The vertex of `side` contained in the most butterflies, ties broken by
+    /// the larger id so the answer is deterministic across hash-map iteration
+    /// orders.
+    #[must_use]
+    pub fn max_vertex(&self, side: Side) -> Option<(u32, u64)> {
+        self.side(side)
+            .iter()
+            .map(|(&id, &c)| (id, c))
+            .max_by_key(|&(id, c)| (c, id))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +253,69 @@ mod tests {
             v,
             vec![VertexRef::left(1), VertexRef::left(2), VertexRef::right(1)]
         );
+    }
+
+    fn enumerate(g: &BipartiteGraph, edge: Edge) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        crate::peredge::for_each_butterfly_with_edge(g, edge, &mut |x, w| pairs.push((x, w)));
+        pairs
+    }
+
+    #[test]
+    fn vertex_counts_track_inserts_and_deletes_bit_exactly() {
+        let script: &[(u32, u32)] = &[
+            (0, 10),
+            (0, 11),
+            (1, 10),
+            (1, 11),
+            (2, 11),
+            (2, 12),
+            (0, 12),
+            (3, 12),
+            (3, 10),
+        ];
+        let mut g = BipartiteGraph::new();
+        let mut counts = VertexButterflyCounts::new();
+        for &(l, r) in script {
+            let e = Edge::new(l, r);
+            let pairs = enumerate(&g, e); // pre-insert view
+            counts.apply_insert(e, &pairs);
+            g.insert_edge(e);
+            assert_eq!(
+                counts,
+                VertexButterflyCounts::recompute(&g),
+                "after +({l},{r})"
+            );
+        }
+        for &(l, r) in &[(1, 11), (0, 10), (2, 12), (3, 12)] {
+            let e = Edge::new(l, r);
+            g.delete_edge(e);
+            let pairs = enumerate(&g, e); // post-delete view
+            counts.apply_delete(e, &pairs);
+            assert_eq!(
+                counts,
+                VertexButterflyCounts::recompute(&g),
+                "after -({l},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_count_accessors() {
+        let g = BipartiteGraph::from_edges(
+            [(0, 10), (0, 11), (1, 10), (1, 11), (2, 10), (2, 11)]
+                .into_iter()
+                .map(|(l, r)| Edge::new(l, r)),
+        );
+        let counts = VertexButterflyCounts::recompute(&g);
+        // K_{3,2}: C(3,2)*C(2,2) = 3 butterflies; each left vertex is in 2 of
+        // them, each right vertex in all 3.
+        assert_eq!(counts.butterflies(), 3);
+        assert_eq!(counts.count(VertexRef::left(0)), 2);
+        assert_eq!(counts.count(VertexRef::right(10)), 3);
+        assert_eq!(counts.count(VertexRef::left(42)), 0);
+        assert_eq!(counts.max_vertex(Side::Left), Some((2, 2)));
+        assert_eq!(counts.max_vertex(Side::Right), Some((11, 3)));
+        assert_eq!(VertexButterflyCounts::new().max_vertex(Side::Left), None);
     }
 }

@@ -11,11 +11,14 @@
 //! * [`stats`] — the per-run work counters every estimator accumulates
 //!   (elements, discoveries, set-intersection probes),
 //! * [`table`] — Markdown and CSV table rendering used by every experiment
-//!   binary to print paper-shaped result tables.
+//!   binary to print paper-shaped result tables,
+//! * [`anomaly`] — the windowed estimate series with burst detection shared
+//!   by the `WindowedMonitor` wrapper and the delta-circuit anomaly view.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod error;
 pub mod stats;
 pub mod summary;
@@ -23,6 +26,7 @@ pub mod table;
 pub mod throughput;
 pub mod timer;
 
+pub use anomaly::{AnomalySeries, WindowSnapshot};
 pub use error::{absolute_error, relative_error, relative_error_percent};
 pub use stats::ProcessingStats;
 pub use summary::Summary;

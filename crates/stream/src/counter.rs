@@ -143,6 +143,83 @@ pub trait ButterflyCounter {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Subscribes an incrementally maintained
+    /// [`DeltaView`](crate::view::DeltaView) to this estimator's ingest
+    /// path, if the estimator hosts one.
+    ///
+    /// Only delta-circuit hosts (the `Circuit` wrapper in `abacus-core`)
+    /// accept subscriptions — they own the authoritative graph each view
+    /// folds against.  Everything else keeps the default implementation,
+    /// which declines by handing the view back so the caller can rewrap or
+    /// report a configuration error instead of silently dropping state.
+    ///
+    /// # Errors
+    /// Returns `Err(view)` (the unconsumed view) when this estimator cannot
+    /// host views.
+    fn subscribe_view(
+        &mut self,
+        view: Box<dyn crate::view::DeltaView + Send>,
+    ) -> Result<(), Box<dyn crate::view::DeltaView + Send>> {
+        Err(view)
+    }
+}
+
+/// Boxed counters forward every method to the boxed value, so wrappers
+/// generic over `C: ButterflyCounter` (the delta circuit, the windowed
+/// monitor) can host `Box<dyn ButterflyCounter + Send>` estimators built by
+/// the engine registry without a separate dynamic code path.
+impl<C: ButterflyCounter + ?Sized> ButterflyCounter for Box<C> {
+    fn process(&mut self, element: StreamElement) {
+        (**self).process(element);
+    }
+
+    fn process_stream(&mut self, stream: &[StreamElement]) {
+        (**self).process_stream(stream);
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        (**self).preferred_chunk()
+    }
+
+    fn process_source(&mut self, source: &mut dyn ElementSource) -> Result<u64, StreamIoError> {
+        (**self).process_source(source)
+    }
+
+    fn process_source_chunked(
+        &mut self,
+        source: &mut dyn ElementSource,
+        chunk: usize,
+    ) -> Result<u64, StreamIoError> {
+        (**self).process_source_chunked(source, chunk)
+    }
+
+    fn estimate(&self) -> f64 {
+        (**self).estimate()
+    }
+
+    fn finish(&mut self) -> f64 {
+        (**self).finish()
+    }
+
+    fn memory_edges(&self) -> usize {
+        (**self).memory_edges()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+
+    fn subscribe_view(
+        &mut self,
+        view: Box<dyn crate::view::DeltaView + Send>,
+    ) -> Result<(), Box<dyn crate::view::DeltaView + Send>> {
+        (**self).subscribe_view(view)
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +320,35 @@ mod tests {
     fn zero_chunk_panics() {
         let mut stub = CountingStub::default();
         let _ = stub.process_source_chunked(&mut SliceSource::new(&[]), 0);
+    }
+
+    #[test]
+    fn boxed_counters_forward_and_decline_view_subscriptions_by_default() {
+        struct NullView;
+        impl crate::view::DeltaView for NullView {
+            fn name(&self) -> &'static str {
+                "null"
+            }
+            fn apply_delta(&mut self, _event: &crate::view::DeltaEvent<'_>) {}
+            fn report(&self, _graph: &abacus_graph::BipartiteGraph) -> Vec<String> {
+                Vec::new()
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        let mut boxed: Box<dyn ButterflyCounter + Send> = Box::new(CountingStub::default());
+        boxed.process_stream(&stream_of(4));
+        assert_eq!(boxed.estimate(), 4.0);
+        assert_eq!(boxed.name(), "stub");
+        assert_eq!(boxed.memory_edges(), 0);
+        assert!(boxed.as_any().is_none());
+        // The default subscription hook declines and hands the view back
+        // unconsumed, including through the box.
+        let declined = boxed
+            .subscribe_view(Box::new(NullView))
+            .expect_err("stubs host no views");
+        assert_eq!(declined.name(), "null");
     }
 }

@@ -18,6 +18,9 @@
 //!   stream model, implemented by every estimator in the workspace (ABACUS,
 //!   PARABACUS, the exact oracle, the insert-only baselines, ensembles) and
 //!   driven through the pull-based source machinery above,
+//! * [`view`] — the [`DeltaView`] contract of the incremental delta circuit:
+//!   consumers that fold per-element graph deltas (butterfly enumerations,
+//!   degree changes, estimates) into live derived state,
 //! * [`io`] — the line-oriented text format (incremental [`io::TextSource`]
 //!   plus materializing helpers),
 //! * [`binary`] — the compact `ABST1` varint-delta binary format.
@@ -33,6 +36,7 @@ pub mod generators;
 pub mod io;
 pub mod source;
 pub mod stream;
+pub mod view;
 
 pub use binary::{BinarySource, BinaryStreamWriter, BINARY_MAGIC};
 pub use counter::{ButterflyCounter, DEFAULT_SOURCE_CHUNK};
@@ -46,3 +50,4 @@ pub use source::{
 pub use stream::{
     final_graph, replay_source, validate_stream, GraphStream, StreamStats, StreamValidationError,
 };
+pub use view::{DeltaEvent, DeltaView};

@@ -52,9 +52,9 @@ pub use abacus_stream as stream;
 pub mod prelude {
     pub use abacus_baselines::{Cas, CasConfig, Fleet, FleetConfig};
     pub use abacus_core::{
-        Abacus, AbacusConfig, ButterflyCounter, Ensemble, EnsembleMode, EnsembleSummary,
+        Abacus, AbacusConfig, ButterflyCounter, Circuit, Ensemble, EnsembleMode, EnsembleSummary,
         EstimatorKind, EstimatorSpec, ExactCounter, LocalAbacus, ParAbacus, ParAbacusConfig,
-        SnapshotMode,
+        SnapshotMode, ViewKind, WindowedMonitor,
     };
     pub use abacus_graph::{count_butterflies, BipartiteGraph, Edge, GraphStatistics};
     pub use abacus_metrics::{relative_error, relative_error_percent, Throughput};
