@@ -16,8 +16,10 @@
 //! blindness to deletions, and per-edge sketch-maintenance overhead.  See
 //! `DESIGN.md` §3.
 
+use crate::fleet::{decode_stats, encode_stats};
 use crate::sketch::AmsSketch;
 use abacus_graph::count_butterflies_with_edge;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_metrics::ProcessingStats;
 use abacus_sampling::ReservoirSampler;
 use abacus_sampling::SampleGraph;
@@ -203,6 +205,71 @@ impl ButterflyCounter for Cas {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.config.memory_edges);
+        enc.put_f64(self.config.sketch_fraction);
+        enc.put_u64(self.config.seed);
+        enc.put_usize(self.policy.seen());
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        self.reservoir.encode_state(&mut enc);
+        enc.put_usize(self.sketch.rows());
+        enc.put_usize(self.sketch.buckets());
+        for &counter in self.sketch.counter_values() {
+            enc.put_u64(counter as u64);
+        }
+        enc.put_u64(self.sketch.total_updates());
+        enc.put_f64(self.estimate);
+        encode_stats(&mut enc, &self.stats);
+        enc.put_u64(self.ignored_deletions);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let memory_edges = dec.get_usize()?;
+        let sketch_fraction = dec.get_f64()?;
+        let seed = dec.get_u64()?;
+        if memory_edges != self.config.memory_edges
+            || sketch_fraction.to_bits() != self.config.sketch_fraction.to_bits()
+            || seed != self.config.seed
+        {
+            return Err(PersistError::Corrupt(
+                "CAS snapshot was written under a different configuration".into(),
+            ));
+        }
+        let seen = dec.get_usize()?;
+        self.policy = ReservoirSampler::from_state(self.config.reservoir_capacity(), seen);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.reservoir.restore_state(&mut dec)?;
+        let rows = dec.get_usize()?;
+        let buckets = dec.get_usize()?;
+        let expected = rows
+            .checked_mul(buckets)
+            .ok_or_else(|| PersistError::Corrupt("CAS sketch dimensions overflow".into()))?;
+        if rows == 0 || buckets == 0 || expected > dec.remaining() / 8 {
+            return Err(PersistError::Corrupt(
+                "CAS snapshot carries implausible sketch dimensions".into(),
+            ));
+        }
+        let mut counters = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            counters.push(dec.get_u64()? as i64);
+        }
+        let total_updates = dec.get_u64()?;
+        self.sketch = AmsSketch::from_state(rows, buckets, counters, total_updates);
+        self.estimate = dec.get_f64()?;
+        self.stats = decode_stats(&mut dec)?;
+        self.ignored_deletions = dec.get_u64()?;
+        dec.expect_end()
     }
 }
 

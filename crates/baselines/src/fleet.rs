@@ -17,6 +17,7 @@
 //! the estimator exposes how many were dropped so experiments can report it.
 
 use abacus_graph::count_butterflies_with_edge;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_metrics::ProcessingStats;
 use abacus_sampling::SampleGraph;
 use abacus_sampling::{AdaptiveBernoulli, SampleStore};
@@ -184,6 +185,69 @@ impl ButterflyCounter for Fleet {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.config.capacity);
+        enc.put_f64(self.config.gamma);
+        enc.put_u64(self.config.seed);
+        enc.put_f64(self.policy.probability());
+        enc.put_usize(self.policy.resizes());
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        self.sample.encode_state(&mut enc);
+        enc.put_f64(self.estimate);
+        encode_stats(&mut enc, &self.stats);
+        enc.put_u64(self.ignored_deletions);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let capacity = dec.get_usize()?;
+        let gamma = dec.get_f64()?;
+        let seed = dec.get_u64()?;
+        if capacity != self.config.capacity
+            || gamma.to_bits() != self.config.gamma.to_bits()
+            || seed != self.config.seed
+        {
+            return Err(PersistError::Corrupt(
+                "FLEET snapshot was written under a different configuration".into(),
+            ));
+        }
+        let probability = dec.get_f64()?;
+        let resizes = dec.get_usize()?;
+        self.policy = AdaptiveBernoulli::from_state(capacity, gamma, probability, resizes);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.sample.restore_state(&mut dec)?;
+        self.estimate = dec.get_f64()?;
+        self.stats = decode_stats(&mut dec)?;
+        self.ignored_deletions = dec.get_u64()?;
+        dec.expect_end()
+    }
+}
+
+pub(crate) fn encode_stats(enc: &mut Encoder, stats: &ProcessingStats) {
+    enc.put_u64(stats.elements);
+    enc.put_u64(stats.insertions);
+    enc.put_u64(stats.deletions);
+    enc.put_u64(stats.discovered_butterflies);
+    enc.put_u64(stats.comparisons);
+}
+
+pub(crate) fn decode_stats(dec: &mut Decoder<'_>) -> Result<ProcessingStats, PersistError> {
+    Ok(ProcessingStats {
+        elements: dec.get_u64()?,
+        insertions: dec.get_u64()?,
+        deletions: dec.get_u64()?,
+        discovered_butterflies: dec.get_u64()?,
+        comparisons: dec.get_u64()?,
+    })
 }
 
 #[cfg(test)]

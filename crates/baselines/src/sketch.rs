@@ -51,6 +51,35 @@ impl AmsSketch {
         Self::new(rows, buckets)
     }
 
+    /// Rebuilds a sketch from previously captured state — the
+    /// checkpoint/restore path.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or `counters` does not hold exactly
+    /// `rows × buckets` values.
+    #[must_use]
+    pub fn from_state(rows: usize, buckets: usize, counters: Vec<i64>, total_updates: u64) -> Self {
+        assert!(rows >= 1, "at least one row is required");
+        assert!(buckets >= 1, "at least one bucket is required");
+        assert_eq!(
+            counters.len(),
+            rows * buckets,
+            "counter vector must match the sketch dimensions"
+        );
+        AmsSketch {
+            rows,
+            buckets,
+            counters,
+            total_updates,
+        }
+    }
+
+    /// The raw counter values in row-major order.
+    #[must_use]
+    pub fn counter_values(&self) -> &[i64] {
+        &self.counters
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {

@@ -8,15 +8,16 @@
 //!
 //! * `probe` — the hash-probe kernel, forced past the merge cutover,
 //! * `merge` — the classic two-pointer sorted merge,
+//! * `merge_branchless` — the retired arithmetic-advance merge variant
+//!   (bench-only, from [`abacus_bench::kernels`]; the sweep measured it at
+//!   2.7× the classic merge's latency on every ratio, and it stays in the
+//!   sweep precisely so that regression keeps being measured),
 //! * `gallop` — galloping (exponential) search of the larger slice,
 //! * `adaptive` — the production dispatch over the default cutovers.
 //!
-//! (A `merge_branchless` arithmetic-advance variant used to run here; the
-//! sweep measured it at 2.7× the classic merge's latency on every ratio, so
-//! it was retired.)
-//!
 //! Run with `cargo bench -p abacus-bench --bench intersect`.
 
+use abacus_bench::kernels::merge_branchless_intersection_count;
 use abacus_graph::intersect::{
     intersection_count_with, sorted_adaptive_count, sorted_gallop_count,
     sorted_merge_intersection_count, KernelTuning,
@@ -76,6 +77,18 @@ fn bench_kernels_across_ratios(c: &mut Criterion) {
                 ))
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("merge_branchless", ratio),
+            &ratio,
+            |b, _| {
+                b.iter(|| {
+                    black_box(merge_branchless_intersection_count(
+                        &small_sorted,
+                        &large_sorted,
+                    ))
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("gallop", ratio), &ratio, |b, _| {
             b.iter(|| black_box(sorted_gallop_count(&small_sorted, &large_sorted)));
         });

@@ -1,7 +1,7 @@
 //! Fixed-seed perf-smoke harness: emits machine-readable benchmark artifacts
 //! so the perf trajectory of the counting hot path is tracked in CI.
 //!
-//! Five JSON files are written (to `ABACUS_BENCH_DIR`, default the current
+//! Six JSON files are written (to `ABACUS_BENCH_DIR`, default the current
 //! directory):
 //!
 //! * `BENCH_intersect.json` — median ns/op of every intersection kernel
@@ -20,7 +20,11 @@
 //! * `BENCH_views.json` — the delta-circuit column: per-view incremental
 //!   maintenance vs refreshing the same state by offline recomputation once
 //!   per mini-batch (see `views_rows`), plus the whole five-view panel on
-//!   one circuit.
+//!   one circuit,
+//! * `BENCH_persist.json` — the durability column: the per-element WAL
+//!   append tax over the bare hot path, the cost of a full checkpoint
+//!   (ABSNAP1 snapshot + fsync + WAL rotation + watermark), and recovery
+//!   latency as a function of the WAL length replayed (see `persist_rows`).
 //!
 //! The ingest section doubles as the bounded-memory *assertion*: a counting
 //! global allocator tracks peak heap, and the run aborts if the streamed
@@ -238,6 +242,15 @@ fn intersect_rows(trials: usize) -> Vec<Row> {
                 }),
             ),
             (
+                format!("merge_branchless/ratio{ratio}"),
+                Box::new(|| {
+                    black_box(abacus_bench::kernels::merge_branchless_intersection_count(
+                        &small_sorted,
+                        &large_sorted,
+                    ));
+                }),
+            ),
+            (
                 format!("gallop/ratio{ratio}"),
                 Box::new(|| {
                     black_box(sorted_gallop_count(&small_sorted, &large_sorted));
@@ -254,14 +267,35 @@ fn intersect_rows(trials: usize) -> Vec<Row> {
                 }),
             ),
         ];
+        let mut ratio_rows = Vec::new();
         for (name, mut kernel) in kernels {
             let ns = measure(trials, iterations, &mut kernel);
-            rows.push(Row {
+            ratio_rows.push(Row {
                 name,
                 median_ns_per_op: ns,
                 ops_per_second: 1e9 / ns.max(1e-9),
             });
         }
+        // Regression gate for the KernelTuning cutovers: whatever the
+        // adaptive dispatch picked at this ratio, it must never be the
+        // measured-slowest kernel in the sweep — if it is, a cutover has
+        // rotted (e.g. the retired branchless merge sneaking back in would
+        // trip this immediately).
+        let slowest = ratio_rows
+            .iter()
+            .max_by(|a, b| a.median_ns_per_op.total_cmp(&b.median_ns_per_op))
+            .expect("ratio sweep is non-empty");
+        assert!(
+            !slowest.name.starts_with("adaptive/"),
+            "adaptive dispatch is the slowest kernel at ratio {ratio}: \
+             {} ns/op ({:?})",
+            slowest.median_ns_per_op,
+            ratio_rows
+                .iter()
+                .map(|r| format!("{} {:.0}ns", r.name, r.median_ns_per_op))
+                .collect::<Vec<_>>(),
+        );
+        rows.extend(ratio_rows);
     }
     rows
 }
@@ -827,6 +861,137 @@ fn views_rows(trials: usize) -> (Vec<Row>, Vec<(String, f64)>) {
     (rows, extra)
 }
 
+/// The durability column: what a checkpoint costs to write, what the WAL
+/// append adds to the per-element hot path, and how recovery latency scales
+/// with the length of the WAL suffix that must be replayed.
+fn persist_rows(trials: usize) -> (Vec<Row>, Vec<(String, f64)>) {
+    use abacus_core::engine::{Checkpointer, RunManifest};
+    use abacus_core::EstimatorKind;
+
+    let dir_root = std::env::temp_dir().join(format!("abacus-perf-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_root);
+
+    // 4096 distinct insertions — enough for the longest WAL replay sweep.
+    let stream: Vec<StreamElement> = (0..4096u32)
+        .map(|i| StreamElement::insert(abacus_graph::Edge::new(i / 64, 1_000 + i % 64)))
+        .collect();
+    let spec = EstimatorSpec::new(EstimatorKind::Abacus, 2_000).with_seed(SEED);
+    // `checkpoint_every` beyond the stream length: checkpoints happen only
+    // where the measurement asks for them.
+    let manual_only = u64::MAX;
+
+    let mut rows = Vec::new();
+    let mut extra = Vec::new();
+
+    // Baseline: the bare estimator hot path without any durability.
+    {
+        let per_element = |_: usize| {
+            let mut estimator = Abacus::new(AbacusConfig::new(2_000).with_seed(SEED));
+            let start = Instant::now();
+            for &element in &stream {
+                estimator.process(element);
+            }
+            black_box(estimator.estimate());
+            start.elapsed().as_secs_f64() * 1e9 / stream.len() as f64
+        };
+        let ns = median((0..trials).map(per_element).collect());
+        rows.push(Row {
+            name: "persist/process_plain".to_string(),
+            median_ns_per_op: ns,
+            ops_per_second: 1e9 / ns.max(1e-9),
+        });
+        extra.push(("plain_ns_per_element".to_string(), ns));
+    }
+
+    // WAL-appended ingest: every element is written through to the log
+    // before processing.  The delta against the plain row is the per-element
+    // durability tax.
+    let offer_ns = {
+        let per_element = |trial: usize| {
+            let dir = dir_root.join(format!("offer-{trial}"));
+            let mut checkpointer =
+                Checkpointer::create(&dir, RunManifest::new(spec, manual_only)).unwrap();
+            let start = Instant::now();
+            for &element in &stream {
+                checkpointer.offer(element).unwrap();
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / stream.len() as f64;
+            drop(checkpointer);
+            let _ = std::fs::remove_dir_all(&dir);
+            ns
+        };
+        let ns = median((0..trials).map(per_element).collect());
+        rows.push(Row {
+            name: "persist/offer_wal_append".to_string(),
+            median_ns_per_op: ns,
+            ops_per_second: 1e9 / ns.max(1e-9),
+        });
+        ns
+    };
+    extra.push(("wal_append_ns_per_element".to_string(), offer_ns));
+
+    // Checkpoint write cost: serialize state, write + fsync the ABSNAP1
+    // snapshot, rotate the WAL, advance the watermark, prune — on an
+    // estimator whose sample holds its full budget.
+    {
+        let dir = dir_root.join("write-cost");
+        let mut checkpointer =
+            Checkpointer::create(&dir, RunManifest::new(spec, manual_only)).unwrap();
+        for &element in &stream {
+            checkpointer.offer(element).unwrap();
+        }
+        let samples = (0..trials.max(3))
+            .map(|_| {
+                let start = Instant::now();
+                checkpointer.checkpoint().unwrap();
+                start.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        let ns = median(samples);
+        rows.push(Row {
+            name: "persist/checkpoint_write".to_string(),
+            median_ns_per_op: ns,
+            ops_per_second: 1e9 / ns.max(1e-9),
+        });
+        extra.push(("checkpoint_write_ms".to_string(), ns / 1e6));
+    }
+
+    // Recovery latency vs WAL length: snapshot at element 0, then a log of
+    // `wal_len` records to replay.  Reported per replayed element; the
+    // extra keys carry the absolute latency.
+    for wal_len in [256usize, 1024, 4096] {
+        let dir = dir_root.join(format!("recover-{wal_len}"));
+        let mut checkpointer =
+            Checkpointer::create(&dir, RunManifest::new(spec, manual_only)).unwrap();
+        for &element in &stream[..wal_len] {
+            checkpointer.offer(element).unwrap();
+        }
+        drop(checkpointer); // no seal: exactly what a killed process leaves
+        let samples = (0..trials.max(3))
+            .map(|_| {
+                let start = Instant::now();
+                let recovery = Checkpointer::resume(&dir).unwrap();
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(recovery.replayed, wal_len as u64, "short replay");
+                secs * 1e9 / wal_len as f64
+            })
+            .collect();
+        let ns = median(samples);
+        rows.push(Row {
+            name: format!("persist/recover_wal{wal_len}"),
+            median_ns_per_op: ns,
+            ops_per_second: 1e9 / ns.max(1e-9),
+        });
+        extra.push((
+            format!("recover_ms_wal{wal_len}"),
+            ns * wal_len as f64 / 1e6,
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_root);
+    (rows, extra)
+}
+
 fn main() {
     let trials = env_usize("ABACUS_PERF_SMOKE_TRIALS", 3).max(1);
     let out_dir = std::env::var("ABACUS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -871,6 +1036,15 @@ fn main() {
     let views_path = format!("{out_dir}/BENCH_views.json");
     std::fs::write(&views_path, &views_json).expect("write BENCH_views.json");
     println!("wrote {views_path}");
+    for (key, value) in &extra {
+        println!("{key} = {value:.2}");
+    }
+
+    let (rows, extra) = persist_rows(trials);
+    let persist_json = json_document("persist", &rows, &extra);
+    let persist_path = format!("{out_dir}/BENCH_persist.json");
+    std::fs::write(&persist_path, &persist_json).expect("write BENCH_persist.json");
+    println!("wrote {persist_path}");
     for (key, value) in &extra {
         println!("{key} = {value:.2}");
     }

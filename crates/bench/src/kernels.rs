@@ -1,0 +1,79 @@
+//! Bench-only intersection-kernel variants.
+//!
+//! Kernels here are *retired or experimental* implementations kept around
+//! purely as measurement baselines for the `intersect` micro-benchmark and
+//! the `perf_smoke` regression gate.  They are deliberately **not** part of
+//! `abacus-graph`: nothing in the production dispatch may select them, and
+//! keeping them out of the library crate guarantees that by construction.
+
+/// The arithmetic-advance ("branchless") two-pointer merge.
+///
+/// Instead of branching on the comparison, both cursors advance by the
+/// boolean results of `<=`, so the loop body is branch-free apart from the
+/// bounds checks.  The committed `BENCH_intersect.json` sweep measured it at
+/// ~2.7× the classic merge's latency on every operand-size ratio: the
+/// classic merge's branches are well predicted on sorted inputs, while the
+/// arithmetic form pays two data-dependent increments per element and
+/// defeats the sequential prefetcher on the side that "loses" each
+/// comparison.  It stays here as the ablation baseline that documents *why*
+/// the production [`KernelTuning`](abacus_graph::intersect::KernelTuning)
+/// dispatch never offers it.
+///
+/// Both slices must be strictly sorted; returns the overlap size.
+#[must_use]
+pub fn merge_branchless_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted");
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        count += u64::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::intersect::sorted_merge_intersection_count;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn sorted_ids(len: usize, universe: u32, rng: &mut StdRng) -> Vec<u32> {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < len {
+            set.insert(rng.random_range(0..universe));
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn branchless_merge_agrees_with_the_classic_merge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (len_a, len_b) in [(0, 0), (0, 5), (1, 1), (64, 64), (32, 512), (256, 256)] {
+            let a = sorted_ids(len_a, 2_048, &mut rng);
+            let b = sorted_ids(len_b, 2_048, &mut rng);
+            let classic = sorted_merge_intersection_count(&a, &b).count;
+            assert_eq!(
+                merge_branchless_intersection_count(&a, &b),
+                classic,
+                "sizes {len_a}/{len_b}"
+            );
+            assert_eq!(
+                merge_branchless_intersection_count(&b, &a),
+                classic,
+                "sizes {len_b}/{len_a} (swapped)"
+            );
+        }
+        // Fully overlapping and fully disjoint extremes.
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        assert_eq!(merge_branchless_intersection_count(&a, &a), 100);
+        assert_eq!(merge_branchless_intersection_count(&a, &b), 0);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod kernels;
 pub mod runners;
 pub mod settings;
 

@@ -6,6 +6,7 @@
 
 pub mod accuracy;
 pub mod generate;
+pub mod resume;
 pub mod run;
 pub mod stats;
 

@@ -1,0 +1,249 @@
+//! `abacus resume` — recover a killed `run --checkpoint-dir` and finish it.
+//!
+//! Recovery is *load the newest valid snapshot, replay the WAL from its
+//! position*: the estimator state after recovery is bit-identical to the
+//! state the killed run held after the last durable element.  With `--input`
+//! (or `--dataset`) the command then skips the already-covered stream prefix
+//! and processes the remainder — the final estimate is bit-identical to a
+//! run that was never interrupted (at the same checkpoint cadence).  Without
+//! an input the command just recovers, reports, and re-seals the directory.
+
+use super::WorkloadInput;
+use crate::args::Arguments;
+use crate::error::CliError;
+use abacus_core::engine::Checkpointer;
+use abacus_metrics::Throughput;
+use std::time::Instant;
+
+/// Recovers the checkpoint directory and, given an input, finishes the run.
+pub fn run(args: &Arguments) -> Result<String, CliError> {
+    let dir = args
+        .get("checkpoint-dir")
+        .ok_or(CliError::MissingOption("checkpoint-dir"))?
+        .to_string();
+    let input = if args.get("input").is_some() || args.get("dataset").is_some() {
+        Some(WorkloadInput::from_args(args)?)
+    } else {
+        None
+    };
+    args.reject_unused()?;
+
+    let recovery = Checkpointer::resume(&dir).map_err(|e| CliError::Persist(e.to_string()))?;
+    let mut checkpointer = recovery.checkpointer;
+    let resumed_at = checkpointer.elements();
+
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let label = if let Some(input) = &input {
+        let mut source = input.open()?;
+        // Skip the prefix the checkpoint already covers; the stream must be
+        // the same one the original run processed (the WAL holds positions,
+        // not content hashes — feeding a different stream is undetectable).
+        let mut skipped = 0u64;
+        while skipped < resumed_at {
+            match source.next_element() {
+                Some(Ok(_)) => skipped += 1,
+                Some(Err(error)) => return Err(CliError::Io(error.to_string())),
+                None => {
+                    return Err(CliError::Persist(format!(
+                        "input ends after {skipped} elements but the checkpoint \
+                         covers {resumed_at}; is this the stream the run was started on?"
+                    )))
+                }
+            }
+        }
+        while let Some(next) = source.next_element() {
+            let element = next.map_err(|e| CliError::Io(e.to_string()))?;
+            checkpointer
+                .offer(element)
+                .map_err(|e| CliError::Persist(e.to_string()))?;
+            offered += 1;
+        }
+        input.label()
+    } else {
+        "(no input: recover only)".to_string()
+    };
+    let estimate = checkpointer
+        .finish()
+        .map_err(|e| CliError::Persist(e.to_string()))?;
+    let throughput = Throughput::new(offered, start.elapsed());
+
+    let note = super::run::ResumeNote {
+        snapshot_elements: recovery.snapshot_elements,
+        replayed: recovery.replayed,
+        dropped_torn_tail: recovery.dropped_torn_tail,
+        fell_back: recovery.fell_back,
+    };
+    Ok(super::run::checkpoint_report(
+        &checkpointer,
+        &label,
+        offered,
+        estimate,
+        &throughput,
+        Some(&note),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abacus_graph::Edge;
+    use abacus_stream::io::write_stream_to_path;
+    use abacus_stream::StreamElement;
+
+    fn args(parts: &[&str]) -> Arguments {
+        let raw: Vec<String> = parts.iter().map(|s| (*s).to_string()).collect();
+        Arguments::parse(&raw).unwrap()
+    }
+
+    /// The full stream, and the prefix a "killed" run got through.
+    fn stream_files(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("abacus_cli_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut stream = Vec::new();
+        for l in 0..18u32 {
+            for r in 100..120u32 {
+                stream.push(StreamElement::insert(Edge::new(l, r)));
+            }
+        }
+        for i in (0..300usize).step_by(4) {
+            stream.push(StreamElement::delete(stream[i].edge));
+        }
+        let full = dir.join(format!("{tag}_full.txt"));
+        let prefix = dir.join(format!("{tag}_prefix.txt"));
+        write_stream_to_path(&stream, &full).unwrap();
+        write_stream_to_path(&stream[..250], &prefix).unwrap();
+        (full, prefix)
+    }
+
+    fn estimate_line(report: &str) -> String {
+        report
+            .lines()
+            .find(|l| l.starts_with("estimate:"))
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_the_uninterrupted_estimate() {
+        let (full, prefix) = stream_files("roundtrip");
+        let full_str = full.to_str().unwrap();
+        let dir = std::env::temp_dir()
+            .join("abacus_cli_resume_test")
+            .join(format!("roundtrip-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+
+        let common = ["--budget", "200", "--seed", "11"];
+        let mut reference = vec!["--input", full_str];
+        reference.extend(common);
+        let uninterrupted = super::super::run::run(&args(&reference)).unwrap();
+
+        // "Kill" the run by only feeding it the prefix file, then resume
+        // against the full stream: the final estimate must match the
+        // uninterrupted run bit for bit.
+        let mut interrupted = vec![
+            "--input",
+            prefix.to_str().unwrap(),
+            "--checkpoint-dir",
+            &dir_str,
+            "--checkpoint-every",
+            "64",
+        ];
+        interrupted.extend(common);
+        super::super::run::run(&args(&interrupted)).unwrap();
+        let resumed = run(&args(&["--checkpoint-dir", &dir_str, "--input", full_str])).unwrap();
+        assert_eq!(estimate_line(&uninterrupted), estimate_line(&resumed));
+        assert!(
+            resumed
+                .contains("resumed from:     snapshot at 250 elements + 0 WAL elements replayed"),
+            "{resumed}"
+        );
+        assert!(resumed.contains("(185 elements this run)"), "{resumed}");
+
+        // Resuming a finished directory is a no-op that reproduces the same
+        // estimate without offering any elements.
+        let again = run(&args(&["--checkpoint-dir", &dir_str, "--input", full_str])).unwrap();
+        assert_eq!(estimate_line(&resumed), estimate_line(&again));
+        assert!(again.contains("(0 elements this run)"), "{again}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&prefix).ok();
+    }
+
+    #[test]
+    fn resume_without_input_recovers_and_reports_only() {
+        let (full, prefix) = stream_files("recover_only");
+        let dir = std::env::temp_dir()
+            .join("abacus_cli_resume_test")
+            .join(format!("recover-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        super::super::run::run(&args(&[
+            "--input",
+            prefix.to_str().unwrap(),
+            "--checkpoint-dir",
+            &dir_str,
+            "--checkpoint-every",
+            "64",
+        ]))
+        .unwrap();
+        let out = run(&args(&["--checkpoint-dir", &dir_str])).unwrap();
+        assert!(out.contains("(no input: recover only)"), "{out}");
+        assert!(
+            out.contains("committed:        250 elements durable"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&prefix).ok();
+    }
+
+    #[test]
+    fn resume_validates_its_inputs() {
+        assert!(matches!(
+            run(&args(&[])),
+            Err(CliError::MissingOption("checkpoint-dir"))
+        ));
+        let missing = std::env::temp_dir()
+            .join("abacus_cli_resume_test")
+            .join("does-not-exist");
+        assert!(matches!(
+            run(&args(&["--checkpoint-dir", missing.to_str().unwrap()])),
+            Err(CliError::Persist(_))
+        ));
+
+        // An input shorter than the committed coverage cannot be the stream
+        // the run was started on.
+        let (full, prefix) = stream_files("short_input");
+        let dir = std::env::temp_dir()
+            .join("abacus_cli_resume_test")
+            .join(format!("short-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_string();
+        super::super::run::run(&args(&[
+            "--input",
+            full.to_str().unwrap(),
+            "--checkpoint-dir",
+            &dir_str,
+            "--checkpoint-every",
+            "64",
+        ]))
+        .unwrap();
+        match run(&args(&[
+            "--checkpoint-dir",
+            &dir_str,
+            "--input",
+            prefix.to_str().unwrap(),
+        ])) {
+            Err(CliError::Persist(message)) => {
+                assert!(message.contains("input ends after"), "{message}");
+            }
+            other => panic!("expected Persist, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&prefix).ok();
+    }
+}

@@ -24,6 +24,8 @@ pub enum CliError {
     },
     /// Reading or writing a stream file failed.
     Io(String),
+    /// A checkpoint directory could not be written, read, or recovered.
+    Persist(String),
 }
 
 impl fmt::Display for CliError {
@@ -44,6 +46,7 @@ impl fmt::Display for CliError {
                 "invalid value {value:?} for --{option}: expected {expected}"
             ),
             CliError::Io(message) => write!(f, "I/O error: {message}"),
+            CliError::Persist(message) => write!(f, "checkpoint error: {message}"),
         }
     }
 }

@@ -48,6 +48,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate::run(&arguments),
         "stats" => commands::stats::run(&arguments),
         "run" => commands::run::run(&arguments),
+        "resume" => commands::resume::run(&arguments),
         "accuracy" => commands::accuracy::run(&arguments),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -110,6 +111,22 @@ COMMANDS:
                                                                 incremental delta views
                                                                 and print one report
                                                                 line per view)
+               --checkpoint-dir <dir>                          (default: none; write
+                                                                ABSNAP1 snapshots + an
+                                                                ABWL1 write-ahead log so
+                                                                a killed run can be
+                                                                finished with `resume`)
+               --checkpoint-every <N elements>                 (default 10000)
+
+    resume     Recover a killed `run --checkpoint-dir` and finish it
+               (loads the newest valid snapshot, replays the WAL, then —
+                given the original input — skips the covered prefix and
+                processes the remainder; the estimate is bit-identical to
+                an uninterrupted run at the same checkpoint cadence)
+               --checkpoint-dir <dir>                          (required)
+               --input <path> | --dataset <name> [--alpha A] [--scale S]
+                                                               (default: none; recover
+                                                                and report only)
 
     accuracy   Average relative error over repeated runs
                (file inputs are re-streamed per trial, never materialized)

@@ -202,6 +202,24 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpoint/restore.
+        ///
+        /// Together with [`StdRng::from_state`] this round-trips the exact
+        /// position in the random stream: a restored generator produces the
+        /// same draws the saved one would have.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from state captured by [`StdRng::state`].
+        #[must_use]
+        pub fn from_state(state: [u64; 4]) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut s = seed;

@@ -23,6 +23,7 @@ use crate::snapshot::{entries_to_edge_equivalents, MirroredSample, SnapshotView}
 use crate::stats::ProcessingStats;
 use abacus_graph::count_butterflies_with_edge;
 use abacus_graph::csr::CsrSnapshot;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
 use rand::rngs::StdRng;
@@ -182,6 +183,74 @@ impl ButterflyCounter for Abacus {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    /// Serializes the full estimator state: configuration fingerprint,
+    /// Random Pairing triplet, RNG words, the sample (with slot order and
+    /// adjacency-representation flags), estimate bits, and work counters.
+    ///
+    /// The CSR counting snapshot is *not* serialized — it mirrors the sample
+    /// exactly, so restore rebuilds it from the restored sample.  To keep its
+    /// patch-history-dependent memory accounting deterministic across a
+    /// save/restore cycle, saving compacts the live snapshot first (a rebuild
+    /// is always compacted); compaction never changes estimates or
+    /// probe-model comparisons.
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        if let Some(snapshot) = &mut self.snapshot {
+            snapshot.compact();
+        }
+        let mut enc = Encoder::new();
+        enc.put_usize(self.config.budget);
+        enc.put_u64(self.config.seed);
+        enc.put_u8(u8::from(self.snapshot.is_some()));
+        let state = self.policy.state();
+        enc.put_usize(state.live_items);
+        enc.put_usize(state.bad_deletions);
+        enc.put_usize(state.good_deletions);
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        self.sample.encode_state(&mut enc);
+        enc.put_f64(self.estimate);
+        crate::persist::encode_stats(&mut enc, &self.stats);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let budget = dec.get_usize()?;
+        let seed = dec.get_u64()?;
+        let snapshot_present = dec.get_u8()? != 0;
+        if budget != self.config.budget
+            || seed != self.config.seed
+            || snapshot_present != self.snapshot.is_some()
+        {
+            return Err(PersistError::Corrupt(
+                "ABACUS snapshot was written under a different configuration".into(),
+            ));
+        }
+        let triplet = RandomPairingState {
+            live_items: dec.get_usize()?,
+            bad_deletions: dec.get_usize()?,
+            good_deletions: dec.get_usize()?,
+        };
+        self.policy = RandomPairing::from_state(self.config.budget, triplet);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.sample.restore_state(&mut dec)?;
+        self.estimate = dec.get_f64()?;
+        self.stats = crate::persist::decode_stats(&mut dec)?;
+        dec.expect_end()?;
+        if snapshot_present {
+            self.snapshot = Some(CsrSnapshot::from_edges(
+                self.sample.edges().iter().copied(),
+                self.config.kernel,
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -352,6 +421,66 @@ mod tests {
         assert_eq!(abacus.sampler_state().live_items, 1);
         // Budget 2 can never discover a butterfly; estimate must remain 0.
         assert_eq!(abacus.estimate(), 0.0);
+    }
+
+    /// Mid-stream save/restore resumes bit-identically: estimate bits,
+    /// sampler state, comparisons, memory accounting, and a re-saved payload.
+    #[test]
+    fn save_restore_mid_stream_is_bit_identical() {
+        use crate::config::SnapshotMode;
+        let edges = uniform_bipartite(60, 60, 2_000, &mut rand::rngs::StdRng::seed_from_u64(41));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.2),
+            &mut rand::rngs::StdRng::seed_from_u64(42),
+        );
+        for mode in [SnapshotMode::Off, SnapshotMode::On] {
+            let config = AbacusConfig::new(128).with_seed(3).with_snapshot(mode);
+            let mut reference = Abacus::new(config);
+            let mut interrupted = Abacus::new(config);
+            let cut = 1_234;
+            for element in &stream[..cut] {
+                reference.process(*element);
+                interrupted.process(*element);
+            }
+            // Both sides checkpoint (save_state compacts the CSR snapshot, so
+            // the reference must save at the same point — the cadence the
+            // Checkpointer enforces for real runs).
+            let saved = interrupted.save_state().unwrap();
+            let reference_saved = reference.save_state().unwrap();
+            assert_eq!(saved, reference_saved, "payloads diverged ({mode:?})");
+            let mut resumed = Abacus::new(config);
+            resumed.restore_state(&saved).unwrap();
+            for element in &stream[cut..] {
+                reference.process(*element);
+                resumed.process(*element);
+            }
+            assert_eq!(
+                resumed.estimate().to_bits(),
+                reference.estimate().to_bits(),
+                "{mode:?}"
+            );
+            assert_eq!(resumed.sampler_state(), reference.sampler_state());
+            assert_eq!(resumed.stats(), reference.stats());
+            assert_eq!(resumed.memory_edges(), reference.memory_edges());
+            assert_eq!(
+                resumed.save_state().unwrap(),
+                reference.save_state().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_other_configurations() {
+        let mut source = Abacus::new(AbacusConfig::new(64).with_seed(1));
+        source.process(ins(0, 1));
+        let saved = source.save_state().unwrap();
+        let mut other_budget = Abacus::new(AbacusConfig::new(65).with_seed(1));
+        assert!(other_budget.restore_state(&saved).is_err());
+        let mut other_seed = Abacus::new(AbacusConfig::new(64).with_seed(2));
+        assert!(other_seed.restore_state(&saved).is_err());
+        let mut truncated = Abacus::new(AbacusConfig::new(64).with_seed(1));
+        assert!(truncated.restore_state(&saved[..saved.len() - 1]).is_err());
     }
 
     proptest! {

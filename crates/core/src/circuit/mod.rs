@@ -41,7 +41,8 @@ pub use views::{
 };
 
 use crate::counter::ButterflyCounter;
-use abacus_graph::{for_each_butterfly_with_edge, BipartiteGraph};
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
+use abacus_graph::{for_each_butterfly_with_edge, BipartiteGraph, Edge};
 use abacus_stream::{DeltaEvent, DeltaView, StreamElement};
 
 /// Every view the registry can build, in canonical presentation order.
@@ -377,6 +378,122 @@ impl<C: ButterflyCounter + 'static> ButterflyCounter for Circuit<C> {
         self.add_view(view);
         Ok(())
     }
+
+    /// Serializes the wrapped estimator, the authoritative graph (as a sorted
+    /// edge list — hash order is history-dependent) and the subscribed view
+    /// roster.  Graph-derived view states are *not* carried: they are pure
+    /// functions of the graph and are recomputed offline on restore, exact by
+    /// each view's parity contract.  Only the anomaly series — pure history —
+    /// travels in the payload.  Circuits holding a view outside the
+    /// [`ViewKind`] registry cannot be checkpointed.
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        for view in &self.views {
+            if ViewKind::parse(view.name()).is_err() {
+                return Err(PersistError::Unsupported(
+                    "circuit with a view outside the ViewKind registry",
+                ));
+            }
+        }
+        let inner = self.estimator.save_state()?;
+        let mut enc = Encoder::new();
+        enc.put_bytes(&inner);
+        enc.put_u64(self.elements);
+        let mut edges: Vec<Edge> = self.graph.edges().collect();
+        edges.sort_unstable_by_key(|e| (e.left, e.right));
+        enc.put_usize(edges.len());
+        for edge in edges {
+            enc.put_u32(edge.left);
+            enc.put_u32(edge.right);
+        }
+        enc.put_usize(self.views.len());
+        for view in &self.views {
+            enc.put_str(view.name());
+            if let Some(anomaly) = view.as_any().downcast_ref::<AnomalyView>() {
+                let mut payload = Encoder::new();
+                crate::persist::encode_series(&mut payload, anomaly.series());
+                enc.put_bytes(&payload.finish());
+            } else {
+                enc.put_bytes(&[]);
+            }
+        }
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let inner = dec.get_bytes()?;
+        let elements = dec.get_u64()?;
+        let num_edges = dec.get_usize()?;
+        if num_edges > dec.remaining() / 8 {
+            return Err(PersistError::Truncated(format!(
+                "circuit edge list claims {num_edges} edges, payload holds at most {}",
+                dec.remaining() / 8
+            )));
+        }
+        let mut graph = BipartiteGraph::new();
+        for _ in 0..num_edges {
+            let edge = Edge::new(dec.get_u32()?, dec.get_u32()?);
+            if !graph.insert_edge(edge) {
+                return Err(PersistError::Corrupt(
+                    "duplicate edge in circuit edge list".into(),
+                ));
+            }
+        }
+        let num_views = dec.get_usize()?;
+        if num_views != self.views.len() {
+            return Err(PersistError::Corrupt(format!(
+                "circuit snapshot holds {num_views} views, this circuit has {}",
+                self.views.len()
+            )));
+        }
+        // Stage the replacement views before mutating anything, so a corrupt
+        // tail leaves the circuit untouched.
+        let mut restored: Vec<Box<dyn DeltaView + Send>> = Vec::with_capacity(num_views);
+        for view in &self.views {
+            let name = dec.get_str()?;
+            if name != view.name() {
+                return Err(PersistError::Corrupt(format!(
+                    "circuit snapshot lists view '{name}' where this circuit has '{}'",
+                    view.name()
+                )));
+            }
+            let payload = dec.get_bytes()?;
+            let kind = ViewKind::parse(name).map_err(|_| {
+                PersistError::Corrupt(format!("unknown view '{name}' in circuit snapshot"))
+            })?;
+            let replacement: Box<dyn DeltaView + Send> = match kind {
+                ViewKind::Anomaly => {
+                    let mut payload_dec = Decoder::new(payload);
+                    let series = crate::persist::decode_series(&mut payload_dec)?;
+                    payload_dec.expect_end()?;
+                    Box::new(AnomalyView::from_series(series))
+                }
+                graph_kind => {
+                    if !payload.is_empty() {
+                        return Err(PersistError::Corrupt(format!(
+                            "view '{name}' carries {} payload bytes, expected none",
+                            payload.len()
+                        )));
+                    }
+                    match graph_kind {
+                        ViewKind::PerEdge => Box::new(PerEdgeView::from_graph(&graph)),
+                        ViewKind::Vertex => Box::new(PerVertexView::from_graph(&graph)),
+                        ViewKind::Clustering => Box::new(ClusteringView::from_graph(&graph)),
+                        ViewKind::Bitruss => Box::new(BitrussView::from_graph(&graph)),
+                        ViewKind::Anomaly => unreachable!("handled above"),
+                    }
+                }
+            };
+            restored.push(replacement);
+        }
+        dec.expect_end()?;
+        self.estimator.restore_state(inner)?;
+        self.elements = elements;
+        self.graph = graph;
+        self.views = restored;
+        self.scratch.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +540,51 @@ mod tests {
         assert_eq!(
             ViewKind::parse_list("peredge,nope").unwrap_err(),
             ViewKind::EXPECTED_NAMES
+        );
+    }
+
+    #[test]
+    fn parse_list_edge_cases_fail_closed_or_dedup() {
+        // The empty string and blank entries are *errors*, not empty lists:
+        // `--views ""` almost certainly meant to name something, and
+        // silently subscribing nothing would hide the typo.
+        assert_eq!(
+            ViewKind::parse_list("").unwrap_err(),
+            ViewKind::EXPECTED_NAMES
+        );
+        assert_eq!(
+            ViewKind::parse_list("  ").unwrap_err(),
+            ViewKind::EXPECTED_NAMES
+        );
+        // A trailing comma produces a blank entry and fails the same way.
+        assert_eq!(
+            ViewKind::parse_list("peredge,").unwrap_err(),
+            ViewKind::EXPECTED_NAMES
+        );
+        assert_eq!(
+            ViewKind::parse_list("peredge,,vertex").unwrap_err(),
+            ViewKind::EXPECTED_NAMES
+        );
+        // `all` plus a duplicate named view collapses to the canonical list:
+        // the named duplicate keeps its first (expansion-order) slot.
+        assert_eq!(
+            ViewKind::parse_list("all,vertex").unwrap(),
+            ViewKind::ALL.to_vec()
+        );
+        assert_eq!(
+            ViewKind::parse_list("vertex,all").unwrap(),
+            vec![
+                ViewKind::Vertex,
+                ViewKind::PerEdge,
+                ViewKind::Clustering,
+                ViewKind::Bitruss,
+                ViewKind::Anomaly,
+            ]
+        );
+        // `all` twice is idempotent.
+        assert_eq!(
+            ViewKind::parse_list("all,all").unwrap(),
+            ViewKind::ALL.to_vec()
         );
     }
 

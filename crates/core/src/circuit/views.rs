@@ -35,6 +35,15 @@ impl PerEdgeView {
         Self::default()
     }
 
+    /// A view recomputed offline from `graph` — the restore path after
+    /// recovery, exact by the view's own parity contract.
+    #[must_use]
+    pub fn from_graph(graph: &BipartiteGraph) -> Self {
+        PerEdgeView {
+            supports: EdgeSupports::recompute(graph),
+        }
+    }
+
     /// The maintained edge → support map.
     #[must_use]
     pub fn supports(&self) -> &EdgeSupports {
@@ -91,6 +100,14 @@ impl PerVertexView {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A view recomputed offline from `graph` (the restore path).
+    #[must_use]
+    pub fn from_graph(graph: &BipartiteGraph) -> Self {
+        PerVertexView {
+            counts: VertexButterflyCounts::recompute(graph),
+        }
     }
 
     /// The maintained per-vertex counts.
@@ -153,6 +170,14 @@ impl ClusteringView {
         Self::default()
     }
 
+    /// A view recomputed offline from `graph` (the restore path).
+    #[must_use]
+    pub fn from_graph(graph: &BipartiteGraph) -> Self {
+        ClusteringView {
+            state: ClusteringState::recompute(graph),
+        }
+    }
+
     /// The maintained butterfly / caterpillar totals.
     #[must_use]
     pub fn state(&self) -> &ClusteringState {
@@ -208,6 +233,14 @@ impl BitrussView {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A view recomputed offline from `graph` (the restore path).
+    #[must_use]
+    pub fn from_graph(graph: &BipartiteGraph) -> Self {
+        BitrussView {
+            state: BitrussState::recompute(graph),
+        }
     }
 
     /// The maintained support state.
@@ -287,6 +320,14 @@ impl AnomalyView {
     #[must_use]
     pub fn series(&self) -> &AnomalySeries {
         &self.series
+    }
+
+    /// A view resuming a previously recorded series (the restore path —
+    /// unlike the graph-derived views this one's state is pure history and
+    /// cannot be recomputed, so it is carried in the snapshot).
+    #[must_use]
+    pub fn from_series(series: AnomalySeries) -> Self {
+        AnomalyView { series }
     }
 }
 

@@ -37,6 +37,7 @@
 
 use crate::counter::ButterflyCounter;
 use crate::engine::EstimatorSpec;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_sampling::{derive_seed, splitmix64};
 use abacus_stream::{ElementSource, StreamElement, StreamIoError};
 use serde::{Deserialize, Serialize};
@@ -405,6 +406,55 @@ impl ButterflyCounter for Ensemble {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    /// One payload holding every replica's state as a length-prefixed
+    /// section, so an ensemble checkpoints and recovers as a single unit —
+    /// replica `i` restores to exactly the state of replica `i`, which keeps
+    /// `derive_seed(base.seed, i)` streams aligned across a crash.
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.replicas.len());
+        enc.put_u8(match self.mode {
+            EnsembleMode::Replicate => 0,
+            EnsembleMode::Partition => 1,
+        });
+        for replica in &mut self.replicas {
+            let section = replica.save_state()?;
+            enc.put_bytes(&section);
+        }
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let replicas = dec.get_usize()?;
+        if replicas != self.replicas.len() {
+            return Err(PersistError::Corrupt(format!(
+                "ensemble snapshot holds {replicas} replicas, this ensemble has {}",
+                self.replicas.len()
+            )));
+        }
+        let mode = match dec.get_u8()? {
+            0 => EnsembleMode::Replicate,
+            1 => EnsembleMode::Partition,
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "invalid ensemble mode byte {other}"
+                )))
+            }
+        };
+        if mode != self.mode {
+            return Err(PersistError::Corrupt(
+                "ensemble snapshot was written under a different distribution mode".into(),
+            ));
+        }
+        for replica in &mut self.replicas {
+            let section = dec.get_bytes()?;
+            replica.restore_state(section)?;
+        }
+        dec.expect_end()?;
+        Ok(())
     }
 }
 

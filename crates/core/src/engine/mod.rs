@@ -28,8 +28,10 @@
 //! `abacus-sampling`, and `abacus-metrics` respectively) — the baselines do
 //! not depend on `abacus-core`, so this crate can depend on them.
 
+pub mod checkpoint;
 mod ensemble;
 mod spec;
 
+pub use checkpoint::{Checkpointer, Recovery, RunManifest};
 pub use ensemble::{Ensemble, EnsembleMode, EnsembleSummary};
 pub use spec::{EstimatorKind, EstimatorSpec};

@@ -14,7 +14,8 @@
 
 use crate::counter::ButterflyCounter;
 use crate::stats::ProcessingStats;
-use abacus_graph::{count_butterflies_with_edge, BipartiteGraph};
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
+use abacus_graph::{count_butterflies_with_edge, BipartiteGraph, Edge};
 use abacus_stream::{EdgeDelta, StreamElement};
 
 /// Exact streaming butterfly counter (unbounded memory).
@@ -92,12 +93,59 @@ impl ButterflyCounter for ExactCounter {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        // Hash order is history-dependent; sort so the payload depends only
+        // on the live edge set.
+        let mut edges: Vec<Edge> = self.graph.edges().collect();
+        edges.sort_unstable_by_key(|e| (e.left, e.right));
+        enc.put_usize(edges.len());
+        for edge in edges {
+            enc.put_u32(edge.left);
+            enc.put_u32(edge.right);
+        }
+        enc.put_raw(&self.count.to_le_bytes());
+        crate::persist::encode_stats(&mut enc, &self.stats);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let num_edges = dec.get_usize()?;
+        if num_edges > dec.remaining() / 8 {
+            return Err(PersistError::Truncated(format!(
+                "edge list claims {num_edges} edges, payload holds at most {}",
+                dec.remaining() / 8
+            )));
+        }
+        let mut graph = BipartiteGraph::new();
+        for _ in 0..num_edges {
+            let edge = Edge::new(dec.get_u32()?, dec.get_u32()?);
+            if !graph.insert_edge(edge) {
+                return Err(PersistError::Corrupt(
+                    "duplicate edge in exact-counter edge list".into(),
+                ));
+            }
+        }
+        let count = i128::from_le_bytes(
+            dec.get_raw(16)?
+                .try_into()
+                .expect("get_raw(16) yields 16 bytes"),
+        );
+        let stats = crate::persist::decode_stats(&mut dec)?;
+        dec.expect_end()?;
+        self.graph = graph;
+        self.count = count;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abacus_graph::{count_butterflies, Edge};
+    use abacus_graph::count_butterflies;
     use abacus_stream::generators::random::uniform_bipartite;
     use abacus_stream::{final_graph, inject_deletions_fast, DeletionConfig};
     use proptest::prelude::*;
@@ -139,6 +187,46 @@ mod tests {
         let truth = count_butterflies(&final_graph(&stream));
         assert_eq!(exact.exact_count(), truth as i128);
         assert_eq!(exact.estimate(), truth as f64);
+    }
+
+    #[test]
+    fn save_restore_mid_stream_is_bit_identical() {
+        let edges = uniform_bipartite(60, 60, 800, &mut StdRng::seed_from_u64(5));
+        let stream = inject_deletions_fast(
+            &edges,
+            DeletionConfig::new(0.25),
+            &mut StdRng::seed_from_u64(6),
+        );
+        let cut = 511;
+
+        let mut reference = ExactCounter::new();
+        reference.process_stream(&stream);
+
+        let mut source = ExactCounter::new();
+        source.process_stream(&stream[..cut]);
+        let payload = source.save_state().unwrap();
+        let mut resumed = ExactCounter::new();
+        resumed.restore_state(&payload).unwrap();
+        resumed.process_stream(&stream[cut..]);
+
+        assert_eq!(reference.exact_count(), resumed.exact_count());
+        assert_eq!(reference.memory_edges(), resumed.memory_edges());
+        assert_eq!(reference.stats().comparisons, resumed.stats().comparisons);
+        assert_eq!(
+            reference.save_state().unwrap(),
+            resumed.save_state().unwrap()
+        );
+
+        // Corrupted payloads fail closed without mutating the target.
+        let mut target = ExactCounter::new();
+        assert!(target.restore_state(&payload[..payload.len() - 2]).is_err());
+        assert_eq!(target.exact_count(), 0);
+        let mut doubled = payload.clone();
+        doubled.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            target.restore_state(&doubled),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     proptest! {

@@ -24,7 +24,8 @@
 //!
 //! * [`config`] — estimator configuration (memory budget, seed, batching),
 //! * [`engine`] — the estimator registry ([`EstimatorSpec`] →
-//!   [`ButterflyCounter`]) and the sharded [`Ensemble`] execution layer,
+//!   [`ButterflyCounter`]), the sharded [`Ensemble`] execution layer, and
+//!   the durable [`Checkpointer`] (versioned snapshots + WAL recovery),
 //! * [`counter`] — re-export of the [`ButterflyCounter`] trait (defined in
 //!   `abacus_stream`, the stream-consumer interface shared by every
 //!   estimator: ABACUS, PARABACUS, the exact oracle, FLEET, CAS, ensembles),
@@ -57,6 +58,7 @@ pub mod exact;
 pub mod local;
 pub mod monitor;
 pub mod parabacus;
+mod persist;
 pub mod probability;
 pub mod snapshot;
 
@@ -73,7 +75,10 @@ pub use abacus::Abacus;
 pub use circuit::{Circuit, ViewKind};
 pub use config::{AbacusConfig, ParAbacusConfig, SnapshotMode, AUTO_SNAPSHOT_MIN_BUDGET};
 pub use counter::ButterflyCounter;
-pub use engine::{Ensemble, EnsembleMode, EnsembleSummary, EstimatorKind, EstimatorSpec};
+pub use engine::{
+    Checkpointer, Ensemble, EnsembleMode, EnsembleSummary, EstimatorKind, EstimatorSpec, Recovery,
+    RunManifest,
+};
 pub use exact::ExactCounter;
 pub use local::LocalAbacus;
 pub use monitor::{SharedEstimate, WindowedMonitor};

@@ -21,7 +21,8 @@ use crate::counter::ButterflyCounter;
 use crate::probability::increment;
 use crate::sample_graph::SampleGraph;
 use crate::stats::ProcessingStats;
-use abacus_graph::{FxHashMap, NeighborhoodView, VertexRef};
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
+use abacus_graph::{FxHashMap, NeighborhoodView, Side, VertexRef};
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
 use rand::rngs::StdRng;
@@ -192,6 +193,92 @@ impl ButterflyCounter for LocalAbacus {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        let mut enc = Encoder::new();
+        enc.put_usize(self.config.budget);
+        enc.put_u64(self.config.seed);
+        let state = self.policy.state();
+        enc.put_usize(state.live_items);
+        enc.put_usize(state.bad_deletions);
+        enc.put_usize(state.good_deletions);
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        self.sample.encode_state(&mut enc);
+        enc.put_f64(self.global_estimate);
+        // Hash order is history-dependent; a sorted dump makes the payload a
+        // pure function of the estimates.
+        let mut locals: Vec<(VertexRef, f64)> =
+            self.local_estimates.iter().map(|(&v, &c)| (v, c)).collect();
+        locals.sort_by_key(|&(v, _)| v);
+        enc.put_usize(locals.len());
+        for (vertex, estimate) in locals {
+            enc.put_u8(match vertex.side {
+                Side::Left => 0,
+                Side::Right => 1,
+            });
+            enc.put_u32(vertex.id);
+            enc.put_f64(estimate);
+        }
+        crate::persist::encode_stats(&mut enc, &self.stats);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let budget = dec.get_usize()?;
+        let seed = dec.get_u64()?;
+        if budget != self.config.budget || seed != self.config.seed {
+            return Err(PersistError::Corrupt(
+                "ABACUS-local snapshot was written under a different configuration".into(),
+            ));
+        }
+        let triplet = RandomPairingState {
+            live_items: dec.get_usize()?,
+            bad_deletions: dec.get_usize()?,
+            good_deletions: dec.get_usize()?,
+        };
+        self.policy = RandomPairing::from_state(self.config.budget, triplet);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.sample.restore_state(&mut dec)?;
+        self.global_estimate = dec.get_f64()?;
+        let count = dec.get_usize()?;
+        // Each entry is at least 13 bytes (side + id + estimate).
+        if count > dec.remaining() / 13 {
+            return Err(PersistError::Truncated(format!(
+                "local-estimate table claims {count} entries, payload holds at most {}",
+                dec.remaining() / 13
+            )));
+        }
+        let mut locals = FxHashMap::default();
+        for _ in 0..count {
+            let side = match dec.get_u8()? {
+                0 => Side::Left,
+                1 => Side::Right,
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "invalid vertex side byte {other}"
+                    )))
+                }
+            };
+            let vertex = VertexRef::new(side, dec.get_u32()?);
+            let estimate = dec.get_f64()?;
+            if locals.insert(vertex, estimate).is_some() {
+                return Err(PersistError::Corrupt(
+                    "duplicate vertex in local-estimate table".into(),
+                ));
+            }
+        }
+        self.local_estimates = locals;
+        self.stats = crate::persist::decode_stats(&mut dec)?;
+        dec.expect_end()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -283,5 +370,48 @@ mod tests {
         assert_eq!(local.local_estimate(VertexRef::left(99)), 0.0);
         assert!(local.stats().elements == 10);
         assert!(local.sampler_state().live_items == 10);
+    }
+
+    #[test]
+    fn save_restore_mid_stream_is_bit_identical() {
+        let stream = dynamic_stream(9, 1_000, 0.2);
+        let cut = 613;
+        let config = AbacusConfig::new(192).with_seed(4);
+
+        let mut reference = LocalAbacus::new(config);
+        reference.process_stream(&stream);
+
+        let mut source = LocalAbacus::new(config);
+        source.process_stream(&stream[..cut]);
+        let payload = source.save_state().unwrap();
+        let mut resumed = LocalAbacus::new(config);
+        resumed.restore_state(&payload).unwrap();
+        resumed.process_stream(&stream[cut..]);
+
+        assert_eq!(reference.estimate().to_bits(), resumed.estimate().to_bits());
+        assert_eq!(reference.sampler_state(), resumed.sampler_state());
+        assert_eq!(reference.memory_edges(), resumed.memory_edges());
+        assert_eq!(reference.stats().comparisons, resumed.stats().comparisons);
+        assert_eq!(
+            reference.local_estimates().len(),
+            resumed.local_estimates().len()
+        );
+        for (&vertex, &estimate) in reference.local_estimates() {
+            assert_eq!(
+                estimate.to_bits(),
+                resumed.local_estimate(vertex).to_bits(),
+                "{vertex:?}"
+            );
+        }
+        assert_eq!(
+            reference.save_state().unwrap(),
+            resumed.save_state().unwrap()
+        );
+
+        // Wrong configuration or truncation fails closed.
+        let mut other = LocalAbacus::new(AbacusConfig::new(193).with_seed(4));
+        assert!(other.restore_state(&payload).is_err());
+        let mut target = LocalAbacus::new(config);
+        assert!(target.restore_state(&payload[..payload.len() - 1]).is_err());
     }
 }

@@ -60,6 +60,7 @@ use crate::sample_graph::SampleGraph;
 use crate::snapshot::entries_to_edge_equivalents;
 use crate::stats::ProcessingStats;
 use abacus_graph::csr::CsrSnapshot;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_sampling::{RandomPairing, RandomPairingState};
 use abacus_stream::{EdgeDelta, StreamElement};
 use pool::{execute_task, ChunkResult, CountTask, CountingPool};
@@ -595,6 +596,110 @@ impl ButterflyCounter for ParAbacus {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    /// Serializes the estimator after a full [`flush`](Self::flush):
+    /// buffered elements become part of the persisted state (as a short
+    /// mini-batch) and the pipeline drains, so the payload is a pure function
+    /// of the elements processed — no in-flight work to capture.
+    ///
+    /// Flushing at save time changes *where* batch boundaries fall, which is
+    /// why the recovery harness drives reference and interrupted runs through
+    /// the same checkpoint cadence: both flush at the same element indices,
+    /// so batch boundaries — and therefore RNG draws and estimates — stay
+    /// bit-aligned.  The ephemeral double-buffers, the worker pool, and the
+    /// wall-clock timings are deliberately not serialized (they never affect
+    /// results); the CSR snapshot is rebuilt from the restored sample.
+    fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        self.flush();
+        if let Some(snapshot) = &mut self.snapshot {
+            Arc::make_mut(snapshot).compact();
+        }
+        let mut enc = Encoder::new();
+        enc.put_usize(self.config.budget);
+        enc.put_u64(self.config.seed);
+        enc.put_usize(self.config.batch_size);
+        enc.put_usize(self.config.threads);
+        enc.put_usize(self.config.pipeline_depth);
+        enc.put_u8(u8::from(self.snapshot.is_some()));
+        let state = self.policy.state();
+        enc.put_usize(state.live_items);
+        enc.put_usize(state.bad_deletions);
+        enc.put_usize(state.good_deletions);
+        for word in self.rng.state() {
+            enc.put_u64(word);
+        }
+        self.sample.encode_state(&mut enc);
+        enc.put_u64(self.replayed_ops);
+        enc.put_u64(self.density_marker.0);
+        enc.put_u64(self.density_marker.1);
+        enc.put_f64(self.estimate);
+        crate::persist::encode_stats(&mut enc, &self.stats);
+        enc.put_usize(self.thread_comparisons.len());
+        for &comparisons in &self.thread_comparisons {
+            enc.put_u64(comparisons);
+        }
+        enc.put_u64(self.batches);
+        Ok(enc.finish())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), PersistError> {
+        let mut dec = Decoder::new(state);
+        let budget = dec.get_usize()?;
+        let seed = dec.get_u64()?;
+        let batch_size = dec.get_usize()?;
+        let threads = dec.get_usize()?;
+        let pipeline_depth = dec.get_usize()?;
+        if budget != self.config.budget
+            || seed != self.config.seed
+            || batch_size != self.config.batch_size
+            || threads != self.config.threads
+            || pipeline_depth != self.config.pipeline_depth
+        {
+            return Err(PersistError::Corrupt(
+                "PARABACUS snapshot was written under a different configuration".into(),
+            ));
+        }
+        // Snapshot presence is *state* under `Auto` (decided per batch), not
+        // configuration — apply it rather than checking it.
+        let snapshot_present = dec.get_u8()? != 0;
+        let triplet = RandomPairingState {
+            live_items: dec.get_usize()?,
+            bad_deletions: dec.get_usize()?,
+            good_deletions: dec.get_usize()?,
+        };
+        self.policy = RandomPairing::from_state(self.config.budget, triplet);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.get_u64()?;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        Arc::make_mut(&mut self.sample).restore_state(&mut dec)?;
+        self.replayed_ops = dec.get_u64()?;
+        self.density_marker = (dec.get_u64()?, dec.get_u64()?);
+        self.estimate = dec.get_f64()?;
+        self.stats = crate::persist::decode_stats(&mut dec)?;
+        let workloads = dec.get_usize()?;
+        if workloads != self.thread_comparisons.len() {
+            return Err(PersistError::Corrupt(format!(
+                "PARABACUS snapshot records {workloads} worker workloads, this estimator has {}",
+                self.thread_comparisons.len()
+            )));
+        }
+        for comparisons in &mut self.thread_comparisons {
+            *comparisons = dec.get_u64()?;
+        }
+        self.batches = dec.get_u64()?;
+        dec.expect_end()?;
+        self.snapshot = snapshot_present.then(|| {
+            Arc::new(CsrSnapshot::from_edges(
+                self.sample.edges().iter().copied(),
+                self.config.kernel,
+            ))
+        });
+        self.buffer.clear();
+        self.spare_sample = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -672,6 +777,108 @@ mod tests {
             );
             assert_eq!(seq.stats().comparisons, par.stats().comparisons, "{label}");
         }
+    }
+
+    /// A snapshot taken mid-stream restores into a fresh estimator that then
+    /// finishes the stream bit-identically to a reference run — provided the
+    /// reference also checkpoints at the same element index, because
+    /// `save_state` flushes and flushing moves batch boundaries.
+    #[test]
+    fn save_restore_mid_stream_is_bit_identical() {
+        use crate::config::SnapshotMode;
+        let stream = dynamic_stream(3, 2_000, 0.2);
+        let cut = 1234;
+        for &(threads, depth, snapshot) in &[
+            (1usize, 1usize, SnapshotMode::Off),
+            (1, 3, SnapshotMode::On),
+            (2, 2, SnapshotMode::Auto),
+            (2, 4, SnapshotMode::On),
+        ] {
+            let config = ParAbacusConfig::new(256)
+                .with_seed(11)
+                .with_batch_size(96)
+                .with_threads(threads)
+                .with_pipeline_depth(depth)
+                .with_snapshot(snapshot);
+            let label = format!("threads {threads}, depth {depth}, snapshot {snapshot:?}");
+
+            // Reference run: checkpoint at the cut (flush included), continue.
+            let mut reference = ParAbacus::new(config);
+            reference.process_stream(&stream[..cut]);
+            let payload = reference.save_state().expect("save must succeed");
+            reference.process_stream(&stream[cut..]);
+            reference.flush();
+
+            // Interrupted run: fresh estimator restored from the payload.
+            let mut resumed = ParAbacus::new(config);
+            resumed
+                .restore_state(&payload)
+                .expect("restore must succeed");
+            resumed.process_stream(&stream[cut..]);
+            resumed.flush();
+
+            assert_eq!(
+                reference.estimate().to_bits(),
+                resumed.estimate().to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                reference.sampler_state(),
+                resumed.sampler_state(),
+                "{label}"
+            );
+            assert_eq!(reference.memory_edges(), resumed.memory_edges(), "{label}");
+            assert_eq!(
+                reference.stats().comparisons,
+                resumed.stats().comparisons,
+                "{label}"
+            );
+            assert_eq!(
+                reference.save_state().unwrap(),
+                resumed.save_state().unwrap(),
+                "re-saved payloads must be byte-identical for {label}"
+            );
+        }
+    }
+
+    /// Restore refuses payloads written under different engine knobs: every
+    /// fingerprint field is load-bearing for replay determinism.
+    #[test]
+    fn restore_rejects_other_configurations() {
+        let stream = dynamic_stream(5, 400, 0.2);
+        let base = ParAbacusConfig::new(128)
+            .with_seed(2)
+            .with_batch_size(64)
+            .with_threads(2)
+            .with_pipeline_depth(2);
+        let mut source = ParAbacus::new(base);
+        source.process_stream(&stream);
+        let payload = source.save_state().unwrap();
+
+        for other in [
+            ParAbacusConfig::new(64)
+                .with_seed(2)
+                .with_batch_size(64)
+                .with_threads(2)
+                .with_pipeline_depth(2),
+            base.with_seed(3),
+            base.with_batch_size(65),
+            base.with_threads(3),
+            base.with_pipeline_depth(1),
+        ] {
+            let mut target = ParAbacus::new(other);
+            assert!(
+                matches!(
+                    target.restore_state(&payload),
+                    Err(PersistError::Corrupt(_))
+                ),
+                "fingerprint mismatch must be rejected"
+            );
+        }
+
+        // Truncated payload fails closed too.
+        let mut target = ParAbacus::new(base);
+        assert!(target.restore_state(&payload[..payload.len() - 3]).is_err());
     }
 
     /// The frozen-snapshot ablation: with identical seeds, snapshot-backed

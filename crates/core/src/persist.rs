@@ -1,0 +1,160 @@
+//! Crate-internal codec helpers shared by the estimator
+//! `save_state`/`restore_state` implementations: the processing-stats block
+//! and the anomaly-series block.
+//!
+//! Every estimator payload is a flat little-endian [`Encoder`] stream that
+//! starts with a configuration fingerprint (so a snapshot can never be
+//! restored into an estimator built from different knobs) and ends with
+//! [`Decoder::expect_end`] (so trailing garbage fails closed).  The shared
+//! blocks live here so the six estimators cannot drift apart on how a
+//! [`ProcessingStats`] or an [`AnomalySeries`] is laid out.
+
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
+use abacus_metrics::{AnomalySeries, ProcessingStats, WindowSnapshot};
+
+/// Encodes the five work counters, in declaration order.
+pub(crate) fn encode_stats(enc: &mut Encoder, stats: &ProcessingStats) {
+    enc.put_u64(stats.elements);
+    enc.put_u64(stats.insertions);
+    enc.put_u64(stats.deletions);
+    enc.put_u64(stats.discovered_butterflies);
+    enc.put_u64(stats.comparisons);
+}
+
+/// Decodes the five work counters written by [`encode_stats`].
+pub(crate) fn decode_stats(dec: &mut Decoder<'_>) -> Result<ProcessingStats, PersistError> {
+    Ok(ProcessingStats {
+        elements: dec.get_u64()?,
+        insertions: dec.get_u64()?,
+        deletions: dec.get_u64()?,
+        discovered_butterflies: dec.get_u64()?,
+        comparisons: dec.get_u64()?,
+    })
+}
+
+/// Encodes a windowed anomaly series (cadence, partial-window position, and
+/// every recorded snapshot with its exact float bits).
+pub(crate) fn encode_series(enc: &mut Encoder, series: &AnomalySeries) {
+    enc.put_usize(series.window());
+    enc.put_usize(series.in_window());
+    enc.put_u64(series.elements());
+    enc.put_f64(series.burst_factor());
+    enc.put_usize(series.snapshots().len());
+    for snapshot in series.snapshots() {
+        enc.put_usize(snapshot.window);
+        enc.put_u64(snapshot.elements);
+        enc.put_f64(snapshot.estimate);
+        enc.put_f64(snapshot.delta);
+    }
+}
+
+/// Decodes a series written by [`encode_series`], validating the invariants
+/// `AnomalySeries::from_state` would otherwise assert on.
+pub(crate) fn decode_series(dec: &mut Decoder<'_>) -> Result<AnomalySeries, PersistError> {
+    let window = dec.get_usize()?;
+    let in_window = dec.get_usize()?;
+    let elements = dec.get_u64()?;
+    let burst_factor = dec.get_f64()?;
+    if window == 0 {
+        return Err(PersistError::Corrupt(
+            "anomaly series window must be at least 1".into(),
+        ));
+    }
+    if burst_factor.is_nan() || burst_factor <= 0.0 {
+        return Err(PersistError::Corrupt(
+            "anomaly series burst factor must be positive".into(),
+        ));
+    }
+    let count = dec.get_usize()?;
+    // Each snapshot is 32 bytes; reject counts the payload cannot hold
+    // before allocating.
+    if count > dec.remaining() / 32 {
+        return Err(PersistError::Truncated(format!(
+            "anomaly series claims {count} snapshots, payload holds at most {}",
+            dec.remaining() / 32
+        )));
+    }
+    let mut snapshots = Vec::with_capacity(count);
+    for _ in 0..count {
+        snapshots.push(WindowSnapshot {
+            window: dec.get_usize()?,
+            elements: dec.get_u64()?,
+            estimate: dec.get_f64()?,
+            delta: dec.get_f64()?,
+        });
+    }
+    Ok(AnomalySeries::from_state(
+        window,
+        in_window,
+        elements,
+        snapshots,
+        burst_factor,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_and_series_round_trip() {
+        let stats = ProcessingStats {
+            elements: 10,
+            insertions: 7,
+            deletions: 3,
+            discovered_butterflies: 4,
+            comparisons: 99,
+        };
+        let mut series = AnomalySeries::new(2).with_burst_factor(3.5);
+        for i in 0..5 {
+            series.observe(f64::from(i) * 1.5);
+        }
+        let mut enc = Encoder::new();
+        encode_stats(&mut enc, &stats);
+        encode_series(&mut enc, &series);
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(decode_stats(&mut dec).unwrap(), stats);
+        let restored = decode_series(&mut dec).unwrap();
+        dec.expect_end().unwrap();
+        assert_eq!(restored.window(), series.window());
+        assert_eq!(restored.in_window(), series.in_window());
+        assert_eq!(restored.elements(), series.elements());
+        assert_eq!(restored.burst_factor(), series.burst_factor());
+        assert_eq!(restored.snapshots(), series.snapshots());
+
+        // Re-encoding the restored series is byte-identical.
+        let mut again = Encoder::new();
+        encode_series(&mut again, &restored);
+        let mut reference = Encoder::new();
+        encode_series(&mut reference, &series);
+        assert_eq!(again.finish(), reference.finish());
+    }
+
+    #[test]
+    fn series_decoding_fails_closed() {
+        let mut enc = Encoder::new();
+        encode_series(&mut enc, &AnomalySeries::new(4));
+        let bytes = enc.finish();
+        // Zero window.
+        let mut bad = bytes.clone();
+        bad[0] = 0;
+        assert!(matches!(
+            decode_series(&mut Decoder::new(&bad)),
+            Err(PersistError::Corrupt(_))
+        ));
+        // Implausible snapshot count.
+        let mut enc = Encoder::new();
+        enc.put_usize(4);
+        enc.put_usize(0);
+        enc.put_u64(0);
+        enc.put_f64(8.0);
+        enc.put_usize(1 << 40);
+        let bytes = enc.finish();
+        assert!(matches!(
+            decode_series(&mut Decoder::new(&bytes)),
+            Err(PersistError::Truncated(_))
+        ));
+    }
+}

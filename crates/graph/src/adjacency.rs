@@ -248,6 +248,24 @@ impl AdjacencySet {
         }
     }
 
+    /// Forces the hash-backed [`Large`](AdjacencySet::Large) representation,
+    /// regardless of the current size.
+    ///
+    /// The representation is history-dependent (a set that ever crossed
+    /// [`SMALL_THRESHOLD`] stays `Large` even after shrinking), so rebuilding
+    /// a graph from its surviving edges alone would not reproduce it.  The
+    /// durable-state codecs record which sets are `Large` and call this after
+    /// reinsertion, restoring the exact representation — and with it the
+    /// kernel choices and memory accounting — of the checkpointed run.
+    /// Idempotent; a no-op on sets that are already `Large`.
+    pub fn promote(&mut self) {
+        if let AdjacencySet::Small(v) = self {
+            let mut large = LargeSet::with_capacity(v.len().max(SMALL_THRESHOLD * 2));
+            large.set.extend(v.iter().copied());
+            *self = AdjacencySet::Large(large);
+        }
+    }
+
     /// The large-set representation, if this set has been promoted.
     ///
     /// The intersection kernels use this to reach the memoised sorted copy
@@ -401,6 +419,22 @@ mod tests {
         let sorted = s.to_sorted_vec();
         let expected: Vec<u32> = (0..(SMALL_THRESHOLD as u32 + 3)).collect();
         assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn promote_forces_large_and_is_idempotent() {
+        let mut s: AdjacencySet = (0..5u32).collect();
+        assert!(matches!(s, AdjacencySet::Small(_)));
+        s.promote();
+        assert!(matches!(s, AdjacencySet::Large(_)));
+        assert_eq!(s.to_sorted_vec(), vec![0, 1, 2, 3, 4]);
+        // A second promotion (and promoting an organically Large set) is a
+        // no-op that keeps the elements intact.
+        s.promote();
+        assert_eq!(s.len(), 5);
+        let mut hub: AdjacencySet = (0..100u32).collect();
+        hub.promote();
+        assert_eq!(hub.len(), 100);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   against in their per-edge hot loop,
 //! * [`fxhash`] — a fast, DoS-insensitive hasher for integer keys (the
 //!   `rustc-hash` algorithm re-implemented locally),
+//! * [`persist`] — the persistence primitives (typed errors, CRC32, the
+//!   little-endian binary codec) shared by the durable snapshot and WAL
+//!   formats up the crate stack,
 //! * [`stats`] — the dataset statistics reported in Table II of the paper.
 //!
 //! The crate is deliberately free of any sampling or streaming logic; those
@@ -39,6 +42,7 @@ pub mod exact;
 pub mod fxhash;
 pub mod intersect;
 pub mod peredge;
+pub mod persist;
 pub mod stats;
 pub mod vertex;
 
@@ -55,5 +59,6 @@ pub use peredge::{
     count_butterflies_with_edge, for_each_butterfly_with_edge, EdgeSupports, NeighborhoodView,
     PerEdgeCount,
 };
+pub use persist::{crc32, Crc32, Decoder, Encoder, PersistError};
 pub use stats::GraphStatistics;
 pub use vertex::{Side, VertexButterflyCounts, VertexRef};

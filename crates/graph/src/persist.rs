@@ -1,0 +1,454 @@
+//! Persistence primitives shared by every durable-state codec in the
+//! workspace: the typed [`PersistError`], a table-driven CRC32 (IEEE), and a
+//! little-endian binary [`Encoder`] / [`Decoder`] pair.
+//!
+//! This crate sits at the bottom of the dependency stack, so the sampling,
+//! stream, and core crates can all speak one error type and one byte format
+//! without a dependency cycle.  The *formats* built on these primitives
+//! (`ABSNAP1` estimator snapshots, the `ABWL1` write-ahead log) live next to
+//! the state they serialize; this module only provides the plumbing they
+//! share.
+//!
+//! Everything here fails closed: a truncated buffer, a trailing byte, a bad
+//! magic string, or a checksum mismatch is a typed error, never a panic or a
+//! silently wrong value.
+
+use std::fmt;
+
+/// Errors surfaced by the durability subsystem (snapshots, WAL, recovery).
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file did not start with the expected magic string.
+    BadMagic {
+        /// The magic string the reader expected.
+        expected: &'static str,
+        /// The bytes actually found (possibly short).
+        found: Vec<u8>,
+    },
+    /// A file carried a format version this build does not understand.
+    BadVersion {
+        /// The highest version the reader supports.
+        expected: u8,
+        /// The version byte actually found.
+        found: u8,
+    },
+    /// The payload ended before a complete record/section could be read.
+    Truncated(String),
+    /// The payload is structurally invalid or failed its checksum.
+    Corrupt(String),
+    /// Replay found a hole or overlap in the element sequence.
+    Gap {
+        /// The sequence number replay expected next.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// The estimator does not implement durable state (named for messages).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadMagic { expected, found } => {
+                write!(f, "bad magic {found:?}, expected {expected:?}")
+            }
+            PersistError::BadVersion { expected, found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads version {expected})"
+                )
+            }
+            PersistError::Truncated(what) => write!(f, "truncated data: {what}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            PersistError::Gap { expected, found } => {
+                write!(
+                    f,
+                    "sequence gap: expected element {expected}, found {found}"
+                )
+            }
+            PersistError::Unsupported(name) => {
+                write!(f, "estimator {name} does not support durable state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// computed at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum guarding every snapshot section
+/// and every sealed WAL segment.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finalize()
+}
+
+/// An incremental CRC32 (IEEE) hasher, for writers that stream bytes out
+/// (the WAL appends records one at a time and seals with the digest).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            let index = ((self.state ^ u32::from(byte)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ CRC32_TABLE[index];
+        }
+    }
+
+    /// The digest of everything fed so far (the hasher stays usable).
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// A little-endian binary encoder over a growable byte buffer.
+///
+/// The durable formats are all fixed-width little-endian (counts as `u64`,
+/// floats as their IEEE 754 bit patterns) — trivially portable and, unlike a
+/// varint encoding, byte-for-byte reproducible from equal state, which is
+/// what the recovery parity suite compares.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.bytes.push(value);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, value: u32) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn put_usize(&mut self, value: usize) {
+        self.put_u64(value as u64);
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.put_raw(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// The reader half of [`Encoder`]; every accessor fails closed on a short
+/// buffer, and [`expect_end`](Decoder::expect_end) rejects trailing garbage.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, offset: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.offset
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated(format!(
+                "needed {n} bytes for {what}, only {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.offset..self.offset + n];
+        self.offset += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] if the buffer is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        let raw = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        let raw = self.take(8, "u64")?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on a short buffer,
+    /// [`PersistError::Corrupt`] if the value does not fit a `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.get_u64()?)
+            .map_err(|_| PersistError::Corrupt("count exceeds the address space".into()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] if fewer than 8 bytes remain.
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] if fewer than `n` bytes remain.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        self.take(n, "raw bytes")
+    }
+
+    /// Reads a length-prefixed byte slice.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] / [`PersistError::Corrupt`] on short or
+    /// implausible buffers.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let len = self.get_usize()?;
+        if len > self.remaining() {
+            return Err(PersistError::Truncated(format!(
+                "length prefix {len} exceeds the {} bytes left",
+                self.remaining()
+            )));
+        }
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// As [`get_bytes`](Decoder::get_bytes), plus [`PersistError::Corrupt`]
+    /// on invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<&'a str, PersistError> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|_| PersistError::Corrupt("string is not valid UTF-8".into()))
+    }
+
+    /// Asserts every byte was consumed.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] if bytes remain.
+    pub fn expect_end(&self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abacus"), crc32(b"abacut"));
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot() {
+        let mut hasher = Crc32::new();
+        hasher.update(b"1234");
+        hasher.update(b"");
+        hasher.update(b"56789");
+        assert_eq!(hasher.finalize(), crc32(b"123456789"));
+        // finalize() is non-destructive.
+        assert_eq!(hasher.finalize(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn encoder_decoder_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX - 3);
+        enc.put_usize(42);
+        enc.put_f64(-0.125);
+        enc.put_bytes(b"payload");
+        enc.put_str("name");
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(dec.get_usize().unwrap(), 42);
+        assert_eq!(dec.get_f64().unwrap().to_bits(), (-0.125f64).to_bits());
+        assert_eq!(dec.get_bytes().unwrap(), b"payload");
+        assert_eq!(dec.get_str().unwrap(), "name");
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_buffers_fail_closed() {
+        let mut dec = Decoder::new(&[1, 2, 3]);
+        assert!(matches!(dec.get_u64(), Err(PersistError::Truncated(_))));
+        // A length prefix pointing past the end is truncation, not a panic.
+        let mut enc = Encoder::new();
+        enc.put_usize(1_000);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_bytes(), Err(PersistError::Truncated(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u8().unwrap();
+        assert!(matches!(dec.expect_end(), Err(PersistError::Corrupt(_))));
+        dec.get_u8().unwrap();
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let gap = PersistError::Gap {
+            expected: 10,
+            found: 20,
+        };
+        assert!(gap.to_string().contains("expected element 10"));
+        let magic = PersistError::BadMagic {
+            expected: "ABWL1",
+            found: vec![0, 1],
+        };
+        assert!(magic.to_string().contains("ABWL1"));
+        assert!(PersistError::Unsupported("STUB")
+            .to_string()
+            .contains("STUB"));
+    }
+}

@@ -69,10 +69,47 @@ impl AnomalySeries {
         self
     }
 
+    /// Rebuilds a series from previously captured state — the
+    /// checkpoint/restore path.  `in_window` is the number of elements
+    /// observed since the last snapshot.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or `burst_factor` is not positive.
+    #[must_use]
+    pub fn from_state(
+        window: usize,
+        in_window: usize,
+        elements: u64,
+        snapshots: Vec<WindowSnapshot>,
+        burst_factor: f64,
+    ) -> Self {
+        assert!(window >= 1, "window must contain at least one element");
+        assert!(burst_factor > 0.0, "burst factor must be positive");
+        AnomalySeries {
+            window,
+            in_window,
+            elements,
+            snapshots,
+            burst_factor,
+        }
+    }
+
     /// The snapshot cadence in stream elements.
     #[must_use]
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// Elements observed since the last snapshot.
+    #[must_use]
+    pub fn in_window(&self) -> usize {
+        self.in_window
+    }
+
+    /// The burst-detection factor.
+    #[must_use]
+    pub fn burst_factor(&self) -> f64 {
+        self.burst_factor
     }
 
     /// Total number of elements observed.

@@ -43,6 +43,27 @@ impl AdaptiveBernoulli {
         }
     }
 
+    /// Rebuilds a policy from state captured through the public accessors —
+    /// the checkpoint/restore path.  `probability` carries the exact bit
+    /// pattern of the saved run so the restored admission decisions match.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or γ is outside `(0, 1)`.
+    #[must_use]
+    pub fn from_state(capacity: usize, gamma: f64, probability: f64, resizes: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&gamma) && gamma > 0.0,
+            "gamma must be in (0, 1)"
+        );
+        AdaptiveBernoulli {
+            capacity,
+            gamma,
+            probability,
+            resizes,
+        }
+    }
+
     /// The reservoir capacity.
     #[inline]
     #[must_use]

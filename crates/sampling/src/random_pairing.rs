@@ -99,6 +99,17 @@ impl RandomPairing {
         }
     }
 
+    /// Rebuilds a policy from a budget and a bookkeeping triplet captured by
+    /// [`RandomPairing::state`] — the checkpoint/restore path.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero.
+    #[must_use]
+    pub fn from_state(budget: usize, state: RandomPairingState) -> Self {
+        assert!(budget >= 1, "memory budget must be at least 1");
+        RandomPairing { budget, state }
+    }
+
     /// The memory budget `k`.
     #[inline]
     #[must_use]

@@ -28,6 +28,17 @@ impl ReservoirSampler {
         ReservoirSampler { capacity, seen: 0 }
     }
 
+    /// Rebuilds a sampler from its capacity and offered-item count — the
+    /// checkpoint/restore path.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn from_state(capacity: usize, seen: usize) -> Self {
+        assert!(capacity >= 1, "reservoir capacity must be at least 1");
+        ReservoirSampler { capacity, seen }
+    }
+
     /// The reservoir capacity `k`.
     #[inline]
     #[must_use]

@@ -13,6 +13,7 @@
 use crate::store::SampleStore;
 use abacus_graph::adjacency::AdjacencySet;
 use abacus_graph::intersect::KernelTuning;
+use abacus_graph::persist::{Decoder, Encoder, PersistError};
 use abacus_graph::{Edge, EdgeKey, FxHashMap, NeighborhoodView, Side, VertexRef};
 use rand::{Rng, RngExt};
 
@@ -160,6 +161,91 @@ impl SampleGraph {
             .chain(self.adj_right.values())
             .filter_map(|set| set.as_large().and_then(|l| l.sorted_cache_len()))
             .sum()
+    }
+
+    /// Serializes the sample into `enc` so that [`SampleGraph::restore_state`]
+    /// can rebuild it bit-identically.
+    ///
+    /// Three things make the sample history-dependent, so a plain edge set is
+    /// not enough:
+    ///
+    /// 1. **Slot order.** [`SampleGraph::random_edge`] indexes the dense edge
+    ///    vector, so eviction choices (and therefore RNG-driven estimator
+    ///    state) depend on the exact slot layout, not just the edge set.
+    ///    Edges are written in slot order and re-inserted in that order.
+    /// 2. **Adjacency representation.** [`AdjacencySet`] promotes from the
+    ///    small sorted vector to the hash representation when it grows past
+    ///    the threshold and never demotes, which steers kernel selection.  A
+    ///    set that grew large and then shrank would be rebuilt small, so the
+    ///    promoted vertices are recorded and re-promoted explicitly.
+    /// 3. **Sorted caches.** Memoised sorted copies of hub sets count toward
+    ///    `memory_edges` accounting, so which caches exist is recorded and
+    ///    they are rebuilt eagerly on restore.
+    pub fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.edges.len());
+        for edge in &self.edges {
+            enc.put_u32(edge.left);
+            enc.put_u32(edge.right);
+        }
+        for adj in [&self.adj_left, &self.adj_right] {
+            let mut large: Vec<(u32, bool)> = adj
+                .iter()
+                .filter_map(|(&id, set)| {
+                    set.as_large().map(|l| (id, l.sorted_cache_len().is_some()))
+                })
+                .collect();
+            large.sort_unstable();
+            enc.put_usize(large.len());
+            for (id, cached) in large {
+                enc.put_u32(id);
+                enc.put_u8(u8::from(cached));
+            }
+        }
+    }
+
+    /// Rebuilds the sample from a payload produced by
+    /// [`SampleGraph::encode_state`].  Clears any current contents; budget
+    /// sizing and kernel tuning are the caller's responsibility (they come
+    /// from estimator configuration, not from the snapshot).
+    ///
+    /// # Errors
+    /// Fails closed with [`PersistError`] on truncated payloads, duplicate
+    /// edges, or representation flags that reference unknown vertices.
+    pub fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), PersistError> {
+        self.store_clear();
+        let n = dec.get_usize()?;
+        for _ in 0..n {
+            let edge = Edge::new(dec.get_u32()?, dec.get_u32()?);
+            if self.contains(edge) {
+                return Err(PersistError::Corrupt(format!(
+                    "duplicate edge ({}, {}) in sample snapshot",
+                    edge.left, edge.right
+                )));
+            }
+            self.insert_edge(edge);
+        }
+        for side in [Side::Left, Side::Right] {
+            let flagged = dec.get_usize()?;
+            for _ in 0..flagged {
+                let id = dec.get_u32()?;
+                let cached = dec.get_u8()? != 0;
+                let adj = match side {
+                    Side::Left => &mut self.adj_left,
+                    Side::Right => &mut self.adj_right,
+                };
+                let Some(set) = adj.get_mut(&id) else {
+                    return Err(PersistError::Corrupt(format!(
+                        "representation flag for absent {side:?} vertex {id}"
+                    )));
+                };
+                set.promote();
+                if cached {
+                    // `promote` guarantees the large representation.
+                    let _ = set.as_large().expect("promoted set is large").sorted();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Approximate heap footprint in bytes (used for memory accounting in the
@@ -319,6 +405,78 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.heap_bytes(), s.heap_bytes()); // accessor does not panic
         assert!(s.neighbors(VertexRef::left(1)).is_none());
+    }
+
+    #[test]
+    fn encode_restore_round_trips_slot_order_and_representation() {
+        let mut s = SampleGraph::with_budget(256);
+        // Grow one left hub past the promotion threshold, then shrink it back
+        // below so the restored representation must be forced Large.
+        for r in 0..40u32 {
+            s.store_insert(edge(7, 1_000 + r));
+        }
+        for r in 0..30u32 {
+            assert!(s.store_remove(&edge(7, 1_000 + r)));
+        }
+        for i in 0..20u32 {
+            s.store_insert(edge(i, 500 + (i % 3)));
+        }
+        // Build a sorted cache on the (still Large) hub set.
+        let hub = s.neighbors(VertexRef::left(7)).unwrap();
+        let large = hub.as_large().expect("hub stays large after shrinking");
+        let _ = large.sorted();
+        assert!(s.sorted_cache_entries() > 0);
+
+        let mut enc = Encoder::new();
+        s.encode_state(&mut enc);
+        let bytes = enc.finish();
+
+        let mut restored = SampleGraph::with_budget(256);
+        let mut dec = Decoder::new(&bytes);
+        restored.restore_state(&mut dec).unwrap();
+        dec.expect_end().unwrap();
+
+        assert_eq!(restored.edges(), s.edges(), "slot order must survive");
+        assert!(restored
+            .neighbors(VertexRef::left(7))
+            .unwrap()
+            .as_large()
+            .is_some());
+        assert_eq!(restored.sorted_cache_entries(), s.sorted_cache_entries());
+        // Re-encoding the restored sample must be byte-identical.
+        let mut enc2 = Encoder::new();
+        restored.encode_state(&mut enc2);
+        assert_eq!(enc2.finish(), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_edges_and_unknown_flags() {
+        let mut s = SampleGraph::new();
+        s.store_insert(edge(1, 2));
+        let mut enc = Encoder::new();
+        enc.put_usize(2);
+        for _ in 0..2 {
+            enc.put_u32(1);
+            enc.put_u32(2);
+        }
+        let bytes = enc.finish();
+        let mut dup = SampleGraph::new();
+        assert!(dup.restore_state(&mut Decoder::new(&bytes)).is_err());
+
+        let mut enc = Encoder::new();
+        s.encode_state(&mut enc);
+        // Claim a Large flag for a vertex the edge list never mentions.
+        let mut enc2 = Encoder::new();
+        enc2.put_usize(1);
+        enc2.put_u32(1);
+        enc2.put_u32(2);
+        enc2.put_usize(1);
+        enc2.put_u32(99);
+        enc2.put_u8(1);
+        enc2.put_usize(0);
+        let bytes = enc2.finish();
+        let mut bad = SampleGraph::new();
+        assert!(bad.restore_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

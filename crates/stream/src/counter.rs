@@ -144,6 +144,40 @@ pub trait ButterflyCounter {
         None
     }
 
+    /// Serializes the estimator's full durable state to a byte payload the
+    /// matching [`restore_state`](Self::restore_state) can rebuild exactly.
+    ///
+    /// Takes `&mut self` because saving normalizes buffered work first
+    /// (PARABACUS flushes its mini-batch pipeline), so the payload describes
+    /// a single well-defined point in the stream.  Two estimators in equal
+    /// state produce byte-identical payloads — the recovery parity suite
+    /// compares them directly.
+    ///
+    /// # Errors
+    /// [`PersistError::Unsupported`] by default; estimators opt in by
+    /// overriding both this and [`restore_state`](Self::restore_state).
+    fn save_state(&mut self) -> Result<Vec<u8>, abacus_graph::persist::PersistError> {
+        Err(abacus_graph::persist::PersistError::Unsupported(
+            self.name(),
+        ))
+    }
+
+    /// Restores state captured by [`save_state`](Self::save_state) into an
+    /// estimator freshly built from the *same* spec.  After a successful
+    /// restore the estimator is bit-identical to the one that saved:
+    /// estimates, sampler and RNG state, work counters, and memory
+    /// accounting all match.
+    ///
+    /// # Errors
+    /// [`PersistError::Unsupported`] by default; typed decode errors
+    /// (truncation, corruption, wrong estimator kind) when overridden.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), abacus_graph::persist::PersistError> {
+        let _ = state;
+        Err(abacus_graph::persist::PersistError::Unsupported(
+            self.name(),
+        ))
+    }
+
     /// Subscribes an incrementally maintained
     /// [`DeltaView`](crate::view::DeltaView) to this estimator's ingest
     /// path, if the estimator hosts one.
@@ -212,6 +246,14 @@ impl<C: ButterflyCounter + ?Sized> ButterflyCounter for Box<C> {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         (**self).as_any()
+    }
+
+    fn save_state(&mut self) -> Result<Vec<u8>, abacus_graph::persist::PersistError> {
+        (**self).save_state()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), abacus_graph::persist::PersistError> {
+        (**self).restore_state(state)
     }
 
     fn subscribe_view(

@@ -23,6 +23,8 @@
 //!   degree changes, estimates) into live derived state,
 //! * [`io`] — the line-oriented text format (incremental [`io::TextSource`]
 //!   plus materializing helpers),
+//! * [`persist`] — the `ABWL1` append-only write-ahead log and the
+//!   committed-watermark protocol behind estimator checkpoint/restore,
 //! * [`binary`] — the compact `ABST1` varint-delta binary format.
 
 #![forbid(unsafe_code)]
@@ -34,6 +36,7 @@ pub mod deletion;
 pub mod element;
 pub mod generators;
 pub mod io;
+pub mod persist;
 pub mod source;
 pub mod stream;
 pub mod view;
@@ -44,6 +47,10 @@ pub use deletion::{inject_deletions, inject_deletions_fast, DeletionConfig};
 pub use element::{EdgeDelta, StreamElement};
 pub use generators::dataset::{Dataset, DatasetSpec};
 pub use io::{StreamIoError, TextSource};
+pub use persist::{
+    read_watermark, replay_wal, seal_tail, write_watermark, WalRecovery, WalWriter, WAL_MAGIC,
+    WATERMARK_FILE,
+};
 pub use source::{
     open_path_source, read_all, DeletionInjector, ElementSource, IterSource, SliceSource,
 };

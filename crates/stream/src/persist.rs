@@ -1,0 +1,808 @@
+//! The `ABWL1` append-only write-ahead log and the committed-watermark file.
+//!
+//! Durability for the estimators follows the classic stream-processor
+//! recipe: every element is appended to a WAL *before* it is processed, the
+//! estimator state is snapshotted every N elements, and recovery is
+//! *load-latest-valid-snapshot + replay-WAL-from-there*.  This module owns
+//! the log half of that contract; the snapshot half lives next to the
+//! estimators in `abacus-core`.
+//!
+//! # Segment layout
+//!
+//! The log is a directory of segment files named `wal-<first_seq>.abwl`,
+//! where `first_seq` is the zero-based index of the first stream element the
+//! segment holds:
+//!
+//! ```text
+//! segment  := b"ABWL1" u64_le(first_seq) record* seal?
+//! record   := varint(payload_len) payload
+//! payload  := varint(left << 1 | is_delete) varint(right)
+//! seal     := varint(0) u32_le(crc32 of all record bytes) u64_le(count)
+//! ```
+//!
+//! Records are length-prefixed so a torn tail (the process died mid-write)
+//! is detected byte-exactly; segments are *sealed* with a CRC32 and record
+//! count when the log rotates at a checkpoint, so a bit flip in any sealed
+//! segment fails closed.  Exactly one segment — the last — may be unsealed.
+//!
+//! # Watermark protocol
+//!
+//! `COMMITTED` holds the element count durably covered by the latest
+//! snapshot.  It is written to a temp file, synced, then renamed over the old
+//! watermark, so it is always either the previous or the new value — never a
+//! torn mix.  On recovery, elements *before* the chosen snapshot's position
+//! are skipped (overlap), a log that starts *after* it is a
+//! [`PersistError::Gap`], and the unsealed tail past the watermark is
+//! replayed record-by-record until the first torn byte.
+
+use crate::element::{EdgeDelta, StreamElement};
+use abacus_graph::persist::{crc32, Crc32, PersistError};
+use abacus_graph::Edge;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic header of a WAL segment file: `ABWL` + format version 1.
+pub const WAL_MAGIC: &[u8; 5] = b"ABWL1";
+
+/// Magic header of the committed-watermark file: `ABWM` + format version 1.
+pub const WATERMARK_MAGIC: &[u8; 5] = b"ABWM1";
+
+/// File name of the committed-watermark file inside a checkpoint directory.
+pub const WATERMARK_FILE: &str = "COMMITTED";
+
+fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.abwl")
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `bytes` at `offset`; `None` when the buffer ends
+/// before the varint does (a torn tail, not an error at this layer).
+fn read_varint_at(bytes: &[u8], offset: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*offset)?;
+        *offset += 1;
+        if shift >= 64 || (shift == 63 && (byte & 0x7F) > 1) {
+            // Overlong varints cannot appear in well-formed segments; treat
+            // them as a torn/corrupt boundary rather than silently wrapping.
+            return None;
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+fn encode_record(element: StreamElement) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(12);
+    let flag = u64::from(element.delta.is_delete());
+    push_varint(&mut payload, (u64::from(element.edge.left) << 1) | flag);
+    push_varint(&mut payload, u64::from(element.edge.right));
+    let mut record = Vec::with_capacity(payload.len() + 2);
+    push_varint(&mut record, payload.len() as u64);
+    record.extend_from_slice(&payload);
+    record
+}
+
+fn decode_payload(payload: &[u8]) -> Result<StreamElement, PersistError> {
+    let mut offset = 0usize;
+    let first = read_varint_at(payload, &mut offset)
+        .ok_or_else(|| PersistError::Corrupt("WAL record payload ends inside a varint".into()))?;
+    let second = read_varint_at(payload, &mut offset).ok_or_else(|| {
+        PersistError::Corrupt("WAL record payload missing its right endpoint".into())
+    })?;
+    if offset != payload.len() {
+        return Err(PersistError::Corrupt(format!(
+            "WAL record payload has {} trailing bytes",
+            payload.len() - offset
+        )));
+    }
+    let delta = if first & 1 == 1 {
+        EdgeDelta::Delete
+    } else {
+        EdgeDelta::Insert
+    };
+    let left = u32::try_from(first >> 1)
+        .map_err(|_| PersistError::Corrupt("WAL record left endpoint exceeds u32".into()))?;
+    let right = u32::try_from(second)
+        .map_err(|_| PersistError::Corrupt("WAL record right endpoint exceeds u32".into()))?;
+    Ok(StreamElement {
+        edge: Edge::new(left, right),
+        delta,
+    })
+}
+
+/// The append half of the WAL: one open (unsealed) segment at a time.
+///
+/// Appends are flushed to the OS per element; [`seal`](WalWriter::seal) (at
+/// checkpoint rotation) additionally `fsync`s, which is the durability point
+/// of the protocol.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    path: PathBuf,
+    file: File,
+    first_seq: u64,
+    records: u64,
+    crc: Crc32,
+}
+
+impl WalWriter {
+    /// Opens a fresh segment whose first record will be stream element
+    /// `first_seq`.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on filesystem failure (including a pre-existing
+    /// segment of the same name, which recovery is expected to have removed
+    /// or sealed).
+    pub fn create(dir: &Path, first_seq: u64) -> Result<Self, PersistError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(segment_file_name(first_seq));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&first_seq.to_le_bytes())?;
+        file.flush()?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            path,
+            file,
+            first_seq,
+            records: 0,
+            crc: Crc32::new(),
+        })
+    }
+
+    /// Sequence number the next appended element will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.first_seq + self.records
+    }
+
+    /// Appends one element and flushes it to the OS.  Returns the element's
+    /// sequence number.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on write failure.
+    pub fn append(&mut self, element: StreamElement) -> Result<u64, PersistError> {
+        let record = encode_record(element);
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.crc.update(&record);
+        let seq = self.next_seq();
+        self.records += 1;
+        Ok(seq)
+    }
+
+    /// Seals the open segment (writes the CRC trailer and `fsync`s) and
+    /// returns the sequence number after its last record.  An empty segment
+    /// is deleted instead of sealed, so rotation never leaves zero-record
+    /// files behind.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on write/sync failure.
+    pub fn seal(mut self) -> Result<u64, PersistError> {
+        let end = self.next_seq();
+        if self.records == 0 {
+            drop(self.file);
+            fs::remove_file(&self.path)?;
+            return Ok(end);
+        }
+        let mut trailer = Vec::with_capacity(13);
+        push_varint(&mut trailer, 0);
+        trailer.extend_from_slice(&self.crc.finalize().to_le_bytes());
+        trailer.extend_from_slice(&self.records.to_le_bytes());
+        self.file.write_all(&trailer)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(end)
+    }
+
+    /// Seals the open segment and opens the next one starting at the same
+    /// position — the checkpoint-time rotation.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] on filesystem failure.
+    pub fn rotate(self) -> Result<WalWriter, PersistError> {
+        let dir = self.dir.clone();
+        let next = self.seal()?;
+        WalWriter::create(&dir, next)
+    }
+}
+
+/// One decoded WAL segment.
+#[derive(Debug)]
+pub struct SegmentReplay {
+    /// First element sequence number the segment covers.
+    pub first_seq: u64,
+    /// The decoded elements, in stream order.
+    pub elements: Vec<StreamElement>,
+    /// Whether the segment carried (and passed) its seal trailer.
+    pub sealed: bool,
+    /// Whether a torn tail was dropped (only ever `true` on the last,
+    /// unsealed segment of a log).
+    pub torn: bool,
+}
+
+fn read_segment(path: &Path, is_last: bool) -> Result<SegmentReplay, PersistError> {
+    let bytes = fs::read(path)?;
+    let header_len = WAL_MAGIC.len() + 8;
+    if bytes.len() < WAL_MAGIC.len() {
+        return Err(PersistError::Truncated(format!(
+            "{} is shorter than the ABWL1 magic",
+            path.display()
+        )));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(PersistError::BadMagic {
+            expected: "ABWL1",
+            found: bytes[..WAL_MAGIC.len()].to_vec(),
+        });
+    }
+    if bytes.len() < header_len {
+        return Err(PersistError::Truncated(format!(
+            "{} ends inside its sequence header",
+            path.display()
+        )));
+    }
+    let mut seq_raw = [0u8; 8];
+    seq_raw.copy_from_slice(&bytes[WAL_MAGIC.len()..header_len]);
+    let first_seq = u64::from_le_bytes(seq_raw);
+
+    let mut elements = Vec::new();
+    let mut offset = header_len;
+    let mut crc = Crc32::new();
+    let mut sealed = false;
+    let mut torn = false;
+    loop {
+        let record_start = offset;
+        let Some(len) = read_varint_at(&bytes, &mut offset) else {
+            if record_start == bytes.len() {
+                break; // clean end of an unsealed segment
+            }
+            torn = true;
+            break;
+        };
+        if len == 0 {
+            // Seal trailer: crc32 + record count, then end of file.
+            if bytes.len() < offset + 12 {
+                // The process died while writing the trailer; treat it as an
+                // unsealed segment torn at the trailer start.
+                torn = true;
+                break;
+            }
+            let mut raw = [0u8; 4];
+            raw.copy_from_slice(&bytes[offset..offset + 4]);
+            let stored_crc = u32::from_le_bytes(raw);
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[offset + 4..offset + 12]);
+            let stored_count = u64::from_le_bytes(raw);
+            offset += 12;
+            if offset != bytes.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "{}: {} bytes after the seal trailer",
+                    path.display(),
+                    bytes.len() - offset
+                )));
+            }
+            if stored_count != elements.len() as u64 {
+                return Err(PersistError::Corrupt(format!(
+                    "{}: seal trailer claims {stored_count} records, segment holds {}",
+                    path.display(),
+                    elements.len()
+                )));
+            }
+            if stored_crc != crc.finalize() {
+                return Err(PersistError::Corrupt(format!(
+                    "{}: segment CRC mismatch (stored {stored_crc:#010x}, computed {:#010x})",
+                    path.display(),
+                    crc.finalize()
+                )));
+            }
+            sealed = true;
+            break;
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            PersistError::Corrupt("WAL record length exceeds the address space".into())
+        })?;
+        if bytes.len() < offset + len {
+            torn = true;
+            break;
+        }
+        let payload = &bytes[offset..offset + len];
+        let element = decode_payload(payload)?;
+        offset += len;
+        crc.update(&bytes[record_start..offset]);
+        elements.push(element);
+    }
+
+    if !sealed && !is_last {
+        return Err(PersistError::Corrupt(format!(
+            "{} is unsealed but not the final segment — the log rotated without sealing",
+            path.display()
+        )));
+    }
+    if torn && !is_last {
+        return Err(PersistError::Corrupt(format!(
+            "{} has a torn tail but is not the final segment",
+            path.display()
+        )));
+    }
+    Ok(SegmentReplay {
+        first_seq,
+        elements,
+        sealed,
+        torn,
+    })
+}
+
+/// The outcome of replaying a whole WAL directory.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Elements from `from_seq` (inclusive) to the end of the durable log,
+    /// in stream order.
+    pub elements: Vec<StreamElement>,
+    /// The sequence number after the last durable element — where processing
+    /// resumes.
+    pub next_seq: u64,
+    /// Whether a torn tail was dropped from the final segment.
+    pub dropped_torn_tail: bool,
+}
+
+/// Lists the WAL segment paths of `dir`, ordered by their file-name sequence
+/// number.
+///
+/// # Errors
+/// [`PersistError::Io`] on directory-read failure.
+pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, PersistError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("wal-") && name.ends_with(".abwl") {
+            segments.push(entry.path());
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Replays every WAL segment in `dir`, returning the elements from
+/// `from_seq` onward.
+///
+/// Validates the full chain: segments must be contiguous (each segment's
+/// header sequence equals the previous segment's end, else
+/// [`PersistError::Gap`]), every non-final segment must be sealed with a
+/// matching CRC, and `from_seq` must fall inside the covered range.
+/// Elements before `from_seq` (the overlap between the snapshot and the
+/// segment it rotated out of) are skipped; a torn tail on the final segment
+/// is dropped cleanly.
+///
+/// # Errors
+/// Any [`PersistError`] surfaced by segment validation, or
+/// [`PersistError::Gap`] when the log does not reach back to `from_seq`.
+pub fn replay_wal(dir: &Path, from_seq: u64) -> Result<WalRecovery, PersistError> {
+    let paths = list_segments(dir)?;
+    if paths.is_empty() {
+        if from_seq != 0 {
+            return Err(PersistError::Gap {
+                expected: from_seq,
+                found: 0,
+            });
+        }
+        return Ok(WalRecovery {
+            elements: Vec::new(),
+            next_seq: 0,
+            dropped_torn_tail: false,
+        });
+    }
+    let mut elements = Vec::new();
+    let mut expected_seq: Option<u64> = None;
+    let mut next_seq = 0u64;
+    let mut dropped_torn_tail = false;
+    let last_index = paths.len() - 1;
+    for (index, path) in paths.iter().enumerate() {
+        let segment = read_segment(path, index == last_index)?;
+        if let Some(expected) = expected_seq {
+            if segment.first_seq != expected {
+                return Err(PersistError::Gap {
+                    expected,
+                    found: segment.first_seq,
+                });
+            }
+        } else if segment.first_seq > from_seq {
+            // The log starts after the snapshot position: elements are
+            // missing between the snapshot and the first surviving segment.
+            return Err(PersistError::Gap {
+                expected: from_seq,
+                found: segment.first_seq,
+            });
+        }
+        for (offset, &element) in segment.elements.iter().enumerate() {
+            let seq = segment.first_seq + offset as u64;
+            if seq >= from_seq {
+                elements.push(element);
+            }
+        }
+        next_seq = segment.first_seq + segment.elements.len() as u64;
+        dropped_torn_tail |= segment.torn;
+        expected_seq = Some(next_seq);
+    }
+    if from_seq > next_seq {
+        return Err(PersistError::Gap {
+            expected: from_seq,
+            found: next_seq,
+        });
+    }
+    Ok(WalRecovery {
+        elements,
+        next_seq,
+        dropped_torn_tail,
+    })
+}
+
+/// Seals (or removes, when empty) the final unsealed segment of `dir` so a
+/// recovering process can open a fresh segment at `next_seq` without name
+/// collisions or unsealed non-final segments.  Torn tail bytes are truncated
+/// to the last clean record boundary first.  A log whose final segment is
+/// already sealed is left untouched.
+///
+/// Returns `true` when a torn (partially written) tail record was dropped —
+/// the caller is the only one who can still report that to the operator,
+/// since the tear no longer exists on disk afterwards.
+///
+/// # Errors
+/// Any [`PersistError`] surfaced by reading the tail segment, or I/O errors
+/// while rewriting it.
+pub fn seal_tail(dir: &Path) -> Result<bool, PersistError> {
+    let paths = list_segments(dir)?;
+    let Some(path) = paths.last() else {
+        return Ok(false);
+    };
+    let segment = read_segment(path, true)?;
+    if segment.sealed {
+        return Ok(false);
+    }
+    if segment.elements.is_empty() {
+        fs::remove_file(path)?;
+        return Ok(segment.torn);
+    }
+    // Rewrite the records we trust (drops any torn tail), then seal.
+    let mut writer = {
+        let tmp = path.with_extension("abwl.tmp");
+        let _ = fs::remove_file(&tmp);
+        let mut file = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&segment.first_seq.to_le_bytes())?;
+        WalWriter {
+            dir: dir.to_path_buf(),
+            path: tmp,
+            file,
+            first_seq: segment.first_seq,
+            records: 0,
+            crc: Crc32::new(),
+        }
+    };
+    for &element in &segment.elements {
+        writer.append(element)?;
+    }
+    let tmp_path = writer.path.clone();
+    let mut trailer = Vec::with_capacity(13);
+    push_varint(&mut trailer, 0);
+    trailer.extend_from_slice(&writer.crc.finalize().to_le_bytes());
+    trailer.extend_from_slice(&writer.records.to_le_bytes());
+    writer.file.write_all(&trailer)?;
+    writer.file.flush()?;
+    writer.file.sync_data()?;
+    drop(writer);
+    fs::rename(&tmp_path, path)?;
+    Ok(segment.torn)
+}
+
+/// Atomically records `committed` (an element count) as the durable
+/// watermark of `dir`.
+///
+/// # Errors
+/// [`PersistError::Io`] on filesystem failure.
+pub fn write_watermark(dir: &Path, committed: u64) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let mut bytes = Vec::with_capacity(17);
+    bytes.extend_from_slice(WATERMARK_MAGIC);
+    bytes.extend_from_slice(&committed.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&committed.to_le_bytes()).to_le_bytes());
+    let tmp = dir.join(format!("{WATERMARK_FILE}.tmp"));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, dir.join(WATERMARK_FILE))?;
+    Ok(())
+}
+
+/// Reads the committed watermark of `dir`; `Ok(None)` when no watermark has
+/// been written yet.
+///
+/// # Errors
+/// Typed [`PersistError`]s for a short, mis-tagged, or checksum-failing file.
+pub fn read_watermark(dir: &Path) -> Result<Option<u64>, PersistError> {
+    let path = dir.join(WATERMARK_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    if bytes.len() < WATERMARK_MAGIC.len() {
+        return Err(PersistError::Truncated(
+            "watermark file shorter than its magic".into(),
+        ));
+    }
+    if &bytes[..WATERMARK_MAGIC.len()] != WATERMARK_MAGIC {
+        return Err(PersistError::BadMagic {
+            expected: "ABWM1",
+            found: bytes[..WATERMARK_MAGIC.len()].to_vec(),
+        });
+    }
+    if bytes.len() != WATERMARK_MAGIC.len() + 12 {
+        return Err(PersistError::Truncated(format!(
+            "watermark file is {} bytes, expected {}",
+            bytes.len(),
+            WATERMARK_MAGIC.len() + 12
+        )));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[5..13]);
+    let committed = u64::from_le_bytes(raw);
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[13..17]);
+    let stored_crc = u32::from_le_bytes(raw);
+    if stored_crc != crc32(&committed.to_le_bytes()) {
+        return Err(PersistError::Corrupt("watermark CRC mismatch".into()));
+    }
+    Ok(Some(committed))
+}
+
+/// Removes every sealed segment that ends at or before `keep_from` — the
+/// checkpoint-time garbage collection (segments older than the oldest
+/// retained snapshot can never be replayed again).
+///
+/// # Errors
+/// [`PersistError::Io`] on filesystem failure; segments that fail to parse
+/// are left in place (pruning must never turn a readable log unreadable).
+pub fn prune_segments(dir: &Path, keep_from: u64) -> Result<(), PersistError> {
+    let paths = list_segments(dir)?;
+    if paths.len() <= 1 {
+        return Ok(());
+    }
+    let last_index = paths.len() - 1;
+    for (index, path) in paths.iter().enumerate() {
+        if index == last_index {
+            break; // never prune the open tail
+        }
+        let Ok(segment) = read_segment(path, false) else {
+            continue;
+        };
+        let end = segment.first_seq + segment.elements.len() as u64;
+        if end <= keep_from {
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "abacus_wal_{label}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn elements(n: u32) -> Vec<StreamElement> {
+        (0..n)
+            .map(|i| {
+                if i % 5 == 4 {
+                    StreamElement::delete(Edge::new(i, i + 1))
+                } else {
+                    StreamElement::insert(Edge::new(i * 3, i))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_rotate_replay_round_trip() {
+        let dir = temp_dir("round_trip");
+        let stream = elements(25);
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for (i, &element) in stream.iter().enumerate() {
+            assert_eq!(writer.append(element).unwrap(), i as u64);
+            if (i + 1) % 10 == 0 {
+                writer = writer.rotate().unwrap();
+            }
+        }
+        drop(writer);
+        let recovery = replay_wal(&dir, 0).unwrap();
+        assert_eq!(recovery.elements, stream);
+        assert_eq!(recovery.next_seq, 25);
+        assert!(!recovery.dropped_torn_tail);
+        // Replay from a mid-segment position skips the overlap.
+        let recovery = replay_wal(&dir, 13).unwrap();
+        assert_eq!(recovery.elements, stream[13..].to_vec());
+        assert_eq!(recovery.next_seq, 25);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_cleanly() {
+        let dir = temp_dir("torn");
+        let stream = elements(8);
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for &element in &stream {
+            writer.append(element).unwrap();
+        }
+        drop(writer);
+        let path = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.pop(); // tear the final record
+        fs::write(&path, &bytes).unwrap();
+        let recovery = replay_wal(&dir, 0).unwrap();
+        assert_eq!(recovery.elements, stream[..7].to_vec());
+        assert_eq!(recovery.next_seq, 7);
+        assert!(recovery.dropped_torn_tail);
+    }
+
+    #[test]
+    fn bit_flip_in_sealed_segment_fails_closed() {
+        let dir = temp_dir("flip");
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for &element in &elements(10) {
+            writer.append(element).unwrap();
+        }
+        writer.seal().unwrap();
+        let path = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let target = WAL_MAGIC.len() + 8 + 3;
+        bytes[target] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let err = replay_wal(&dir, 0).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt(_)),
+            "bit flip must be Corrupt, got {err}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_gaps_are_typed() {
+        let dir = temp_dir("magic");
+        fs::write(dir.join(segment_file_name(0)), b"NOTALOG....").unwrap();
+        assert!(matches!(
+            replay_wal(&dir, 0).unwrap_err(),
+            PersistError::BadMagic { .. }
+        ));
+
+        let dir = temp_dir("gap");
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for &element in &elements(5) {
+            writer.append(element).unwrap();
+        }
+        writer.seal().unwrap();
+        // Next segment starts at 9 instead of 5: a hole.
+        let mut writer = WalWriter::create(&dir, 9).unwrap();
+        writer
+            .append(StreamElement::insert(Edge::new(1, 1)))
+            .unwrap();
+        drop(writer);
+        assert!(matches!(
+            replay_wal(&dir, 0).unwrap_err(),
+            PersistError::Gap {
+                expected: 5,
+                found: 9
+            }
+        ));
+
+        // A log that starts after the requested position is also a gap.
+        let dir = temp_dir("gap_start");
+        let mut writer = WalWriter::create(&dir, 100).unwrap();
+        writer
+            .append(StreamElement::insert(Edge::new(1, 1)))
+            .unwrap();
+        drop(writer);
+        assert!(matches!(
+            replay_wal(&dir, 50).unwrap_err(),
+            PersistError::Gap { .. }
+        ));
+    }
+
+    #[test]
+    fn seal_tail_heals_unsealed_and_torn_logs() {
+        let dir = temp_dir("heal");
+        let stream = elements(6);
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for &element in &stream {
+            writer.append(element).unwrap();
+        }
+        drop(writer); // crash: unsealed tail
+        seal_tail(&dir).unwrap();
+        let segment = read_segment(&list_segments(&dir).unwrap()[0], true).unwrap();
+        assert!(segment.sealed);
+        assert_eq!(segment.elements, stream);
+        // Sealing is idempotent.
+        seal_tail(&dir).unwrap();
+        // A fresh segment can now be opened at the end without collision.
+        let writer = WalWriter::create(&dir, 6).unwrap();
+        drop(writer);
+        seal_tail(&dir).unwrap(); // empty tail is removed
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn watermark_round_trips_and_fails_closed() {
+        let dir = temp_dir("watermark");
+        assert_eq!(read_watermark(&dir).unwrap(), None);
+        write_watermark(&dir, 12_345).unwrap();
+        assert_eq!(read_watermark(&dir).unwrap(), Some(12_345));
+        write_watermark(&dir, 99_999).unwrap();
+        assert_eq!(read_watermark(&dir).unwrap(), Some(99_999));
+
+        let path = dir.join(WATERMARK_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[7] ^= 0x01; // flip a committed-count bit
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_watermark(&dir).unwrap_err(),
+            PersistError::Corrupt(_)
+        ));
+        fs::write(&path, b"XX").unwrap();
+        assert!(matches!(
+            read_watermark(&dir).unwrap_err(),
+            PersistError::Truncated(_)
+        ));
+    }
+
+    #[test]
+    fn prune_drops_fully_committed_segments_only() {
+        let dir = temp_dir("prune");
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for (i, &element) in elements(30).iter().enumerate() {
+            writer.append(element).unwrap();
+            if (i + 1) % 10 == 0 {
+                writer = writer.rotate().unwrap();
+            }
+        }
+        drop(writer);
+        assert_eq!(list_segments(&dir).unwrap().len(), 4); // 3 sealed + open tail
+        prune_segments(&dir, 20).unwrap();
+        let remaining = list_segments(&dir).unwrap();
+        assert_eq!(remaining.len(), 2); // segment [20,30) + open tail
+        let recovery = replay_wal(&dir, 20).unwrap();
+        assert_eq!(recovery.elements.len(), 10);
+        assert_eq!(recovery.next_seq, 30);
+    }
+}
