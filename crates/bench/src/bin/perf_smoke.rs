@@ -609,7 +609,7 @@ fn ensemble_rows() -> (Vec<Row>, Vec<(String, f64)>) {
         (0..trials)
             .map(|trial| {
                 let spec = EstimatorSpec::abacus(per_replica).with_seed(SEED + trial);
-                let mut ensemble = Ensemble::new(spec, k, EnsembleMode::Replicate);
+                let mut ensemble = Ensemble::new(spec, k, EnsembleMode::Replicate).unwrap();
                 ensemble.process_stream(&stream);
                 100.0 * ((ensemble.estimate() - truth) / truth).abs()
             })
@@ -640,7 +640,9 @@ fn ensemble_rows() -> (Vec<Row>, Vec<(String, f64)>) {
     for mode in [EnsembleMode::Replicate, EnsembleMode::Partition] {
         for threads in [1usize, 2] {
             let spec = EstimatorSpec::abacus((budget / 4).max(2)).with_seed(SEED);
-            let mut ensemble = Ensemble::new(spec, 4, mode).with_fan_out_threads(threads);
+            let mut ensemble = Ensemble::new(spec, 4, mode)
+                .unwrap()
+                .with_fan_out_threads(threads);
             let start = Instant::now();
             ensemble.process_stream(&stream);
             let seconds = start.elapsed().as_secs_f64();

@@ -64,7 +64,7 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
         // Trial t runs with seed --seed + t, so --seed shifts the whole
         // trial sequence for reproducibility instead of being ignored.
         let spec = base.with_seed(base.seed.wrapping_add(trial));
-        let mut counter = super::build_counter(spec, ensemble, &[]);
+        let mut counter = super::build_counter(spec, ensemble, &[], Vec::new());
         match &generated {
             Some(stream) => counter.process_source(&mut SliceSource::new(stream)),
             None => counter.process_source(&mut *input.open()?),

@@ -14,8 +14,9 @@ use crate::args::Arguments;
 use crate::error::CliError;
 use abacus_core::engine::{Ensemble, EnsembleMode, EstimatorKind, EstimatorSpec};
 use abacus_core::{ButterflyCounter, Circuit, SnapshotMode, ViewKind};
+use abacus_stream::fault::{FaultPlan, ReplicaFault};
 use abacus_stream::{
-    open_path_source, Dataset, DatasetSpec, ElementSource, GraphStream, IterSource,
+    open_path_source, Dataset, DatasetSpec, ElementSource, FaultySource, GraphStream, IterSource,
 };
 
 /// Parses the common estimator options (`--algorithm`, `--budget`, `--seed`,
@@ -119,6 +120,38 @@ pub(crate) fn parse_ensemble(args: &Arguments) -> Result<Option<(usize, Ensemble
     }
 }
 
+/// Parses `--fault-plan` (the compact [`FaultPlan::parse`] grammar, e.g.
+/// `panic:replica=1@250,io@10x2`) into a deterministic fault plan.
+///
+/// Returns an empty plan when the option is absent.  Replica faults only
+/// make sense against an ensemble; the caller validates that combination
+/// because only it knows whether `--ensemble` was given.
+pub(crate) fn parse_fault_plan(args: &Arguments) -> Result<FaultPlan, CliError> {
+    match args.get("fault-plan") {
+        None => Ok(FaultPlan::new()),
+        Some(raw) => FaultPlan::parse(raw).map_err(|detail| CliError::InvalidValue {
+            option: "fault-plan".to_string(),
+            value: format!("{raw} ({detail})"),
+            expected: "comma-separated entries: panic:replica=<i>@<n>, \
+                       io:replica=<i>@<n>x<f>, io@<n>x<f>, corrupt@<n>, stall@<n>x<ms>",
+        }),
+    }
+}
+
+/// Wraps the workload's source in a [`FaultySource`] when the plan carries
+/// source faults; otherwise opens it untouched.
+pub(crate) fn open_faulty_source(
+    input: &WorkloadInput,
+    plan: &FaultPlan,
+) -> Result<Box<dyn ElementSource>, CliError> {
+    let source = input.open()?;
+    if plan.source.is_empty() {
+        Ok(source)
+    } else {
+        Ok(Box::new(FaultySource::new(source, plan)))
+    }
+}
+
 /// The circuit type `run --views` builds, spelled out once so the report
 /// path can downcast [`ButterflyCounter::as_any`] back to it.
 pub(crate) type BoxedCircuit = Circuit<Box<dyn ButterflyCounter + Send>>;
@@ -142,16 +175,28 @@ pub(crate) fn parse_views(args: &Arguments) -> Result<Vec<ViewKind>, CliError> {
 /// K-replica [`Ensemble`] fanning out over up to `spec.threads` workers,
 /// and/or a delta [`Circuit`] with the requested views subscribed — the one
 /// construction point `run` and `accuracy` share.
+///
+/// A non-empty `replica_faults` list arms supervision on the ensemble: the
+/// listed faults fire deterministically, quarantining their replicas while
+/// the rest keep serving (callers reject replica faults without
+/// `--ensemble` before getting here).
 pub(crate) fn build_counter(
     spec: EstimatorSpec,
     ensemble: Option<(usize, EnsembleMode)>,
     views: &[ViewKind],
+    replica_faults: Vec<ReplicaFault>,
 ) -> Box<dyn ButterflyCounter + Send> {
     let base: Box<dyn ButterflyCounter + Send> = match ensemble {
         None if views.is_empty() => return spec.build(),
         None => return spec.build_with_views(views),
         Some((replicas, mode)) => {
-            Box::new(Ensemble::new(spec, replicas, mode).with_fan_out_threads(spec.threads))
+            let mut ensemble = Ensemble::new(spec, replicas, mode)
+                .expect("the option parser rejects zero replicas")
+                .with_fan_out_threads(spec.threads);
+            if !replica_faults.is_empty() {
+                ensemble = ensemble.with_replica_faults(replica_faults);
+            }
+            Box::new(ensemble)
         }
     };
     if views.is_empty() {

@@ -7,12 +7,19 @@
 //! and processes the remainder — the final estimate is bit-identical to a
 //! run that was never interrupted (at the same checkpoint cadence).  Without
 //! an input the command just recovers, reports, and re-seals the directory.
+//!
+//! Supervised ensemble directories (from `run --ensemble --checkpoint-dir`)
+//! are detected from the layout: *every* replica is rebuilt — quarantined
+//! ones from their own newest snapshot plus ensemble-WAL catch-up — and
+//! rejoined, so a degraded run resumes with its full replica set healthy.
 
 use super::WorkloadInput;
 use crate::args::Arguments;
 use crate::error::CliError;
-use abacus_core::engine::Checkpointer;
+use abacus_core::engine::supervisor::is_supervised_dir;
+use abacus_core::engine::{Checkpointer, EnsembleSupervisor};
 use abacus_metrics::Throughput;
+use std::path::Path;
 use std::time::Instant;
 
 /// Recovers the checkpoint directory and, given an input, finishes the run.
@@ -27,6 +34,10 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
         None
     };
     args.reject_unused()?;
+
+    if is_supervised_dir(Path::new(&dir)) {
+        return resume_supervised(&dir, input.as_ref());
+    }
 
     let recovery = Checkpointer::resume(&dir).map_err(|e| CliError::Persist(e.to_string()))?;
     let mut checkpointer = recovery.checkpointer;
@@ -76,6 +87,64 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     };
     Ok(super::run::checkpoint_report(
         &checkpointer,
+        &label,
+        offered,
+        estimate,
+        &throughput,
+        Some(&note),
+    ))
+}
+
+/// The supervised-ensemble recovery path: rebuild every replica (rejoining
+/// quarantined ones via snapshot restore + ensemble-WAL catch-up), then —
+/// given an input — finish the remainder of the stream.
+fn resume_supervised(dir: &str, input: Option<&WorkloadInput>) -> Result<String, CliError> {
+    let recovery = EnsembleSupervisor::resume(dir).map_err(|e| CliError::Persist(e.to_string()))?;
+    let mut supervisor = recovery.supervisor;
+    let resumed_at = supervisor.offered();
+
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let label = if let Some(input) = input {
+        let mut source = input.open()?;
+        // Skip the prefix the ensemble log already covers (same contract as
+        // the single-estimator path: positions, not content hashes).
+        let mut skipped = 0u64;
+        while skipped < resumed_at {
+            match source.next_element() {
+                Some(Ok(_)) => skipped += 1,
+                Some(Err(error)) => return Err(CliError::Io(error.to_string())),
+                None => {
+                    return Err(CliError::Persist(format!(
+                        "input ends after {skipped} elements but the checkpoint \
+                         covers {resumed_at}; is this the stream the run was started on?"
+                    )))
+                }
+            }
+        }
+        while let Some(next) = super::run::pull_with_retry(&mut *source) {
+            let element = next.map_err(|e| CliError::Io(e.to_string()))?;
+            supervisor
+                .offer(element)
+                .map_err(|e| CliError::Persist(e.to_string()))?;
+            offered += 1;
+        }
+        input.label()
+    } else {
+        "(no input: recover only)".to_string()
+    };
+    let estimate = supervisor
+        .finish()
+        .map_err(|e| CliError::Persist(e.to_string()))?;
+    let throughput = Throughput::new(offered, start.elapsed());
+
+    let note = super::run::SupervisedResumeNote {
+        replicas: recovery.replicas,
+        dropped_torn_tail: recovery.dropped_torn_tail,
+        watermark_rebuilt: recovery.watermark_rebuilt,
+    };
+    Ok(super::run::supervised_report(
+        &supervisor,
         &label,
         offered,
         estimate,

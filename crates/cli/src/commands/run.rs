@@ -10,10 +10,12 @@
 use super::{parse_ensemble, WorkloadInput};
 use crate::args::Arguments;
 use crate::error::CliError;
-use abacus_core::engine::{Checkpointer, Ensemble, RunManifest};
+use abacus_core::engine::{Checkpointer, Ensemble, EnsembleSupervisor, RunManifest};
 use abacus_core::ButterflyCounter;
 use abacus_metrics::{relative_error_percent, Throughput};
-use abacus_stream::final_graph;
+use abacus_stream::fault::FaultPlan;
+use abacus_stream::persist::RetryPolicy;
+use abacus_stream::{final_graph, ElementSource, StreamElement};
 use std::time::Instant;
 
 /// Runs the selected estimator over the workload and formats a small report.
@@ -28,13 +30,42 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     let want_truth = args.flag("ground-truth");
     let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
     let checkpoint_every: u64 = args.parsed_or("checkpoint-every", 10_000, "a positive integer")?;
+    let plan = super::parse_fault_plan(args)?;
     args.reject_unused()?;
 
-    if let Some(dir) = checkpoint_dir {
-        return run_checkpointed(&input, spec, ensemble, &views, &dir, checkpoint_every);
+    if !plan.replicas.is_empty() && ensemble.is_none() {
+        return Err(CliError::InvalidValue {
+            option: "fault-plan".to_string(),
+            value: "replica faults".to_string(),
+            expected: "--ensemble when the plan injects replica faults",
+        });
+    }
+    if want_truth && !plan.is_empty() {
+        return Err(CliError::InvalidValue {
+            option: "fault-plan".to_string(),
+            value: "(set)".to_string(),
+            expected: "no --fault-plan with --ground-truth (the exact count \
+                       needs the unfaulted stream)",
+        });
     }
 
-    let mut counter = super::build_counter(spec, ensemble, &views);
+    if let Some(dir) = checkpoint_dir {
+        return if let Some(ensemble) = ensemble {
+            run_supervised(
+                &input,
+                spec,
+                ensemble,
+                &views,
+                &dir,
+                checkpoint_every,
+                &plan,
+            )
+        } else {
+            run_checkpointed(&input, spec, &views, &dir, checkpoint_every, &plan)
+        };
+    }
+
+    let mut counter = super::build_counter(spec, ensemble, &views, plan.replicas.clone());
 
     // Ground truth needs the final graph, which only a materialized stream
     // can provide without a second pass over a re-openable source; everything
@@ -53,7 +84,7 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
             Some(truth),
         )
     } else {
-        let mut source = input.open()?;
+        let mut source = super::open_faulty_source(&input, &plan)?;
         let start = Instant::now();
         let elements = if chunk == 0 {
             counter.process_source(&mut *source)
@@ -111,6 +142,7 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
             ensemble.spec().kind,
             ensemble.spec().budget,
         ));
+        push_health_lines(&mut report, &ensemble.health());
         if let Some(summary) = ensemble.replicate_summary() {
             report.push_str(&format!(
                 "replica spread:   std dev {:.1}, 95% CI {:.1} .. {:.1}\n",
@@ -136,16 +168,45 @@ pub fn run(args: &Arguments) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// Appends the ensemble health block to a report: nothing when every
+/// replica is in service, a `health:` line plus one `quarantine:` line per
+/// out-of-service replica when serving is degraded.
+pub(crate) fn push_health_lines(report: &mut String, health: &abacus_metrics::HealthReport) {
+    if !health.is_degraded() {
+        return;
+    }
+    report.push_str(&format!("health:           {}\n", health.summary_line()));
+    for record in &health.quarantined {
+        report.push_str(&format!("quarantine:       {}\n", record.summary_line()));
+    }
+}
+
+/// Pulls the next element, retrying up to the retry budget on transient
+/// source errors (a [`abacus_stream::FaultySource`] I/O fault, a flaky
+/// filesystem).  Returns the last error once the budget is exhausted.
+pub(crate) fn pull_with_retry(
+    source: &mut dyn ElementSource,
+) -> Option<Result<StreamElement, abacus_stream::StreamIoError>> {
+    let mut last = None;
+    for _ in 0..RetryPolicy::default().attempts {
+        match source.next_element() {
+            Some(Err(error)) => last = Some(error),
+            other => return other,
+        }
+    }
+    last.map(Err)
+}
+
 /// The durable path behind `--checkpoint-dir`: every element is WAL-appended
 /// before processing and a snapshot is taken every `--checkpoint-every`
 /// elements, so a killed run resumes bit-identically with `abacus resume`.
 fn run_checkpointed(
     input: &WorkloadInput,
     spec: abacus_core::EstimatorSpec,
-    ensemble: Option<(usize, abacus_core::EnsembleMode)>,
     views: &[abacus_core::ViewKind],
     dir: &str,
     every: u64,
+    plan: &FaultPlan,
 ) -> Result<String, CliError> {
     if every == 0 {
         return Err(CliError::InvalidValue {
@@ -154,24 +215,14 @@ fn run_checkpointed(
             expected: "a positive integer",
         });
     }
-    if ensemble.is_some() && !views.is_empty() {
-        return Err(CliError::InvalidValue {
-            option: "views".to_string(),
-            value: "(set)".to_string(),
-            expected: "no --views when --ensemble and --checkpoint-dir are combined",
-        });
-    }
-    let mut manifest = RunManifest::new(spec, every).with_views(views);
-    if let Some((replicas, mode)) = ensemble {
-        manifest = manifest.with_ensemble(replicas, mode);
-    }
+    let manifest = RunManifest::new(spec, every).with_views(views);
     let mut checkpointer =
         Checkpointer::create(dir, manifest).map_err(|e| CliError::Persist(e.to_string()))?;
 
-    let mut source = input.open()?;
+    let mut source = super::open_faulty_source(input, plan)?;
     let start = Instant::now();
     let mut offered = 0u64;
-    while let Some(next) = source.next_element() {
+    while let Some(next) = pull_with_retry(&mut *source) {
         let element = next.map_err(|e| CliError::Io(e.to_string()))?;
         checkpointer
             .offer(element)
@@ -185,6 +236,68 @@ fn run_checkpointed(
 
     Ok(checkpoint_report(
         &checkpointer,
+        &input.label(),
+        offered,
+        estimate,
+        &throughput,
+        None,
+    ))
+}
+
+/// The supervised path behind `--ensemble --checkpoint-dir`: an
+/// [`EnsembleSupervisor`] drives one [`Checkpointer`] per replica plus an
+/// ensemble-level WAL, so a replica fault quarantines that replica (serving
+/// continues degraded over the rest) and `abacus resume` rebuilds *every*
+/// replica — quarantined ones via snapshot restore + WAL catch-up — to the
+/// bit-exact state of a never-failed run.
+fn run_supervised(
+    input: &WorkloadInput,
+    spec: abacus_core::EstimatorSpec,
+    ensemble: (usize, abacus_core::EnsembleMode),
+    views: &[abacus_core::ViewKind],
+    dir: &str,
+    every: u64,
+    plan: &FaultPlan,
+) -> Result<String, CliError> {
+    if every == 0 {
+        return Err(CliError::InvalidValue {
+            option: "checkpoint-every".to_string(),
+            value: "0".to_string(),
+            expected: "a positive integer",
+        });
+    }
+    if !views.is_empty() {
+        return Err(CliError::InvalidValue {
+            option: "views".to_string(),
+            value: "(set)".to_string(),
+            expected: "no --views when --ensemble and --checkpoint-dir are combined",
+        });
+    }
+    let (replicas, mode) = ensemble;
+    let manifest = RunManifest::new(spec, every).with_ensemble(replicas, mode);
+    let mut supervisor =
+        EnsembleSupervisor::create(dir, manifest).map_err(|e| CliError::Persist(e.to_string()))?;
+    if !plan.replicas.is_empty() {
+        supervisor = supervisor.with_replica_faults(plan.replicas.clone());
+    }
+
+    let mut source = super::open_faulty_source(input, plan)?;
+    let start = Instant::now();
+    let mut offered = 0u64;
+    while let Some(next) = pull_with_retry(&mut *source) {
+        let element = next.map_err(|e| CliError::Io(e.to_string()))?;
+        supervisor
+            .offer(element)
+            .map_err(|e| CliError::Persist(e.to_string()))?;
+        offered += 1;
+    }
+    let estimate = supervisor
+        .finish()
+        .map_err(|e| CliError::Persist(e.to_string()))?;
+    let throughput = Throughput::new(offered, start.elapsed());
+
+    Ok(supervised_report(
+        &supervisor,
         &input.label(),
         offered,
         estimate,
@@ -271,6 +384,80 @@ pub(crate) fn checkpoint_report(
             for line in lines {
                 report.push_str(&format!("{:<18}{line}\n", format!("view {name}:")));
             }
+        }
+    }
+    report
+}
+
+/// The recovery details a supervised `resume` reports (a projection of
+/// [`abacus_core::SupervisorRecovery`], since the supervisor moves out of
+/// it).
+pub(crate) struct SupervisedResumeNote {
+    /// Per-replica recovery detail, in replica order.
+    pub replicas: Vec<abacus_core::ReplicaRecovery>,
+    /// Whether a torn final record was dropped from the ensemble log.
+    pub dropped_torn_tail: bool,
+    /// Whether the ensemble watermark was missing/corrupt and rebuilt from
+    /// the durable log.
+    pub watermark_rebuilt: bool,
+}
+
+/// The shared report block of the supervised `run --ensemble
+/// --checkpoint-dir` path and a supervised `resume`.
+pub(crate) fn supervised_report(
+    supervisor: &EnsembleSupervisor,
+    stream_label: &str,
+    offered: u64,
+    estimate: f64,
+    throughput: &Throughput,
+    recovery: Option<&SupervisedResumeNote>,
+) -> String {
+    let spec = supervisor.manifest().spec;
+    let mut report = format!(
+        "algorithm:        ENSEMBLE-{} (supervised)\n\
+         stream:           {stream_label} ({offered} elements this run)\n\
+         ingest:           checkpointed (ensemble WAL + per-replica snapshots every {})\n\
+         checkpoint dir:   {}\n\
+         committed:        {} elements durable\n\
+         memory (edges):   {}\n\
+         estimate:         {estimate:.1}\n\
+         elapsed:          {:.3}s\n\
+         throughput:       {:.0} edges/s\n\
+         ensemble:         {} x {} over {} (per-replica budget {})\n",
+        supervisor.mode(),
+        supervisor.manifest().checkpoint_every,
+        supervisor.dir().display(),
+        supervisor.offered(),
+        supervisor.memory_edges(),
+        throughput.seconds,
+        throughput.per_second(),
+        supervisor.replicas(),
+        supervisor.mode(),
+        spec.kind,
+        spec.budget,
+    );
+    push_health_lines(&mut report, &supervisor.health());
+    if let Some(summary) = supervisor.replicate_summary() {
+        report.push_str(&format!(
+            "replica spread:   std dev {:.1}, 95% CI {:.1} .. {:.1}\n",
+            summary.std_dev,
+            summary.mean - summary.ci95_half_width,
+            summary.mean + summary.ci95_half_width,
+        ));
+    }
+    if let Some(recovery) = recovery {
+        for replica in &recovery.replicas {
+            report.push_str(&format!(
+                "replica {} resume: snapshot at {} elements + {} own WAL + {} ensemble \
+                 catch-up\n",
+                replica.replica, replica.snapshot_elements, replica.replayed, replica.caught_up,
+            ));
+        }
+        if recovery.dropped_torn_tail {
+            report.push_str("wal tail:         torn final record dropped\n");
+        }
+        if recovery.watermark_rebuilt {
+            report.push_str("watermark:        missing or unreadable; rebuilt from the log\n");
         }
     }
     report
@@ -730,6 +917,175 @@ mod tests {
             "{durable}"
         );
         std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_plans_are_validated_and_degrade_in_memory_ensembles() {
+        let path = mixed_file("fault_plan.txt");
+        let path_str = path.to_str().unwrap();
+        // Malformed grammar is a typed error naming the option.
+        match run(&args(&["--input", path_str, "--fault-plan", "explode@7"])) {
+            Err(CliError::InvalidValue { option, .. }) => assert_eq!(option, "fault-plan"),
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        // Replica faults without an ensemble have nothing to quarantine.
+        assert!(matches!(
+            run(&args(&[
+                "--input",
+                path_str,
+                "--fault-plan",
+                "panic:replica=0@5",
+            ])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        // Ground truth needs the unfaulted stream.
+        assert!(matches!(
+            run(&args(&[
+                "--input",
+                path_str,
+                "--fault-plan",
+                "corrupt@5",
+                "--ground-truth",
+            ])),
+            Err(CliError::InvalidValue { .. })
+        ));
+
+        // An injected panic quarantines replica 1; the run completes and the
+        // report carries the degraded health block.
+        let out = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "300",
+            "--ensemble",
+            "3",
+            "--fault-plan",
+            "panic:replica=1@100",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("health:           2/3 replicas healthy (degraded)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("quarantine:       replica 1 quarantined at element 100"),
+            "{out}"
+        );
+        assert!(out.contains("replica spread:"), "{out}");
+
+        // The plain (non-durable) path aborts on the first source error
+        // with a typed I/O failure; only the durable loops retry pulls.
+        match run(&args(&["--input", path_str, "--fault-plan", "io@3x2"])) {
+            Err(CliError::Io(message)) => {
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+
+        // The durable ingest loop retries transient pulls within the default
+        // budget, so the same fault plan completes there.
+        let dir = std::env::temp_dir()
+            .join("abacus_cli_ckpt")
+            .join(format!("faulty-source-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let durable = run(&args(&[
+            "--input",
+            path_str,
+            "--budget",
+            "300",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "200",
+            "--fault-plan",
+            "io@3x2,corrupt@7,stall@5x1",
+        ]))
+        .unwrap();
+        assert!(
+            durable.contains("committed:        667 elements durable"),
+            "{durable}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn supervised_run_degrades_and_resume_rejoins_bit_identically() {
+        let path = mixed_file("supervised.txt");
+        let path_str = path.to_str().unwrap();
+        let base = std::env::temp_dir()
+            .join("abacus_cli_supervised")
+            .join(format!("pid-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+        let clean_dir = base.join("clean");
+        let faulty_dir = base.join("faulty");
+        let common = [
+            "--input",
+            path_str,
+            "--budget",
+            "300",
+            "--seed",
+            "9",
+            "--ensemble",
+            "3",
+            "--checkpoint-every",
+            "100",
+        ];
+
+        // Reference: a supervised run that never fails.
+        let mut clean_args = common.to_vec();
+        let clean_str = clean_dir.to_str().unwrap();
+        clean_args.extend(["--checkpoint-dir", clean_str]);
+        let clean = run(&args(&clean_args)).unwrap();
+        assert!(
+            clean.contains("algorithm:        ENSEMBLE-replicate (supervised)"),
+            "{clean}"
+        );
+        assert!(!clean.contains("health:"), "{clean}");
+
+        // Faulty: replica 1 panics mid-stream; the run still completes,
+        // serving degraded over the other two replicas.
+        let mut faulty_args = common.to_vec();
+        let faulty_str = faulty_dir.to_str().unwrap();
+        faulty_args.extend([
+            "--checkpoint-dir",
+            faulty_str,
+            "--fault-plan",
+            "panic:replica=1@150",
+        ]);
+        let degraded = run(&args(&faulty_args)).unwrap();
+        assert!(
+            degraded.contains("health:           2/3 replicas healthy (degraded)"),
+            "{degraded}"
+        );
+        assert!(
+            degraded.contains("quarantine:       replica 1 quarantined at element 150"),
+            "{degraded}"
+        );
+
+        // Resume rebuilds replica 1 from its snapshot + ensemble-WAL
+        // catch-up: the rejoined run serves healthy with the reference's
+        // exact estimate.
+        let resumed = super::super::resume::run(&args(&[
+            "--checkpoint-dir",
+            faulty_str,
+            "--input",
+            path_str,
+        ]))
+        .unwrap();
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("estimate:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(line(&clean), line(&resumed), "{resumed}");
+        assert!(!resumed.contains("health:"), "{resumed}");
+        assert!(resumed.contains("replica 1 resume:"), "{resumed}");
+
+        std::fs::remove_dir_all(&base).ok();
         std::fs::remove_file(&path).ok();
     }
 

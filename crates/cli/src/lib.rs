@@ -115,14 +115,30 @@ COMMANDS:
                                                                 ABSNAP1 snapshots + an
                                                                 ABWL1 write-ahead log so
                                                                 a killed run can be
-                                                                finished with `resume`)
+                                                                finished with `resume`;
+                                                                with --ensemble the run is
+                                                                *supervised*: an ensemble
+                                                                WAL + per-replica snapshot
+                                                                dirs, so a failed replica
+                                                                is quarantined while the
+                                                                rest keep serving)
                --checkpoint-every <N elements>                 (default 10000)
+               --fault-plan <spec>                             (default: none; inject
+                                                                deterministic faults:
+                                                                panic:replica=<i>@<n>,
+                                                                io:replica=<i>@<n>x<f>,
+                                                                io@<n>x<f>, corrupt@<n>,
+                                                                stall@<n>x<ms>; replica
+                                                                faults need --ensemble)
 
     resume     Recover a killed `run --checkpoint-dir` and finish it
                (loads the newest valid snapshot, replays the WAL, then —
                 given the original input — skips the covered prefix and
                 processes the remainder; the estimate is bit-identical to
-                an uninterrupted run at the same checkpoint cadence)
+                an uninterrupted run at the same checkpoint cadence.
+                Supervised ensemble directories are detected from the
+                layout: every replica is rebuilt and quarantined ones are
+                rejoined via snapshot restore + ensemble-WAL catch-up)
                --checkpoint-dir <dir>                          (required)
                --input <path> | --dataset <name> [--alpha A] [--scale S]
                                                                (default: none; recover

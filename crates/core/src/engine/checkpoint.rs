@@ -31,7 +31,8 @@ use crate::engine::{EnsembleMode, EstimatorKind, EstimatorSpec};
 use abacus_graph::intersect::KernelTuning;
 use abacus_graph::persist::{crc32, Decoder, Encoder, PersistError};
 use abacus_stream::persist::{
-    prune_segments, read_watermark, replay_wal, seal_tail, write_watermark, WalWriter,
+    prune_segments, read_watermark, replay_wal, seal_tail, write_watermark,
+    write_watermark_with_retry, RetryPolicy, WalWriter,
 };
 use abacus_stream::StreamElement;
 use std::fs;
@@ -238,12 +239,18 @@ impl RunManifest {
     }
 
     /// Builds the described estimator through the engine registry.
+    ///
+    /// # Panics
+    /// Panics on a hand-built manifest describing a zero-replica ensemble
+    /// ([`RunManifest::read`] rejects such manifests with a typed error, so
+    /// every decoded manifest builds).
     #[must_use]
     pub fn build(&self) -> Box<dyn ButterflyCounter + Send> {
         match self.ensemble {
-            Some((replicas, mode)) => {
-                Box::new(crate::engine::Ensemble::new(self.spec, replicas, mode))
-            }
+            Some((replicas, mode)) => Box::new(
+                crate::engine::Ensemble::new(self.spec, replicas, mode)
+                    .expect("manifest validation rejects zero-replica ensembles"),
+            ),
             None if self.views.is_empty() => self.spec.build(),
             None => self.spec.build_with_views(&self.views),
         }
@@ -433,17 +440,23 @@ pub struct Recovery {
     /// Whether the newest snapshot was unreadable and recovery fell back to
     /// an older one.
     pub fell_back: bool,
+    /// Whether the `COMMITTED` watermark was missing or corrupt and was
+    /// rebuilt from the durable snapshot + WAL state (never silently — the
+    /// flag is the honest record that the watermark was not trusted).
+    pub watermark_rebuilt: bool,
 }
 
 /// Drives a live estimator with durability: WAL-append before process,
 /// snapshot + WAL rotation + watermark advance every `checkpoint_every`
-/// elements.
+/// elements.  Transient I/O failures on the WAL append and the watermark
+/// rename pass through bounded retry ([`RetryPolicy`]) before surfacing.
 pub struct Checkpointer {
     dir: PathBuf,
     manifest: RunManifest,
     estimator: Box<dyn ButterflyCounter + Send>,
     wal: Option<WalWriter>,
     elements: u64,
+    retry: RetryPolicy,
 }
 
 impl Checkpointer {
@@ -469,7 +482,16 @@ impl Checkpointer {
             estimator,
             wal: Some(wal),
             elements: 0,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Returns the checkpointer with a different bounded-retry policy for
+    /// transient WAL/watermark I/O failures.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Recovers a checkpointed run: loads the newest valid snapshot (falling
@@ -485,6 +507,18 @@ impl Checkpointer {
     pub fn resume(dir: impl Into<PathBuf>) -> Result<Recovery, PersistError> {
         let dir = dir.into();
         let manifest = RunManifest::read(&dir)?;
+
+        // Validate the committed watermark up front.  Missing or corrupt is
+        // survivable — snapshots and the WAL are the source of truth, so the
+        // watermark is rebuilt from them below and the recovery is flagged.
+        // A watermark *ahead* of the durable log is checked after replay: it
+        // would mean committed elements are gone, which is not survivable.
+        let (watermark, watermark_rebuilt) = match read_watermark(&dir) {
+            Ok(Some(committed)) => (Some(committed), false),
+            Ok(None) => (None, true),
+            Err(PersistError::Io(error)) => return Err(PersistError::Io(error)),
+            Err(_) => (None, true),
+        };
 
         // Newest valid snapshot wins; a torn newest falls back to the
         // previous one (kept exactly for this purpose).  Each attempt
@@ -533,7 +567,19 @@ impl Checkpointer {
                 healed = elements;
             }
         }
-        if healed > snapshot_elements {
+        if let Some(committed) = watermark {
+            if committed > elements {
+                // The watermark claims a position beyond the durable
+                // snapshot + log: committed elements are irrecoverably
+                // missing.  Fail closed — resuming would silently shorten
+                // the stream.
+                return Err(PersistError::Gap {
+                    expected: committed,
+                    found: elements,
+                });
+            }
+        }
+        if watermark_rebuilt || healed > snapshot_elements {
             write_watermark(&dir, healed)?;
         }
 
@@ -545,11 +591,13 @@ impl Checkpointer {
                 estimator,
                 wal: Some(wal),
                 elements,
+                retry: RetryPolicy::default(),
             },
             snapshot_elements,
             replayed: recovery.elements.len() as u64,
             dropped_torn_tail: dropped_torn_tail || recovery.dropped_torn_tail,
             fell_back,
+            watermark_rebuilt,
         })
     }
 
@@ -559,10 +607,11 @@ impl Checkpointer {
     /// # Errors
     /// [`PersistError::Io`] on WAL or snapshot write failure.
     pub fn offer(&mut self, element: StreamElement) -> Result<(), PersistError> {
+        let retry = self.retry;
         self.wal
             .as_mut()
             .expect("the WAL writer is always open between calls")
-            .append(element)?;
+            .append_with_retry(element, &retry)?;
         self.estimator.process(element);
         self.elements += 1;
         let every = self.manifest.checkpoint_every;
@@ -585,7 +634,7 @@ impl Checkpointer {
             .take()
             .expect("the WAL writer is always open between calls");
         self.wal = Some(wal.rotate()?);
-        write_watermark(&self.dir, self.elements)?;
+        write_watermark_with_retry(&self.dir, self.elements, &self.retry)?;
         self.prune()?;
         Ok(self.elements)
     }

@@ -36,11 +36,16 @@
 //! `tests/ensemble_parity.rs`.
 
 use crate::counter::ButterflyCounter;
-use crate::engine::EstimatorSpec;
+use crate::engine::error::panic_message;
+use crate::engine::{EngineError, EstimatorSpec, ReplicaError};
 use abacus_graph::persist::{Decoder, Encoder, PersistError};
+use abacus_metrics::{HealthReport, QuarantineRecord};
 use abacus_sampling::{derive_seed, splitmix64};
+use abacus_stream::fault::{ReplicaFault, ReplicaFaultKind};
+use abacus_stream::persist::{with_retry, RetryPolicy};
 use abacus_stream::{ElementSource, StreamElement, StreamIoError};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How the ensemble distributes the stream across replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -127,7 +132,8 @@ pub struct EnsembleSummary {
 /// use abacus_graph::Edge;
 /// use abacus_stream::StreamElement;
 ///
-/// let mut ensemble = Ensemble::new(EstimatorSpec::abacus(64), 4, EnsembleMode::Replicate);
+/// let mut ensemble =
+///     Ensemble::new(EstimatorSpec::abacus(64), 4, EnsembleMode::Replicate).unwrap();
 /// for l in 0..2u32 {
 ///     for r in 0..2u32 {
 ///         ensemble.process(StreamElement::insert(Edge::new(l, r)));
@@ -137,6 +143,19 @@ pub struct EnsembleSummary {
 /// assert_eq!(ensemble.estimate(), 1.0);
 /// assert_eq!(ensemble.replicas(), 4);
 /// ```
+///
+/// # Supervision
+///
+/// By default an ensemble is *fail-stop*: a panicking replica propagates,
+/// exactly like the bare estimator it wraps.  Calling
+/// [`with_supervision`](Ensemble::with_supervision) (or
+/// [`with_replica_faults`](Ensemble::with_replica_faults), which implies it)
+/// switches replica work to run under `catch_unwind`: a panicking replica is
+/// **quarantined** — recorded in the [`HealthReport`], excluded from every
+/// merge — and the ensemble keeps serving a degraded estimate over the
+/// healthy replicas.  Replicate-mode summaries are then honestly computed
+/// over the reduced K (wider CI); partition mode keeps serving the healthy
+/// shards' partial sum.
 pub struct Ensemble {
     base: EstimatorSpec,
     mode: EnsembleMode,
@@ -144,6 +163,16 @@ pub struct Ensemble {
     fan_out_threads: usize,
     /// Per-replica routing buffers (partition mode), reused across chunks.
     routed: Vec<Vec<StreamElement>>,
+    /// `catch_unwind` + quarantine instead of fail-stop.
+    supervised: bool,
+    /// Per-replica quarantine state; `Some` ⇒ out of service.
+    quarantined: Vec<Option<(u64, ReplicaError)>>,
+    /// Injected replica faults still pending (supervision test harness).
+    faults: Vec<ReplicaFault>,
+    /// Retry budget applied to injected transient replica I/O faults.
+    retry: RetryPolicy,
+    /// Global element index — positions injected faults deterministically.
+    processed: u64,
 }
 
 impl std::fmt::Debug for Ensemble {
@@ -152,6 +181,7 @@ impl std::fmt::Debug for Ensemble {
             .field("base", &self.base)
             .field("mode", &self.mode)
             .field("replicas", &self.replicas.len())
+            .field("healthy", &self.healthy())
             .field("fan_out_threads", &self.fan_out_threads)
             .finish()
     }
@@ -165,21 +195,64 @@ impl Ensemble {
     /// fixed *total* memory comparison, divide the budget before calling
     /// (`base.budget / replicas`).
     ///
-    /// # Panics
-    /// Panics if `replicas` is zero.
-    #[must_use]
-    pub fn new(base: EstimatorSpec, replicas: usize, mode: EnsembleMode) -> Self {
-        assert!(replicas >= 1, "an ensemble needs at least one replica");
-        let replicas = (0..replicas as u64)
+    /// # Errors
+    /// [`EngineError::ZeroReplicas`] if `replicas` is zero.
+    pub fn new(
+        base: EstimatorSpec,
+        replicas: usize,
+        mode: EnsembleMode,
+    ) -> Result<Self, EngineError> {
+        if replicas == 0 {
+            return Err(EngineError::ZeroReplicas);
+        }
+        let replicas: Vec<_> = (0..replicas as u64)
             .map(|i| base.with_seed(derive_seed(base.seed, i)).build())
             .collect();
-        Ensemble {
+        let quarantined = (0..replicas.len()).map(|_| None).collect();
+        Ok(Ensemble {
             base,
             mode,
             replicas,
             fan_out_threads: 1,
             routed: Vec::new(),
-        }
+            supervised: false,
+            quarantined,
+            faults: Vec::new(),
+            retry: RetryPolicy::no_delay(),
+            processed: 0,
+        })
+    }
+
+    /// Returns the ensemble with supervision enabled: replica work runs
+    /// under `catch_unwind`, a panicking replica is quarantined instead of
+    /// taking the run down, and the ensemble serves degraded over the
+    /// healthy replicas.
+    #[must_use]
+    pub fn with_supervision(mut self) -> Self {
+        self.supervised = true;
+        self
+    }
+
+    /// Returns the ensemble with injected replica faults armed (implies
+    /// [`with_supervision`](Ensemble::with_supervision)).  A
+    /// [`ReplicaFaultKind::Panic`] fault panics the replica's worker just
+    /// before it would process the fault's element; a
+    /// [`ReplicaFaultKind::Io`] fault injects that many transient failures
+    /// through the bounded-retry layer, quarantining the replica only when
+    /// the budget is exhausted.
+    #[must_use]
+    pub fn with_replica_faults(mut self, faults: Vec<ReplicaFault>) -> Self {
+        self.faults = faults;
+        self.supervised = true;
+        self
+    }
+
+    /// Returns the ensemble with a different retry budget for injected
+    /// transient replica I/O faults.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Returns the ensemble with a different fan-out worker count for the
@@ -220,18 +293,71 @@ impl Ensemble {
         &*self.replicas[index]
     }
 
-    /// The current per-replica estimates, in replica order.
+    /// Replicas currently in service.
+    #[must_use]
+    pub fn healthy(&self) -> usize {
+        self.quarantined.iter().filter(|q| q.is_none()).count()
+    }
+
+    /// True when at least one replica has been quarantined.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.healthy() < self.replicas.len()
+    }
+
+    /// The typed quarantine error of replica `index`, if it is out of
+    /// service.
+    #[must_use]
+    pub fn quarantine_error(&self, index: usize) -> Option<&ReplicaError> {
+        self.quarantined[index].as_ref().map(|(_, error)| error)
+    }
+
+    /// Point-in-time health: replica counts plus one [`QuarantineRecord`]
+    /// per out-of-service replica.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let quarantined: Vec<QuarantineRecord> = self
+            .quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(replica, state)| {
+                state.as_ref().map(|(at_element, error)| QuarantineRecord {
+                    replica,
+                    at_element: *at_element,
+                    reason: error.to_string(),
+                })
+            })
+            .collect();
+        HealthReport {
+            total: self.replicas.len(),
+            healthy: self.replicas.len() - quarantined.len(),
+            quarantined,
+        }
+    }
+
+    /// The current per-replica estimates of the **healthy** replicas, in
+    /// replica order.  Quarantined replicas died mid-element and are never
+    /// read again.
     #[must_use]
     pub fn replica_estimates(&self) -> Vec<f64> {
-        self.replicas.iter().map(|r| r.estimate()).collect()
+        self.healthy_replicas().map(|r| r.estimate()).collect()
+    }
+
+    fn healthy_replicas(&self) -> impl Iterator<Item = &dyn ButterflyCounter> {
+        self.replicas
+            .iter()
+            .zip(&self.quarantined)
+            .filter(|(_, q)| q.is_none())
+            .map(|(replica, _)| &**replica as &dyn ButterflyCounter)
     }
 
     /// Replica-spread statistics — replicate mode only (`None` under
     /// partition, where replicas estimate disjoint shards and their spread
-    /// is not an error bar).
+    /// is not an error bar).  Degraded ensembles compute the summary over
+    /// the healthy replicas only: the reduced K honestly widens the CI.
     #[must_use]
     pub fn replicate_summary(&self) -> Option<EnsembleSummary> {
-        if self.mode != EnsembleMode::Replicate {
+        if self.mode != EnsembleMode::Replicate || self.healthy() == 0 {
             return None;
         }
         let summary = abacus_metrics::Summary::from_values(self.replica_estimates());
@@ -255,13 +381,94 @@ impl Ensemble {
         (splitmix64(element.edge.key().0) % self.replicas.len() as u64) as usize
     }
 
-    /// Merges the replica estimates in replica-index order (deterministic
-    /// regardless of which worker drove which replica).
+    /// Merges the healthy replicas' estimates in replica-index order
+    /// (deterministic regardless of which worker drove which replica).  A
+    /// fully quarantined ensemble serves 0.0 — degradation is surfaced
+    /// through [`health`](Ensemble::health), never through a NaN.
     fn merged_estimate(&self) -> f64 {
-        let sum: f64 = self.replicas.iter().map(|r| r.estimate()).sum();
+        let healthy = self.healthy();
+        if healthy == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.healthy_replicas().map(|r| r.estimate()).sum();
         match self.mode {
-            EnsembleMode::Replicate => sum / self.replicas.len() as f64,
+            EnsembleMode::Replicate => sum / healthy as f64,
             EnsembleMode::Partition => sum,
+        }
+    }
+
+    /// Takes (consumes) the injected fault armed for `(replica, index)`.
+    fn take_fault(&mut self, replica: usize, index: u64) -> Option<ReplicaFaultKind> {
+        let position = self
+            .faults
+            .iter()
+            .position(|f| f.replica == replica && f.at == index)?;
+        Some(self.faults.swap_remove(position).kind)
+    }
+
+    /// Feeds one element to replica `index` under supervision: injected
+    /// faults fire first, organic panics are caught, and either outcome
+    /// quarantines the replica at element `at`.
+    fn feed_supervised(&mut self, index: usize, at: u64, element: StreamElement) {
+        if self.quarantined[index].is_some() {
+            return;
+        }
+        if let Some(kind) = self.take_fault(index, at) {
+            match kind {
+                ReplicaFaultKind::Panic => {
+                    // Simulate the worker panicking mid-element, contained
+                    // exactly like an organic panic below.
+                    let caught = catch_unwind(|| {
+                        panic!("injected replica-worker panic at element {at}");
+                    })
+                    .expect_err("the injected closure always panics");
+                    self.quarantined[index] =
+                        Some((at, ReplicaError::Panicked(panic_message(caught))));
+                    return;
+                }
+                ReplicaFaultKind::Io { failures } => {
+                    // Transient I/O faults pass through the bounded-retry
+                    // layer; only an exhausted budget counts as a fault.
+                    let mut remaining = failures;
+                    let outcome = with_retry(&self.retry, |_| {
+                        if remaining > 0 {
+                            remaining -= 1;
+                            return Err(PersistError::Io(std::io::Error::other(format!(
+                                "injected transient replica I/O fault at element {at}"
+                            ))));
+                        }
+                        Ok(())
+                    });
+                    if let Err(error) = outcome {
+                        self.quarantined[index] =
+                            Some((at, ReplicaError::Persist(error.to_string())));
+                        return;
+                    }
+                    // Absorbed: fall through and process the element.
+                }
+            }
+        }
+        let replica = &mut self.replicas[index];
+        if let Err(caught) = catch_unwind(AssertUnwindSafe(|| replica.process(element))) {
+            self.quarantined[index] = Some((at, ReplicaError::Panicked(panic_message(caught))));
+        }
+    }
+
+    /// The supervised single-element path: routes `element` and feeds every
+    /// in-service target replica under `catch_unwind`.
+    fn offer_supervised(&mut self, element: StreamElement) {
+        let at = self.processed;
+        self.processed += 1;
+        match self.mode {
+            EnsembleMode::Replicate => {
+                for index in 0..self.replicas.len() {
+                    self.feed_supervised(index, at, element);
+                }
+            }
+            EnsembleMode::Partition => {
+                let shard = self.route(element);
+                self.feed_supervised(shard, at, element);
+            }
         }
     }
 
@@ -273,6 +480,16 @@ impl Ensemble {
         if staged.is_empty() {
             return;
         }
+        if self.supervised {
+            // Supervision needs per-element fault positions and quarantine
+            // checks; the sequential path is bit-identical to the fan-out
+            // (thread count never affects results), just slower.
+            for &element in staged {
+                self.offer_supervised(element);
+            }
+            return;
+        }
+        self.processed += staged.len() as u64;
         let workers = self.fan_out_threads.min(self.replicas.len());
         match self.mode {
             EnsembleMode::Replicate => {
@@ -336,6 +553,11 @@ impl Ensemble {
 
 impl ButterflyCounter for Ensemble {
     fn process(&mut self, element: StreamElement) {
+        if self.supervised {
+            self.offer_supervised(element);
+            return;
+        }
+        self.processed += 1;
         match self.mode {
             EnsembleMode::Replicate => {
                 for replica in &mut self.replicas {
@@ -387,14 +609,16 @@ impl ButterflyCounter for Ensemble {
     }
 
     fn finish(&mut self) -> f64 {
-        for replica in &mut self.replicas {
-            replica.finish();
+        for (replica, quarantine) in self.replicas.iter_mut().zip(&self.quarantined) {
+            if quarantine.is_none() {
+                replica.finish();
+            }
         }
         self.merged_estimate()
     }
 
     fn memory_edges(&self) -> usize {
-        self.replicas.iter().map(|r| r.memory_edges()).sum()
+        self.healthy_replicas().map(|r| r.memory_edges()).sum()
     }
 
     fn name(&self) -> &'static str {
@@ -413,6 +637,18 @@ impl ButterflyCounter for Ensemble {
     /// replica `i` restores to exactly the state of replica `i`, which keeps
     /// `derive_seed(base.seed, i)` streams aligned across a crash.
     fn save_state(&mut self) -> Result<Vec<u8>, PersistError> {
+        if self.is_degraded() {
+            // A combined snapshot of a degraded ensemble would freeze a
+            // quarantined replica's broken state into the checkpoint chain.
+            // Per-replica recovery is the supervisor's job (each replica
+            // checkpoints in its own directory); the combined payload fails
+            // closed instead.
+            return Err(PersistError::Corrupt(
+                "a degraded ensemble cannot take a combined snapshot; \
+                 rejoin the quarantined replicas first"
+                    .into(),
+            ));
+        }
         let mut enc = Encoder::new();
         enc.put_usize(self.replicas.len());
         enc.put_u8(match self.mode {
@@ -502,7 +738,8 @@ mod tests {
             EstimatorSpec::abacus(128).with_seed(3),
             4,
             EnsembleMode::Replicate,
-        );
+        )
+        .unwrap();
         ensemble.process_stream(&stream);
         let estimates = ensemble.replica_estimates();
         let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
@@ -522,7 +759,8 @@ mod tests {
     #[test]
     fn partition_routes_every_element_to_exactly_one_shard() {
         let stream = workload(600);
-        let mut ensemble = Ensemble::new(EstimatorSpec::exact(), 3, EnsembleMode::Partition);
+        let mut ensemble =
+            Ensemble::new(EstimatorSpec::exact(), 3, EnsembleMode::Partition).unwrap();
         ensemble.process_stream(&stream);
         // Shards partition the stream: element counts over the exact
         // replicas sum to the stream length.
@@ -549,7 +787,8 @@ mod tests {
     fn partition_deletions_follow_their_insertions() {
         // Insert then delete the same edge: both must land on one shard, so
         // every shard's final graph is empty.
-        let mut ensemble = Ensemble::new(EstimatorSpec::exact(), 4, EnsembleMode::Partition);
+        let mut ensemble =
+            Ensemble::new(EstimatorSpec::exact(), 4, EnsembleMode::Partition).unwrap();
         let mut stream = Vec::new();
         for l in 0..20u32 {
             for r in 0..5u32 {
@@ -570,6 +809,7 @@ mod tests {
         for mode in [EnsembleMode::Replicate, EnsembleMode::Partition] {
             let fingerprint = |threads: usize| {
                 let mut ensemble = Ensemble::new(EstimatorSpec::abacus(100).with_seed(11), 3, mode)
+                    .unwrap()
                     .with_fan_out_threads(threads);
                 ensemble
                     .process_source_chunked(&mut SliceSource::new(&stream), 64)
@@ -599,15 +839,144 @@ mod tests {
                 .with_threads(1),
             2,
             EnsembleMode::Replicate,
-        );
+        )
+        .unwrap();
         assert_eq!(ensemble.preferred_chunk(), 77);
         assert_eq!(ensemble.spec().kind, EstimatorKind::ParAbacus);
         assert_eq!(ensemble.name(), "ENSEMBLE-replicate");
     }
 
     #[test]
-    #[should_panic(expected = "at least one replica")]
-    fn zero_replicas_panics() {
-        let _ = Ensemble::new(EstimatorSpec::abacus(64), 0, EnsembleMode::Replicate);
+    fn zero_replicas_is_a_typed_error() {
+        assert_eq!(
+            Ensemble::new(EstimatorSpec::abacus(64), 0, EnsembleMode::Replicate).unwrap_err(),
+            crate::engine::EngineError::ZeroReplicas
+        );
+    }
+
+    #[test]
+    fn injected_panic_quarantines_the_replica_and_serving_degrades() {
+        let stream = workload(600);
+        let fault_at = 250u64;
+        let mut ensemble = Ensemble::new(
+            EstimatorSpec::abacus(128).with_seed(3),
+            3,
+            EnsembleMode::Replicate,
+        )
+        .unwrap()
+        .with_replica_faults(vec![ReplicaFault {
+            replica: 1,
+            at: fault_at,
+            kind: ReplicaFaultKind::Panic,
+        }]);
+        ensemble.process_stream(&stream);
+        assert!(ensemble.is_degraded());
+        assert_eq!(ensemble.healthy(), 2);
+        let health = ensemble.health();
+        assert_eq!(health.total, 3);
+        assert_eq!(health.healthy, 2);
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.quarantined[0].replica, 1);
+        assert_eq!(health.quarantined[0].at_element, fault_at);
+        assert!(matches!(
+            ensemble.quarantine_error(1),
+            Some(ReplicaError::Panicked(_))
+        ));
+        // Degraded serving: mean and summary over the two healthy replicas.
+        let estimates = ensemble.replica_estimates();
+        assert_eq!(estimates.len(), 2);
+        let mean = estimates.iter().sum::<f64>() / 2.0;
+        assert_eq!(ensemble.estimate().to_bits(), mean.to_bits());
+        let summary = ensemble.replicate_summary().unwrap();
+        assert_eq!(summary.mean.to_bits(), mean.to_bits());
+        // The healthy replicas are bit-identical to the same replicas of an
+        // ensemble that never saw a fault.
+        let mut reference = Ensemble::new(
+            EstimatorSpec::abacus(128).with_seed(3),
+            3,
+            EnsembleMode::Replicate,
+        )
+        .unwrap();
+        reference.process_stream(&stream);
+        for index in [0usize, 2] {
+            assert_eq!(
+                ensemble.replica(index).estimate().to_bits(),
+                reference.replica(index).estimate().to_bits(),
+                "healthy replica {index} diverged"
+            );
+        }
+        // And a combined snapshot of the degraded ensemble fails closed.
+        assert!(matches!(
+            ensemble.save_state(),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn transient_io_faults_within_budget_are_absorbed() {
+        let stream = workload(500);
+        let run = |failures: u32| {
+            let mut ensemble = Ensemble::new(
+                EstimatorSpec::abacus(100).with_seed(7),
+                2,
+                EnsembleMode::Replicate,
+            )
+            .unwrap()
+            .with_replica_faults(vec![ReplicaFault {
+                replica: 0,
+                at: 100,
+                kind: ReplicaFaultKind::Io { failures },
+            }]);
+            ensemble.process_stream(&stream);
+            ensemble
+        };
+        // Two transient failures fit the 3-attempt budget: absorbed, and the
+        // run is bit-identical to a fault-free one.
+        let absorbed = run(2);
+        assert!(!absorbed.is_degraded());
+        let clean = run(0);
+        assert_eq!(absorbed.estimate().to_bits(), clean.estimate().to_bits());
+        // Five failures exhaust the budget: quarantined with a typed
+        // persistence error.
+        let exhausted = run(5);
+        assert!(exhausted.is_degraded());
+        assert!(matches!(
+            exhausted.quarantine_error(0),
+            Some(ReplicaError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn partition_mode_quarantine_drops_only_the_failed_shard() {
+        let stream = workload(700);
+        // Arm the panic on the first element that actually routes to shard 2
+        // (routing is a pure function of the edge, mirrored here).
+        let fault_at = stream
+            .iter()
+            .position(|e| splitmix64(e.edge.key().0) % 3 == 2)
+            .expect("some element routes to shard 2") as u64;
+        let mut ensemble = Ensemble::new(EstimatorSpec::exact(), 3, EnsembleMode::Partition)
+            .unwrap()
+            .with_replica_faults(vec![ReplicaFault {
+                replica: 2,
+                at: fault_at,
+                kind: ReplicaFaultKind::Panic,
+            }]);
+        ensemble.process_stream(&stream);
+        assert!(ensemble.is_degraded());
+        assert_eq!(ensemble.health().quarantined[0].at_element, fault_at);
+        // The healthy shards match a fault-free reference bit-for-bit, and
+        // the degraded estimate is their partial sum.
+        let mut reference =
+            Ensemble::new(EstimatorSpec::exact(), 3, EnsembleMode::Partition).unwrap();
+        reference.process_stream(&stream);
+        for index in [0usize, 1] {
+            assert_eq!(
+                ensemble.replica(index).estimate().to_bits(),
+                reference.replica(index).estimate().to_bits()
+            );
+        }
+        let partial: f64 = (0..2).map(|i| reference.replica(i).estimate()).sum();
+        assert_eq!(ensemble.estimate().to_bits(), partial.to_bits());
     }
 }

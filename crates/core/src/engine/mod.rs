@@ -30,8 +30,12 @@
 
 pub mod checkpoint;
 mod ensemble;
+mod error;
 mod spec;
+pub mod supervisor;
 
 pub use checkpoint::{Checkpointer, Recovery, RunManifest};
 pub use ensemble::{Ensemble, EnsembleMode, EnsembleSummary};
+pub use error::{EngineError, ReplicaError};
 pub use spec::{EstimatorKind, EstimatorSpec};
+pub use supervisor::{EnsembleSupervisor, ReplicaRecovery, SupervisorRecovery};

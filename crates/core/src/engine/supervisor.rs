@@ -1,0 +1,647 @@
+//! [`EnsembleSupervisor`]: durable, fault-tolerant ensemble serving with
+//! quarantine, degraded operation, and bit-exact catch-up rejoin.
+//!
+//! The supervisor composes two things PR 7 already shipped — per-estimator
+//! [`Checkpointer`]s and the `ABWL1` WAL — into the ROADMAP's promised
+//! topology: *replicas checkpoint independently, a degraded ensemble keeps
+//! serving*.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST                 top-level ensemble manifest (spec, K, mode)
+//!   wal-...abwl              the ensemble log: every stream element, in order
+//!   COMMITTED                ensemble watermark (elements durably sealed)
+//!   replica-0/               replica 0's own Checkpointer directory
+//!     MANIFEST  snap-...  wal-...  COMMITTED
+//!   replica-1/ ...
+//! ```
+//!
+//! Each replica runs its own [`Checkpointer`] (derived seed, same cadence)
+//! in its own subdirectory; the supervisor additionally appends every stream
+//! element to an **ensemble-level WAL** before fan-out.  That log is the
+//! rejoin substrate: a replica that died at element *n* can be rebuilt from
+//! its newest snapshot and caught up element-by-element to the ensemble's
+//! position, because the ensemble log covers the suffix the replica missed.
+//! The ensemble log is deliberately never pruned — in partition mode a
+//! quarantined shard's catch-up must re-scan from the beginning to count its
+//! routed elements, and an unpruned log keeps rejoin possible at arbitrary
+//! lag.  (Disk cost: the full stream in ~2 bytes/element varint encoding.)
+//!
+//! # Fault containment
+//!
+//! Replica work runs under `catch_unwind`; persistence errors pass through
+//! the bounded-retry layer ([`RetryPolicy`]) first.  A replica that panics
+//! or exhausts its retry budget is **quarantined**: its checkpointer is
+//! dropped (crash-equivalent — its directory stays recoverable), the fault
+//! is recorded as a typed [`ReplicaError`], and the remaining replicas keep
+//! ingesting and serving.  Nothing about a quarantined replica is ever read
+//! again until it rejoins.
+//!
+//! # Bit-exact rejoin
+//!
+//! [`rejoin`](EnsembleSupervisor::rejoin) resumes the quarantined replica's
+//! own checkpoint directory (newest valid snapshot + its own WAL replay,
+//! re-performing cadence checkpoints — the PR-7 bit-exactness discipline)
+//! and then offers it the missed suffix from the ensemble log through the
+//! same `Checkpointer::offer` path the healthy replicas used.  Replay and
+//! live processing are therefore *the same code path*, so a
+//! failed-recovered-rejoined replica is bit-identical (estimate bits,
+//! `memory_edges`, serialized state) to a replica that never failed — the
+//! property `tests/fault_tolerance.rs` asserts across fault points,
+//! estimator kinds, and both ensemble modes.
+
+use crate::counter::ButterflyCounter;
+use crate::engine::checkpoint::{Checkpointer, RunManifest};
+use crate::engine::error::panic_message;
+use crate::engine::{EnsembleMode, EnsembleSummary, ReplicaError};
+use abacus_graph::persist::PersistError;
+use abacus_metrics::{HealthReport, QuarantineRecord};
+use abacus_sampling::{derive_seed, splitmix64};
+use abacus_stream::fault::{ReplicaFault, ReplicaFaultKind};
+use abacus_stream::persist::{
+    read_watermark, replay_wal, seal_tail, with_retry, write_watermark, write_watermark_with_retry,
+    RetryPolicy, WalWriter,
+};
+use abacus_stream::StreamElement;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// One replica slot: in service (`checkpointer` present) or quarantined.
+struct ReplicaSlot {
+    checkpointer: Option<Checkpointer>,
+    quarantine: Option<(u64, ReplicaError)>,
+}
+
+/// What a rejoin (or resume-time catch-up) did for one replica.
+#[derive(Debug)]
+pub struct ReplicaRecovery {
+    /// The replica index.
+    pub replica: usize,
+    /// Element position of the snapshot the replica restored from.
+    pub snapshot_elements: u64,
+    /// Elements replayed from the replica's own WAL.
+    pub replayed: u64,
+    /// Elements caught up from the ensemble log on top of the replica's own
+    /// durable state.
+    pub caught_up: u64,
+}
+
+/// What [`EnsembleSupervisor::resume`] reconstructed.
+#[derive(Debug)]
+pub struct SupervisorRecovery {
+    /// The recovered supervisor, all replicas healthy and caught up to the
+    /// end of the durable ensemble log.
+    pub supervisor: EnsembleSupervisor,
+    /// Per-replica recovery detail, in replica order.
+    pub replicas: Vec<ReplicaRecovery>,
+    /// Whether a torn tail was dropped from the ensemble log.
+    pub dropped_torn_tail: bool,
+    /// Whether the ensemble watermark was missing/corrupt and was rebuilt
+    /// from the durable log.
+    pub watermark_rebuilt: bool,
+}
+
+/// Drives K per-replica [`Checkpointer`]s plus an ensemble-level WAL, with
+/// `catch_unwind` fault containment, quarantine, degraded serving, and
+/// WAL catch-up rejoin.  See the module docs for the full lifecycle.
+pub struct EnsembleSupervisor {
+    dir: PathBuf,
+    manifest: RunManifest,
+    mode: EnsembleMode,
+    slots: Vec<ReplicaSlot>,
+    offered: u64,
+    faults: Vec<ReplicaFault>,
+    retry: RetryPolicy,
+    wal: Option<WalWriter>,
+}
+
+impl std::fmt::Debug for EnsembleSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleSupervisor")
+            .field("dir", &self.dir)
+            .field("mode", &self.mode)
+            .field("replicas", &self.slots.len())
+            .field("healthy", &self.healthy())
+            .field("offered", &self.offered)
+            .finish()
+    }
+}
+
+impl EnsembleSupervisor {
+    /// Initializes a supervised ensemble directory: the top-level manifest
+    /// and ensemble WAL, plus one [`Checkpointer`] per replica under
+    /// `replica-{i}/`, each with seed `derive_seed(base.seed, i)` and the
+    /// manifest's checkpoint cadence.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] when `manifest.ensemble` is `None`, or any
+    /// [`PersistError`] from the filesystem.
+    pub fn create(dir: impl Into<PathBuf>, manifest: RunManifest) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        let Some((replicas, mode)) = manifest.ensemble else {
+            return Err(PersistError::Corrupt(
+                "the supervisor needs an ensemble manifest (replicas + mode)".into(),
+            ));
+        };
+        if !manifest.views.is_empty() {
+            return Err(PersistError::Corrupt(
+                "supervised ensembles do not take circuit views".into(),
+            ));
+        }
+        manifest.write(&dir)?;
+        let wal = WalWriter::create(&dir, 0)?;
+        write_watermark(&dir, 0)?;
+        let mut slots = Vec::with_capacity(replicas);
+        for index in 0..replicas {
+            let spec = manifest
+                .spec
+                .with_seed(derive_seed(manifest.spec.seed, index as u64));
+            let replica_manifest = RunManifest::new(spec, manifest.checkpoint_every);
+            let checkpointer = Checkpointer::create(replica_dir(&dir, index), replica_manifest)?;
+            slots.push(ReplicaSlot {
+                checkpointer: Some(checkpointer),
+                quarantine: None,
+            });
+        }
+        Ok(EnsembleSupervisor {
+            dir,
+            manifest,
+            mode,
+            slots,
+            offered: 0,
+            faults: Vec::new(),
+            retry: RetryPolicy::default(),
+            wal: Some(wal),
+        })
+    }
+
+    /// Returns the supervisor with injected replica faults armed
+    /// ([`ReplicaFaultKind::Panic`] panics the replica's worker before it
+    /// processes the fault's element; [`ReplicaFaultKind::Io`] injects that
+    /// many transient persistence failures through the retry layer).
+    #[must_use]
+    pub fn with_replica_faults(mut self, faults: Vec<ReplicaFault>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the supervisor with a different persistence retry budget.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Appends `element` to the ensemble log, fans it out to every
+    /// in-service replica that the mode routes it to (under `catch_unwind`
+    /// plus bounded retry), and commits the ensemble watermark at the
+    /// checkpoint cadence.  A replica fault quarantines that replica; the
+    /// call still succeeds.
+    ///
+    /// # Errors
+    /// [`PersistError`] only for *ensemble-level* failures (the ensemble
+    /// log or watermark) that survive bounded retry.
+    pub fn offer(&mut self, element: StreamElement) -> Result<(), PersistError> {
+        self.wal
+            .as_mut()
+            .expect("the ensemble WAL is open until finish()")
+            .append_with_retry(element, &self.retry)?;
+        let at = self.offered;
+        self.offered += 1;
+        match self.mode {
+            EnsembleMode::Replicate => {
+                for index in 0..self.slots.len() {
+                    self.feed_replica(index, at, element);
+                }
+            }
+            EnsembleMode::Partition => {
+                let shard = self.route(element);
+                self.feed_replica(shard, at, element);
+            }
+        }
+        let every = self.manifest.checkpoint_every;
+        if every > 0 && self.offered.is_multiple_of(every) {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Feeds one element to replica `index`, containing faults.
+    fn feed_replica(&mut self, index: usize, at: u64, element: StreamElement) {
+        if self.slots[index].quarantine.is_some() {
+            return;
+        }
+        let injected = self.take_fault(index, at);
+        let retry = self.retry;
+        let slot = &mut self.slots[index];
+        let checkpointer = slot
+            .checkpointer
+            .as_mut()
+            .expect("an in-service slot holds its checkpointer");
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), PersistError> {
+            match injected {
+                Some(ReplicaFaultKind::Panic) => {
+                    panic!("injected replica-worker panic at element {at}");
+                }
+                Some(ReplicaFaultKind::Io { failures }) => {
+                    let mut remaining = failures;
+                    with_retry(&retry, |_| {
+                        if remaining > 0 {
+                            remaining -= 1;
+                            return Err(PersistError::Io(std::io::Error::other(format!(
+                                "injected transient replica I/O fault at element {at}"
+                            ))));
+                        }
+                        checkpointer.offer(element)
+                    })
+                }
+                None => checkpointer.offer(element),
+            }
+        }));
+        let error = match outcome {
+            Ok(Ok(())) => return,
+            Ok(Err(persist)) => ReplicaError::Persist(persist.to_string()),
+            Err(caught) => ReplicaError::Panicked(panic_message(caught)),
+        };
+        // Quarantine: drop the checkpointer (crash-equivalent — its
+        // directory remains recoverable) and record the typed fault.  The
+        // element at `at` was NOT applied to this replica, but the ensemble
+        // log covers it, so catch-up will deliver it on rejoin.
+        let slot = &mut self.slots[index];
+        slot.checkpointer = None;
+        slot.quarantine = Some((at, error));
+    }
+
+    /// Takes (consumes) the injected fault armed for `(replica, index)`.
+    fn take_fault(&mut self, replica: usize, at: u64) -> Option<ReplicaFaultKind> {
+        let position = self
+            .faults
+            .iter()
+            .position(|f| f.replica == replica && f.at == at)?;
+        Some(self.faults.swap_remove(position).kind)
+    }
+
+    /// Seals + rotates the ensemble log and advances the ensemble watermark
+    /// to the current position (with bounded retry on the rename).
+    fn commit(&mut self) -> Result<u64, PersistError> {
+        let wal = self
+            .wal
+            .take()
+            .expect("the ensemble WAL is open until finish()");
+        self.wal = Some(wal.rotate()?);
+        write_watermark_with_retry(&self.dir, self.offered, &self.retry)?;
+        Ok(self.offered)
+    }
+
+    /// Rebuilds quarantined replica `index` from its own checkpoint
+    /// directory, catches it up from the ensemble log to the supervisor's
+    /// current position, and re-admits it.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] when the replica is not quarantined, or
+    /// any [`PersistError`] from recovery/catch-up.
+    pub fn rejoin(&mut self, index: usize) -> Result<ReplicaRecovery, PersistError> {
+        if self.slots[index].quarantine.is_none() {
+            return Err(PersistError::Corrupt(format!(
+                "replica {index} is not quarantined"
+            )));
+        }
+        // Seal the open ensemble segment so catch-up can read the whole log,
+        // and advance the watermark — this is a commit point.
+        self.commit()?;
+        let recovery = Checkpointer::resume(replica_dir(&self.dir, index))?;
+        let mut checkpointer = recovery.checkpointer;
+        let caught_up = self.catch_up(index, &mut checkpointer)?;
+        let slot = &mut self.slots[index];
+        slot.checkpointer = Some(checkpointer);
+        slot.quarantine = None;
+        Ok(ReplicaRecovery {
+            replica: index,
+            snapshot_elements: recovery.snapshot_elements,
+            replayed: recovery.replayed,
+            caught_up,
+        })
+    }
+
+    /// Offers replica `index` every element of the ensemble log it has not
+    /// yet seen, through the same `Checkpointer::offer` path live traffic
+    /// uses (cadence checkpoints re-performed ⇒ bit-exact alignment).
+    fn catch_up(&self, index: usize, checkpointer: &mut Checkpointer) -> Result<u64, PersistError> {
+        let already = checkpointer.elements();
+        let mut caught_up = 0u64;
+        match self.mode {
+            EnsembleMode::Replicate => {
+                // Replica position == global position: replay the suffix.
+                let replay = replay_wal(&self.dir, already)?;
+                for &element in &replay.elements {
+                    checkpointer.offer(element)?;
+                    caught_up += 1;
+                }
+            }
+            EnsembleMode::Partition => {
+                // The replica's local count is not a global position: scan
+                // the full log, keep this shard's elements, skip the prefix
+                // the replica already holds.
+                let replay = replay_wal(&self.dir, 0)?;
+                let mut seen = 0u64;
+                for &element in &replay.elements {
+                    if self.route(element) != index {
+                        continue;
+                    }
+                    seen += 1;
+                    if seen <= already {
+                        continue;
+                    }
+                    checkpointer.offer(element)?;
+                    caught_up += 1;
+                }
+            }
+        }
+        Ok(caught_up)
+    }
+
+    /// Recovers a supervised ensemble directory after a crash (or after a
+    /// degraded run completed): seals the ensemble log, resumes every
+    /// replica from its own directory, catches each up to the end of the
+    /// durable log, and re-opens the ensemble WAL.  All replicas come back
+    /// healthy.
+    ///
+    /// A missing or corrupt ensemble watermark is rebuilt from the durable
+    /// log (flagged, never silently double-replayed); a watermark *ahead*
+    /// of the durable log is a [`PersistError::Gap`].
+    ///
+    /// # Errors
+    /// Any [`PersistError`] from the manifest, the ensemble log chain, or a
+    /// replica's recovery.
+    pub fn resume(dir: impl Into<PathBuf>) -> Result<SupervisorRecovery, PersistError> {
+        let dir = dir.into();
+        let manifest = RunManifest::read(&dir)?;
+        let Some((replicas, mode)) = manifest.ensemble else {
+            return Err(PersistError::Corrupt(
+                "this checkpoint directory does not describe a supervised ensemble".into(),
+            ));
+        };
+        let (watermark, mut watermark_rebuilt) = match read_watermark(&dir) {
+            Ok(Some(committed)) => (Some(committed), false),
+            Ok(None) => (None, true),
+            Err(PersistError::Io(error)) => return Err(PersistError::Io(error)),
+            Err(_) => (None, true), // corrupt: rebuild from the durable log
+        };
+        let dropped_torn_tail = seal_tail(&dir)?;
+        let full = replay_wal(&dir, 0)?;
+        let durable_end = full.next_seq;
+        if let Some(committed) = watermark {
+            if committed > durable_end {
+                // The watermark claims more than the log holds: elements are
+                // irrecoverably missing — fail closed rather than serve a
+                // silently shortened stream.
+                return Err(PersistError::Gap {
+                    expected: committed,
+                    found: durable_end,
+                });
+            }
+            if committed < durable_end {
+                watermark_rebuilt = true; // heal the stale watermark below
+            }
+        }
+
+        let mut supervisor = EnsembleSupervisor {
+            dir,
+            manifest,
+            mode,
+            slots: Vec::with_capacity(replicas),
+            offered: durable_end,
+            faults: Vec::new(),
+            retry: RetryPolicy::default(),
+            wal: None,
+        };
+        let mut recoveries = Vec::with_capacity(replicas);
+        for index in 0..replicas {
+            let recovery = Checkpointer::resume(replica_dir(&supervisor.dir, index))?;
+            let mut checkpointer = recovery.checkpointer;
+            let caught_up = supervisor.catch_up(index, &mut checkpointer)?;
+            supervisor.slots.push(ReplicaSlot {
+                checkpointer: Some(checkpointer),
+                quarantine: None,
+            });
+            recoveries.push(ReplicaRecovery {
+                replica: index,
+                snapshot_elements: recovery.snapshot_elements,
+                replayed: recovery.replayed,
+                caught_up,
+            });
+        }
+        if watermark_rebuilt {
+            write_watermark(&supervisor.dir, durable_end)?;
+        }
+        supervisor.wal = Some(WalWriter::create(&supervisor.dir, durable_end)?);
+        Ok(SupervisorRecovery {
+            supervisor,
+            replicas: recoveries,
+            dropped_torn_tail: dropped_torn_tail || full.dropped_torn_tail,
+            watermark_rebuilt,
+        })
+    }
+
+    /// Finalizes the run: finishes every healthy replica's checkpointer
+    /// (draining buffered work + final per-replica checkpoint), seals the
+    /// ensemble log, advances the ensemble watermark to the stream end, and
+    /// returns the merged (possibly degraded) estimate.  The supervisor can
+    /// not ingest after `finish`; quarantined replicas rejoin through
+    /// [`resume`](EnsembleSupervisor::resume).
+    ///
+    /// # Errors
+    /// Any [`PersistError`] from a healthy replica's final checkpoint or
+    /// the ensemble log.
+    pub fn finish(&mut self) -> Result<f64, PersistError> {
+        for slot in &mut self.slots {
+            if let Some(checkpointer) = slot.checkpointer.as_mut() {
+                checkpointer.finish()?;
+            }
+        }
+        if let Some(wal) = self.wal.take() {
+            wal.seal()?;
+        }
+        write_watermark_with_retry(&self.dir, self.offered, &self.retry)?;
+        Ok(self.estimate())
+    }
+
+    /// The shard an edge routes to in partition mode — identical to
+    /// `Ensemble`'s routing (a pure function of the edge and K).  K comes
+    /// from the manifest, not `slots.len()`, because resume-time catch-up
+    /// routes while the slot vector is still being filled.
+    fn route(&self, element: StreamElement) -> usize {
+        let shards = self
+            .manifest
+            .ensemble
+            .map_or(self.slots.len(), |(replicas, _)| replicas);
+        (splitmix64(element.edge.key().0) % shards as u64) as usize
+    }
+
+    /// The merged estimate over the healthy replicas (mean under replicate,
+    /// sum under partition; 0.0 when everything is quarantined).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        let estimates = self.replica_estimates();
+        if estimates.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = estimates.iter().map(|(_, e)| e).sum();
+        match self.mode {
+            EnsembleMode::Replicate => sum / estimates.len() as f64,
+            EnsembleMode::Partition => sum,
+        }
+    }
+
+    /// `(replica index, estimate)` for every healthy replica, in order.
+    #[must_use]
+    pub fn replica_estimates(&self) -> Vec<(usize, f64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| {
+                slot.checkpointer
+                    .as_ref()
+                    .map(|c| (index, c.estimator().estimate()))
+            })
+            .collect()
+    }
+
+    /// Replica-spread statistics over the healthy replicas — replicate mode
+    /// only.  Under degradation the reduced K honestly widens the CI.
+    #[must_use]
+    pub fn replicate_summary(&self) -> Option<EnsembleSummary> {
+        if self.mode != EnsembleMode::Replicate {
+            return None;
+        }
+        let estimates: Vec<f64> = self
+            .replica_estimates()
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        if estimates.is_empty() {
+            return None;
+        }
+        let summary = abacus_metrics::Summary::from_values(estimates);
+        let mean = summary.mean();
+        let std_dev = summary.std_dev();
+        let std_err = std_dev / (summary.count() as f64).sqrt();
+        Some(EnsembleSummary {
+            mean,
+            std_dev,
+            std_err,
+            ci95_half_width: 1.96 * std_err,
+        })
+    }
+
+    /// Total sampled edges across the healthy replicas.
+    #[must_use]
+    pub fn memory_edges(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.checkpointer.as_ref())
+            .map(|c| c.estimator().memory_edges())
+            .sum()
+    }
+
+    /// Read access to replica `index`'s live estimator (`None` while
+    /// quarantined).
+    #[must_use]
+    pub fn replica(&self, index: usize) -> Option<&dyn ButterflyCounter> {
+        self.slots[index]
+            .checkpointer
+            .as_ref()
+            .map(Checkpointer::estimator)
+    }
+
+    /// Mutable access to replica `index`'s checkpointer (`None` while
+    /// quarantined) — for parity tests that serialize replica state.
+    pub fn replica_checkpointer_mut(&mut self, index: usize) -> Option<&mut Checkpointer> {
+        self.slots[index].checkpointer.as_mut()
+    }
+
+    /// Replicas currently in service.
+    #[must_use]
+    pub fn healthy(&self) -> usize {
+        self.slots.iter().filter(|s| s.quarantine.is_none()).count()
+    }
+
+    /// True when at least one replica is quarantined.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.healthy() < self.slots.len()
+    }
+
+    /// Point-in-time health: counts plus per-replica quarantine records.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let quarantined: Vec<QuarantineRecord> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(replica, slot)| {
+                slot.quarantine
+                    .as_ref()
+                    .map(|(at_element, error)| QuarantineRecord {
+                        replica,
+                        at_element: *at_element,
+                        reason: error.to_string(),
+                    })
+            })
+            .collect();
+        HealthReport {
+            total: self.slots.len(),
+            healthy: self.slots.len() - quarantined.len(),
+            quarantined,
+        }
+    }
+
+    /// Total replica count K.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The distribution mode.
+    #[must_use]
+    pub fn mode(&self) -> EnsembleMode {
+        self.mode
+    }
+
+    /// Elements offered so far.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The supervised checkpoint directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The top-level manifest.
+    #[must_use]
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+}
+
+/// The checkpoint subdirectory of replica `index`.
+#[must_use]
+pub fn replica_dir(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("replica-{index}"))
+}
+
+/// Whether `dir` holds a *supervised* ensemble layout (top-level ensemble
+/// manifest plus per-replica subdirectories), as opposed to a combined
+/// single-checkpointer ensemble run.
+#[must_use]
+pub fn is_supervised_dir(dir: &Path) -> bool {
+    RunManifest::read(dir)
+        .map(|m| m.ensemble.is_some())
+        .unwrap_or(false)
+        && replica_dir(dir, 0).is_dir()
+}

@@ -76,8 +76,9 @@ pub use circuit::{Circuit, ViewKind};
 pub use config::{AbacusConfig, ParAbacusConfig, SnapshotMode, AUTO_SNAPSHOT_MIN_BUDGET};
 pub use counter::ButterflyCounter;
 pub use engine::{
-    Checkpointer, Ensemble, EnsembleMode, EnsembleSummary, EstimatorKind, EstimatorSpec, Recovery,
-    RunManifest,
+    Checkpointer, EngineError, Ensemble, EnsembleMode, EnsembleSummary, EnsembleSupervisor,
+    EstimatorKind, EstimatorSpec, Recovery, ReplicaError, ReplicaRecovery, RunManifest,
+    SupervisorRecovery,
 };
 pub use exact::ExactCounter;
 pub use local::LocalAbacus;

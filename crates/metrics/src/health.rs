@@ -1,0 +1,106 @@
+//! Ensemble health and degradation reporting.
+//!
+//! The engine's ensemble supervisor quarantines replicas that panic or
+//! exhaust their persistence retry budget instead of failing the run.  This
+//! module holds the *reporting* side of that contract: a plain-data
+//! [`HealthReport`] that callers (CLI report lines, tests, monitoring hooks)
+//! can render without depending on the engine crate.
+//!
+//! Degradation semantics: an ensemble serving with `healthy < total`
+//! replicas is *degraded* — its replicate-mode confidence interval is
+//! honestly widened because it is computed over fewer independent trials,
+//! and its partition-mode sum is missing the quarantined shards'
+//! contributions.  A report therefore always carries both counts plus the
+//! per-replica quarantine records explaining *why* and *when* (element
+//! index) each replica left service.
+
+/// Why and when one replica was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Replica index within the ensemble (`0..total`).
+    pub replica: usize,
+    /// Global element index at which the fault fired (the element was
+    /// covered by the ensemble WAL but not applied to this replica).
+    pub at_element: u64,
+    /// Human-readable fault description (panic payload or persist error).
+    pub reason: String,
+}
+
+impl QuarantineRecord {
+    /// One-line rendering used in CLI reports.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "replica {} quarantined at element {}: {}",
+            self.replica, self.at_element, self.reason
+        )
+    }
+}
+
+/// Point-in-time health of a supervised ensemble.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Total replica count the ensemble was built with.
+    pub total: usize,
+    /// Replicas currently in service.
+    pub healthy: usize,
+    /// One record per quarantined replica, ordered by replica index.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl HealthReport {
+    /// True when at least one replica is out of service.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.healthy < self.total
+    }
+
+    /// One-line rendering used in CLI reports, e.g.
+    /// `2/3 replicas healthy (degraded)`.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        if self.is_degraded() {
+            format!(
+                "{}/{} replicas healthy (degraded)",
+                self.healthy, self.total
+            )
+        } else {
+            format!("{}/{} replicas healthy", self.healthy, self.total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_report_is_not_degraded() {
+        let report = HealthReport {
+            total: 3,
+            healthy: 3,
+            quarantined: Vec::new(),
+        };
+        assert!(!report.is_degraded());
+        assert_eq!(report.summary_line(), "3/3 replicas healthy");
+    }
+
+    #[test]
+    fn degraded_report_carries_quarantine_detail() {
+        let report = HealthReport {
+            total: 3,
+            healthy: 2,
+            quarantined: vec![QuarantineRecord {
+                replica: 1,
+                at_element: 412,
+                reason: "replica worker panicked: injected fault".into(),
+            }],
+        };
+        assert!(report.is_degraded());
+        assert_eq!(report.summary_line(), "2/3 replicas healthy (degraded)");
+        assert_eq!(
+            report.quarantined[0].summary_line(),
+            "replica 1 quarantined at element 412: replica worker panicked: injected fault"
+        );
+    }
+}

@@ -154,7 +154,8 @@ pub trait ButterflyCounter {
     /// compares them directly.
     ///
     /// # Errors
-    /// [`PersistError::Unsupported`] by default; estimators opt in by
+    /// [`PersistError::Unsupported`](abacus_graph::persist::PersistError::Unsupported)
+    /// by default; estimators opt in by
     /// overriding both this and [`restore_state`](Self::restore_state).
     fn save_state(&mut self) -> Result<Vec<u8>, abacus_graph::persist::PersistError> {
         Err(abacus_graph::persist::PersistError::Unsupported(
@@ -169,7 +170,8 @@ pub trait ButterflyCounter {
     /// accounting all match.
     ///
     /// # Errors
-    /// [`PersistError::Unsupported`] by default; typed decode errors
+    /// [`PersistError::Unsupported`](abacus_graph::persist::PersistError::Unsupported)
+    /// by default; typed decode errors
     /// (truncation, corruption, wrong estimator kind) when overridden.
     fn restore_state(&mut self, state: &[u8]) -> Result<(), abacus_graph::persist::PersistError> {
         let _ = state;

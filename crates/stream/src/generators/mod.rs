@@ -11,16 +11,19 @@
 //! * [`block`] — community/block-structured bipartite graphs (butterfly-dense
 //!   clusters, used for anomaly-detection style examples),
 //! * [`weighted`] — the alias-method weighted sampler backing the generators,
-//! * [`dataset`] — the four named analogs of Table II.
+//! * [`dataset`] — the four named analogs of Table II,
+//! * [`wipe`] — correlated whole-vertex deletion bursts (GDPR erase-user).
 
 pub mod block;
 pub mod chung_lu;
 pub mod dataset;
 pub mod random;
 pub mod weighted;
+pub mod wipe;
 
 pub use block::{block_bipartite, BlockConfig};
 pub use chung_lu::{chung_lu_bipartite, ChungLuConfig};
 pub use dataset::{Dataset, DatasetSpec};
 pub use random::uniform_bipartite;
 pub use weighted::WeightedAliasSampler;
+pub use wipe::VertexWipeInjector;

@@ -1,0 +1,272 @@
+//! Correlated-deletion injection: GDPR-style *vertex wipes*.
+//!
+//! The α-deletion model ([`DeletionInjector`](crate::DeletionInjector))
+//! deletes individual edges independently, which is the paper's workload but
+//! not the hardest real-world one: a right-to-erasure request removes **one
+//! vertex's entire edge set at once** — a burst of correlated deletions that
+//! destroys every butterfly through that vertex in a single stream instant.
+//! [`VertexWipeInjector`] layers that workload onto any element source:
+//!
+//! * `wipes` wipe events are scheduled at uniformly random element slots
+//!   (drawn up front from a caller-supplied seed, so the stream is
+//!   deterministic per seed),
+//! * at each slot a uniformly random *live* left vertex is chosen and
+//!   deletions of its whole current neighborhood are emitted as one burst,
+//! * the injector tracks live adjacency as the stream flows, so every
+//!   emitted deletion targets a live edge and the output always validates —
+//!   and upstream deletions of already-wiped edges (e.g. scheduled earlier
+//!   by a [`DeletionInjector`](crate::DeletionInjector) running below this
+//!   adapter) are swallowed rather than emitted twice.
+//!
+//! # Memory
+//!
+//! O(live edges): the injector must know each vertex's current neighborhood
+//! to erase it.  This is a *generator-side* cost for building hostile
+//! workloads — the estimators consuming the stream stay O(budget).
+
+use crate::element::StreamElement;
+use crate::io::StreamIoError;
+use crate::source::ElementSource;
+use abacus_graph::Edge;
+use rand::{Rng, RngExt};
+use std::collections::VecDeque;
+
+/// Wraps an element source and injects `wipes` whole-vertex deletion bursts
+/// at uniformly random slots.  See the module docs for semantics.
+#[derive(Debug)]
+pub struct VertexWipeInjector<S, R> {
+    inner: S,
+    rng: R,
+    /// Remaining wipe slots, sorted descending so the next one pops cheaply.
+    slots: Vec<u64>,
+    /// Live adjacency: left vertex -> its current right neighbors.  Vertex
+    /// keys are kept sorted so the wiped-vertex draw is deterministic per
+    /// seed regardless of hash-map iteration order.
+    adjacency: abacus_graph::FxHashMap<u32, Vec<u32>>,
+    ready: VecDeque<StreamElement>,
+    /// Index of the next element to pull from the inner source.
+    index: u64,
+    done: bool,
+    wiped_edges: u64,
+}
+
+impl<S: ElementSource, R: Rng> VertexWipeInjector<S, R> {
+    /// Wraps `inner`, scheduling `wipes` vertex wipes at slots drawn
+    /// uniformly from `[0, expected_len)`.  `expected_len` should be the
+    /// number of elements the base source yields; wipes scheduled past an
+    /// early end of the stream fire at the end instead (still after their
+    /// insertions), and a wipe that finds no live vertex is skipped.
+    pub fn new(inner: S, wipes: usize, expected_len: u64, mut rng: R) -> Self {
+        let mut slots: Vec<u64> = (0..wipes)
+            .map(|_| {
+                if expected_len == 0 {
+                    0
+                } else {
+                    rng.random_range(0..expected_len)
+                }
+            })
+            .collect();
+        slots.sort_unstable_by(|a, b| b.cmp(a));
+        VertexWipeInjector {
+            inner,
+            rng,
+            slots,
+            adjacency: abacus_graph::FxHashMap::default(),
+            ready: VecDeque::new(),
+            index: 0,
+            done: false,
+            wiped_edges: 0,
+        }
+    }
+
+    /// Total edges erased by wipe bursts so far.
+    #[must_use]
+    pub fn wiped_edges(&self) -> u64 {
+        self.wiped_edges
+    }
+
+    /// Applies one pass-through element to the live adjacency.  Returns
+    /// `false` for a deletion of an edge that is no longer live (already
+    /// wiped) — the caller swallows it.
+    fn track(&mut self, element: StreamElement) -> bool {
+        let Edge { left, right } = element.edge;
+        if element.delta.is_insert() {
+            self.adjacency.entry(left).or_default().push(right);
+            return true;
+        }
+        let Some(neighbors) = self.adjacency.get_mut(&left) else {
+            return false;
+        };
+        let Some(position) = neighbors.iter().position(|&r| r == right) else {
+            return false;
+        };
+        neighbors.remove(position);
+        if neighbors.is_empty() {
+            self.adjacency.remove(&left);
+        }
+        true
+    }
+
+    /// Erases one uniformly random live left vertex: removes its adjacency
+    /// entry and queues deletions of its whole neighborhood.
+    fn fire_wipe(&mut self) {
+        if self.adjacency.is_empty() {
+            return; // nothing live to erase
+        }
+        let mut vertices: Vec<u32> = self.adjacency.keys().copied().collect();
+        vertices.sort_unstable();
+        let victim = vertices[self.rng.random_range(0..vertices.len())];
+        let neighbors = self
+            .adjacency
+            .remove(&victim)
+            .expect("victim drawn from live keys");
+        self.wiped_edges += neighbors.len() as u64;
+        for right in neighbors {
+            self.ready
+                .push_back(StreamElement::delete(Edge::new(victim, right)));
+        }
+    }
+
+    /// Fires every wipe scheduled at or before `slot` (or all remaining).
+    fn release(&mut self, slot: Option<u64>) {
+        while let Some(&next) = self.slots.last() {
+            if slot.is_some_and(|s| next > s) {
+                break;
+            }
+            self.slots.pop();
+            self.fire_wipe();
+        }
+    }
+}
+
+impl<S: ElementSource, R: Rng> ElementSource for VertexWipeInjector<S, R> {
+    fn next_element(&mut self) -> Option<Result<StreamElement, StreamIoError>> {
+        loop {
+            if let Some(element) = self.ready.pop_front() {
+                return Some(Ok(element));
+            }
+            if self.done {
+                return None;
+            }
+            match self.inner.next_element() {
+                None => {
+                    // Stream ended before every scheduled slot: fire the
+                    // remaining wipes over whatever is still live.
+                    self.done = true;
+                    self.release(None);
+                }
+                Some(Err(error)) => return Some(Err(error)),
+                Some(Ok(element)) => {
+                    let slot = self.index;
+                    self.index += 1;
+                    let live = self.track(element);
+                    if live {
+                        self.ready.push_back(element);
+                    }
+                    // Wipes at this slot fire after the element passes
+                    // through, so the burst never precedes its insertions.
+                    self.release(Some(slot));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lower, _) = self.inner.size_hint();
+        // Wipes add deletions and swallow duplicates; only the lower bound
+        // net of queued output is meaningful.
+        (lower + self.ready.len(), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::uniform_bipartite;
+    use crate::source::{read_all, SliceSource};
+    use crate::stream::{validate_stream, StreamStats};
+    use crate::{DeletionConfig, DeletionInjector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_inserts(edges: usize, seed: u64) -> Vec<StreamElement> {
+        uniform_bipartite(40, 40, edges, &mut StdRng::seed_from_u64(seed))
+            .into_iter()
+            .map(StreamElement::insert)
+            .collect()
+    }
+
+    #[test]
+    fn wiped_stream_stays_valid_and_erases_whole_neighborhoods() {
+        let base = base_inserts(400, 3);
+        let mut injector = VertexWipeInjector::new(
+            SliceSource::new(&base),
+            6,
+            base.len() as u64,
+            StdRng::seed_from_u64(9),
+        );
+        let stream = read_all(&mut injector).unwrap();
+        validate_stream(&stream).expect("every deletion follows its live insertion");
+        let stats = StreamStats::compute(&stream);
+        assert_eq!(stats.insertions, base.len());
+        assert_eq!(stats.deletions as u64, injector.wiped_edges());
+        assert!(injector.wiped_edges() > 0, "wipes found live vertices");
+    }
+
+    #[test]
+    fn wipes_compose_with_alpha_deletions() {
+        let base = base_inserts(500, 11);
+        let alpha = DeletionInjector::new(
+            SliceSource::new(&base),
+            DeletionConfig::new(0.2),
+            base.len(),
+            StdRng::seed_from_u64(1),
+        );
+        // The wipe layer runs downstream of the α-injector and must swallow
+        // any α-deletion whose edge a wipe already erased.
+        let mut injector = VertexWipeInjector::new(
+            alpha,
+            8,
+            (base.len() as f64 * 1.2) as u64,
+            StdRng::seed_from_u64(2),
+        );
+        let stream = read_all(&mut injector).unwrap();
+        validate_stream(&stream).expect("composed stream is well-formed");
+        let stats = StreamStats::compute(&stream);
+        assert_eq!(stats.insertions, base.len());
+        assert!(stats.deletions > 0);
+    }
+
+    #[test]
+    fn wipe_streams_are_deterministic_per_seed() {
+        let base = base_inserts(300, 5);
+        let run = |seed: u64| {
+            read_all(&mut VertexWipeInjector::new(
+                SliceSource::new(&base),
+                5,
+                base.len() as u64,
+                StdRng::seed_from_u64(seed),
+            ))
+            .unwrap()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    fn zero_wipes_is_transparent_and_empty_streams_are_safe() {
+        let base = base_inserts(50, 1);
+        let mut none = VertexWipeInjector::new(
+            SliceSource::new(&base),
+            0,
+            base.len() as u64,
+            StdRng::seed_from_u64(0),
+        );
+        assert_eq!(read_all(&mut none).unwrap(), base);
+
+        let empty: Vec<StreamElement> = Vec::new();
+        let mut wiped =
+            VertexWipeInjector::new(SliceSource::new(&empty), 3, 0, StdRng::seed_from_u64(0));
+        assert!(read_all(&mut wiped).unwrap().is_empty());
+    }
+}

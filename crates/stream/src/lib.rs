@@ -25,7 +25,11 @@
 //!   plus materializing helpers),
 //! * [`persist`] — the `ABWL1` append-only write-ahead log and the
 //!   committed-watermark protocol behind estimator checkpoint/restore,
-//! * [`binary`] — the compact `ABST1` varint-delta binary format.
+//! * [`binary`] — the compact `ABST1` varint-delta binary format,
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   driving a [`FaultySource`] wrapper (typed I/O errors, corrupt records,
+//!   stalls) plus replica-worker fault descriptions consumed by the engine's
+//!   ensemble supervisor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod binary;
 pub mod counter;
 pub mod deletion;
 pub mod element;
+pub mod fault;
 pub mod generators;
 pub mod io;
 pub mod persist;
@@ -45,11 +50,15 @@ pub use binary::{BinarySource, BinaryStreamWriter, BINARY_MAGIC};
 pub use counter::{ButterflyCounter, DEFAULT_SOURCE_CHUNK};
 pub use deletion::{inject_deletions, inject_deletions_fast, DeletionConfig};
 pub use element::{EdgeDelta, StreamElement};
+pub use fault::{
+    FaultPlan, FaultySource, ReplicaFault, ReplicaFaultKind, SourceFault, SourceFaultKind,
+};
 pub use generators::dataset::{Dataset, DatasetSpec};
+pub use generators::wipe::VertexWipeInjector;
 pub use io::{StreamIoError, TextSource};
 pub use persist::{
-    read_watermark, replay_wal, seal_tail, write_watermark, WalRecovery, WalWriter, WAL_MAGIC,
-    WATERMARK_FILE,
+    read_watermark, replay_wal, seal_tail, with_retry, write_watermark, write_watermark_with_retry,
+    RetryPolicy, WalRecovery, WalWriter, WAL_MAGIC, WATERMARK_FILE,
 };
 pub use source::{
     open_path_source, read_all, DeletionInjector, ElementSource, IterSource, SliceSource,

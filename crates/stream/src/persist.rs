@@ -39,8 +39,105 @@ use crate::element::{EdgeDelta, StreamElement};
 use abacus_graph::persist::{crc32, Crc32, PersistError};
 use abacus_graph::Edge;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Bounded retry with jittered exponential backoff for *transient* I/O
+/// failures ([`PersistError::Io`]); every other [`PersistError`] is
+/// structural (corruption, gaps, format) and is never retried.
+///
+/// The policy is deterministic per seed: jitter comes from a splitmix64
+/// avalanche of `(seed, attempt)`, so tests can assert exact retry counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before retry k is `base_delay · 2^(k-1)`, jittered ±50%.
+    pub base_delay: Duration,
+    /// Seed of the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total attempts and the default 10 ms base
+    /// backoff.
+    #[must_use]
+    pub fn new(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The default three attempts with zero backoff — for tests and for
+    /// in-process fault injection, where sleeping only slows the suite.
+    #[must_use]
+    pub fn no_delay() -> Self {
+        RetryPolicy {
+            base_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered backoff before retry attempt `attempt` (1-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        // Deterministic jitter in [0.5, 1.5): splitmix64 of (seed, attempt).
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(jitter / 2.0)
+    }
+}
+
+/// Runs `op` under `policy`: up to `policy.attempts` calls, sleeping the
+/// jittered backoff between them, retrying **only** [`PersistError::Io`].
+/// The closure receives the zero-based attempt number (so fault injectors
+/// and rollback logic can tell a retry from a first try).
+///
+/// # Errors
+/// The last [`PersistError::Io`] once attempts are exhausted, or the first
+/// non-transient [`PersistError`] immediately.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, PersistError>,
+) -> Result<T, PersistError> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(value) => return Ok(value),
+            Err(PersistError::Io(error)) if attempt + 1 < attempts => {
+                attempt += 1;
+                let delay = policy.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                drop(error);
+            }
+            Err(error) => return Err(error),
+        }
+    }
+}
 
 /// Magic header of a WAL segment file: `ABWL` + format version 1.
 pub const WAL_MAGIC: &[u8; 5] = b"ABWL1";
@@ -140,6 +237,10 @@ pub struct WalWriter {
     first_seq: u64,
     records: u64,
     crc: Crc32,
+    /// Bytes durably owed to the file so far (header + whole records) — the
+    /// rollback point [`append_with_retry`](WalWriter::append_with_retry)
+    /// truncates to before re-attempting a failed append.
+    written: u64,
 }
 
 impl WalWriter {
@@ -167,6 +268,7 @@ impl WalWriter {
             first_seq,
             records: 0,
             crc: Crc32::new(),
+            written: (WAL_MAGIC.len() + 8) as u64,
         })
     }
 
@@ -186,6 +288,39 @@ impl WalWriter {
         self.file.write_all(&record)?;
         self.file.flush()?;
         self.crc.update(&record);
+        self.written += record.len() as u64;
+        let seq = self.next_seq();
+        self.records += 1;
+        Ok(seq)
+    }
+
+    /// [`append`](WalWriter::append) with bounded retry on transient I/O
+    /// failure.  Before each retry the file is truncated back to the last
+    /// whole record, so a half-written record from a failed attempt can
+    /// never survive into the log.
+    ///
+    /// # Errors
+    /// The last [`PersistError::Io`] once the policy's attempts are
+    /// exhausted.
+    pub fn append_with_retry(
+        &mut self,
+        element: StreamElement,
+        policy: &RetryPolicy,
+    ) -> Result<u64, PersistError> {
+        let record = encode_record(element);
+        let file = &mut self.file;
+        let rollback = self.written;
+        with_retry(policy, |attempt| {
+            if attempt > 0 {
+                file.set_len(rollback)?;
+                file.seek(SeekFrom::End(0))?;
+            }
+            file.write_all(&record)?;
+            file.flush()?;
+            Ok(())
+        })?;
+        self.crc.update(&record);
+        self.written += record.len() as u64;
         let seq = self.next_seq();
         self.records += 1;
         Ok(seq)
@@ -499,6 +634,7 @@ pub fn seal_tail(dir: &Path) -> Result<bool, PersistError> {
             first_seq: segment.first_seq,
             records: 0,
             crc: Crc32::new(),
+            written: (WAL_MAGIC.len() + 8) as u64,
         }
     };
     for &element in &segment.elements {
@@ -536,6 +672,20 @@ pub fn write_watermark(dir: &Path, committed: u64) -> Result<(), PersistError> {
     }
     fs::rename(&tmp, dir.join(WATERMARK_FILE))?;
     Ok(())
+}
+
+/// [`write_watermark`] with bounded retry on transient I/O failure.  The
+/// whole temp-write + fsync + rename sequence is idempotent, so each retry
+/// simply starts over.
+///
+/// # Errors
+/// The last [`PersistError::Io`] once the policy's attempts are exhausted.
+pub fn write_watermark_with_retry(
+    dir: &Path,
+    committed: u64,
+    policy: &RetryPolicy,
+) -> Result<(), PersistError> {
+    with_retry(policy, |_| write_watermark(dir, committed))
 }
 
 /// Reads the committed watermark of `dir`; `Ok(None)` when no watermark has
@@ -784,6 +934,99 @@ mod tests {
             read_watermark(&dir).unwrap_err(),
             PersistError::Truncated(_)
         ));
+    }
+
+    /// A flaky filesystem op: fails its first `failures` calls with a
+    /// transient I/O error, then succeeds — the injected-fault driver of the
+    /// retry unit tests.
+    struct FlakyOp {
+        failures: u32,
+        calls: u32,
+    }
+
+    impl FlakyOp {
+        fn new(failures: u32) -> Self {
+            FlakyOp { failures, calls: 0 }
+        }
+
+        fn call(&mut self) -> Result<u32, PersistError> {
+            self.calls += 1;
+            if self.calls <= self.failures {
+                return Err(PersistError::Io(std::io::Error::other("flaky")));
+            }
+            Ok(self.calls)
+        }
+    }
+
+    #[test]
+    fn retry_absorbs_transient_io_up_to_the_attempt_budget() {
+        let policy = RetryPolicy::no_delay();
+        assert_eq!(policy.attempts, 3);
+
+        // Fewer failures than attempts: the op succeeds.
+        let mut op = FlakyOp::new(2);
+        assert_eq!(with_retry(&policy, |_| op.call()).unwrap(), 3);
+        assert_eq!(op.calls, 3);
+
+        // As many failures as attempts: the last error surfaces.
+        let mut op = FlakyOp::new(3);
+        assert!(matches!(
+            with_retry(&policy, |_| op.call()),
+            Err(PersistError::Io(_))
+        ));
+        assert_eq!(op.calls, 3, "never more than `attempts` calls");
+    }
+
+    #[test]
+    fn retry_never_touches_structural_errors() {
+        let mut calls = 0;
+        let result: Result<(), PersistError> = with_retry(&RetryPolicy::no_delay(), |_| {
+            calls += 1;
+            Err(PersistError::Corrupt("structural".into()))
+        });
+        assert!(matches!(result, Err(PersistError::Corrupt(_))));
+        assert_eq!(calls, 1, "corruption is not transient; no retry");
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_jittered() {
+        let policy = RetryPolicy::new(5);
+        let a: Vec<_> = (1..4).map(|k| policy.backoff(k)).collect();
+        let b: Vec<_> = (1..4).map(|k| policy.backoff(k)).collect();
+        assert_eq!(a, b, "same seed, same backoffs");
+        for (k, delay) in a.iter().enumerate() {
+            let base = policy.base_delay * (1 << (k + 1)) as u32;
+            assert!(
+                *delay >= base / 4 && *delay <= base,
+                "attempt {k}: {delay:?}"
+            );
+        }
+        assert_eq!(RetryPolicy::no_delay().backoff(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn append_with_retry_round_trips_like_plain_append() {
+        let dir = temp_dir("retry_append");
+        let stream = elements(12);
+        let policy = RetryPolicy::no_delay();
+        let mut writer = WalWriter::create(&dir, 0).unwrap();
+        for (i, &element) in stream.iter().enumerate() {
+            assert_eq!(
+                writer.append_with_retry(element, &policy).unwrap(),
+                i as u64
+            );
+        }
+        writer.seal().unwrap();
+        let recovery = replay_wal(&dir, 0).unwrap();
+        assert_eq!(recovery.elements, stream);
+        assert_eq!(recovery.next_seq, 12);
+    }
+
+    #[test]
+    fn watermark_with_retry_round_trips() {
+        let dir = temp_dir("retry_watermark");
+        write_watermark_with_retry(&dir, 777, &RetryPolicy::no_delay()).unwrap();
+        assert_eq!(read_watermark(&dir).unwrap(), Some(777));
     }
 
     #[test]

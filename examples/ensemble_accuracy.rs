@@ -40,7 +40,7 @@ fn measure(
     let mut spread = 0.0;
     for trial in 0..trials {
         let spec = EstimatorSpec::abacus(budget_per_replica).with_seed(1_000 + trial);
-        let mut ensemble = Ensemble::new(spec, replicas, EnsembleMode::Replicate);
+        let mut ensemble = Ensemble::new(spec, replicas, EnsembleMode::Replicate).unwrap();
         ensemble.process_stream(stream);
         mape += relative_error_percent(truth, ensemble.estimate());
         spread += ensemble

@@ -116,7 +116,7 @@ fn k1_replicate_is_bit_identical_to_the_bare_estimator_for_every_kind() {
         bare.process_stream(&stream);
         let expected = fingerprint(&*bare);
 
-        let mut ensemble = Ensemble::new(spec, 1, EnsembleMode::Replicate);
+        let mut ensemble = Ensemble::new(spec, 1, EnsembleMode::Replicate).unwrap();
         ensemble.process_stream(&stream);
         assert_eq!(
             ensemble.estimate().to_bits(),
@@ -132,7 +132,7 @@ fn k1_replicate_is_bit_identical_to_the_bare_estimator_for_every_kind() {
 
         // Partition mode with one shard routes everything to replica 0, so
         // it degenerates to the bare estimator too.
-        let mut sharded = Ensemble::new(spec, 1, EnsembleMode::Partition);
+        let mut sharded = Ensemble::new(spec, 1, EnsembleMode::Partition).unwrap();
         sharded.process_stream(&stream);
         assert_eq!(
             fingerprint(sharded.replica(0)),
@@ -149,8 +149,9 @@ fn replicate_estimates_are_invariant_across_fan_out_thread_counts() {
     for kind in EstimatorKind::ALL {
         let spec = spec_for(kind);
         let run = |threads: usize, chunk: usize| {
-            let mut ensemble =
-                Ensemble::new(spec, 3, EnsembleMode::Replicate).with_fan_out_threads(threads);
+            let mut ensemble = Ensemble::new(spec, 3, EnsembleMode::Replicate)
+                .unwrap()
+                .with_fan_out_threads(threads);
             ensemble
                 .process_source_chunked(&mut SliceSource::new(&stream), chunk)
                 .unwrap();
@@ -169,7 +170,7 @@ fn replicate_estimates_are_invariant_across_fan_out_thread_counts() {
             }
         }
         // The inline single-element driver agrees with the chunked one.
-        let mut inline = Ensemble::new(spec, 3, EnsembleMode::Replicate);
+        let mut inline = Ensemble::new(spec, 3, EnsembleMode::Replicate).unwrap();
         inline.process_stream(&stream);
         assert_eq!(
             inline.estimate().to_bits(),
@@ -184,8 +185,9 @@ fn partition_estimates_are_invariant_across_fan_out_thread_counts() {
     let stream = workload();
     let spec = spec_for(EstimatorKind::Abacus);
     let run = |threads: usize, chunk: usize| {
-        let mut ensemble =
-            Ensemble::new(spec, 4, EnsembleMode::Partition).with_fan_out_threads(threads);
+        let mut ensemble = Ensemble::new(spec, 4, EnsembleMode::Partition)
+            .unwrap()
+            .with_fan_out_threads(threads);
         ensemble
             .process_source_chunked(&mut SliceSource::new(&stream), chunk)
             .unwrap();
@@ -213,7 +215,8 @@ fn replicas_are_seed_independent_and_averaging_tightens_the_spread() {
         EstimatorSpec::abacus(256).with_seed(5),
         6,
         EnsembleMode::Replicate,
-    );
+    )
+    .unwrap();
     ensemble.process_stream(&stream);
     let estimates = ensemble.replica_estimates();
     let distinct: std::collections::HashSet<u64> = estimates.iter().map(|e| e.to_bits()).collect();

@@ -1,0 +1,511 @@
+//! Fault-injected ensemble supervision parity: a replica that panics (or
+//! exhausts its persistence retry budget) mid-stream is quarantined while
+//! the ensemble keeps serving degraded — and after snapshot restore +
+//! ensemble-WAL catch-up the rejoined replica must be **bit-identical** to
+//! the same replica in a run that never failed: estimate (`f64::to_bits`),
+//! `memory_edges`, and the full serialized estimator state compared exactly.
+//!
+//! The matrix covers ABACUS, PARABACUS (mini-batched, threaded, pipelined),
+//! and the FLEET registry kind, under both replicate and partition ensemble
+//! modes, at seed-randomized fault points — via a completed degraded run
+//! recovered with [`EnsembleSupervisor::resume`], and via a live
+//! [`EnsembleSupervisor::rejoin`] mid-stream.  Satellites: degraded serving
+//! honesty (K−1 summaries, typed quarantine records), transient-I/O
+//! absorption within the retry budget, GDPR-style vertex-wipe streams, and
+//! corrupted/missing/ahead `COMMITTED` watermark recovery (typed error or
+//! flagged rebuild — never a panic, never a silent double-replay).
+
+use abacus::prelude::*;
+use abacus_core::engine::supervisor::replica_dir;
+use abacus_core::{Checkpointer, EnsembleSupervisor, RunManifest};
+use abacus_graph::persist::PersistError;
+use abacus_sampling::splitmix64;
+use abacus_stream::fault::{ReplicaFault, ReplicaFaultKind};
+use abacus_stream::persist::{write_watermark, WATERMARK_FILE};
+use abacus_stream::source::IterSource;
+use abacus_stream::VertexWipeInjector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+const REPLICAS: usize = 3;
+const CADENCE: u64 = 100;
+
+fn dynamic_stream(seed: u64, edges: usize, alpha: f64) -> Vec<StreamElement> {
+    let base = abacus_stream::generators::random::uniform_bipartite(
+        50,
+        50,
+        edges,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    if alpha == 0.0 {
+        return base.into_iter().map(StreamElement::insert).collect();
+    }
+    inject_deletions_fast(
+        &base,
+        DeletionConfig::new(alpha),
+        &mut StdRng::seed_from_u64(seed ^ 0xBEEF),
+    )
+}
+
+/// A fresh, empty checkpoint directory under the system temp dir.
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("abacus-fault-tolerance")
+        .join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Everything a rejoined replica must reproduce exactly.  The serialized
+/// state embeds sampler slot order, Random Pairing counters, RNG words, and
+/// work statistics, so byte equality is the strongest check available.
+#[derive(PartialEq, Eq)]
+struct Fingerprint {
+    estimate_bits: u64,
+    memory_edges: usize,
+    state: Vec<u8>,
+}
+
+impl std::fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fingerprint")
+            .field("estimate", &f64::from_bits(self.estimate_bits))
+            .field("memory_edges", &self.memory_edges)
+            .field("state_len", &self.state.len())
+            .finish()
+    }
+}
+
+/// Fingerprints of every replica plus the merged estimate.
+fn fingerprints(supervisor: &mut EnsembleSupervisor) -> (Vec<Fingerprint>, u64) {
+    let merged = supervisor.estimate().to_bits();
+    let prints = (0..supervisor.replicas())
+        .map(|index| {
+            let checkpointer = supervisor
+                .replica_checkpointer_mut(index)
+                .expect("every replica is in service when fingerprinting");
+            Fingerprint {
+                estimate_bits: checkpointer.estimator().estimate().to_bits(),
+                memory_edges: checkpointer.estimator().memory_edges(),
+                state: checkpointer.estimator_mut().save_state().unwrap(),
+            }
+        })
+        .collect();
+    (prints, merged)
+}
+
+/// Runs a supervised ensemble over the whole stream with no faults and
+/// returns its final fingerprints.
+fn run_clean(
+    spec: EstimatorSpec,
+    mode: EnsembleMode,
+    stream: &[StreamElement],
+    tag: &str,
+) -> (Vec<Fingerprint>, u64) {
+    let dir = test_dir(tag);
+    let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, mode);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest).unwrap();
+    for &element in stream {
+        supervisor.offer(element).unwrap();
+    }
+    supervisor.finish().unwrap();
+    let prints = fingerprints(&mut supervisor);
+    std::fs::remove_dir_all(&dir).ok();
+    prints
+}
+
+/// The global index of the `n`-th element (1-based) the partition router
+/// sends to `shard` — so partition-mode faults are guaranteed to fire.
+fn nth_routed_to(stream: &[StreamElement], shard: usize, n: usize) -> u64 {
+    let mut seen = 0;
+    for (index, element) in stream.iter().enumerate() {
+        if (splitmix64(element.edge.key().0) % REPLICAS as u64) as usize == shard {
+            seen += 1;
+            if seen == n {
+                return index as u64;
+            }
+        }
+    }
+    panic!("stream routes fewer than {n} elements to shard {shard}");
+}
+
+/// Seed-randomized fault points: deterministic per (kind, mode) so failures
+/// reproduce, spread across cadence boundaries by the avalanche.
+fn fault_points(salt: u64, len: u64) -> Vec<u64> {
+    (0..2)
+        .map(|i| 1 + splitmix64(salt.wrapping_add(i)) % (len - 2))
+        .collect()
+}
+
+#[test]
+fn quarantined_replica_rejoins_bit_identically_across_kinds_and_modes() {
+    let kinds = [
+        ("abacus", EstimatorSpec::abacus(220).with_seed(11), 0.25),
+        (
+            "parabacus",
+            EstimatorSpec::parabacus(220)
+                .with_seed(11)
+                .with_batch_size(64)
+                .with_threads(2)
+                .with_pipeline_depth(2),
+            0.25,
+        ),
+        // FLEET is insert-only: give it a deletion-free stream.
+        ("fleet", EstimatorSpec::fleet(220).with_seed(11), 0.0),
+    ];
+    for (name, spec, alpha) in kinds {
+        let stream = dynamic_stream(0xF00D ^ spec.kind as u64, 420, alpha);
+        for mode in [EnsembleMode::Replicate, EnsembleMode::Partition] {
+            let reference = run_clean(spec, mode, &stream, &format!("clean-{name}-{mode}"));
+            for (case, &raw_at) in fault_points(spec.kind as u64 ^ mode as u64, stream.len() as u64)
+                .iter()
+                .enumerate()
+            {
+                // In partition mode only routed elements reach replica 1;
+                // pin the fault to one that does.
+                let fault_at = match mode {
+                    EnsembleMode::Replicate => raw_at,
+                    EnsembleMode::Partition => nth_routed_to(&stream, 1, 1 + raw_at as usize / 8),
+                };
+                let dir = test_dir(&format!("faulty-{name}-{mode}-{case}"));
+                let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, mode);
+                let mut supervisor = EnsembleSupervisor::create(&dir, manifest)
+                    .unwrap()
+                    .with_replica_faults(vec![ReplicaFault {
+                        replica: 1,
+                        at: fault_at,
+                        kind: ReplicaFaultKind::Panic,
+                    }]);
+                for &element in &stream {
+                    supervisor.offer(element).unwrap();
+                }
+                // The run completed degraded: replica 1 is out, the others
+                // kept serving, and finish() still succeeds.
+                assert!(supervisor.is_degraded(), "{name}/{mode} at {fault_at}");
+                assert_eq!(supervisor.healthy(), REPLICAS - 1);
+                supervisor.finish().unwrap();
+                drop(supervisor);
+
+                // Resume rebuilds every replica; the quarantined one is
+                // restored from its own snapshot and caught up from the
+                // ensemble log to the committed watermark.
+                let recovery = EnsembleSupervisor::resume(&dir).unwrap();
+                let mut rejoined = recovery.supervisor;
+                assert_eq!(rejoined.healthy(), REPLICAS);
+                assert!(!recovery.watermark_rebuilt);
+                let catch_up = &recovery.replicas[1];
+                assert!(
+                    catch_up.caught_up > 0,
+                    "{name}/{mode} at {fault_at}: the missed suffix must come \
+                     from the ensemble log, got {catch_up:?}"
+                );
+                rejoined.finish().unwrap();
+                let (prints, merged) = fingerprints(&mut rejoined);
+                assert_eq!(
+                    prints, reference.0,
+                    "{name}/{mode} fault at {fault_at}: replica states diverged"
+                );
+                assert_eq!(
+                    merged, reference.1,
+                    "{name}/{mode} fault at {fault_at}: merged estimate diverged"
+                );
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+}
+
+#[test]
+fn live_rejoin_mid_stream_restores_parity() {
+    for (name, spec) in [
+        ("abacus", EstimatorSpec::abacus(200).with_seed(5)),
+        (
+            "parabacus",
+            EstimatorSpec::parabacus(200)
+                .with_seed(5)
+                .with_batch_size(50)
+                .with_threads(2),
+        ),
+    ] {
+        let stream = dynamic_stream(0xCAFE, 500, 0.2);
+        let reference = run_clean(spec, EnsembleMode::Replicate, &stream, "live-clean");
+        let dir = test_dir(&format!("live-rejoin-{name}"));
+        let manifest =
+            RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, EnsembleMode::Replicate);
+        let mut supervisor = EnsembleSupervisor::create(&dir, manifest)
+            .unwrap()
+            .with_replica_faults(vec![ReplicaFault {
+                replica: 2,
+                at: 150,
+                kind: ReplicaFaultKind::Panic,
+            }]);
+        for &element in &stream[..350] {
+            supervisor.offer(element).unwrap();
+        }
+        assert!(supervisor.is_degraded());
+        // Rejoin while the stream is still flowing: replica 2 catches up
+        // through the ensemble log (the 200-element gap including the
+        // element its panic swallowed) and re-enters service.
+        let recovery = supervisor.rejoin(2).unwrap();
+        assert_eq!(
+            recovery.caught_up + recovery.replayed + recovery.snapshot_elements,
+            350
+        );
+        assert!(!supervisor.is_degraded());
+        // Rejoining a healthy replica is a typed error, not a panic.
+        assert!(matches!(
+            supervisor.rejoin(2),
+            Err(PersistError::Corrupt(_))
+        ));
+        for &element in &stream[350..] {
+            supervisor.offer(element).unwrap();
+        }
+        supervisor.finish().unwrap();
+        let prints = fingerprints(&mut supervisor);
+        assert_eq!(prints.0, reference.0, "{name}: replica states diverged");
+        assert_eq!(prints.1, reference.1, "{name}: merged estimate diverged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn degraded_serving_is_honest_about_reduced_k() {
+    let spec = EstimatorSpec::abacus(180).with_seed(21);
+    let stream = dynamic_stream(0xD1CE, 400, 0.2);
+    let dir = test_dir("degraded-honesty");
+    let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, EnsembleMode::Replicate);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest)
+        .unwrap()
+        .with_replica_faults(vec![ReplicaFault {
+            replica: 0,
+            at: 77,
+            kind: ReplicaFaultKind::Panic,
+        }]);
+    for &element in &stream {
+        supervisor.offer(element).unwrap();
+    }
+    supervisor.finish().unwrap();
+
+    let health = supervisor.health();
+    assert!(health.is_degraded());
+    assert_eq!((health.healthy, health.total), (2, 3));
+    assert_eq!(health.summary_line(), "2/3 replicas healthy (degraded)");
+    let record = &health.quarantined[0];
+    assert_eq!((record.replica, record.at_element), (0, 77));
+    assert!(
+        record.reason.contains("panicked"),
+        "the quarantine reason must carry the typed fault: {}",
+        record.reason
+    );
+
+    // The merged estimate and the spread summary are computed over the two
+    // surviving replicas only — no stale contribution from replica 0.
+    let estimates = supervisor.replica_estimates();
+    assert_eq!(
+        estimates.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    let mean = estimates.iter().map(|(_, e)| e).sum::<f64>() / 2.0;
+    assert_eq!(supervisor.estimate().to_bits(), mean.to_bits());
+    let summary = supervisor.replicate_summary().unwrap();
+    assert_eq!(summary.mean.to_bits(), mean.to_bits());
+    assert!(
+        supervisor.replica(0).is_none(),
+        "quarantined replicas serve no reads"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_io_faults_are_absorbed_within_the_retry_budget() {
+    let spec = EstimatorSpec::abacus(180).with_seed(31);
+    let stream = dynamic_stream(0xABBA, 400, 0.2);
+    let reference = run_clean(spec, EnsembleMode::Replicate, &stream, "retry-clean");
+
+    // Two injected failures < the default three attempts: absorbed, never
+    // quarantined, bit-identical to the clean run.
+    let dir = test_dir("retry-absorbed");
+    let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, EnsembleMode::Replicate);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest)
+        .unwrap()
+        .with_replica_faults(vec![ReplicaFault {
+            replica: 1,
+            at: 123,
+            kind: ReplicaFaultKind::Io { failures: 2 },
+        }]);
+    for &element in &stream {
+        supervisor.offer(element).unwrap();
+    }
+    assert!(
+        !supervisor.is_degraded(),
+        "two failures fit a three-attempt budget"
+    );
+    supervisor.finish().unwrap();
+    let prints = fingerprints(&mut supervisor);
+    assert_eq!(prints, reference, "absorbed retries must not perturb state");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Five failures exhaust the budget: a typed persistence quarantine —
+    // and the replica still rejoins bit-identically afterwards.
+    let dir = test_dir("retry-exhausted");
+    let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, EnsembleMode::Replicate);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest)
+        .unwrap()
+        .with_replica_faults(vec![ReplicaFault {
+            replica: 1,
+            at: 123,
+            kind: ReplicaFaultKind::Io { failures: 5 },
+        }]);
+    for &element in &stream {
+        supervisor.offer(element).unwrap();
+    }
+    assert!(supervisor.is_degraded());
+    let reason = &supervisor.health().quarantined[0].reason;
+    assert!(
+        reason.contains("persistence failed after retries"),
+        "expected a typed persistence error, got: {reason}"
+    );
+    supervisor.finish().unwrap();
+    drop(supervisor);
+    let mut rejoined = EnsembleSupervisor::resume(&dir).unwrap().supervisor;
+    rejoined.finish().unwrap();
+    assert_eq!(fingerprints(&mut rejoined), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vertex_wipe_streams_stay_exact_at_covering_budgets() {
+    // A wipe-heavy fully dynamic stream: α-deletions composed with six
+    // GDPR-style whole-vertex erasure bursts.
+    let base = dynamic_stream(0x61DF, 500, 0.15);
+    let len = base.len() as u64;
+    let mut injector = VertexWipeInjector::new(
+        IterSource::new(base.into_iter()),
+        6,
+        len,
+        StdRng::seed_from_u64(99),
+    );
+    let stream = read_all(&mut injector).unwrap();
+    assert!(
+        injector.wiped_edges() > 0,
+        "the wipes must actually erase edges"
+    );
+    let truth = count_butterflies(&final_graph(&stream)) as f64;
+
+    // A covering budget makes ABACUS exact, wipes and all.
+    let mut abacus = Abacus::new(AbacusConfig::new(2_000).with_seed(1));
+    abacus.process_stream(&stream);
+    assert_eq!(abacus.estimate(), truth);
+
+    // Replicate ensembles agree exactly at covering budgets; a supervised
+    // ensemble survives the same stream durably with the same answer.
+    let mut ensemble = Ensemble::new(
+        EstimatorSpec::abacus(2_000).with_seed(1),
+        REPLICAS,
+        EnsembleMode::Replicate,
+    )
+    .unwrap();
+    ensemble.process_stream(&stream);
+    assert_eq!(ensemble.estimate(), truth);
+
+    let dir = test_dir("wipe-supervised");
+    let manifest = RunManifest::new(EstimatorSpec::abacus(2_000).with_seed(1), CADENCE)
+        .with_ensemble(REPLICAS, EnsembleMode::Replicate);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest).unwrap();
+    for &element in &stream {
+        supervisor.offer(element).unwrap();
+    }
+    assert_eq!(supervisor.finish().unwrap(), truth);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // At a modest budget the estimate stays finite and sane on a stream
+    // whose deletions arrive in correlated bursts.
+    let mut small = Abacus::new(AbacusConfig::new(150).with_seed(1));
+    small.process_stream(&stream);
+    assert!(small.estimate().is_finite());
+    assert!(small.estimate() >= 0.0);
+}
+
+#[test]
+fn watermark_corruption_is_rebuilt_or_typed_never_silent() {
+    let spec = EstimatorSpec::abacus(150).with_seed(41);
+    let stream = dynamic_stream(0x7A57, 350, 0.2);
+
+    // Reference fingerprint from an untouched resume.
+    let make_dir = |tag: &str| {
+        let dir = test_dir(tag);
+        let mut checkpointer = Checkpointer::create(&dir, RunManifest::new(spec, CADENCE)).unwrap();
+        for &element in &stream {
+            checkpointer.offer(element).unwrap();
+        }
+        checkpointer.finish().unwrap();
+        dir
+    };
+    let reference_dir = make_dir("wm-reference");
+    let reference = Checkpointer::resume(&reference_dir).unwrap();
+    assert!(!reference.watermark_rebuilt);
+    let reference_bits = reference.checkpointer.estimator().estimate().to_bits();
+    std::fs::remove_dir_all(&reference_dir).ok();
+
+    // Missing watermark: recovery rebuilds it from the durable log, flags
+    // the rebuild, and converges to the same state (no double replay).
+    let dir = make_dir("wm-missing");
+    std::fs::remove_file(dir.join(WATERMARK_FILE)).unwrap();
+    let recovery = Checkpointer::resume(&dir).unwrap();
+    assert!(recovery.watermark_rebuilt);
+    assert_eq!(
+        recovery.checkpointer.estimator().estimate().to_bits(),
+        reference_bits
+    );
+    assert_eq!(
+        recovery.checkpointer.committed().unwrap(),
+        Some(stream.len() as u64)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Corrupt watermark bytes: same flagged rebuild, same state.
+    let dir = make_dir("wm-corrupt");
+    std::fs::write(dir.join(WATERMARK_FILE), b"garbage, not ABWM1").unwrap();
+    let recovery = Checkpointer::resume(&dir).unwrap();
+    assert!(recovery.watermark_rebuilt);
+    assert_eq!(
+        recovery.checkpointer.estimator().estimate().to_bits(),
+        reference_bits
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A watermark *ahead* of the durable log claims elements that were
+    // never persisted: a typed gap, not a silently shortened run.
+    let dir = make_dir("wm-ahead");
+    write_watermark(&dir, stream.len() as u64 + 50).unwrap();
+    match Checkpointer::resume(&dir) {
+        Err(PersistError::Gap { expected, found }) => {
+            assert_eq!(expected, stream.len() as u64 + 50);
+            assert_eq!(found, stream.len() as u64);
+        }
+        other => panic!("expected PersistError::Gap, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The supervised layout heals its ensemble-level watermark the same
+    // way, and the per-replica states come back bit-identical.
+    let sup_reference = run_clean(spec, EnsembleMode::Replicate, &stream, "wm-sup-clean");
+    let dir = test_dir("wm-sup-corrupt");
+    let manifest = RunManifest::new(spec, CADENCE).with_ensemble(REPLICAS, EnsembleMode::Replicate);
+    let mut supervisor = EnsembleSupervisor::create(&dir, manifest).unwrap();
+    for &element in &stream {
+        supervisor.offer(element).unwrap();
+    }
+    supervisor.finish().unwrap();
+    drop(supervisor);
+    std::fs::write(dir.join(WATERMARK_FILE), b"flipped bits").unwrap();
+    let recovery = EnsembleSupervisor::resume(&dir).unwrap();
+    assert!(recovery.watermark_rebuilt);
+    let mut rejoined = recovery.supervisor;
+    rejoined.finish().unwrap();
+    assert_eq!(fingerprints(&mut rejoined), sup_reference);
+    // The replica directories are where per-replica durability lives.
+    assert!(replica_dir(dir.as_path(), 0).is_dir());
+    std::fs::remove_dir_all(&dir).ok();
+}
