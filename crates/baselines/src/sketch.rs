@@ -136,7 +136,7 @@ impl AmsSketch {
                     .sum::<f64>()
             })
             .collect();
-        row_estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        row_estimates.sort_by(f64::total_cmp);
         let mid = row_estimates.len() / 2;
         if row_estimates.len() % 2 == 1 {
             row_estimates[mid]

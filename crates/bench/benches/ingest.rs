@@ -9,6 +9,8 @@
 //!
 //! Run with `cargo bench -p abacus-bench --bench ingest`.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented functions
+
 use abacus_core::{Abacus, AbacusConfig, ButterflyCounter};
 use abacus_stream::binary::write_binary_stream_to_path;
 use abacus_stream::io::write_stream_to_path;

@@ -17,6 +17,8 @@
 //!
 //! Run with `cargo bench -p abacus-bench --bench intersect`.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented functions
+
 use abacus_bench::kernels::merge_branchless_intersection_count;
 use abacus_graph::intersect::{
     intersection_count_with, sorted_adaptive_count, sorted_gallop_count,

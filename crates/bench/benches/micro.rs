@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo bench -p abacus-bench --bench micro`.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented functions
+
 use abacus_core::{
     Abacus, AbacusConfig, ButterflyCounter, ParAbacus, ParAbacusConfig, SampleGraph,
 };

@@ -102,6 +102,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         ptr
     }
 
+    // SAFETY: forwards to `System.alloc_zeroed` under the same contract the
+    // caller already upholds; bookkeeping is atomic and side-effect free.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
@@ -110,6 +112,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         ptr
     }
 
+    // SAFETY: forwards to `System.realloc` under the same contract the caller
+    // already upholds; bookkeeping is atomic and side-effect free.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
@@ -118,6 +122,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         new_ptr
     }
 
+    // SAFETY: forwards to `System.dealloc` under the same contract the caller
+    // already upholds; bookkeeping is atomic and side-effect free.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         self.record(0, layout.size());

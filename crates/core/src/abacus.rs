@@ -147,7 +147,7 @@ impl Abacus {
             None => match element.delta {
                 EdgeDelta::Insert => {
                     self.policy
-                        .insert(element.edge, &mut self.sample, &mut self.rng)
+                        .insert(element.edge, &mut self.sample, &mut self.rng);
                 }
                 EdgeDelta::Delete => self.policy.delete(&element.edge, &mut self.sample),
             },
@@ -300,11 +300,11 @@ mod tests {
 
     #[test]
     fn sample_never_exceeds_budget() {
-        let edges = uniform_bipartite(200, 200, 3_000, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let edges = uniform_bipartite(200, 200, 3_000, &mut StdRng::seed_from_u64(3));
         let stream = inject_deletions_fast(
             &edges,
             DeletionConfig::new(0.2),
-            &mut rand::rngs::StdRng::seed_from_u64(4),
+            &mut StdRng::seed_from_u64(4),
         );
         let mut abacus = Abacus::new(AbacusConfig::new(64).with_seed(5));
         for element in &stream {
@@ -325,11 +325,11 @@ mod tests {
     /// than the per-run spread.
     #[test]
     fn estimates_are_empirically_unbiased() {
-        let edges = uniform_bipartite(60, 60, 1_200, &mut rand::rngs::StdRng::seed_from_u64(11));
+        let edges = uniform_bipartite(60, 60, 1_200, &mut StdRng::seed_from_u64(11));
         let stream = inject_deletions_fast(
             &edges,
             DeletionConfig::new(0.2),
-            &mut rand::rngs::StdRng::seed_from_u64(12),
+            &mut StdRng::seed_from_u64(12),
         );
         let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
         assert!(truth > 0.0, "test graph must contain butterflies");
@@ -353,7 +353,7 @@ mod tests {
     /// the truth on average (variance shrinks with k), cf. Fig. 3/5 trends.
     #[test]
     fn larger_budget_is_not_less_accurate() {
-        let edges = uniform_bipartite(80, 80, 2_000, &mut rand::rngs::StdRng::seed_from_u64(21));
+        let edges = uniform_bipartite(80, 80, 2_000, &mut StdRng::seed_from_u64(21));
         let stream: Vec<StreamElement> = edges.iter().copied().map(StreamElement::insert).collect();
         let truth = abacus_graph::count_butterflies(&final_graph(&stream)) as f64;
 
@@ -382,11 +382,11 @@ mod tests {
     #[test]
     fn snapshot_backing_is_an_exact_ablation() {
         use crate::config::SnapshotMode;
-        let edges = uniform_bipartite(50, 50, 1_500, &mut rand::rngs::StdRng::seed_from_u64(31));
+        let edges = uniform_bipartite(50, 50, 1_500, &mut StdRng::seed_from_u64(31));
         let stream = inject_deletions_fast(
             &edges,
             DeletionConfig::new(0.25),
-            &mut rand::rngs::StdRng::seed_from_u64(32),
+            &mut StdRng::seed_from_u64(32),
         );
         for budget in [64usize, 400] {
             let base = AbacusConfig::new(budget).with_seed(5);
@@ -428,11 +428,11 @@ mod tests {
     #[test]
     fn save_restore_mid_stream_is_bit_identical() {
         use crate::config::SnapshotMode;
-        let edges = uniform_bipartite(60, 60, 2_000, &mut rand::rngs::StdRng::seed_from_u64(41));
+        let edges = uniform_bipartite(60, 60, 2_000, &mut StdRng::seed_from_u64(41));
         let stream = inject_deletions_fast(
             &edges,
             DeletionConfig::new(0.2),
-            &mut rand::rngs::StdRng::seed_from_u64(42),
+            &mut StdRng::seed_from_u64(42),
         );
         for mode in [SnapshotMode::Off, SnapshotMode::On] {
             let config = AbacusConfig::new(128).with_seed(3).with_snapshot(mode);

@@ -480,7 +480,11 @@ impl<C: ButterflyCounter + 'static> ButterflyCounter for Circuit<C> {
                         ViewKind::Vertex => Box::new(PerVertexView::from_graph(&graph)),
                         ViewKind::Clustering => Box::new(ClusteringView::from_graph(&graph)),
                         ViewKind::Bitruss => Box::new(BitrussView::from_graph(&graph)),
-                        ViewKind::Anomaly => unreachable!("handled above"),
+                        ViewKind::Anomaly => {
+                            return Err(PersistError::Invariant(
+                                "the anomaly arm above decodes this kind",
+                            ))
+                        }
                     }
                 }
             };

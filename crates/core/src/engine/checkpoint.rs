@@ -29,7 +29,7 @@ use crate::config::SnapshotMode;
 use crate::counter::ButterflyCounter;
 use crate::engine::{EnsembleMode, EstimatorKind, EstimatorSpec};
 use abacus_graph::intersect::KernelTuning;
-use abacus_graph::persist::{crc32, Decoder, Encoder, PersistError};
+use abacus_graph::persist::{crc32, format, Decoder, Encoder, PersistError};
 use abacus_stream::persist::{
     prune_segments, read_watermark, replay_wal, seal_tail, write_watermark,
     write_watermark_with_retry, RetryPolicy, WalWriter,
@@ -39,14 +39,14 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Magic header of a snapshot file: `ABSNAP` + format version 1.
-pub const SNAPSHOT_MAGIC: &[u8; 7] = b"ABSNAP1";
+/// Magic header of a snapshot file (from the persist-format registry).
+pub const SNAPSHOT_MAGIC: &[u8] = format::SNAPSHOT.magic();
 /// The version byte following the magic (bumped on layout changes).
-pub const SNAPSHOT_VERSION: u8 = 1;
+pub const SNAPSHOT_VERSION: u8 = format::SNAPSHOT.version;
 /// File name of the run-manifest file inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
-/// Magic header of the manifest file: `ABMF` + format version 1.
-pub const MANIFEST_MAGIC: &[u8; 5] = b"ABMF1";
+/// Magic header of the manifest file (from the persist-format registry).
+pub const MANIFEST_MAGIC: &[u8] = format::MANIFEST.magic();
 /// Snapshots kept per directory (the newest, plus one fallback).
 pub const SNAPSHOTS_KEPT: usize = 2;
 
@@ -132,7 +132,7 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), PersistError> {
     }
     if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(PersistError::BadMagic {
-            expected: "ABSNAP1",
+            expected: format::SNAPSHOT.name,
             found: bytes[..SNAPSHOT_MAGIC.len()].to_vec(),
         });
     }
@@ -153,7 +153,11 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), PersistError> {
             ));
         }
         let tag = rest[0];
-        let len = u64::from_le_bytes(rest[1..9].try_into().expect("9-byte header"));
+        let len = u64::from_le_bytes(
+            rest[1..9]
+                .try_into()
+                .map_err(|_| PersistError::Invariant("section header is 9 bytes"))?,
+        );
         let len = usize::try_from(len)
             .map_err(|_| PersistError::Corrupt("section length overflows usize".into()))?;
         rest = &rest[9..];
@@ -164,7 +168,11 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Vec<u8>), PersistError> {
             )));
         }
         let payload = &rest[..len];
-        let stored = u32::from_le_bytes(rest[len..len + 4].try_into().expect("4-byte crc"));
+        let stored = u32::from_le_bytes(
+            rest[len..len + 4]
+                .try_into()
+                .map_err(|_| PersistError::Invariant("section CRC is 4 bytes"))?,
+        );
         if crc32(payload) != stored {
             return Err(PersistError::Corrupt(format!(
                 "section {tag} failed its CRC check"
@@ -240,20 +248,20 @@ impl RunManifest {
 
     /// Builds the described estimator through the engine registry.
     ///
-    /// # Panics
-    /// Panics on a hand-built manifest describing a zero-replica ensemble
-    /// ([`RunManifest::read`] rejects such manifests with a typed error, so
-    /// every decoded manifest builds).
-    #[must_use]
-    pub fn build(&self) -> Box<dyn ButterflyCounter + Send> {
-        match self.ensemble {
+    /// # Errors
+    /// [`PersistError::Corrupt`] on a manifest describing a zero-replica
+    /// ensemble ([`RunManifest::read`] rejects such manifests up front, so
+    /// every decoded manifest builds; a hand-built one may not).
+    pub fn build(&self) -> Result<Box<dyn ButterflyCounter + Send>, PersistError> {
+        Ok(match self.ensemble {
             Some((replicas, mode)) => Box::new(
-                crate::engine::Ensemble::new(self.spec, replicas, mode)
-                    .expect("manifest validation rejects zero-replica ensembles"),
+                crate::engine::Ensemble::new(self.spec, replicas, mode).map_err(|_| {
+                    PersistError::Corrupt("manifest describes a zero-replica ensemble".into())
+                })?,
             ),
             None if self.views.is_empty() => self.spec.build(),
             None => self.spec.build_with_views(&self.views),
-        }
+        })
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -395,7 +403,7 @@ impl RunManifest {
         }
         if &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
             return Err(PersistError::BadMagic {
-                expected: "ABMF1",
+                expected: format::MANIFEST.name,
                 found: bytes[..MANIFEST_MAGIC.len()].to_vec(),
             });
         }
@@ -403,7 +411,7 @@ impl RunManifest {
         let stored = u32::from_le_bytes(
             bytes[bytes.len() - 4..]
                 .try_into()
-                .expect("4-byte crc tail"),
+                .map_err(|_| PersistError::Invariant("manifest CRC tail is 4 bytes"))?,
         );
         if crc32(payload) != stored {
             return Err(PersistError::Corrupt(
@@ -470,7 +478,7 @@ impl Checkpointer {
     /// WAL (refusing to silently interleave two runs).
     pub fn create(dir: impl Into<PathBuf>, manifest: RunManifest) -> Result<Self, PersistError> {
         let dir = dir.into();
-        let mut estimator = manifest.build();
+        let mut estimator = manifest.build()?;
         manifest.write(&dir)?;
         let state = estimator.save_state()?;
         write_snapshot(&dir, 0, &state)?;
@@ -529,7 +537,7 @@ impl Checkpointer {
         let mut fell_back = false;
         let mut last_error: Option<PersistError> = None;
         for path in snapshots.iter().rev() {
-            let mut candidate = manifest.build();
+            let mut candidate = manifest.build()?;
             match read_snapshot(path)
                 .and_then(|(elements, state)| candidate.restore_state(&state).map(|()| elements))
             {
@@ -610,7 +618,9 @@ impl Checkpointer {
         let retry = self.retry;
         self.wal
             .as_mut()
-            .expect("the WAL writer is always open between calls")
+            .ok_or(PersistError::Invariant(
+                "the WAL writer is open between calls",
+            ))?
             .append_with_retry(element, &retry)?;
         self.estimator.process(element);
         self.elements += 1;
@@ -629,10 +639,9 @@ impl Checkpointer {
     pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
         let state = self.estimator.save_state()?;
         write_snapshot(&self.dir, self.elements, &state)?;
-        let wal = self
-            .wal
-            .take()
-            .expect("the WAL writer is always open between calls");
+        let wal = self.wal.take().ok_or(PersistError::Invariant(
+            "the WAL writer is open between calls",
+        ))?;
         self.wal = Some(wal.rotate()?);
         write_watermark_with_retry(&self.dir, self.elements, &self.retry)?;
         self.prune()?;

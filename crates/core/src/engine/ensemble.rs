@@ -340,7 +340,9 @@ impl Ensemble {
     /// read again.
     #[must_use]
     pub fn replica_estimates(&self) -> Vec<f64> {
-        self.healthy_replicas().map(|r| r.estimate()).collect()
+        self.healthy_replicas()
+            .map(ButterflyCounter::estimate)
+            .collect()
     }
 
     fn healthy_replicas(&self) -> impl Iterator<Item = &dyn ButterflyCounter> {
@@ -390,7 +392,10 @@ impl Ensemble {
         if healthy == 0 {
             return 0.0;
         }
-        let sum: f64 = self.healthy_replicas().map(|r| r.estimate()).sum();
+        let sum: f64 = self
+            .healthy_replicas()
+            .map(ButterflyCounter::estimate)
+            .sum();
         match self.mode {
             EnsembleMode::Replicate => sum / healthy as f64,
             EnsembleMode::Partition => sum,
@@ -419,6 +424,7 @@ impl Ensemble {
                     // Simulate the worker panicking mid-element, contained
                     // exactly like an organic panic below.
                     let caught = catch_unwind(|| {
+                        // lint:allow(panic-policy): deliberate fault injection — caught by this catch_unwind and converted to a quarantine
                         panic!("injected replica-worker panic at element {at}");
                     })
                     .expect_err("the injected closure always panics");
@@ -618,7 +624,9 @@ impl ButterflyCounter for Ensemble {
     }
 
     fn memory_edges(&self) -> usize {
-        self.healthy_replicas().map(|r| r.memory_edges()).sum()
+        self.healthy_replicas()
+            .map(ButterflyCounter::memory_edges)
+            .sum()
     }
 
     fn name(&self) -> &'static str {
@@ -850,7 +858,7 @@ mod tests {
     fn zero_replicas_is_a_typed_error() {
         assert_eq!(
             Ensemble::new(EstimatorSpec::abacus(64), 0, EnsembleMode::Replicate).unwrap_err(),
-            crate::engine::EngineError::ZeroReplicas
+            EngineError::ZeroReplicas
         );
     }
 

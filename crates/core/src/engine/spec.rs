@@ -325,9 +325,9 @@ impl EstimatorSpec {
     ) -> Box<dyn ButterflyCounter + Send> {
         let mut circuit = crate::circuit::Circuit::new(self.build());
         for &kind in views {
-            circuit
-                .subscribe_view(kind.build())
-                .unwrap_or_else(|_| unreachable!("circuits accept every view"));
+            // `Circuit::add_view` is the infallible inherent form of the
+            // `subscribe_view` trait hook, which only errs on non-circuits.
+            circuit.add_view(kind.build());
         }
         Box::new(circuit)
     }

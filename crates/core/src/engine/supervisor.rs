@@ -206,7 +206,9 @@ impl EnsembleSupervisor {
     pub fn offer(&mut self, element: StreamElement) -> Result<(), PersistError> {
         self.wal
             .as_mut()
-            .expect("the ensemble WAL is open until finish()")
+            .ok_or(PersistError::Invariant(
+                "the ensemble WAL is open until finish()",
+            ))?
             .append_with_retry(element, &self.retry)?;
         let at = self.offered;
         self.offered += 1;
@@ -236,13 +238,23 @@ impl EnsembleSupervisor {
         let injected = self.take_fault(index, at);
         let retry = self.retry;
         let slot = &mut self.slots[index];
-        let checkpointer = slot
-            .checkpointer
-            .as_mut()
-            .expect("an in-service slot holds its checkpointer");
+        let Some(checkpointer) = slot.checkpointer.as_mut() else {
+            // An in-service slot always holds its checkpointer; a missing one
+            // is treated as a crashed replica instead of tearing the
+            // supervisor down, so the ensemble keeps serving.
+            slot.quarantine = Some((
+                at,
+                ReplicaError::Persist(
+                    PersistError::Invariant("an in-service slot holds its checkpointer")
+                        .to_string(),
+                ),
+            ));
+            return;
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), PersistError> {
             match injected {
                 Some(ReplicaFaultKind::Panic) => {
+                    // lint:allow(panic-policy): deliberate fault injection — the panic is caught by the surrounding catch_unwind and becomes a quarantine
                     panic!("injected replica-worker panic at element {at}");
                 }
                 Some(ReplicaFaultKind::Io { failures }) => {
@@ -286,10 +298,9 @@ impl EnsembleSupervisor {
     /// Seals + rotates the ensemble log and advances the ensemble watermark
     /// to the current position (with bounded retry on the rename).
     fn commit(&mut self) -> Result<u64, PersistError> {
-        let wal = self
-            .wal
-            .take()
-            .expect("the ensemble WAL is open until finish()");
+        let wal = self.wal.take().ok_or(PersistError::Invariant(
+            "the ensemble WAL is open until finish()",
+        ))?;
         self.wal = Some(wal.rotate()?);
         write_watermark_with_retry(&self.dir, self.offered, &self.retry)?;
         Ok(self.offered)
@@ -640,8 +651,5 @@ pub fn replica_dir(dir: &Path, index: usize) -> PathBuf {
 /// single-checkpointer ensemble run.
 #[must_use]
 pub fn is_supervised_dir(dir: &Path) -> bool {
-    RunManifest::read(dir)
-        .map(|m| m.ensemble.is_some())
-        .unwrap_or(false)
-        && replica_dir(dir, 0).is_dir()
+    RunManifest::read(dir).is_ok_and(|m| m.ensemble.is_some()) && replica_dir(dir, 0).is_dir()
 }

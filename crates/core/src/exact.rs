@@ -131,7 +131,7 @@ impl ButterflyCounter for ExactCounter {
         let count = i128::from_le_bytes(
             dec.get_raw(16)?
                 .try_into()
-                .expect("get_raw(16) yields 16 bytes"),
+                .map_err(|_| PersistError::Invariant("get_raw(16) yields 16 bytes"))?,
         );
         let stats = crate::persist::decode_stats(&mut dec)?;
         dec.expect_end()?;

@@ -136,7 +136,7 @@ impl LocalAbacus {
             } else {
                 (other_neighbors, w_neighbors)
             };
-            for x_id in small.iter() {
+            for x_id in small {
                 if x_id == anchor.id {
                     continue;
                 }
@@ -332,14 +332,14 @@ mod tests {
         let graph = final_graph(&stream);
         let exact_left = count_butterflies_per_side_vertex(&graph, Side::Left);
         let exact_right = count_butterflies_per_side_vertex(&graph, Side::Right);
-        for (&vertex, &exact) in exact_left.iter() {
+        for (&vertex, &exact) in &exact_left {
             let estimate = local.local_estimate(VertexRef::left(vertex));
             assert!(
                 (estimate - exact as f64).abs() < 1e-6,
                 "L{vertex}: {estimate} vs {exact}"
             );
         }
-        for (&vertex, &exact) in exact_right.iter() {
+        for (&vertex, &exact) in &exact_right {
             let estimate = local.local_estimate(VertexRef::right(vertex));
             assert!(
                 (estimate - exact as f64).abs() < 1e-6,

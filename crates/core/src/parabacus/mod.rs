@@ -404,11 +404,14 @@ impl ParAbacus {
         let entry = self
             .in_flight
             .pop_front()
+            // lint:allow(panic-policy): every caller checks the pipeline is non-empty first; an empty pop is a coordinator bug worth crashing on
             .expect("collect_oldest called with an empty pipeline");
+        // lint:allow(determinism): wall-clock timing feeds the diagnostic timings report only, never an estimate
         let wait_start = std::time::Instant::now();
         let results = self
             .pool
             .as_mut()
+            // lint:allow(panic-policy): the pool is created before the first batch dispatches and lives until drop; an in-flight batch without it is a bug
             .expect("an in-flight batch requires a worker pool")
             .collect_batch(entry.id, entry.chunks);
         self.timings.counting_seconds += wait_start.elapsed().as_secs_f64();
@@ -435,6 +438,7 @@ impl ParAbacus {
         let m = elements.len();
         let batch_id = self.batches;
         self.batches += 1;
+        // lint:allow(determinism): phase timing feeds the diagnostic timings report only, never an estimate
         let phase1_start = std::time::Instant::now();
 
         // --- Phase 1: sequential sample-version creation. ------------------
@@ -522,6 +526,7 @@ impl ParAbacus {
             // Sequential configuration: no pool, count and reduce inline.
             // This is the exact same per-edge code path the workers run, so
             // estimates never depend on whether the pool was engaged.
+            // lint:allow(determinism): phase timing feeds the diagnostic timings report only, never an estimate
             let phase2_start = std::time::Instant::now();
             let result = execute_task(&chunk_task(0));
             self.timings.counting_seconds += phase2_start.elapsed().as_secs_f64();
@@ -530,6 +535,7 @@ impl ParAbacus {
             return;
         }
 
+        // lint:allow(determinism): dispatch timing feeds the diagnostic timings report only, never an estimate
         let dispatch_start = std::time::Instant::now();
         let pool = self
             .pool

@@ -149,6 +149,7 @@ impl CountingPool {
                             }
                         }
                     })
+                    // lint:allow(panic-policy): pool construction cannot report errors through the infallible ButterflyCounter API, and a host that cannot spawn threads cannot run PARABACUS at all
                     .expect("failed to spawn PARABACUS worker thread")
             })
             .collect();
@@ -164,8 +165,10 @@ impl CountingPool {
     pub fn submit(&self, task: CountTask) {
         self.task_tx
             .as_ref()
+            // lint:allow(panic-policy): submit-after-shutdown is a coordinator bug, not a runtime condition; the sender lives until drop()
             .expect("pool already shut down")
             .send(task)
+            // lint:allow(panic-policy): a dead worker already propagated its own panic; this re-raises the crash on the coordinator by design (PR 2)
             .expect("PARABACUS worker threads terminated unexpectedly");
     }
 
@@ -194,10 +197,12 @@ impl CountingPool {
             let report = self
                 .result_rx
                 .recv()
+                // lint:allow(panic-policy): all senders vanishing mid-batch means a worker crashed without reporting; crash the coordinator rather than count short
                 .expect("PARABACUS worker threads terminated unexpectedly");
             match report {
                 Ok(result) if result.batch == batch => results.push(result),
                 Ok(result) => self.parked.push(result),
+                // lint:allow(panic-policy): worker panics are deliberately re-raised on the coordinator (documented `# Panics` contract)
                 Err(message) => panic!("PARABACUS worker panicked: {message}"),
             }
         }
@@ -286,7 +291,7 @@ mod tests {
         ];
         let hash_task = task_for(batch, 0..2);
         let mut snap_task = hash_task.clone();
-        snap_task.snapshot = Some(Arc::new(abacus_graph::csr::CsrSnapshot::from_edges(
+        snap_task.snapshot = Some(Arc::new(CsrSnapshot::from_edges(
             hash_task.sample.edges().iter().copied(),
             KernelTuning::default(),
         )));

@@ -379,6 +379,7 @@ impl SampleStore<Edge> for RecordingSample<'_> {
     }
 
     fn store_clear(&mut self) {
+        // lint:allow(panic-policy): the reservoir policy has no clear operation; reaching this is a policy-contract break worth crashing on
         unreachable!("the sampling policy never clears the sample mid-batch");
     }
 }
@@ -587,6 +588,7 @@ impl NeighborhoodView for VersionView<'_> {
             .degree_suffix
             .partition_point(|&(version, _)| version < self.version);
         let future = log.degree_suffix.get(idx).map_or(0, |&(_, suffix)| suffix);
+        // lint:allow(panic-policy): a negative versioned degree means the delta log disagrees with the sample — corrupted pipeline state, not an input condition
         usize::try_from(live - i64::from(future)).expect("versioned degree cannot be negative")
     }
 

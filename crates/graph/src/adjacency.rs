@@ -244,6 +244,7 @@ impl AdjacencySet {
     pub fn iter(&self) -> AdjacencyIter<'_> {
         match self {
             AdjacencySet::Small(v) => AdjacencyIter::Small(v.iter()),
+            // lint:allow(hash-iter): this IS the documented unordered primitive; order-sensitive callers go through sorted()
             AdjacencySet::Large(s) => AdjacencyIter::Large(s.set.iter()),
         }
     }
@@ -291,7 +292,7 @@ impl AdjacencySet {
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
         match self {
-            AdjacencySet::Small(v) => v.capacity() * std::mem::size_of::<u32>(),
+            AdjacencySet::Small(v) => v.capacity() * size_of::<u32>(),
             // A hashbrown bucket stores the element plus one control byte and
             // the table is at most ~8/7 over-allocated; 8 bytes/entry of
             // capacity is a serviceable estimate for accounting purposes.
@@ -300,7 +301,7 @@ impl AdjacencySet {
                 s.set.capacity() * 8
                     + s.sorted
                         .get()
-                        .map_or(0, |v| v.capacity() * std::mem::size_of::<u32>())
+                        .map_or(0, |v| v.capacity() * size_of::<u32>())
             }
         }
     }

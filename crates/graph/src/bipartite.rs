@@ -144,7 +144,9 @@ impl BipartiteGraph {
     /// Iterates over the vertex ids of one partition (arbitrary order).
     pub fn vertices(&self, side: Side) -> impl Iterator<Item = u32> + '_ {
         match side {
+            // lint:allow(hash-iter): documented arbitrary-order primitive; order-sensitive callers must sort the ids they collect
             Side::Left => self.adj_left.keys().copied(),
+            // lint:allow(hash-iter): documented arbitrary-order primitive; order-sensitive callers must sort the ids they collect
             Side::Right => self.adj_right.keys().copied(),
         }
     }
@@ -171,7 +173,9 @@ impl BipartiteGraph {
     #[must_use]
     pub fn sum_squared_degrees(&self, side: Side) -> u128 {
         let it: Box<dyn Iterator<Item = usize>> = match side {
+            // lint:allow(hash-iter): integer sum of squared degrees is order-insensitive
             Side::Left => Box::new(self.adj_left.values().map(AdjacencySet::len)),
+            // lint:allow(hash-iter): integer sum of squared degrees is order-insensitive
             Side::Right => Box::new(self.adj_right.values().map(AdjacencySet::len)),
         };
         it.map(|d| (d as u128) * (d as u128)).sum()
@@ -210,7 +214,7 @@ impl NeighborhoodView for BipartiteGraph {
     #[inline]
     fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
         if let Some(n) = self.neighbors(v) {
-            for x in n.iter() {
+            for x in n {
                 f(x);
             }
         }

@@ -70,6 +70,7 @@ impl BitrussDecomposition {
     #[must_use]
     pub fn tier_sizes(&self) -> Vec<(u64, usize)> {
         let mut tiers: FxHashMap<u64, usize> = FxHashMap::default();
+        // lint:allow(hash-iter): integer tier tallies are order-insensitive, and the result is sorted before returning
         for &number in self.bitruss_numbers.values() {
             *tiers.entry(number).or_insert(0) += 1;
         }

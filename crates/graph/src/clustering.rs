@@ -171,12 +171,12 @@ fn caterpillar_delta(graph: &BipartiteGraph, edge: Edge) -> i128 {
     let v = edge.right_ref();
     let mut delta = graph.degree(u) as i128 * graph.degree(v) as i128;
     if let Some(neighbors) = graph.neighbors(u) {
-        for r in neighbors.iter() {
+        for r in neighbors {
             delta += graph.degree(VertexRef::right(r)) as i128 - 1;
         }
     }
     if let Some(neighbors) = graph.neighbors(v) {
-        for l in neighbors.iter() {
+        for l in neighbors {
             delta += graph.degree(VertexRef::left(l)) as i128 - 1;
         }
     }

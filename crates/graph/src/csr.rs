@@ -123,6 +123,7 @@ impl CsrSide {
         }
         match entry {
             Row::Patched(row) => row,
+            // lint:allow(panic-policy): the branch above just replaced every Frozen row with Patched; surviving Frozen is a bug worth crashing on
             Row::Frozen { .. } => unreachable!("frozen row survived patching"),
         }
     }
@@ -171,7 +172,9 @@ impl CsrSide {
         let mut index = crate::fxhash::fx_hashmap_with_capacity(ids.len());
         for &id in &ids {
             let row = self.row(id);
+            // lint:allow(panic-policy): the budget bounds the sample well under u32::MAX entries; overflow means the budget invariant broke
             let start = u32::try_from(arena.len()).expect("snapshot arena exceeds u32 range");
+            // lint:allow(panic-policy): a row is at most the budget-bounded sample size, far under u32::MAX
             let len = u32::try_from(row.len()).expect("snapshot row exceeds u32 range");
             arena.extend_from_slice(row);
             index.insert(id, Row::Frozen { start, len });
@@ -203,11 +206,11 @@ impl CsrSide {
             .values()
             .map(|row| match row {
                 Row::Frozen { .. } => 0,
-                Row::Patched(patch) => patch.capacity() * std::mem::size_of::<u32>(),
+                Row::Patched(patch) => patch.capacity() * size_of::<u32>(),
             })
             .sum();
-        self.arena.capacity() * std::mem::size_of::<u32>()
-            + self.index.capacity() * (std::mem::size_of::<Row>() + 5)
+        self.arena.capacity() * size_of::<u32>()
+            + self.index.capacity() * (size_of::<Row>() + 5)
             + patch_rows
     }
 }
@@ -485,7 +488,7 @@ mod tests {
             CsrSnapshot::from_edges((0..50u32).map(|l| edge(l, l % 5)), KernelTuning::default());
         // Each edge appears once per side.
         assert_eq!(snap.resident_entries(), 100);
-        assert!(snap.heap_bytes() >= 100 * std::mem::size_of::<u32>());
+        assert!(snap.heap_bytes() >= 100 * size_of::<u32>());
         assert_eq!(snap.tuning(), KernelTuning::default());
     }
 

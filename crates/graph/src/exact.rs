@@ -61,18 +61,19 @@ pub fn count_butterflies_from_side(graph: &BipartiteGraph, start_side: Side) -> 
         let Some(u_nbrs) = graph.neighbors(u_ref) else {
             continue;
         };
-        for mid in u_nbrs.iter() {
+        for mid in u_nbrs {
             let mid_ref = VertexRef::new(start_side.opposite(), mid);
             let Some(mid_nbrs) = graph.neighbors(mid_ref) else {
                 continue;
             };
-            for w in mid_nbrs.iter() {
+            for w in mid_nbrs {
                 // Count each unordered endpoint pair once: require w > u.
                 if w > u {
                     *wedge_counts.entry(w).or_insert(0) += 1;
                 }
             }
         }
+        // lint:allow(hash-iter): integer sum over per-endpoint wedge tallies is order-insensitive
         for &wedges in wedge_counts.values() {
             total += choose2(wedges);
         }
@@ -133,6 +134,7 @@ impl ExactCounts {
         let per_left_vertex = count_butterflies_per_side_vertex(graph, Side::Left);
         let per_right_vertex = count_butterflies_per_side_vertex(graph, Side::Right);
         // Each butterfly contains exactly two left vertices.
+        // lint:allow(hash-iter): u128 sum is order-insensitive
         let total_twice: u128 = per_left_vertex.values().map(|&c| u128::from(c)).sum();
         ExactCounts {
             total: total_twice / 2,
@@ -166,17 +168,18 @@ pub fn count_butterflies_per_side_vertex(
         let Some(u_nbrs) = graph.neighbors(u_ref) else {
             continue;
         };
-        for mid in u_nbrs.iter() {
+        for mid in u_nbrs {
             let mid_ref = VertexRef::new(side.opposite(), mid);
             let Some(mid_nbrs) = graph.neighbors(mid_ref) else {
                 continue;
             };
-            for w in mid_nbrs.iter() {
+            for w in mid_nbrs {
                 if w > u {
                     *wedge_counts.entry(w).or_insert(0) += 1;
                 }
             }
         }
+        // lint:allow(hash-iter): per-vertex integer accumulation commutes; the resulting map is keyed, not ordered
         for (&w, &wedges) in &wedge_counts {
             let b = choose2(wedges) as u64;
             if b > 0 {

@@ -130,10 +130,12 @@ fn merge_count(small: &AdjacencySet, large: &AdjacencySet, exclude: Option<u32>)
     let (a, b) = (
         small
             .as_large()
+            // lint:allow(panic-policy): merge_applies() gated both operands as Large; this is the hot Large/Large dispatch path and cannot fail
             .expect("merge path requires Large")
             .sorted(),
         large
             .as_large()
+            // lint:allow(panic-policy): merge_applies() gated both operands as Large; this is the hot Large/Large dispatch path and cannot fail
             .expect("merge path requires Large")
             .sorted(),
     );
@@ -182,7 +184,7 @@ pub fn intersection_count_with(
     }
     let mut count = 0u64;
     let mut comparisons = 0u64;
-    for x in small.iter() {
+    for x in small {
         comparisons += 1;
         if large.contains(x) {
             count += 1;
@@ -225,7 +227,7 @@ pub fn intersection_count_excluding_with(
     }
     let mut count = 0u64;
     let mut comparisons = 0u64;
-    for x in small.iter() {
+    for x in small {
         if x == exclude {
             continue;
         }
@@ -245,7 +247,7 @@ pub fn intersection_count_excluding_with(
 pub fn intersect_into(a: &AdjacencySet, b: &AdjacencySet, exclude: u32, out: &mut Vec<u32>) {
     out.clear();
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    for x in small.iter() {
+    for x in small {
         if x != exclude && large.contains(x) {
             out.push(x);
         }

@@ -316,6 +316,7 @@ impl EdgeSupports {
     /// Sum of all supports (four times the global butterfly count).
     #[must_use]
     pub fn total_support(&self) -> u128 {
+        // lint:allow(hash-iter): u128 sum is order-insensitive
         self.supports.values().map(|&s| u128::from(s)).sum()
     }
 

@@ -15,6 +15,75 @@
 
 use std::fmt;
 
+pub mod format {
+    //! The single registry of on-disk format magics and versions.
+    //!
+    //! Every durable artifact this workspace writes — binary stream segments,
+    //! estimator snapshots, WAL segments, the committed watermark, the run
+    //! manifest — introduces itself with a short ASCII magic.  Those magics
+    //! (and the version bytes some formats carry after them) are defined
+    //! HERE and nowhere else; `abacus-lint`'s `persist-format` rule rejects
+    //! any re-spelled literal, so a reader and its writer can never drift
+    //! apart on what bytes mark a valid file.
+
+    /// One on-disk format: its magic string plus the format revision this
+    /// build reads and writes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct PersistFormat {
+        /// The ASCII magic introducing the format.  By convention it ends in
+        /// the format's generation digit (`ABST` + `1`).
+        pub name: &'static str,
+        /// The separate version byte written after the magic, for formats
+        /// that carry one (currently only snapshots); `1` otherwise.
+        pub version: u8,
+    }
+
+    impl PersistFormat {
+        /// The magic as raw header bytes.
+        #[must_use]
+        pub const fn magic(&self) -> &'static [u8] {
+            self.name.as_bytes()
+        }
+
+        /// Magic length in bytes (const, usable as an array length).
+        #[must_use]
+        pub const fn magic_len(&self) -> usize {
+            self.name.len()
+        }
+    }
+
+    /// Compact binary element-stream segments
+    /// (`abacus_stream::binary::{BinarySource, BinaryStreamWriter}`).
+    pub const STREAM_SEGMENT: PersistFormat = PersistFormat {
+        name: "ABST1",
+        version: 1,
+    };
+
+    /// Versioned estimator-state snapshots (`ButterflyCounter::save_state`).
+    pub const SNAPSHOT: PersistFormat = PersistFormat {
+        name: "ABSNAP1",
+        version: 1,
+    };
+
+    /// Write-ahead-log segment files (`abacus_stream::persist::WalWriter`).
+    pub const WAL_SEGMENT: PersistFormat = PersistFormat {
+        name: "ABWL1",
+        version: 1,
+    };
+
+    /// The committed-watermark file inside a checkpoint directory.
+    pub const WATERMARK: PersistFormat = PersistFormat {
+        name: "ABWM1",
+        version: 1,
+    };
+
+    /// The run-manifest file inside a checkpoint directory.
+    pub const MANIFEST: PersistFormat = PersistFormat {
+        name: "ABMF1",
+        version: 1,
+    };
+}
+
 /// Errors surfaced by the durability subsystem (snapshots, WAL, recovery).
 #[derive(Debug)]
 pub enum PersistError {
@@ -47,6 +116,10 @@ pub enum PersistError {
     },
     /// The estimator does not implement durable state (named for messages).
     Unsupported(&'static str),
+    /// An internal invariant did not hold.  This indicates a bug; the
+    /// panic-policy surfaces it as a typed error instead of a panic so
+    /// durability paths fail closed rather than crashing a supervisor.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for PersistError {
@@ -72,6 +145,9 @@ impl fmt::Display for PersistError {
             }
             PersistError::Unsupported(name) => {
                 write!(f, "estimator {name} does not support durable state")
+            }
+            PersistError::Invariant(what) => {
+                write!(f, "internal invariant violated (bug): {what}")
             }
         }
     }
@@ -443,10 +519,10 @@ mod tests {
         };
         assert!(gap.to_string().contains("expected element 10"));
         let magic = PersistError::BadMagic {
-            expected: "ABWL1",
+            expected: format::WAL_SEGMENT.name,
             found: vec![0, 1],
         };
-        assert!(magic.to_string().contains("ABWL1"));
+        assert!(magic.to_string().contains(format::WAL_SEGMENT.name));
         assert!(PersistError::Unsupported("STUB")
             .to_string()
             .contains("STUB"));

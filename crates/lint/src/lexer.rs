@@ -1,0 +1,385 @@
+//! A minimal, self-contained Rust surface lexer.
+//!
+//! The analyzer must never mistake `panic!` inside a string literal, a doc
+//! comment, or a raw string for a real call site, and it must find magic
+//! strings *only* when they appear as literal values.  Instead of a full
+//! parser (the build environment is offline, so `syn`/`rustc` plugins are
+//! unavailable), this module scans a source file once and produces:
+//!
+//! * `masked` — the source with every comment and every string/char literal
+//!   body replaced by spaces (newlines preserved, so byte offsets and line
+//!   numbers stay aligned with the original).  All code-level rules match
+//!   against this buffer, which by construction contains only real tokens.
+//! * `comments` — the comment texts with their lines, used to recognise
+//!   `lint:allow(...)` escapes and `SAFETY:` justifications.
+//! * `strings` — every string / byte-string literal value with its line,
+//!   used by the persist-format rule to find re-spelled magics.
+//!
+//! The lexer understands line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), cooked strings with escapes, byte strings
+//! (`b"..."`), raw strings with any hash depth (`r#"..."#`, `br##"..."##`),
+//! char and byte-char literals, and the lifetime-vs-char-literal ambiguity
+//! (`'a` as a lifetime versus `'a'` as a literal).
+
+/// One comment in the scanned file.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Comment text without the `//` / `/*` introducers.
+    pub text: String,
+    /// Whether the comment is the only thing on its line (after whitespace).
+    pub standalone: bool,
+}
+
+/// One string or byte-string literal in the scanned file.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// The literal's body, exactly as spelled (escapes are not processed).
+    pub value: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Source text with comments and literal bodies blanked to spaces.
+    pub masked: String,
+    /// Every comment, in file order.
+    pub comments: Vec<Comment>,
+    /// Every string / byte-string literal, in file order.
+    pub strings: Vec<StrLit>,
+}
+
+impl FileScan {
+    /// Lines of the masked buffer (1-based access helper).
+    #[must_use]
+    pub fn masked_lines(&self) -> Vec<&str> {
+        self.masked.lines().collect()
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `source`, producing the masked buffer plus comment and literal
+/// side tables.  Invalid or truncated syntax (an unterminated string at
+/// end-of-file, say) is tolerated: the lexer masks to the end of the file
+/// rather than erroring, because the analyzer's job is to scan whatever is
+/// on disk, compilable or not.
+#[must_use]
+pub fn scan(source: &str) -> FileScan {
+    let bytes = source.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of the current line's start
+    let mut i = 0usize;
+
+    // Blanks `masked[from..to]`, preserving newlines.
+    let blank = |masked: &mut [u8], from: usize, to: usize| {
+        for b in masked.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                let standalone = bytes[line_start..start].iter().all(u8::is_ascii_whitespace);
+                comments.push(Comment {
+                    line,
+                    text: source[start + 2..end].to_string(),
+                    standalone,
+                });
+                blank(&mut masked, start, end);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = i;
+                let standalone = bytes[line_start..start_line]
+                    .iter()
+                    .all(u8::is_ascii_whitespace);
+                let comment_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        line_start = j + 1;
+                        j += 1;
+                    } else if j + 1 < bytes.len() && bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < bytes.len() && bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(start + 2);
+                comments.push(Comment {
+                    line: comment_line,
+                    text: source[start + 2..text_end].to_string(),
+                    standalone,
+                });
+                blank(&mut masked, start, j);
+                i = j;
+            }
+            b'"' => {
+                let (value, end) = scan_cooked_string(bytes, source, i);
+                strings.push(StrLit { line, value });
+                blank(&mut masked, i + 1, end.saturating_sub(1));
+                line += source[i..end].matches('\n').count();
+                if let Some(nl) = source[i..end].rfind('\n') {
+                    line_start = i + nl + 1;
+                }
+                i = end;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (body_start, value, end) = scan_prefixed_string(bytes, source, i);
+                strings.push(StrLit { line, value });
+                blank(&mut masked, body_start, end);
+                line += source[i..end].matches('\n').count();
+                if let Some(nl) = source[i..end].rfind('\n') {
+                    line_start = i + nl + 1;
+                }
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`, `b'x'`)?
+                let is_char_literal = if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    true
+                } else {
+                    // `'X'` (any single char followed by a closing quote).
+                    // A lifetime is `'ident` with no closing quote right
+                    // after its first character; `'a'` closes immediately.
+                    i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\''
+                };
+                if is_char_literal {
+                    let end = scan_char_literal(bytes, i);
+                    blank(&mut masked, i + 1, end.saturating_sub(1));
+                    i = end;
+                } else {
+                    i += 1; // lifetime: skip the quote, idents lex normally
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    FileScan {
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        comments,
+        strings,
+    }
+}
+
+/// Whether `bytes[i..]` starts a raw string (`r"`, `r#`), a byte string
+/// (`b"`), a raw byte string (`br"`, `br#`), or a byte char (`b'`) — and the
+/// introducing letter is not just the tail of a longer identifier.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let rest = &bytes[i..];
+    let after_prefix = match rest {
+        [b'b', b'r', ..] => &rest[2..],
+        [b'r' | b'b', ..] => &rest[1..],
+        _ => return false,
+    };
+    // `b'x'` byte-char literals are handled here too (prefix `b` + quote).
+    if rest[0] == b'b' && rest.get(1) == Some(&b'\'') {
+        return true;
+    }
+    let hashes = after_prefix.iter().take_while(|&&b| b == b'#').count();
+    // Only raw strings may carry hashes; `b##` is not a literal prefix.
+    if hashes > 0 && rest[0] == b'b' && rest.get(1) != Some(&b'r') {
+        return false;
+    }
+    after_prefix.get(hashes) == Some(&b'"')
+}
+
+/// Scans a cooked string starting at the opening quote; returns the body and
+/// the byte offset one past the closing quote.
+fn scan_cooked_string(bytes: &[u8], source: &str, start: usize) -> (String, usize) {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                return (source[start + 1..j].to_string(), j + 1);
+            }
+            _ => j += 1,
+        }
+    }
+    (source[start + 1..].to_string(), bytes.len())
+}
+
+/// Scans a `b"..."`, `b'...'`, `r"..."`, `r#"..."#`, or `br#"..."#` literal
+/// starting at its prefix letter.  Returns (body start, body, end offset).
+fn scan_prefixed_string(bytes: &[u8], source: &str, start: usize) -> (usize, String, usize) {
+    let mut j = start;
+    let mut raw = false;
+    while j < bytes.len() && (bytes[j] == b'b' || bytes[j] == b'r') {
+        raw |= bytes[j] == b'r';
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        // Byte-char literal `b'x'`.
+        let end = scan_char_literal(bytes, j);
+        return (j + 1, source[j + 1..end.saturating_sub(1)].to_string(), end);
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    let body_start = j + 1;
+    let mut k = body_start;
+    while k < bytes.len() {
+        if !raw && bytes[k] == b'\\' {
+            k += 2;
+            continue;
+        }
+        if bytes[k] == b'"' {
+            let closing_hashes = bytes[k + 1..].iter().take_while(|&&b| b == b'#').count();
+            if closing_hashes >= hashes {
+                let end = k + 1 + hashes;
+                return (body_start, source[body_start..k].to_string(), end);
+            }
+        }
+        k += 1;
+    }
+    (body_start, source[body_start..].to_string(), bytes.len())
+}
+
+/// Scans a char literal starting at its opening quote; returns the offset one
+/// past the closing quote.
+fn scan_char_literal(bytes: &[u8], start: usize) -> usize {
+    let mut j = start + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            b'\n' => return j, // tolerate a malformed literal
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let scan = scan("let x = 1; // panic!(now)\n/// SystemTime::now\nfn f() {}\n");
+        assert!(!scan.masked.contains("panic!"));
+        assert!(!scan.masked.contains("SystemTime"));
+        assert!(scan.masked.contains("let x = 1;"));
+        assert!(scan.masked.contains("fn f() {}"));
+        assert_eq!(scan.comments.len(), 2);
+        assert!(scan.comments[0].text.contains("panic!(now)"));
+        assert!(!scan.comments[0].standalone);
+        assert!(scan.comments[1].standalone);
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let scan = scan("a /* outer /* unwrap() */ still */ b\nc\n");
+        assert!(!scan.masked.contains("unwrap"));
+        assert!(!scan.masked.contains("still"));
+        assert!(scan.masked.contains('a'));
+        assert!(scan.masked.contains('b'));
+        assert_eq!(scan.comments.len(), 1);
+    }
+
+    #[test]
+    fn captures_string_bodies_and_masks_them() {
+        let scan = scan(r#"let m = "ABWL1"; let p = ".unwrap()";"#);
+        assert!(!scan.masked.contains("ABWL1"));
+        assert!(!scan.masked.contains("unwrap"));
+        assert_eq!(scan.strings.len(), 2);
+        assert_eq!(scan.strings[0].value, "ABWL1");
+        assert_eq!(scan.strings[1].value, ".unwrap()");
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_literals_too() {
+        let scan = scan("let a = b\"ABST1\"; let b = r#\"panic!(\"inner\")\"#;");
+        assert!(!scan.masked.contains("ABST1"));
+        assert!(!scan.masked.contains("panic!"));
+        assert_eq!(scan.strings[0].value, "ABST1");
+        assert_eq!(scan.strings[1].value, "panic!(\"inner\")");
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes() {
+        let scan = scan("let a = br##\"x \"# y\"##; f();");
+        assert_eq!(scan.strings[0].value, "x \"# y");
+        assert!(scan.masked.contains("f();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let scan = scan("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let n = '\\n';");
+        // If a lifetime were lexed as an unterminated char literal the rest
+        // of the file would be blanked; `let c` must survive.
+        assert!(scan.masked.contains("let c ="));
+        assert!(!scan.masked.contains('x') || scan.masked.contains("{ x }"));
+        assert!(scan.masked.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let scan = scan(r#"let s = "he said \"unwrap()\" loudly"; g();"#);
+        assert!(!scan.masked.contains("unwrap"));
+        assert!(scan.masked.contains("g();"));
+        assert_eq!(scan.strings.len(), 1);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_aligned() {
+        let scan = scan("let s = \"a\nb\nc\";\nfn after() {}\n");
+        let masked = scan.masked;
+        // The masked buffer must have the same number of lines.
+        assert_eq!(masked.matches('\n').count(), 4);
+        assert!(masked.contains("fn after() {}"));
+    }
+
+    #[test]
+    fn line_numbers_of_literals_after_multiline_comment() {
+        let scan = scan("/* one\ntwo */\nlet m = \"ABWL1\";\n");
+        assert_eq!(scan.strings[0].line, 3);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let scan = scan("let var\"tail\" = 1;"); // not valid Rust, but must not panic
+        assert_eq!(scan.strings.len(), 1);
+        assert_eq!(scan.strings[0].value, "tail");
+    }
+}

@@ -1,0 +1,147 @@
+//! `abacus-lint` — the workspace invariant analyzer.
+//!
+//! The parity, recovery, and fault-tolerance suites all rest on source-level
+//! conventions no compiler pass checks: estimate-affecting code must be
+//! replayable bit-for-bit (no wall clock, no ambient randomness, no hash-order
+//! iteration), the durability layer must fail closed (typed errors, never
+//! panics), `unsafe` is forbidden outside the vendored compat crates, and
+//! each on-disk magic/version is defined exactly once.  This crate mechanizes
+//! those conventions as a standalone static analysis over the workspace
+//! sources — no `syn`, no rustc plugin, just the comment/string-aware lexer
+//! in [`lexer`] — so CI can gate on them.
+//!
+//! Run it as `cargo run -p abacus-lint -- check [--fix-report]`.
+//!
+//! # Rules
+//!
+//! | rule | scope | what it catches |
+//! |------|-------|-----------------|
+//! | `determinism` | `crates/{core,sampling,graph,stream,baselines}/src` | `SystemTime::now`, `Instant::now`, `thread_rng`, `from_entropy`, env reads, std-seeded hash containers |
+//! | `hash-iter` | `crates/{core,sampling,graph,baselines}/src` | iteration over `HashMap`/`HashSet` without visible re-ordering or an order-insensitive reduction |
+//! | `panic-policy` | `crates/{core,sampling,graph,stream,baselines,metrics}/src` | `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` outside `#[cfg(test)]` |
+//! | `unsafe-policy` | whole workspace | missing `#![forbid(unsafe_code)]` on non-compat crate roots; `unsafe` without a `// SAFETY:` comment |
+//! | `persist-format` | whole workspace | `ABST1`/`ABSNAP1`/`ABWL1`/`ABWM1`/`ABMF1` spelled as a literal outside the format registry |
+//!
+//! A violating line can opt out with `// lint:allow(<rule>): <reason>` on the
+//! same line or the line above; the reason is mandatory, and malformed or
+//! unknown escapes are themselves diagnostics (`lint-escape`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, fix_report, Diagnostic, Rule, Scope};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects the workspace's `.rs` files (workspace-relative,
+/// forward-slash paths), skipping build output and the lint fixture corpus.
+///
+/// # Errors
+/// Propagates filesystem errors from directory traversal.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every rule over every workspace source under `root`, including the
+/// workspace-level persist-format uniqueness check.
+///
+/// # Errors
+/// Propagates filesystem errors (unreadable files or directories).
+pub fn run_check(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut registry_counts: Vec<(String, usize)> = rules::PERSIST_MAGICS
+        .iter()
+        .map(|&m| (m.to_string(), 0))
+        .collect();
+    let mut registry_seen = false;
+
+    for path in workspace_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(scope) = Scope::for_path(&rel) else {
+            continue;
+        };
+        let source = fs::read_to_string(&path)?;
+        if scope.is_format_registry {
+            registry_seen = true;
+            let scan = lexer::scan(&source);
+            for lit in &scan.strings {
+                if let Some(slot) = registry_counts.iter_mut().find(|(m, _)| *m == lit.value) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        diags.extend(check_file(&rel, &source, scope));
+    }
+
+    // Workspace pass: each magic must be defined in the registry, exactly once.
+    if registry_seen {
+        for (magic, count) in &registry_counts {
+            if *count != 1 {
+                diags.push(Diagnostic {
+                    path: rules::FORMAT_REGISTRY_PATH.to_string(),
+                    line: 1,
+                    rule: Rule::PersistFormat,
+                    message: format!(
+                        "magic `{magic}` must be defined exactly once in the format \
+                         registry (found {count} literal occurrences)"
+                    ),
+                });
+            }
+        }
+    } else {
+        diags.push(Diagnostic {
+            path: rules::FORMAT_REGISTRY_PATH.to_string(),
+            line: 1,
+            rule: Rule::PersistFormat,
+            message: "format registry file is missing".to_string(),
+        });
+    }
+
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Walks up from `start` to find the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,73 @@
+//! The `abacus-lint` command-line entry point.
+//!
+//! ```text
+//! abacus-lint check [--fix-report] [--root <dir>]
+//! ```
+//!
+//! `check` scans every workspace source and prints one `path:line: [rule]
+//! message` diagnostic per violation, exiting nonzero if any were found.
+//! `--fix-report` appends a per-rule summary with remediation hints.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut fix_report = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--fix-report" => fix_report = true,
+            "--root" => match iter.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: abacus-lint check [--fix-report] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("check") {
+        eprintln!("usage: abacus-lint check [--fix-report] [--root <dir>]");
+        return ExitCode::from(2);
+    }
+
+    let root = root_override.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        abacus_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("error: could not locate the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::from(2);
+    };
+
+    match abacus_lint::run_check(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("abacus-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if fix_report {
+                println!();
+                print!("{}", abacus_lint::fix_report(&diags));
+            }
+            eprintln!("abacus-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

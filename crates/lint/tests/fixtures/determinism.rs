@@ -1,0 +1,29 @@
+//! Fixture: determinism violations, plus the tricky non-violations the
+//! masked lexer must not flag.  Checked as `crates/core/src/fixture.rs`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn clocked_estimate() -> f64 {
+    let t = SystemTime::now(); // violation: wall clock
+    let started = Instant::now(); // violation: monotonic clock
+    let _ = (t, started);
+    0.0
+}
+
+pub fn seeded_from_ambient() -> u64 {
+    let rng = rand::rng().thread_rng(); // violation: ambient RNG
+    let _ = std::env::var("ABACUS_SEED"); // violation: env-dependent seed
+    rng
+}
+
+pub fn innocent() -> &'static str {
+    // A string literal mentioning SystemTime::now must NOT be flagged.
+    let msg = "calling SystemTime::now here would break replay";
+    // Neither must a comment: Instant::now is fine to *discuss*.
+    msg
+}
+
+pub fn timed_diagnostics() -> std::time::Instant {
+    // lint:allow(determinism): fixture exercising a justified escape
+    Instant::now()
+}

@@ -1,0 +1,15 @@
+//! Fixture: malformed `lint:allow` escapes.  Checked as
+//! `crates/core/src/fixture.rs`.
+
+// lint:allow(panic-policy)
+pub fn missing_reason() -> u32 {
+    Some(1).unwrap() // still a violation: the escape above has no reason
+}
+
+// lint:allow(no-such-rule): the rule name is unknown
+pub fn unknown_rule() {}
+
+pub fn fine() -> u32 {
+    // lint:allow(panic-policy): fixture demonstrating a standalone escape
+    Some(2).unwrap()
+}

@@ -1,0 +1,33 @@
+//! Fixture: hash-iteration violations and sanctioned reductions.
+//! Checked as `crates/graph/src/fixture.rs`.
+
+use crate::FxHashMap;
+use std::collections::HashSet;
+
+pub fn sanctioned_sum(tallies: &FxHashMap<u32, u64>) -> u64 {
+    tallies.values().sum::<u64>() // fine: integer sum is order-insensitive
+}
+
+pub fn sanctioned_sort(tallies: &FxHashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut pairs: Vec<(u32, u64)> = tallies.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.sort_unstable(); // the collect above is sanctioned by this sort
+    pairs
+}
+
+pub fn sanctioned_len(tallies: &FxHashMap<u32, u64>) -> usize {
+    tallies.keys().count() // fine: counting ignores order
+}
+
+pub fn unordered_fold(weights: &FxHashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for w in weights.values() {
+        // violation: f64 accumulation in hash order
+        total += w;
+    }
+    total
+}
+
+pub fn order_exposed(seen: HashSet<u32>) -> Vec<u32> {
+    let exposed: Vec<u32> = seen.into_iter().collect(); // violation: hash order escapes
+    exposed
+}

@@ -1,0 +1,41 @@
+//! Fixture: panic-policy violations, test-code exemptions, and string/raw
+//! string decoys.  Checked as `crates/graph/src/fixture.rs`.
+
+pub fn library_code(values: &[u32]) -> u32 {
+    let first = values.first().unwrap(); // violation: unwrap
+    let second = values.get(1).expect("two values"); // violation: expect
+    if *first > *second {
+        panic!("unsorted"); // violation: panic!
+    }
+    todo!() // violation: todo!
+}
+
+pub fn decoys() -> String {
+    // None of these may fire: they live inside string literals.
+    let a = "please don't .unwrap() in library code";
+    let b = r#"raw strings can say panic!("boom") safely"#;
+    let c = "escaped \" then .expect(nothing) stays a string";
+    format!("{a}{b}{c}")
+}
+
+/// Doc comments may freely mention `.unwrap()` and `panic!` without firing.
+pub fn documented() {}
+
+pub fn justified() -> u32 {
+    // lint:allow(panic-policy): fixture exercising a standalone escape
+    Some(1).unwrap()
+}
+
+pub fn justified_trailing() -> u32 {
+    Some(2).unwrap() // lint:allow(panic-policy): fixture exercising a trailing escape
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1, 2, 3];
+        assert_eq!(*v.first().unwrap(), 1);
+        v.get(9).expect("index 9 is absent");
+    }
+}

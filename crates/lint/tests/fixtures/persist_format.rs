@@ -1,0 +1,10 @@
+//! Fixture: persist-format magic literals outside the registry.
+//! Checked as `crates/stream/src/fixture.rs`.
+
+pub const ROGUE_MAGIC: &[u8] = b"ABWL1"; // violation: re-spelled magic
+pub const ROGUE_STR: &str = "ABSNAP1"; // violation: re-spelled magic
+
+pub fn prose_is_fine() -> String {
+    // Mentioning a magic inside a longer message is not a redefinition.
+    "the header is shorter than the ABWL1 magic".to_string()
+}

@@ -1,0 +1,13 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]`, one documented
+//! and one undocumented `unsafe` block.  Checked as
+//! `crates/stream/src/lib.rs` (a non-compat library root).
+
+pub fn undocumented(bytes: &[u8]) -> u32 {
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast::<u32>()) } // violation
+}
+
+pub fn documented(bytes: &[u8]) -> u32 {
+    // SAFETY: the caller guarantees `bytes` holds at least four bytes, and
+    // read_unaligned has no alignment requirement.
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast::<u32>()) }
+}

@@ -1,0 +1,155 @@
+//! End-to-end tests of the analyzer over the seeded fixture corpus, plus the
+//! self-scan asserting the real workspace is clean.
+
+use abacus_lint::{check_file, find_workspace_root, run_check, Diagnostic, Rule, Scope};
+use std::path::Path;
+
+/// Runs `check_file` on a fixture as if it lived at `as_path`.
+fn check_fixture(source: &str, as_path: &str) -> Vec<Diagnostic> {
+    let scope = Scope::for_path(as_path).expect("fixture path must be in scope");
+    check_file(as_path, source, scope)
+}
+
+/// The `(rule, line)` pairs of a diagnostic list, in reported order.
+fn keys(diags: &[Diagnostic]) -> Vec<(Rule, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn determinism_fixture_flags_clocks_and_ambient_randomness() {
+    let diags = check_fixture(
+        include_str!("fixtures/determinism.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::Determinism, 7),  // SystemTime::now
+            (Rule::Determinism, 8),  // Instant::now
+            (Rule::Determinism, 14), // thread_rng
+            (Rule::Determinism, 15), // env::var
+        ],
+        "got: {diags:#?}"
+    );
+    // The escaped Instant::now (line 28) and the string/comment decoys in
+    // `innocent` must not appear.
+    assert!(diags.iter().all(|d| d.line < 20), "got: {diags:#?}");
+}
+
+#[test]
+fn panic_policy_fixture_flags_library_code_only() {
+    let diags = check_fixture(
+        include_str!("fixtures/panic_policy.rs"),
+        "crates/graph/src/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::PanicPolicy, 5),  // unwrap
+            (Rule::PanicPolicy, 6),  // expect
+            (Rule::PanicPolicy, 8),  // panic!
+            (Rule::PanicPolicy, 10), // todo!
+        ],
+        "string decoys, doc comments, #[cfg(test)] code, and escaped lines \
+         must not fire; got: {diags:#?}"
+    );
+}
+
+#[test]
+fn hash_iter_fixture_flags_order_exposure_not_sanctioned_reductions() {
+    let diags = check_fixture(
+        include_str!("fixtures/hash_iter.rs"),
+        "crates/graph/src/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::HashIter, 23), // for w in weights.values()
+            (Rule::HashIter, 31), // seen.into_iter().collect() into return
+        ],
+        "integer sums, counts, and collect-then-sort must pass; got: {diags:#?}"
+    );
+}
+
+#[test]
+fn unsafe_fixture_requires_forbid_and_safety_comments() {
+    let diags = check_fixture(
+        include_str!("fixtures/unsafe_policy.rs"),
+        "crates/stream/src/lib.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::UnsafePolicy, 1), // missing #![forbid(unsafe_code)]
+            (Rule::UnsafePolicy, 6), // undocumented unsafe block
+        ],
+        "the SAFETY-documented block must pass; got: {diags:#?}"
+    );
+}
+
+#[test]
+fn persist_format_fixture_flags_exact_literals_only() {
+    let diags = check_fixture(
+        include_str!("fixtures/persist_format.rs"),
+        "crates/stream/src/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::PersistFormat, 4), // b"ABWL1"
+            (Rule::PersistFormat, 5), // "ABSNAP1"
+        ],
+        "prose mentioning a magic inside a longer string must pass; got: {diags:#?}"
+    );
+}
+
+#[test]
+fn malformed_escapes_are_diagnostics_not_silent_allows() {
+    let diags = check_fixture(
+        include_str!("fixtures/escapes.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::LintEscape, 4),  // missing reason
+            (Rule::PanicPolicy, 6), // ...so the unwrap below still fires
+            (Rule::LintEscape, 9),  // unknown rule name
+        ],
+        "got: {diags:#?}"
+    );
+}
+
+#[test]
+fn scope_exempts_compat_cli_tests_and_fixtures() {
+    // Vendored compat drop-ins: no panic policy, no forbid requirement.
+    let compat = Scope::for_path("crates/compat/rand/src/lib.rs").unwrap();
+    assert!(!compat.panic_policy && !compat.require_forbid_unsafe);
+    // CLI library code may unwrap (it is not estimate-affecting library code).
+    let cli = Scope::for_path("crates/cli/src/commands/run.rs").unwrap();
+    assert!(!cli.panic_policy && !cli.determinism);
+    // Integration tests are whole-file exempt from the textual rules.
+    let test = Scope::for_path("tests/streaming_parity.rs").unwrap();
+    assert!(!test.panic_policy && !test.determinism && !test.hash_iter);
+    // The fixture corpus is skipped entirely.
+    assert!(Scope::for_path("crates/lint/tests/fixtures/escapes.rs").is_none());
+    // Library roots of non-compat crates must forbid unsafe.
+    let root = Scope::for_path("crates/graph/src/lib.rs").unwrap();
+    assert!(root.require_forbid_unsafe);
+}
+
+#[test]
+fn self_scan_real_workspace_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the lint crate lives inside the workspace");
+    let diags = run_check(&root).expect("workspace sources must be readable");
+    assert!(
+        diags.is_empty(),
+        "the real workspace must stay lint-clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -159,7 +159,10 @@ impl SampleGraph {
         self.adj_left
             .values()
             .chain(self.adj_right.values())
-            .filter_map(|set| set.as_large().and_then(|l| l.sorted_cache_len()))
+            .filter_map(|set| {
+                set.as_large()
+                    .and_then(abacus_graph::adjacency::LargeSet::sorted_cache_len)
+            })
             .sum()
     }
 
@@ -241,7 +244,10 @@ impl SampleGraph {
                 set.promote();
                 if cached {
                     // `promote` guarantees the large representation.
-                    let _ = set.as_large().expect("promoted set is large").sorted();
+                    let large = set
+                        .as_large()
+                        .ok_or(PersistError::Invariant("promoted set is large"))?;
+                    let _ = large.sorted();
                 }
             }
         }
@@ -255,10 +261,11 @@ impl SampleGraph {
         let adjacency: usize = self
             .adj_left
             .values()
+            // lint:allow(hash-iter): usize sum of heap sizes is order-insensitive
             .chain(self.adj_right.values())
             .map(AdjacencySet::heap_bytes)
             .sum();
-        adjacency + self.edges.capacity() * std::mem::size_of::<Edge>() + self.slots.capacity() * 24
+        adjacency + self.edges.capacity() * size_of::<Edge>() + self.slots.capacity() * 24
     }
 }
 
@@ -310,7 +317,7 @@ impl NeighborhoodView for SampleGraph {
     #[inline]
     fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
         if let Some(n) = self.neighbors(v) {
-            for x in n.iter() {
+            for x in n {
                 f(x);
             }
         }

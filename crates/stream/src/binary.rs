@@ -24,12 +24,14 @@ use crate::element::{EdgeDelta, StreamElement};
 use crate::io::StreamIoError;
 use crate::source::ElementSource;
 use crate::stream::GraphStream;
+use abacus_graph::persist::format;
 use abacus_graph::Edge;
 use std::io::{self, BufRead, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic header introducing a binary stream file: `ABST` + format version 1.
-pub const BINARY_MAGIC: &[u8; 5] = b"ABST1";
+/// Magic header introducing a binary stream file (from the persist-format
+/// registry in `abacus_graph::persist::format`).
+pub const BINARY_MAGIC: &[u8] = format::STREAM_SEGMENT.magic();
 
 /// Maps a signed delta to an unsigned varint payload (zigzag encoding).
 #[inline]
@@ -62,7 +64,7 @@ fn read_byte<R: Read>(reader: &mut R) -> Result<Option<u8>, StreamIoError> {
         match reader.read(&mut byte) {
             Ok(0) => return Ok(None),
             Ok(_) => return Ok(Some(byte[0])),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(StreamIoError::Io(e)),
         }
     }
@@ -175,7 +177,7 @@ impl<R: BufRead> BinarySource<R> {
                 StreamIoError::Io(e)
             }
         })?;
-        if &magic != BINARY_MAGIC {
+        if magic != BINARY_MAGIC {
             return Err(StreamIoError::format(format!(
                 "bad magic {magic:?}, expected {BINARY_MAGIC:?} (is this a text stream?)"
             )));

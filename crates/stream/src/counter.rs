@@ -28,6 +28,7 @@ pub trait ButterflyCounter {
     fn process_stream(&mut self, stream: &[StreamElement]) {
         let mut source = SliceSource::new(stream);
         self.process_source_chunked(&mut source, self.preferred_chunk())
+            // lint:allow(panic-policy): SliceSource is infallible (no I/O), so the chunked driver cannot return an error here
             .expect("in-memory sources never fail");
     }
 

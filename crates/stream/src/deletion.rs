@@ -70,11 +70,15 @@ pub fn inject_deletions<R: Rng + ?Sized>(
     // yields a uniform position in the current suffix.
     for &edge_index in &delete_set {
         let edge = edges[edge_index];
-        // Position of the insertion in the *current* stream.
-        let insert_pos = stream
+        // Position of the insertion in the *current* stream.  Every chosen
+        // edge comes from `edges`, so its insertion is always found; skipping
+        // an (impossible) miss just drops that one scheduled deletion.
+        let Some(insert_pos) = stream
             .iter()
             .position(|e| e.edge == edge && e.delta.is_insert())
-            .expect("insertion must be present");
+        else {
+            continue;
+        };
         let pos = rng.random_range(insert_pos + 1..=stream.len());
         stream.insert(pos, StreamElement::delete(edge));
     }

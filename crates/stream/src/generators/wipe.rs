@@ -116,10 +116,11 @@ impl<S: ElementSource, R: Rng> VertexWipeInjector<S, R> {
         let mut vertices: Vec<u32> = self.adjacency.keys().copied().collect();
         vertices.sort_unstable();
         let victim = vertices[self.rng.random_range(0..vertices.len())];
-        let neighbors = self
-            .adjacency
-            .remove(&victim)
-            .expect("victim drawn from live keys");
+        // The victim was drawn from the live key list built just above, so
+        // removal always succeeds; an (impossible) miss wipes nothing.
+        let Some(neighbors) = self.adjacency.remove(&victim) else {
+            return;
+        };
         self.wiped_edges += neighbors.len() as u64;
         for right in neighbors {
             self.ready

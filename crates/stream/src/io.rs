@@ -165,7 +165,7 @@ impl<R: BufRead> ElementSource for TextSource<R> {
             self.number += 1;
             match parse_line(&self.line, self.number) {
                 Ok(Some(element)) => return Some(Ok(element)),
-                Ok(None) => continue, // blank or comment line
+                Ok(None) => {} // blank or comment line
                 Err(e) => return Some(Err(e)),
             }
         }

@@ -36,7 +36,7 @@
 //! replayed record-by-record until the first torn byte.
 
 use crate::element::{EdgeDelta, StreamElement};
-use abacus_graph::persist::{crc32, Crc32, PersistError};
+use abacus_graph::persist::{crc32, format, Crc32, PersistError};
 use abacus_graph::Edge;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -139,11 +139,11 @@ pub fn with_retry<T>(
     }
 }
 
-/// Magic header of a WAL segment file: `ABWL` + format version 1.
-pub const WAL_MAGIC: &[u8; 5] = b"ABWL1";
+/// Magic header of a WAL segment file (from the persist-format registry).
+pub const WAL_MAGIC: &[u8] = format::WAL_SEGMENT.magic();
 
-/// Magic header of the committed-watermark file: `ABWM` + format version 1.
-pub const WATERMARK_MAGIC: &[u8; 5] = b"ABWM1";
+/// Magic header of the committed-watermark file (from the registry).
+pub const WATERMARK_MAGIC: &[u8] = format::WATERMARK.magic();
 
 /// File name of the committed-watermark file inside a checkpoint directory.
 pub const WATERMARK_FILE: &str = "COMMITTED";
@@ -387,7 +387,7 @@ fn read_segment(path: &Path, is_last: bool) -> Result<SegmentReplay, PersistErro
     }
     if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(PersistError::BadMagic {
-            expected: "ABWL1",
+            expected: format::WAL_SEGMENT.name,
             found: bytes[..WAL_MAGIC.len()].to_vec(),
         });
     }
@@ -707,7 +707,7 @@ pub fn read_watermark(dir: &Path) -> Result<Option<u64>, PersistError> {
     }
     if &bytes[..WATERMARK_MAGIC.len()] != WATERMARK_MAGIC {
         return Err(PersistError::BadMagic {
-            expected: "ABWM1",
+            expected: format::WATERMARK.name,
             found: bytes[..WATERMARK_MAGIC.len()].to_vec(),
         });
     }

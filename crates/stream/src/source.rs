@@ -277,7 +277,9 @@ impl<S: ElementSource, R: Rng> DeletionInjector<S, R> {
             if slot.is_some_and(|s| top.after > s) {
                 break;
             }
-            let deletion = self.pending.pop().expect("peeked");
+            let Some(deletion) = self.pending.pop() else {
+                break;
+            };
             self.ready.push_back(StreamElement::delete(deletion.edge));
         }
     }

@@ -109,10 +109,7 @@ fn main() {
         match detector.observe(estimate) {
             Some(increase) => {
                 alarms.push(window_index);
-                println!(
-                    "{:<10} {:>16.0} {:>14.0}  *** ANOMALY ***",
-                    window_index, estimate, increase
-                );
+                println!("{window_index:<10} {estimate:>16.0} {increase:>14.0}  *** ANOMALY ***");
             }
             None => println!("{:<10} {:>16.0} {:>14}  ok", window_index, estimate, "-"),
         }

@@ -34,7 +34,7 @@ fn main() {
         abacus.estimate()
     );
 
-    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let max_threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let mut sweep: Vec<usize> = [1, 2, 4, 8, 16, 32]
         .into_iter()
         .filter(|&t| t <= max_threads)

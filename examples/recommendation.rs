@@ -57,7 +57,7 @@ fn main() {
     let mut stream: GraphStream = edges.iter().copied().map(StreamElement::insert).collect();
     for &item in &delisted {
         if let Some(neighbors) = graph.neighbors(abacus::graph::VertexRef::right(item)) {
-            for user in neighbors.iter() {
+            for user in neighbors {
                 stream.push(StreamElement::delete(Edge::new(user, item)));
             }
         }

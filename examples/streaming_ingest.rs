@@ -38,7 +38,7 @@ fn main() {
         insertions,
         StdRng::seed_from_u64(12),
     );
-    let stream = abacus::stream::read_all(&mut injected).expect("in-memory sources never fail");
+    let stream = read_all(&mut injected).expect("in-memory sources never fail");
     println!("workload: {} elements (20% deletions)", stream.len());
 
     // 2. Spill it to disk in both formats.
@@ -48,7 +48,7 @@ fn main() {
     let binary = dir.join("stream.abst");
     write_stream_to_path(&stream, &text).expect("write text");
     write_binary_stream_to_path(&stream, &binary).expect("write binary");
-    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let size = |p: &std::path::Path| std::fs::metadata(p).map_or(0, |m| m.len());
     println!(
         "on disk: {} bytes text, {} bytes binary ({:.1}x smaller)",
         size(&text),

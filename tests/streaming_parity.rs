@@ -235,7 +235,7 @@ fn on_disk_formats_round_trip_the_workload() {
     let (text, binary) = workload_files(&stream);
     for path in [&text, &binary] {
         let mut source = open_path_source(path).unwrap();
-        let decoded = abacus::stream::read_all(&mut source).unwrap();
+        let decoded = read_all(&mut source).unwrap();
         assert_eq!(decoded, stream, "{}", path.display());
     }
 }
