@@ -1,7 +1,7 @@
 //! Fixed-seed perf-smoke harness: emits machine-readable benchmark artifacts
 //! so the perf trajectory of the counting hot path is tracked in CI.
 //!
-//! Six JSON files are written (to `ABACUS_BENCH_DIR`, default the current
+//! Seven JSON files are written (to `ABACUS_BENCH_DIR`, default the current
 //! directory):
 //!
 //! * `BENCH_intersect.json` — median ns/op of every intersection kernel
@@ -24,12 +24,20 @@
 //! * `BENCH_persist.json` — the durability column: the per-element WAL
 //!   append tax over the bare hot path, the cost of a full checkpoint
 //!   (ABSNAP1 snapshot + fsync + WAL rotation + watermark), and recovery
-//!   latency as a function of the WAL length replayed (see `persist_rows`).
+//!   latency as a function of the WAL length replayed (see `persist_rows`),
+//! * `BENCH_samplestore.json` — the sample-store memory column:
+//!   `bytes_per_sampled_edge` of the interned SoA sample layout under the
+//!   honest accounting of `SampleGraph::heap_bytes`, paired with the
+//!   pre-interning hash-of-hashes baseline measured on the same workloads
+//!   under the same accounting, plus before/after columns for the
+//!   single-thread PARABACUS counting overhead (see `samplestore_rows`).
 //!
 //! The ingest section doubles as the bounded-memory *assertion*: a counting
 //! global allocator tracks peak heap, and the run aborts if the streamed
 //! drivers' peak additional memory is not O(budget + chunk) — i.e. if some
 //! regression reintroduces an O(stream) materialization on the ingest path.
+//! The samplestore section likewise PANICS if `bytes_per_sampled_edge`
+//! exceeds its committed per-dataset ceiling at the default workload.
 //!
 //! Everything is seeded; run-to-run noise comes only from the machine.  Keep
 //! the workload small — this runs on every CI push.
@@ -1000,6 +1008,113 @@ fn persist_rows(trials: usize) -> (Vec<Row>, Vec<(String, f64)>) {
     (rows, extra)
 }
 
+/// The sample-store memory column behind `BENCH_samplestore.json`.
+///
+/// Fills a fig9-scale Random Pairing sample per reference stream, reads
+/// `SampleGraph::heap_bytes` (honest accounting: interner tables, SoA
+/// column capacities, adjacency storage including spilled hash sets, and the
+/// edge slot map — not just live elements), and reports
+/// `bytes_per_sampled_edge` next to two committed *before* constants
+/// measured on the exact same seeded workloads:
+///
+/// * `bytes_per_sampled_edge_before` — the pre-interning hash-of-hashes
+///   layout under the *same* honest accounting (movielens 187.4, trackers
+///   316.2).  The old accounting model undercounted that layout at 130.6 /
+///   143.1 bytes per edge because it ignored table and header overhead —
+///   those numbers are not comparable and are deliberately not emitted.
+/// * `parabacus_t1_overhead_before` — the paired single-thread PARABACUS /
+///   ABACUS per-element ratio (batch 10000, snapshot off) committed before
+///   the arena delta logs and scratch reuse landed; the matching `_after`
+///   column is recomputed from this run's `parabacus_rows` medians.
+///
+/// Doubles as the memory-regression *assertion*: at the default workload
+/// (budget 7500, scale 4, full stream) the run PANICS — failing CI — if
+/// `bytes_per_sampled_edge` exceeds the committed ceiling.  The layout is
+/// fully deterministic for a fixed seed (capacities included), so the
+/// ceiling can sit close to the measured value without flaking; it is
+/// skipped when the workload knobs are overridden because per-edge overhead
+/// is amortization-sensitive (smaller budgets spread the fixed per-vertex
+/// cost over fewer edges).
+fn samplestore_rows(parabacus: &[Row]) -> (Vec<Row>, Vec<(String, f64)>) {
+    let budget = env_usize("ABACUS_PERF_SMOKE_BUDGET", 7_500);
+    let scale = env_usize("ABACUS_PERF_SMOKE_SCALE", 4) as u32;
+    let take = env_usize("ABACUS_PERF_SMOKE_ELEMENTS", usize::MAX);
+    let default_workload = budget == 7_500 && scale == 4 && take == usize::MAX;
+
+    // (label, dataset, honest-accounting bytes/edge of the pre-interning
+    //  layout, committed SoA ceiling, committed paired t1 overhead ratio
+    //  before the arena/scratch work).
+    const BASELINES: [(&str, Dataset, f64, f64, f64); 2] = [
+        ("movielens", Dataset::MovielensLike, 187.4, 140.0, 4.060),
+        ("trackers", Dataset::TrackersLike, 316.2, 200.0, 3.539),
+    ];
+
+    let median_of = |name: &str| {
+        parabacus
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns_per_op)
+    };
+
+    let mut rows = Vec::new();
+    let mut extra = vec![("budget".to_string(), budget as f64)];
+    for (name, dataset, before_bytes, ceiling, before_overhead) in BASELINES {
+        let stream: Vec<StreamElement> = dataset
+            .spec()
+            .scaled(scale.max(1))
+            .stream(0.2, SEED)
+            .into_iter()
+            .take(take)
+            .collect();
+        let elements = stream.len() as f64;
+
+        let start = Instant::now();
+        let mut abacus = Abacus::new(AbacusConfig::new(budget).with_seed(SEED));
+        abacus.process_stream(&stream);
+        let secs = start.elapsed().as_secs_f64();
+        black_box(abacus.estimate());
+        rows.push(Row {
+            name: format!("{name}/samplestore/fill"),
+            median_ns_per_op: secs * 1e9 / elements,
+            ops_per_second: elements / secs.max(1e-12),
+        });
+
+        let sampled = abacus.sample().len();
+        let heap = abacus.sample().heap_bytes();
+        let bytes_per_edge = heap as f64 / sampled.max(1) as f64;
+        extra.push((format!("{name}_sampled_edges"), sampled as f64));
+        extra.push((format!("{name}_sample_heap_bytes"), heap as f64));
+        extra.push((format!("{name}_bytes_per_sampled_edge"), bytes_per_edge));
+        extra.push((
+            format!("{name}_bytes_per_sampled_edge_before"),
+            before_bytes,
+        ));
+        extra.push((format!("{name}_bytes_per_sampled_edge_ceiling"), ceiling));
+        extra.push((
+            format!("{name}_parabacus_t1_overhead_before"),
+            before_overhead,
+        ));
+        if let (Some(par), Some(seq)) = (
+            median_of(&format!("{name}/parabacus_t1_m10000/snapshot_off")),
+            median_of(&format!("{name}/abacus/snapshot_off")),
+        ) {
+            extra.push((
+                format!("{name}_parabacus_t1_overhead_after"),
+                par / seq.max(1e-12),
+            ));
+        }
+
+        if default_workload {
+            assert!(
+                bytes_per_edge <= ceiling,
+                "{name}: sample store spends {bytes_per_edge:.1} bytes per sampled edge, \
+                 over the committed ceiling of {ceiling:.1} — the SoA layout regressed"
+            );
+        }
+    }
+    (rows, extra)
+}
+
 fn main() {
     let trials = env_usize("ABACUS_PERF_SMOKE_TRIALS", 3).max(1);
     let out_dir = std::env::var("ABACUS_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
@@ -1019,6 +1134,16 @@ fn main() {
     for (key, value) in &extra {
         println!("{key} = {value:.2}");
     }
+
+    let (samplestore, extra) = samplestore_rows(&rows);
+    let samplestore_json = json_document("samplestore", &samplestore, &extra);
+    let samplestore_path = format!("{out_dir}/BENCH_samplestore.json");
+    std::fs::write(&samplestore_path, &samplestore_json).expect("write BENCH_samplestore.json");
+    println!("wrote {samplestore_path}");
+    for (key, value) in &extra {
+        println!("{key} = {value:.2}");
+    }
+    println!("sample store memory ceiling holds: bytes_per_sampled_edge under committed bound");
 
     let (rows, extra) = ingest_rows();
     let ingest_json = json_document("ingest", &rows, &extra);

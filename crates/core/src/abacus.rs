@@ -269,6 +269,109 @@ mod tests {
         StreamElement::delete(Edge::new(l, r))
     }
 
+    /// A pre-interning writer's ABSNAP1 estimator payload — whose sample
+    /// section is the legacy format (edge count, edges in slot order,
+    /// per-side representation flags) — must restore into the current
+    /// estimator and stay bit-exact from there on.  The history includes
+    /// deletions, so the reference's interner carries freed slots the
+    /// restored run rebuilds differently: the interner is pure layout, and
+    /// this test is the estimator-level proof.
+    #[test]
+    fn absnap_payload_with_legacy_sample_section_restores_bit_exact() {
+        use crate::SnapshotMode;
+        use abacus_graph::adjacency::AdjacencySet;
+        use abacus_graph::{Side, VertexRef};
+
+        let config = AbacusConfig::new(150)
+            .with_seed(9)
+            .with_snapshot(SnapshotMode::Off);
+        let mut reference = Abacus::new(config);
+        // A promoted hub (left 7), a spread of small vertices, then enough
+        // deletions to free interner slots and shrink (not demote) the hub.
+        for r in 0..40u32 {
+            reference.process(ins(7, 100 + r));
+        }
+        for l in 0..20u32 {
+            reference.process(ins(l, 500 + (l % 5)));
+        }
+        for r in 0..10u32 {
+            reference.process(del(7, 100 + r));
+        }
+
+        // Hand-encode the payload exactly as the pre-interning build wrote
+        // it: identical header, RNG words, estimate, and stats; the sample
+        // section in the legacy (marker-less) format.
+        let mut enc = Encoder::new();
+        enc.put_usize(config.budget);
+        enc.put_u64(config.seed);
+        enc.put_u8(0); // snapshot off
+        let triplet = reference.sampler_state();
+        enc.put_usize(triplet.live_items);
+        enc.put_usize(triplet.bad_deletions);
+        enc.put_usize(triplet.good_deletions);
+        for word in reference.rng.state() {
+            enc.put_u64(word);
+        }
+        let sample = reference.sample();
+        enc.put_usize(sample.len());
+        for e in sample.edges() {
+            enc.put_u32(e.left);
+            enc.put_u32(e.right);
+        }
+        for side in [Side::Left, Side::Right] {
+            let mut seen = Vec::new();
+            let mut flags = Vec::new();
+            for e in sample.edges() {
+                let id = match side {
+                    Side::Left => e.left,
+                    Side::Right => e.right,
+                };
+                if seen.contains(&id) {
+                    continue;
+                }
+                seen.push(id);
+                if let Some(large) = sample
+                    .neighbors(VertexRef { side, id })
+                    .and_then(AdjacencySet::as_large)
+                {
+                    flags.push((id, large.sorted_cache_len().is_some()));
+                }
+            }
+            enc.put_usize(flags.len());
+            for (id, cached) in flags {
+                enc.put_u32(id);
+                enc.put_u8(u8::from(cached));
+            }
+        }
+        enc.put_f64(reference.estimate());
+        crate::persist::encode_stats(&mut enc, &reference.stats());
+        let legacy = enc.finish();
+
+        let mut restored = Abacus::new(config);
+        restored.restore_state(&legacy).unwrap();
+        assert_eq!(restored.estimate(), reference.estimate());
+        assert_eq!(restored.sample().edges(), reference.sample().edges());
+        assert_eq!(restored.stats(), reference.stats());
+
+        // The divergent interner internals must be invisible: both runs stay
+        // in lockstep over a mixed insert/delete suffix.
+        for i in 0..60u32 {
+            let element = if i % 3 == 2 {
+                del(i % 8, 500 + (i % 5))
+            } else {
+                ins(40 + i, 600 + (i % 7))
+            };
+            reference.process(element);
+            restored.process(element);
+            assert_eq!(restored.estimate(), reference.estimate(), "element {i}");
+        }
+        assert_eq!(restored.stats(), reference.stats());
+        // (A byte-level re-save comparison would be too strong here: the
+        // reference's interner remembers slots freed before the save point,
+        // which a legacy payload cannot carry — behavior, not layout, is the
+        // cross-version contract.)
+    }
+
     /// With a budget that exceeds the stream size, ABACUS degenerates to exact
     /// counting: the estimate must equal the true count after every element.
     #[test]

@@ -306,6 +306,7 @@ mod tests {
         let tuning = KernelTuning {
             merge_size_ratio: 3,
             gallop_size_ratio: 99,
+            ..KernelTuning::default()
         };
         let c = AbacusConfig::new(100)
             .with_snapshot(SnapshotMode::On)

@@ -323,9 +323,12 @@ impl RunManifest {
                 )))
             }
         });
+        // The adjacency layout knobs are deliberately absent from the
+        // manifest (they cannot change results); restores get the defaults.
         spec = spec.with_kernel_tuning(KernelTuning {
             merge_size_ratio: dec.get_usize()?,
             gallop_size_ratio: dec.get_usize()?,
+            ..KernelTuning::default()
         });
         let num_views = dec.get_usize()?;
         if num_views > ViewKind::ALL.len() {

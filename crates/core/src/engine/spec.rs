@@ -390,6 +390,7 @@ mod tests {
         let tuning = KernelTuning {
             merge_size_ratio: 3,
             gallop_size_ratio: 50,
+            ..KernelTuning::default()
         };
         let spec = EstimatorSpec::parabacus(128)
             .with_seed(9)

@@ -68,7 +68,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use versioned::{RecordingSample, VersionedDeltas};
+use versioned::{RecordingSample, VersionedDeltas, ViewScratch};
 
 /// A dispatched mini-batch whose chunk results have not been collected yet.
 #[derive(Debug)]
@@ -83,6 +83,10 @@ struct InFlightBatch {
     /// The sealed delta log (also carries the op log replayed onto stale
     /// spare buffers while this batch is in flight).
     deltas: Arc<VersionedDeltas>,
+    /// The batch's elements; recycled as a future buffer once collected.
+    elements: Arc<Vec<StreamElement>>,
+    /// The batch's cached sampler triplets; recycled once collected.
+    triplets: Arc<Vec<RandomPairingState>>,
 }
 
 /// The mini-batch parallel PARABACUS estimator.
@@ -131,6 +135,19 @@ pub struct ParAbacus {
     spare_sample: Option<Arc<SampleGraph>>,
     /// Delta-log allocations recycled from collected batches.
     spare_deltas: Vec<Arc<VersionedDeltas>>,
+    /// Element vectors recycled from collected batches; each flush takes one
+    /// back as the next staging buffer, so the steady state stops allocating
+    /// a fresh batch-sized vector per flush.
+    spare_elements: Vec<Vec<StreamElement>>,
+    /// Sampler-triplet vectors recycled from collected batches.
+    spare_triplets: Vec<Vec<RandomPairingState>>,
+    /// Chunk-result vector handed to the pool on every collection (cleared,
+    /// never dropped — its capacity is at most `threads` entries).
+    spare_results: Vec<ChunkResult>,
+    /// View buffers for the single-threaded inline counting path (the pool
+    /// workers each keep their own); lives as long as the estimator so the
+    /// per-edge views stop allocating once warm.
+    inline_scratch: ViewScratch,
     timings: PhaseTimings,
 }
 
@@ -187,14 +204,18 @@ impl ParAbacus {
             policy: RandomPairing::new(config.budget),
             rng: StdRng::seed_from_u64(config.seed),
             estimate: 0.0,
-            buffer: Vec::with_capacity(config.batch_size),
+            buffer: Vec::with_capacity(config.batch_size), // lint:allow(hot-path-alloc): one-time construction; the staging buffer is swapped with recycled vectors thereafter
             stats: ProcessingStats::default(),
-            thread_comparisons: vec![0; config.threads],
+            thread_comparisons: vec![0; config.threads], // lint:allow(hot-path-alloc): one-time construction; fixed `p`-sized table mutated in place
             batches: 0,
             pool: None,
             in_flight: VecDeque::new(),
             spare_sample: None,
-            spare_deltas: Vec::new(),
+            spare_deltas: Vec::new(), // lint:allow(hot-path-alloc): one-time construction of the recycling pools themselves
+            spare_elements: Vec::new(), // lint:allow(hot-path-alloc): one-time construction of the recycling pools themselves
+            spare_triplets: Vec::new(), // lint:allow(hot-path-alloc): one-time construction of the recycling pools themselves
+            spare_results: Vec::new(), // lint:allow(hot-path-alloc): one-time construction of the recycling pools themselves
+            inline_scratch: ViewScratch::new(),
             timings: PhaseTimings::default(),
         }
     }
@@ -305,24 +326,28 @@ impl ParAbacus {
     /// but only inside a *band* of probe density (probes per replayed
     /// mutation, measured batch-over-batch via `density_marker`).  Below
     /// the band (mutation-dominated workloads, Orkut-like at ~0.1
-    /// probes/element) the replay costs more than it saves.  Above the band
-    /// the hash path — with its memoised sorted hub copies — is already
-    /// cache-hot and the marginal kernel savings no longer cover the
-    /// maintenance: the fig9 sweeps behind `BENCH_parabacus.json` put the
-    /// hub-skewed Trackers-like analog at density ~18 probes/op (where the
-    /// snapshot has paid up to ~19% counting time) and the probe-dense
-    /// Movielens-like analog at ~60 (where forcing it on measured *negative*
-    /// and the old one-sided `>= 8×` rule lost 1–2% by enabling anyway).
-    /// The ceiling (32×) is the geometric midpoint of those two measured
-    /// densities.  Marginal rather than cumulative density matters on
-    /// exactly that boundary: while the sample fills, the cumulative ratio
-    /// climbs *through* the band and wrongly enables the snapshot
-    /// mid-stream on workloads whose steady state lies above it.  Which
-    /// backing counts never changes estimates or probe-model comparisons,
-    /// so this adaptivity is invisible in every reported number.
+    /// probes/element) the replay costs more than it saves.  The band also
+    /// has a ceiling: far above it, the hash path — with its memoised
+    /// sorted hub copies — is already cache-hot and the marginal kernel
+    /// savings no longer cover the maintenance.  The fig9 sweeps behind
+    /// `BENCH_parabacus.json` put the hub-skewed Trackers-like analog at
+    /// density ~18 probes/op and the probe-dense Movielens-like analog at
+    /// ~60; with the interned sample store and pooled view scratch, forcing
+    /// the snapshot on measures *positive* at both densities (the old 32×
+    /// ceiling — tuned when the hash slow path still paid per-probe malloc
+    /// churn — sat between them and cost Movielens-like runs ~6% by keeping
+    /// the snapshot off).  The 128× ceiling leaves the measured band with
+    /// ~2× headroom while still refusing pathologically probe-dominated
+    /// workloads where replay is pure overhead.  Marginal rather than
+    /// cumulative density matters on exactly that boundary: while the
+    /// sample fills, the cumulative ratio climbs *through* the band and
+    /// wrongly enables the snapshot mid-stream on workloads whose steady
+    /// state lies above it.  Which backing counts never changes estimates
+    /// or probe-model comparisons, so this adaptivity is invisible in every
+    /// reported number.
     fn snapshot_wanted(&self) -> bool {
         const AUTO_PROBES_PER_OP: u64 = 8;
-        const AUTO_MAX_PROBES_PER_OP: u64 = 32;
+        const AUTO_MAX_PROBES_PER_OP: u64 = 128;
         const AUTO_WARMUP_BATCHES: u64 = 2;
         /// Below this mini-batch size the per-batch savings no longer cover
         /// the snapshot's per-batch costs (measured: M = 500 regresses a few
@@ -408,16 +433,17 @@ impl ParAbacus {
             .expect("collect_oldest called with an empty pipeline");
         // lint:allow(determinism): wall-clock timing feeds the diagnostic timings report only, never an estimate
         let wait_start = std::time::Instant::now();
-        let results = self
-            .pool
+        let mut results = std::mem::take(&mut self.spare_results);
+        self.pool
             .as_mut()
             // lint:allow(panic-policy): the pool is created before the first batch dispatches and lives until drop; an in-flight batch without it is a bug
             .expect("an in-flight batch requires a worker pool")
-            .collect_batch(entry.id, entry.chunks);
+            .collect_batch_into(entry.id, entry.chunks, &mut results);
         self.timings.counting_seconds += wait_start.elapsed().as_secs_f64();
         for result in &results {
             self.reduce(result);
         }
+        self.spare_results = results;
         // The workers dropped their handles before reporting, so the batch's
         // buffers are uniquely owned again and can back the next batch.
         if Arc::ptr_eq(&entry.sample, &self.sample) {
@@ -431,10 +457,27 @@ impl ParAbacus {
         if Arc::strong_count(&entry.deltas) == 1 {
             self.spare_deltas.push(entry.deltas);
         }
+        if let Ok(mut elements) = Arc::try_unwrap(entry.elements) {
+            elements.clear();
+            self.spare_elements.push(elements);
+        }
+        if let Ok(mut triplets) = Arc::try_unwrap(entry.triplets) {
+            triplets.clear();
+            self.spare_triplets.push(triplets);
+        }
     }
 
     fn flush_batch(&mut self) {
-        let elements: Vec<StreamElement> = std::mem::take(&mut self.buffer);
+        let elements: Vec<StreamElement> = std::mem::replace(
+            &mut self.buffer,
+            // Stage the next batch into a recycled element vector (its
+            // capacity survived `clear()`), falling back to a fresh one only
+            // until the pipeline has produced a returnable buffer.
+            self.spare_elements
+                .pop()
+                // lint:allow(hot-path-alloc): cold fallback — taken only until the pipeline returns its first recycled buffer
+                .unwrap_or_else(|| Vec::with_capacity(self.config.batch_size)),
+        );
         let m = elements.len();
         let batch_id = self.batches;
         self.batches += 1;
@@ -449,7 +492,8 @@ impl ParAbacus {
         let mut sample = self.take_writable_sample();
         let mut deltas_arc = self.take_delta_log();
         let deltas = Arc::make_mut(&mut deltas_arc);
-        let mut triplets: Vec<RandomPairingState> = Vec::with_capacity(m);
+        let mut triplets: Vec<RandomPairingState> = self.spare_triplets.pop().unwrap_or_default();
+        triplets.reserve(m);
         for (position, element) in elements.iter().enumerate() {
             triplets.push(self.policy.state());
             let mut recorder = RecordingSample::new(&mut sample, deltas, position as u32);
@@ -528,10 +572,22 @@ impl ParAbacus {
             // estimates never depend on whether the pool was engaged.
             // lint:allow(determinism): phase timing feeds the diagnostic timings report only, never an estimate
             let phase2_start = std::time::Instant::now();
-            let result = execute_task(&chunk_task(0));
+            let task = chunk_task(0);
+            let result = execute_task(&task, &self.inline_scratch);
+            drop(task);
             self.timings.counting_seconds += phase2_start.elapsed().as_secs_f64();
             self.reduce(&result);
             self.spare_deltas.push(deltas_arc);
+            // The task's Arc handles are gone, so the batch buffers are
+            // uniquely owned again and can stage the next batch.
+            if let Ok(mut elements) = Arc::try_unwrap(elements) {
+                elements.clear();
+                self.spare_elements.push(elements);
+            }
+            if let Ok(mut triplets) = Arc::try_unwrap(triplets) {
+                triplets.clear();
+                self.spare_triplets.push(triplets);
+            }
             return;
         }
 
@@ -549,6 +605,8 @@ impl ParAbacus {
             chunks: threads,
             sample: Arc::clone(&self.sample),
             deltas: deltas_arc,
+            elements,
+            triplets,
         });
 
         // Keep at most `pipeline_depth` batches open: with depth 1 this

@@ -26,7 +26,7 @@ use std::ops::Range;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use super::versioned::{VersionView, VersionedDeltas};
+use super::versioned::{VersionView, VersionedDeltas, ViewScratch};
 
 /// One chunk of a mini-batch: count the butterflies of the elements in
 /// `range` against their respective sample versions.
@@ -74,17 +74,24 @@ pub(super) struct ChunkResult {
 /// version, extrapolated with the increment of Eq. 1.
 ///
 /// This is the exact same code path the single-threaded fallback uses, so
-/// estimates never depend on whether the pool was engaged.
-pub(super) fn execute_task(task: &CountTask) -> ChunkResult {
+/// estimates never depend on whether the pool was engaged.  `scratch` carries
+/// the caller's long-lived view buffers; a worker reuses one across every
+/// chunk it executes, so the versioned views allocate nothing per element in
+/// the steady state.
+pub(super) fn execute_task(task: &CountTask, scratch: &ViewScratch) -> ChunkResult {
     let mut partial = 0.0f64;
     let mut stats = ProcessingStats::default();
     for position in task.range.clone() {
         let element = task.elements[position];
         let view = match &task.snapshot {
-            Some(snapshot) => {
-                VersionView::over_snapshot(snapshot, &task.sample, &task.deltas, position as u32)
-            }
-            None => VersionView::new(&task.sample, &task.deltas, position as u32),
+            Some(snapshot) => VersionView::over_snapshot_in(
+                snapshot,
+                &task.sample,
+                &task.deltas,
+                position as u32,
+                scratch,
+            ),
+            None => VersionView::new_in(&task.sample, &task.deltas, position as u32, scratch),
         };
         let per_edge = count_butterflies_with_edge(&view, element.edge);
         let is_insert = element.delta.is_insert();
@@ -115,7 +122,8 @@ pub(super) struct CountingPool {
     result_rx: Receiver<WorkerReport>,
     /// Results that arrived for a newer batch while an older one was being
     /// collected (workers finish chunks in arbitrary order across in-flight
-    /// batches); handed out by a later [`collect_batch`](Self::collect_batch).
+    /// batches); handed out by a later
+    /// [`collect_batch_into`](Self::collect_batch_into).
     parked: Vec<ChunkResult>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -133,10 +141,13 @@ impl CountingPool {
                 std::thread::Builder::new()
                     .name(format!("parabacus-worker-{index}"))
                     .spawn(move || {
+                        // One scratch per worker, reused for every chunk this
+                        // thread ever counts (see `execute_task`).
+                        let scratch = ViewScratch::new();
                         while let Ok(task) = task_rx.recv() {
                             let report =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    execute_task(&task)
+                                    execute_task(&task, &scratch)
                                 }))
                                 .map_err(|payload| panic_message(&payload));
                             // Release the Arc handles before reporting, so the
@@ -156,7 +167,7 @@ impl CountingPool {
         CountingPool {
             task_tx: Some(task_tx),
             result_rx,
-            parked: Vec::new(),
+            parked: Vec::new(), // lint:allow(hot-path-alloc): one-time pool construction; parked entries are drained in place per batch
             workers: handles,
         }
     }
@@ -173,18 +184,21 @@ impl CountingPool {
     }
 
     /// Collects exactly the `count` chunk results of mini-batch `batch` (in
-    /// completion order), parking results of other in-flight batches for
-    /// their own later collection.
+    /// completion order) into `results` — cleared first, so the coordinator
+    /// can hand the same vector back every batch and amortize its capacity —
+    /// parking results of other in-flight batches for their own later
+    /// collection.
     ///
-    /// When [`collect_batch`](Self::collect_batch) returns, every worker that
-    /// executed a chunk of `batch` has already dropped its task — and with it
-    /// its `Arc` handles on that batch's sample version — so the coordinator
-    /// can recycle the version's buffer.
+    /// When [`collect_batch_into`](Self::collect_batch_into) returns, every
+    /// worker that executed a chunk of `batch` has already dropped its task —
+    /// and with it its `Arc` handles on that batch's sample version — so the
+    /// coordinator can recycle the version's buffer.
     /// # Panics
     /// Re-raises (as a coordinator panic) any panic that occurred on a worker
     /// thread while executing a chunk.
-    pub fn collect_batch(&mut self, batch: u64, count: usize) -> Vec<ChunkResult> {
-        let mut results = Vec::with_capacity(count);
+    pub fn collect_batch_into(&mut self, batch: u64, count: usize, results: &mut Vec<ChunkResult>) {
+        results.clear();
+        results.reserve(count);
         self.parked.retain(|result| {
             if result.batch == batch {
                 results.push(*result);
@@ -213,7 +227,6 @@ impl CountingPool {
         // any other driver feeding the same elements (see
         // `tests/streaming_parity.rs`).
         results.sort_by_key(|result| result.chunk_index);
-        results
     }
 }
 
@@ -295,8 +308,9 @@ mod tests {
             hash_task.sample.edges().iter().copied(),
             KernelTuning::default(),
         )));
-        let hash_result = execute_task(&hash_task);
-        let snap_result = execute_task(&snap_task);
+        let scratch = ViewScratch::new();
+        let hash_result = execute_task(&hash_task, &scratch);
+        let snap_result = execute_task(&snap_task, &scratch);
         assert_eq!(hash_result.partial.to_bits(), snap_result.partial.to_bits());
         assert_eq!(hash_result.stats, snap_result.stats);
     }
@@ -308,7 +322,7 @@ mod tests {
             StreamElement::insert(Edge::new(0, 10)),
             StreamElement::delete(Edge::new(0, 10)),
         ];
-        let result = execute_task(&task_for(batch, 0..2));
+        let result = execute_task(&task_for(batch, 0..2), &ViewScratch::new());
         // The insertion finds the butterfly (+1), the deletion removes it (−1).
         assert_eq!(result.partial, 0.0);
         assert_eq!(result.stats.elements, 2);
@@ -321,7 +335,7 @@ mod tests {
             StreamElement::insert(Edge::new(0, 10)),
             StreamElement::insert(Edge::new(5, 50)),
         ];
-        let result = execute_task(&task_for(batch, 1..2));
+        let result = execute_task(&task_for(batch, 1..2), &ViewScratch::new());
         assert_eq!(result.stats.elements, 1);
         assert_eq!(result.partial, 0.0);
     }
@@ -335,7 +349,8 @@ mod tests {
             task.chunk_index = chunk;
             pool.submit(task);
         }
-        let mut results = pool.collect_batch(0, 4);
+        let mut results = Vec::new();
+        pool.collect_batch_into(0, 4, &mut results);
         results.sort_by_key(|r| r.chunk_index);
         assert_eq!(results.len(), 4);
         for (i, result) in results.iter().enumerate() {
@@ -359,8 +374,10 @@ mod tests {
         }
         // Collect the batches in order; results of batch 1 that complete
         // early must be parked, not lost and not misattributed.
+        let mut results = Vec::new();
         for batch_id in 0..2u64 {
-            let results = pool.collect_batch(batch_id, 2);
+            // Reusing one vector across collections mirrors the coordinator.
+            pool.collect_batch_into(batch_id, 2, &mut results);
             assert_eq!(results.len(), 2);
             assert!(results.iter().all(|r| r.batch == batch_id));
             assert_eq!(results.iter().map(|r| r.stats.elements).sum::<u64>(), 4);
@@ -383,7 +400,7 @@ mod tests {
             chunk_index: 1,
             ..task
         });
-        let _ = pool.collect_batch(0, 2);
+        pool.collect_batch_into(0, 2, &mut Vec::new());
         // Both workers reported, so the only remaining strong reference to the
         // element vector is the local one.
         assert_eq!(Arc::strong_count(&elements), 1);

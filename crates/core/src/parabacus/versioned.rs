@@ -18,9 +18,10 @@
 //! The delta log goes through two phases:
 //!
 //! 1. **Recording** (sequential, phase 1 of PARABACUS) — every adjacency
-//!    change is appended to the touched vertices' logs in version order.
-//! 2. **Sealed** (parallel, phase 2) — [`VersionedDeltas::seal`] turns each
-//!    vertex's raw change log into two query indexes:
+//!    change is appended to one flat `(vertex, change)` log in version order.
+//! 2. **Sealed** (parallel, phase 2) — [`VersionedDeltas::seal`] groups the
+//!    flat log by vertex (a stable sort, so each vertex's changes stay in
+//!    version order) and builds two query indexes per touched vertex:
 //!    * *degree suffix sums* so the degree of a vertex at any version is one
 //!      binary search away from its live degree, and
 //!    * *override intervals* — for every `(vertex, neighbor)` pair whose
@@ -33,6 +34,15 @@
 //!    This keeps every versioned probe within a small constant factor of the
 //!    corresponding live-sample probe, which is what preserves the paper's
 //!    speedup shape (Figs. 8–9).
+//!
+//! Both indexes live in two arenas shared across all vertices of the batch
+//! (`degree_suffix`, `overrides`), with a per-vertex map holding only `Copy`
+//! range descriptors into them.  [`clear`](VersionedDeltas::clear) therefore
+//! never frees per-vertex vectors: every batch reuses the previous batch's
+//! arena capacity, and the steady-state sealing pass performs no allocation
+//! beyond the sort's scratch.  The phase-2 read side has the same property:
+//! [`ViewScratch`] pools the small per-intersection override buffers so a
+//! worker thread stops paying one malloc/free pair per resolved vertex.
 
 use crate::sample_graph::SampleGraph;
 use abacus_graph::adjacency::AdjacencySet;
@@ -40,6 +50,8 @@ use abacus_graph::csr::CsrSnapshot;
 use abacus_graph::{Edge, FxHashMap, NeighborhoodView, VertexRef};
 use abacus_sampling::SampleStore;
 use rand::Rng;
+use std::cell::RefCell;
+use std::ops::Range;
 
 /// One recorded adjacency change: at version `version`, `neighbor` was added
 /// to (or removed from) the neighbor set of the owning vertex.
@@ -65,23 +77,32 @@ struct OverrideInterval {
     present: bool,
 }
 
-/// The per-vertex change log plus the indexes built when the log is sealed.
-#[derive(Debug, Clone, Default)]
-struct VertexLog {
-    /// Raw changes in version (i.e. recording) order.
-    entries: Vec<DeltaEntry>,
+/// Where one vertex's sealed indexes live inside the shared arenas.
+///
+/// Keeping only `Copy` ranges in the per-vertex map (instead of per-vertex
+/// vectors) is what lets [`VersionedDeltas::clear`] retain every allocation
+/// across batches.
+#[derive(Debug, Clone, Copy)]
+struct VertexRanges {
+    /// `degree_suffix` arena slice, ascending version order.
+    ds_start: u32,
+    ds_end: u32,
+    /// `overrides` arena slice, sorted by `(neighbor, lo)`.
+    ov_start: u32,
+    ov_end: u32,
+}
+
+/// One vertex's sealed query indexes, borrowed out of the shared arenas.
+#[derive(Debug, Clone, Copy)]
+struct VertexLogRef<'a> {
     /// `(version, suffix)` pairs in ascending version order, where `suffix` is
     /// the net degree change contributed by this entry and everything after
     /// it.  The vertex's degree at version `t` is its live degree minus the
     /// suffix of the first entry with `version >= t`.
-    degree_suffix: Vec<(u32, i32)>,
+    degree_suffix: &'a [(u32, i32)],
     /// Override intervals sorted by `(neighbor, lo)`, pruned to those whose
     /// historic state differs from the live sample.
-    overrides: Vec<OverrideInterval>,
-    /// The `present == true` subset of `overrides`: pairs that existed at some
-    /// versions but are absent from the live sample (needed when iterating a
-    /// historic neighborhood).
-    resurrections: Vec<OverrideInterval>,
+    overrides: &'a [OverrideInterval],
 }
 
 /// Words in the touched-vertex prefilter (8192 bits = 1 KiB, hot in L1).
@@ -95,7 +116,9 @@ const FILTER_WORDS: usize = 128;
 /// copy up to date in O(batch) instead of re-cloning the whole sample.
 #[derive(Debug, Clone)]
 pub struct VersionedDeltas {
-    per_vertex: FxHashMap<VertexRef, VertexLog>,
+    /// `(vertex, change)` pairs: appended in recording (version) order, then
+    /// grouped by vertex in place when the log is sealed.
+    recorded: Vec<(VertexRef, DeltaEntry)>,
     /// Edge-level `(edge, added)` operations in the exact order they were
     /// applied to the live sample.
     ops: Vec<(Edge, bool)>,
@@ -107,16 +130,28 @@ pub struct VersionedDeltas {
     /// overwhelmingly common *no*, one L1-resident bit test replaces a hash
     /// map probe.  False positives merely fall through to the map.
     touched_filter: Box<[u64; FILTER_WORDS]>,
+    /// Touched vertex → where its sealed indexes live in the arenas below.
+    index: FxHashMap<VertexRef, VertexRanges>,
+    /// Shared degree-suffix arena (see [`VertexLogRef::degree_suffix`]).
+    degree_suffix: Vec<(u32, i32)>,
+    /// Shared override-interval arena (see [`VertexLogRef::overrides`]).
+    overrides: Vec<OverrideInterval>,
 }
 
 impl Default for VersionedDeltas {
+    // A log is constructed once per spare-pool miss (the first
+    // `pipeline_depth` batches); the coordinator recycles it through
+    // `spare_deltas` forever after, and `clear()` keeps every capacity.
     fn default() -> Self {
         VersionedDeltas {
-            per_vertex: FxHashMap::default(),
-            ops: Vec::new(),
+            recorded: Vec::new(), // lint:allow(hot-path-alloc): empty on construction; capacity accretes once and survives clear()
+            ops: Vec::new(), // lint:allow(hot-path-alloc): empty on construction; capacity accretes once and survives clear()
             recorded_ops: 0,
             sealed: false,
-            touched_filter: Box::new([0u64; FILTER_WORDS]),
+            touched_filter: Box::new([0u64; FILTER_WORDS]), // lint:allow(hot-path-alloc): fixed 1 KiB prefilter, allocated once per recycled log
+            index: FxHashMap::default(), // lint:allow(hot-path-alloc): empty on construction; capacity accretes once and survives clear()
+            degree_suffix: Vec::new(), // lint:allow(hot-path-alloc): empty on construction; arena capacity survives clear()
+            overrides: Vec::new(), // lint:allow(hot-path-alloc): empty on construction; arena capacity survives clear()
         }
     }
 }
@@ -129,6 +164,12 @@ fn filter_slot(v: VertexRef) -> (usize, u64) {
     let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let bit = (h >> 51) as usize; // top 13 bits → 8192 positions
     (bit >> 6, 1u64 << (bit & 63))
+}
+
+/// Total order over vertices for the seal-time grouping sort.
+#[inline]
+fn group_key(v: VertexRef) -> u64 {
+    (u64::from(v.id) << 1) | u64::from(matches!(v.side, abacus_graph::Side::Right))
 }
 
 impl VersionedDeltas {
@@ -161,11 +202,14 @@ impl VersionedDeltas {
 
     /// Clears the log for the next mini-batch, keeping allocations.
     pub fn clear(&mut self) {
-        // Dropping the map entirely would free the per-vertex vectors; keeping
-        // the outer map but clearing it gives the same semantics and the
-        // allocator a chance to reuse the buckets.
-        self.per_vertex.clear();
+        // Every container holds Copy elements (the map's values are range
+        // descriptors, not vectors), so clearing drops nothing and the next
+        // batch records and seals into the retained capacity.
+        self.recorded.clear();
         self.ops.clear();
+        self.index.clear();
+        self.degree_suffix.clear();
+        self.overrides.clear();
         self.recorded_ops = 0;
         self.sealed = false;
     }
@@ -201,24 +245,22 @@ impl VersionedDeltas {
         assert!(!self.sealed, "cannot record into a sealed delta log");
         self.recorded_ops += 1;
         self.ops.push((edge, added));
-        self.per_vertex
-            .entry(edge.left_ref())
-            .or_default()
-            .entries
-            .push(DeltaEntry {
+        self.recorded.push((
+            edge.left_ref(),
+            DeltaEntry {
                 neighbor: edge.right,
                 version,
                 added,
-            });
-        self.per_vertex
-            .entry(edge.right_ref())
-            .or_default()
-            .entries
-            .push(DeltaEntry {
+            },
+        ));
+        self.recorded.push((
+            edge.right_ref(),
+            DeltaEntry {
                 neighbor: edge.left,
                 version,
                 added,
-            });
+            },
+        ));
     }
 
     /// Freezes the log and builds the per-vertex query indexes against the
@@ -230,67 +272,93 @@ impl VersionedDeltas {
     /// exactly the state PARABACUS keeps between batches.
     pub fn seal(&mut self, live: &SampleGraph) {
         self.touched_filter.fill(0);
-        for (&vertex, log) in &mut self.per_vertex {
-            log.build_indexes(vertex, live);
+        self.index.clear();
+        self.degree_suffix.clear();
+        self.overrides.clear();
+        // A *stable* sort groups each vertex's entries contiguously while
+        // keeping them in recording (version) order within the group —
+        // version order is what the index builders below rely on.
+        self.recorded.sort_by_key(|&(v, _)| group_key(v));
+        let mut i = 0;
+        while i < self.recorded.len() {
+            let vertex = self.recorded[i].0;
+            let start = i;
+            while i < self.recorded.len() && self.recorded[i].0 == vertex {
+                i += 1;
+            }
+            let ranges = self.build_indexes(vertex, start..i, live);
+            self.index.insert(vertex, ranges);
             let (word, mask) = filter_slot(vertex);
             self.touched_filter[word] |= mask;
         }
         self.sealed = true;
     }
 
-    fn log(&self, v: VertexRef) -> Option<&VertexLog> {
-        debug_assert!(self.sealed, "delta log queried before seal()");
-        let (word, mask) = filter_slot(v);
-        if self.touched_filter[word] & mask == 0 {
-            return None;
-        }
-        self.per_vertex.get(&v)
-    }
-}
-
-impl VertexLog {
-    fn build_indexes(&mut self, vertex: VertexRef, live: &SampleGraph) {
+    /// Builds one vertex's query indexes into the shared arenas from its
+    /// contiguous `group` of recorded entries (in version order) and returns
+    /// where they landed.
+    fn build_indexes(
+        &mut self,
+        vertex: VertexRef,
+        group: Range<usize>,
+        live: &SampleGraph,
+    ) -> VertexRanges {
         // Degree suffix sums from the entries in recorded (version) order.
-        self.degree_suffix.clear();
-        self.degree_suffix.reserve(self.entries.len());
+        let ds_start = self.degree_suffix.len();
         let mut suffix = 0i32;
-        for entry in self.entries.iter().rev() {
+        for &(_, entry) in self.recorded[group.clone()].iter().rev() {
             suffix += if entry.added { 1 } else { -1 };
             self.degree_suffix.push((entry.version, suffix));
         }
-        self.degree_suffix.reverse();
+        self.degree_suffix[ds_start..].reverse();
 
-        // Override intervals per pair.  Entries arrive in version order, so a
+        // Override intervals per pair.  The group is in version order, so a
         // stable sort by neighbor keeps each pair's changes version-sorted.
-        self.entries.sort_by_key(|e| e.neighbor);
-        self.overrides.clear();
-        self.resurrections.clear();
-        let mut i = 0;
-        while i < self.entries.len() {
-            let neighbor = self.entries[i].neighbor;
+        self.recorded[group.clone()].sort_by_key(|&(_, e)| e.neighbor);
+        let ov_start = self.overrides.len();
+        let mut i = group.start;
+        while i < group.end {
+            let neighbor = self.recorded[i].1.neighbor;
             let live_present = live.view_contains(vertex, neighbor);
             let mut lo = 0u32;
-            while i < self.entries.len() && self.entries[i].neighbor == neighbor {
-                let entry = self.entries[i];
+            while i < group.end && self.recorded[i].1.neighbor == neighbor {
+                let entry = self.recorded[i].1;
                 let state_before = !entry.added;
                 if state_before != live_present {
-                    let interval = OverrideInterval {
+                    self.overrides.push(OverrideInterval {
                         neighbor,
                         lo,
                         hi: entry.version,
                         present: state_before,
-                    };
-                    self.overrides.push(interval);
-                    if state_before {
-                        self.resurrections.push(interval);
-                    }
+                    });
                 }
                 lo = entry.version + 1;
                 i += 1;
             }
         }
+        VertexRanges {
+            ds_start: ds_start as u32,
+            ds_end: self.degree_suffix.len() as u32,
+            ov_start: ov_start as u32,
+            ov_end: self.overrides.len() as u32,
+        }
     }
 
+    fn log(&self, v: VertexRef) -> Option<VertexLogRef<'_>> {
+        debug_assert!(self.sealed, "delta log queried before seal()");
+        let (word, mask) = filter_slot(v);
+        if self.touched_filter[word] & mask == 0 {
+            return None;
+        }
+        let r = self.index.get(&v)?;
+        Some(VertexLogRef {
+            degree_suffix: &self.degree_suffix[r.ds_start as usize..r.ds_end as usize],
+            overrides: &self.overrides[r.ov_start as usize..r.ov_end as usize],
+        })
+    }
+}
+
+impl VertexLogRef<'_> {
     /// Historic presence of `neighbor` at version `t`, if it differs from the
     /// live sample (`None` means the live sample is authoritative).
     #[inline]
@@ -303,17 +371,16 @@ impl VertexLog {
             .map(|o| o.present)
     }
 
-    /// Collects the overrides *active at version `t`* into `out`, sorted by
-    /// neighbor id.
+    /// Appends the overrides *active at version `t`* to `out` (which the
+    /// caller cleared or positioned), sorted by neighbor id.
     ///
-    /// `out` ends up with one `(neighbor, present)` entry per pair whose state
-    /// at version `t` differs from the live sample; probing it is a binary
+    /// `out` gains one `(neighbor, present)` entry per pair whose state at
+    /// version `t` differs from the live sample; probing it is a binary
     /// search over a few cache lines instead of a walk over the full interval
     /// log, which is what keeps hub-heavy intersections close to live-sample
     /// speed.
-    fn active_overrides_at(&self, t: u32, out: &mut Vec<(u32, bool)>) {
-        out.clear();
-        for interval in &self.overrides {
+    fn push_active_at(&self, t: u32, out: &mut Vec<(u32, bool)>) {
+        for interval in self.overrides {
             if interval.lo <= t && t <= interval.hi {
                 out.push((interval.neighbor, interval.present));
             }
@@ -384,9 +451,70 @@ impl SampleStore<Edge> for RecordingSample<'_> {
     }
 }
 
-/// Per-view cache of materialized adjacency deltas: for each vertex touched
-/// so far, the shared `(neighbor, is_insert)` run relevant to this version.
-type ResolvedDeltaCache = std::cell::RefCell<Vec<(VertexRef, std::rc::Rc<Vec<(u32, bool)>>)>>;
+/// The per-element resolved-override cache inside a [`ViewScratch`]: for each
+/// vertex resolved so far, the slice of the shared `arena` holding its
+/// overrides active at the current element's version.
+#[derive(Debug, Default)]
+struct ResolvedCache {
+    /// Bumped by [`ViewScratch::begin_element`]; a [`VersionView`] only reads
+    /// cache entries written under its own epoch, so a stale view that
+    /// outlives a newer sibling on the same scratch degrades to recomputing
+    /// instead of reading another version's entries.
+    epoch: u64,
+    /// `(vertex, start, end)` ranges into `arena`, in resolution order (the
+    /// handful of vertices one per-edge count touches — linear scan wins).
+    keys: Vec<(VertexRef, u32, u32)>,
+    arena: Vec<(u32, bool)>,
+}
+
+/// Reusable phase-2 scratch: the per-element resolved-override cache plus a
+/// pool of override buffers for in-flight intersections.
+///
+/// One per-edge count resolves a few vertices' active overrides and probes
+/// them from nested iteration (`count_via_anchor` intersects inside a
+/// neighbor walk).  With a fresh view per element that cost one heap
+/// allocation per resolved vertex and per intersection operand — the
+/// dominant malloc traffic of phase 2.  A worker thread instead keeps one
+/// `ViewScratch` alive across all elements it counts and hands it to each
+/// view: buffers are cleared, never freed, so the steady state allocates
+/// nothing.
+///
+/// Construction is allocation-free; all buffers grow on first use and are
+/// retained afterwards.
+#[derive(Debug, Default)]
+pub struct ViewScratch {
+    resolved: RefCell<ResolvedCache>,
+    pool: RefCell<Vec<Vec<(u32, bool)>>>,
+}
+
+impl ViewScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new element: invalidates the resolved cache (its contents are
+    /// version-specific) and returns the new epoch.
+    fn begin_element(&self) -> u64 {
+        let mut cache = self.resolved.borrow_mut();
+        cache.epoch += 1;
+        cache.keys.clear();
+        cache.arena.clear();
+        cache.epoch
+    }
+
+    /// Takes a cleared override buffer from the pool (or a fresh one).
+    fn acquire(&self) -> Vec<(u32, bool)> {
+        self.pool.borrow_mut().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for the next intersection to reuse.
+    fn release(&self, mut buffer: Vec<(u32, bool)>) {
+        buffer.clear();
+        self.pool.borrow_mut().push(buffer);
+    }
+}
 
 /// The live (post-batch) state a [`VersionView`] reconstructs versions
 /// against: the hash-backed sample itself, or — when the snapshot is
@@ -468,6 +596,25 @@ impl<'a> Backing<'a> {
     }
 }
 
+/// A [`VersionView`]'s scratch: borrowed from the worker's long-lived
+/// [`ViewScratch`], or owned when the caller did not supply one (tests,
+/// one-off views).
+#[derive(Debug)]
+enum ScratchHandle<'a> {
+    Owned(Box<ViewScratch>),
+    Shared(&'a ViewScratch),
+}
+
+impl ScratchHandle<'_> {
+    #[inline]
+    fn get(&self) -> &ViewScratch {
+        match self {
+            ScratchHandle::Owned(scratch) => scratch,
+            ScratchHandle::Shared(scratch) => scratch,
+        }
+    }
+}
+
 /// A read-only view of the sample *as it was* at a given version of the
 /// current mini-batch.
 ///
@@ -478,14 +625,19 @@ impl<'a> Backing<'a> {
 /// The view caches, per queried vertex, the overrides that are *active* at
 /// its version (usually none or a handful), so repeated probes against the
 /// same hub vertex — the common case inside the butterfly kernel — cost
-/// little more than probing the live sample.  The cache makes the view
-/// cheap to query but not `Copy`; create one view per processed element.
+/// little more than probing the live sample.  The cache lives in a
+/// [`ViewScratch`]: pass a long-lived one to [`new_in`](Self::new_in) /
+/// [`over_snapshot_in`](Self::over_snapshot_in) to reuse its buffers across
+/// elements (the worker hot path), or use [`new`](Self::new) /
+/// [`over_snapshot`](Self::over_snapshot) for a self-contained view.
 #[derive(Debug)]
 pub struct VersionView<'a> {
     backing: Backing<'a>,
     deltas: &'a VersionedDeltas,
     version: u32,
-    resolved: ResolvedDeltaCache,
+    scratch: ScratchHandle<'a>,
+    /// The scratch epoch this view resolved under (see [`ResolvedCache`]).
+    epoch: u64,
 }
 
 impl<'a> VersionView<'a> {
@@ -493,12 +645,18 @@ impl<'a> VersionView<'a> {
     /// of the batch observes, i.e. before its own update).
     #[must_use]
     pub fn new(sample: &'a SampleGraph, deltas: &'a VersionedDeltas, version: u32) -> Self {
-        VersionView {
-            backing: Backing::Hash(sample),
-            deltas,
-            version,
-            resolved: std::cell::RefCell::new(Vec::new()),
-        }
+        Self::build(Backing::Hash(sample), deltas, version, None)
+    }
+
+    /// [`new`](Self::new), reusing the buffers of a caller-owned scratch.
+    #[must_use]
+    pub fn new_in(
+        sample: &'a SampleGraph,
+        deltas: &'a VersionedDeltas,
+        version: u32,
+        scratch: &'a ViewScratch,
+    ) -> Self {
+        Self::build(Backing::Hash(sample), deltas, version, Some(scratch))
     }
 
     /// Creates the view of version `version` over the frozen CSR snapshot of
@@ -511,28 +669,74 @@ impl<'a> VersionView<'a> {
         deltas: &'a VersionedDeltas,
         version: u32,
     ) -> Self {
-        VersionView {
-            backing: Backing::Csr(snapshot, sample),
+        Self::build(Backing::Csr(snapshot, sample), deltas, version, None)
+    }
+
+    /// [`over_snapshot`](Self::over_snapshot), reusing the buffers of a
+    /// caller-owned scratch.
+    #[must_use]
+    pub fn over_snapshot_in(
+        snapshot: &'a CsrSnapshot,
+        sample: &'a SampleGraph,
+        deltas: &'a VersionedDeltas,
+        version: u32,
+        scratch: &'a ViewScratch,
+    ) -> Self {
+        Self::build(
+            Backing::Csr(snapshot, sample),
             deltas,
             version,
-            resolved: std::cell::RefCell::new(Vec::new()),
+            Some(scratch),
+        )
+    }
+
+    fn build(
+        backing: Backing<'a>,
+        deltas: &'a VersionedDeltas,
+        version: u32,
+        scratch: Option<&'a ViewScratch>,
+    ) -> Self {
+        let (scratch, epoch) = match scratch {
+            Some(shared) => {
+                let epoch = shared.begin_element();
+                (ScratchHandle::Shared(shared), epoch)
+            }
+            None => (ScratchHandle::Owned(Box::default()), 0),
+        };
+        VersionView {
+            backing,
+            deltas,
+            version,
+            scratch,
+            epoch,
         }
     }
 
-    /// The (cached) list of overrides of `v` that are active at this view's
-    /// version, sorted by neighbor id, or `None` when the batch did not touch
-    /// `v` at all.
-    fn active_overrides(&self, v: VertexRef) -> Option<std::rc::Rc<Vec<(u32, bool)>>> {
-        let log = self.deltas.log(v)?;
-        let mut cache = self.resolved.borrow_mut();
-        if let Some((_, active)) = cache.iter().find(|(vertex, _)| *vertex == v) {
-            return Some(std::rc::Rc::clone(active));
+    /// Copies the overrides of `v` active at this view's version into `out`
+    /// (cleared first), sorted by neighbor id; `out` stays empty when the
+    /// batch did not touch `v` at all.
+    fn active_overrides_into(&self, v: VertexRef, out: &mut Vec<(u32, bool)>) {
+        out.clear();
+        let Some(log) = self.deltas.log(v) else {
+            return;
+        };
+        let mut cache = self.scratch.get().resolved.borrow_mut();
+        if cache.epoch != self.epoch {
+            // A newer view took over the shared scratch; serve this stale
+            // view without touching its successor's cache.
+            log.push_active_at(self.version, out);
+            return;
         }
-        let mut active = Vec::new();
-        log.active_overrides_at(self.version, &mut active);
-        let active = std::rc::Rc::new(active);
-        cache.push((v, std::rc::Rc::clone(&active)));
-        Some(active)
+        let ResolvedCache { keys, arena, .. } = &mut *cache;
+        if let Some(&(_, start, end)) = keys.iter().find(|&&(vertex, _, _)| vertex == v) {
+            out.extend_from_slice(&arena[start as usize..end as usize]);
+            return;
+        }
+        let start = arena.len();
+        log.push_active_at(self.version, arena);
+        let end = arena.len();
+        keys.push((v, start as u32, end as u32));
+        out.extend_from_slice(&arena[start..end]);
     }
 
     /// Calls `f` for every historic neighbor of `v` given `v`'s active
@@ -602,9 +806,11 @@ impl NeighborhoodView for VersionView<'_> {
     }
 
     fn view_for_each_neighbor(&self, v: VertexRef, f: &mut dyn FnMut(u32)) {
-        let active = self.active_overrides(v);
-        let active = active.as_deref().map_or(&[][..], Vec::as_slice);
-        self.for_each_historic_neighbor(v, active, &mut |n| f(n));
+        let scratch = self.scratch.get();
+        let mut active = scratch.acquire();
+        self.active_overrides_into(v, &mut active);
+        self.for_each_historic_neighbor(v, &active, &mut |n| f(n));
+        scratch.release(active);
     }
 
     fn view_intersection_excluding(
@@ -626,18 +832,30 @@ impl NeighborhoodView for VersionView<'_> {
         } else {
             (b, a)
         };
+        let scratch = self.scratch.get();
+        let mut probe_active = scratch.acquire();
+        let mut iterate_active = scratch.acquire();
+        self.active_overrides_into(probe, &mut probe_active);
+        self.active_overrides_into(iterate, &mut iterate_active);
+        if probe_active.is_empty() && iterate_active.is_empty() {
+            // Touched endpoints, but no override is *active* at this version:
+            // both historic neighborhoods equal the live ones, so the
+            // backing's specialised kernel applies.  It picks the iterated
+            // side by the same smaller-degree rule (ties: first argument) and
+            // reports the probe-model comparisons `|smaller \ {exclude}|`, so
+            // count and comparisons are bit-identical to the manual loop.
+            scratch.release(iterate_active);
+            scratch.release(probe_active);
+            return self.backing.view_intersection_excluding(a, b, exclude);
+        }
         let probe_live = self.backing.resolved_row(probe);
-        let probe_active = self.active_overrides(probe);
-        let probe_active = probe_active.as_deref().map_or(&[][..], Vec::as_slice);
-        let iterate_active = self.active_overrides(iterate);
-        let iterate_active = iterate_active.as_deref().map_or(&[][..], Vec::as_slice);
         let mut result = abacus_graph::intersect::IntersectionResult::default();
-        self.for_each_historic_neighbor(iterate, iterate_active, &mut |x| {
+        self.for_each_historic_neighbor(iterate, &iterate_active, &mut |x| {
             if x == exclude {
                 return;
             }
             result.comparisons += 1;
-            let present = match lookup(probe_active, x) {
+            let present = match lookup(&probe_active, x) {
                 Some(present) => present,
                 None => probe_live.contains(x),
             };
@@ -645,6 +863,8 @@ impl NeighborhoodView for VersionView<'_> {
                 result.count += 1;
             }
         });
+        scratch.release(iterate_active);
+        scratch.release(probe_active);
         result
     }
 }
@@ -783,6 +1003,36 @@ mod tests {
     }
 
     #[test]
+    fn clear_retains_the_arena_capacity() {
+        let mut sample = SampleGraph::new();
+        let mut deltas = VersionedDeltas::new();
+        for version in 0..64u32 {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, version);
+            rec.store_insert(edge(version, 10 + version % 5));
+        }
+        deltas.seal(&sample);
+        let caps = (
+            deltas.recorded.capacity(),
+            deltas.ops.capacity(),
+            deltas.degree_suffix.capacity(),
+            deltas.overrides.capacity(),
+        );
+        assert!(caps.0 > 0 && caps.2 > 0);
+        deltas.clear();
+        assert_eq!(
+            (
+                deltas.recorded.capacity(),
+                deltas.ops.capacity(),
+                deltas.degree_suffix.capacity(),
+                deltas.overrides.capacity(),
+            ),
+            caps,
+            "clear() must keep the arenas for the next batch"
+        );
+        assert!(deltas.recorded.is_empty() && deltas.index.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "sealed delta log")]
     fn recording_into_a_sealed_log_panics() {
         let mut deltas = VersionedDeltas::new();
@@ -835,13 +1085,50 @@ mod tests {
         assert_eq!(ops, vec![(edge(1, 10), true), (edge(1, 10), false)]);
     }
 
+    #[test]
+    fn stale_view_on_a_shared_scratch_still_answers_correctly() {
+        // Two views alive on one scratch: the newer one owns the resolved
+        // cache (epoch), the older one must recompute rather than read the
+        // newer version's cached overrides.
+        let mut sample = SampleGraph::new();
+        sample.store_insert(edge(1, 10));
+        let mut deltas = VersionedDeltas::new();
+        {
+            let mut rec = RecordingSample::new(&mut sample, &mut deltas, 0);
+            assert!(rec.store_remove(&edge(1, 10)));
+        }
+        deltas.seal(&sample);
+
+        let scratch = ViewScratch::new();
+        let v0 = VersionView::new_in(&sample, &deltas, 0, &scratch);
+        assert!(v0.view_contains(VertexRef::left(1), 10));
+        // Constructing v1 bumps the epoch and clears the cache.
+        let v1 = VersionView::new_in(&sample, &deltas, 1, &scratch);
+        assert!(!v1.view_contains(VertexRef::left(1), 10));
+        assert_eq!(
+            view_neighbors(&v1, VertexRef::left(1)),
+            BTreeSet::new(),
+            "v1 sees the post-removal state"
+        );
+        // The stale v0 must still see version 0, not v1's cached resolution.
+        assert_eq!(
+            view_neighbors(&v0, VertexRef::left(1)),
+            BTreeSet::from([10]),
+            "stale view must bypass the newer epoch's cache"
+        );
+        assert_eq!(v0.view_degree(VertexRef::left(1)), 1);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
         /// A `VersionView` over the frozen CSR snapshot of the sealed sample
         /// reports exactly what the hash-backed view reports — adjacency,
         /// degrees, membership, and intersections with identical probe-model
-        /// comparisons — at every version of a random batch.
+        /// comparisons — at every version of a random batch.  Both sides run
+        /// through a long-lived shared [`ViewScratch`] exactly like the
+        /// worker hot path, so the pooled buffers and the epoch handling are
+        /// covered by the same parity bar.
         #[test]
         fn snapshot_backed_views_match_hash_backed_views(
             ops in proptest::collection::vec((0u8..3, 0u32..6, 0u32..6), 1..40),
@@ -883,9 +1170,12 @@ mod tests {
                 KernelTuning::default(),
             );
 
+            let hash_scratch = ViewScratch::new();
+            let snap_scratch = ViewScratch::new();
             for v in 0..=versions {
-                let hash_view = VersionView::new(&sample, &deltas, v);
-                let snap_view = VersionView::over_snapshot(&snapshot, &sample, &deltas, v);
+                let hash_view = VersionView::new_in(&sample, &deltas, v, &hash_scratch);
+                let snap_view =
+                    VersionView::over_snapshot_in(&snapshot, &sample, &deltas, v, &snap_scratch);
                 for id in 0..20u32 {
                     for side in [Side::Left, Side::Right] {
                         let vref = VertexRef::new(side, id);
@@ -953,8 +1243,9 @@ mod tests {
             }
             deltas.seal(&sample);
 
+            let scratch = ViewScratch::new();
             for (v, snapshot) in snapshots.iter().enumerate() {
-                let view = VersionView::new(&sample, &deltas, v as u32);
+                let view = VersionView::new_in(&sample, &deltas, v as u32, &scratch);
                 // Compare adjacency of every vertex id that could appear.
                 for id in 0..20u32 {
                     for side in [Side::Left, Side::Right] {

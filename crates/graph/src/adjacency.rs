@@ -26,6 +26,12 @@ use std::collections::hash_set;
 use std::sync::OnceLock;
 
 /// Maximum number of neighbors kept in the vector representation.
+///
+/// Chosen by the `adjacency_spill` micro-bench sweep (see
+/// [`crate::intersect::DEFAULT_ADJ_SPILL_THRESHOLD`] for the numbers): larger
+/// spill points win on small sample budgets but regress the paired
+/// counting-phase overhead at the reference-benchmark scale, so 32 is the
+/// default and [`crate::intersect::KernelTuning`] exposes the knob.
 pub const SMALL_THRESHOLD: usize = 32;
 
 /// Capacity reserved by the first insertion into an empty `Small` vector.
@@ -35,7 +41,7 @@ pub const SMALL_THRESHOLD: usize = 32;
 /// in the insert-heavy phase of a stream, where every new vertex takes this
 /// path.  32 bytes per active vertex buys the whole `Small` range at most
 /// two grow steps (8 → 16 → 32).
-const SMALL_PRESIZE: usize = 8;
+pub const SMALL_PRESIZE: usize = 8;
 
 /// The hash-backed representation of a large neighbor set, plus a lazily
 /// built sorted copy of the elements.
@@ -124,7 +130,13 @@ pub enum AdjacencySet {
     /// Unsorted vector representation for small sets.
     Small(Vec<u32>),
     /// Hash-set representation for large sets.
-    Large(LargeSet),
+    ///
+    /// Boxed so the enum stays pointer-sized-ish (32 bytes instead of 64):
+    /// the sample store and the dynamic graph keep one `AdjacencySet` per
+    /// active vertex in a dense slab, and most vertices are `Small`, so the
+    /// rare hub should not double every slot.  Hubs pay one extra pointer
+    /// chase on top of the hash probe they already do.
+    Large(Box<LargeSet>),
 }
 
 impl Default for AdjacencySet {
@@ -147,7 +159,7 @@ impl AdjacencySet {
         if capacity <= SMALL_THRESHOLD {
             AdjacencySet::Small(Vec::with_capacity(capacity))
         } else {
-            AdjacencySet::Large(LargeSet::with_capacity(capacity))
+            AdjacencySet::Large(Box::new(LargeSet::with_capacity(capacity)))
         }
     }
 
@@ -180,19 +192,33 @@ impl AdjacencySet {
 
     /// Inserts `x`; returns `true` if it was not already present.
     pub fn insert(&mut self, x: u32) -> bool {
+        self.insert_tuned(x, SMALL_THRESHOLD, SMALL_PRESIZE)
+    }
+
+    /// Inserts `x` with explicit layout knobs: `spill_threshold` is the
+    /// inline-vector length at which the set spills to the hash-backed
+    /// representation, `first_reserve` the capacity reserved by the first
+    /// insertion into an empty inline vector.
+    ///
+    /// The knobs only move memory layout and wall time: membership, counts,
+    /// probe-model `comparisons`, and iteration *sets* (not order) are
+    /// identical for every setting, so tuning them can never change a
+    /// reported number.  A `spill_threshold` of zero is treated as one.
+    pub fn insert_tuned(&mut self, x: u32, spill_threshold: usize, first_reserve: usize) -> bool {
         match self {
             AdjacencySet::Small(v) => {
                 if v.contains(&x) {
                     return false;
                 }
-                if v.len() == SMALL_THRESHOLD {
-                    let mut large = LargeSet::with_capacity(SMALL_THRESHOLD * 2);
+                let spill = spill_threshold.max(1);
+                if v.len() >= spill {
+                    let mut large = LargeSet::with_capacity(spill * 2);
                     large.set.extend(v.iter().copied());
                     large.set.insert(x);
-                    *self = AdjacencySet::Large(large);
+                    *self = AdjacencySet::Large(Box::new(large));
                 } else {
-                    if v.capacity() == 0 {
-                        v.reserve(SMALL_PRESIZE);
+                    if v.capacity() == 0 && first_reserve > 0 {
+                        v.reserve(first_reserve);
                     }
                     v.push(x);
                 }
@@ -263,7 +289,7 @@ impl AdjacencySet {
         if let AdjacencySet::Small(v) = self {
             let mut large = LargeSet::with_capacity(v.len().max(SMALL_THRESHOLD * 2));
             large.set.extend(v.iter().copied());
-            *self = AdjacencySet::Large(large);
+            *self = AdjacencySet::Large(Box::new(large));
         }
     }
 
@@ -298,7 +324,8 @@ impl AdjacencySet {
             // capacity is a serviceable estimate for accounting purposes.
             // The memoised sorted copy is accounted only once built.
             AdjacencySet::Large(s) => {
-                s.set.capacity() * 8
+                size_of::<LargeSet>()
+                    + s.set.capacity() * 8
                     + s.sorted
                         .get()
                         .map_or(0, |v| v.capacity() * size_of::<u32>())

@@ -59,6 +59,26 @@ pub const DEFAULT_MERGE_SIZE_RATIO: usize = 8;
 /// actually wins.
 pub const DEFAULT_GALLOP_SIZE_RATIO: usize = 128;
 
+/// Default for [`KernelTuning::adj_spill_threshold`], mirroring
+/// [`crate::adjacency::SMALL_THRESHOLD`].
+///
+/// The `micro` bench's `adjacency_spill` sweep (spill 8–64 × reserve 4/8
+/// over an end-to-end 20k-element ABACUS run) is scale-sensitive: at a
+/// 1.5k-edge budget the mean sampled degree stays small enough that spill 64
+/// wins (~7.2 ms vs ~8.5 ms for 32), but at the fig9 gate scale (7.5k-edge
+/// budget) the denser neighborhoods turn the inline vector's linear probes
+/// into the dominant cost and 64 regresses the paired PARABACUS/ABACUS
+/// overhead ratio on both reference streams (movielens 3.11 → 3.34,
+/// trackers 2.90 → 3.38).  The default therefore stays at 32 — the knob is
+/// there for small-budget deployments that want the larger inline tier.
+pub const DEFAULT_ADJ_SPILL_THRESHOLD: usize = crate::adjacency::SMALL_THRESHOLD;
+
+/// Default for [`KernelTuning::adj_first_reserve`], mirroring
+/// [`crate::adjacency::SMALL_PRESIZE`]: reserving 8 slots on a vertex's
+/// first neighbor skips the 4 → 8 realloc ladder that every new vertex in an
+/// insert-heavy stream would otherwise walk.
+pub const DEFAULT_ADJ_FIRST_RESERVE: usize = crate::adjacency::SMALL_PRESIZE;
+
 /// Cutover ratios of the adaptive intersection kernels.
 ///
 /// The defaults are justified by the `intersect` micro-benchmark
@@ -78,6 +98,18 @@ pub struct KernelTuning {
     /// Sorted CSR slices switch from the merge to galloping search when
     /// `|large| > |small| * gallop_size_ratio`.
     pub gallop_size_ratio: usize,
+    /// [`AdjacencySet`] keeps at most this many neighbors inline in its
+    /// unsorted vector before spilling to the hash-backed representation.
+    ///
+    /// A layout-only knob: it is deliberately **not** part of any persisted
+    /// config fingerprint (manifests and ABSNAP1 payloads), because it can
+    /// never change an estimate, `comparisons`, or RNG consumption — only
+    /// memory shape and wall time.
+    pub adj_spill_threshold: usize,
+    /// Capacity reserved by the first insertion into an empty inline
+    /// adjacency vector.  Layout-only, unpersisted, like
+    /// [`adj_spill_threshold`](KernelTuning::adj_spill_threshold).
+    pub adj_first_reserve: usize,
 }
 
 impl Default for KernelTuning {
@@ -85,6 +117,8 @@ impl Default for KernelTuning {
         KernelTuning {
             merge_size_ratio: DEFAULT_MERGE_SIZE_RATIO,
             gallop_size_ratio: DEFAULT_GALLOP_SIZE_RATIO,
+            adj_spill_threshold: DEFAULT_ADJ_SPILL_THRESHOLD,
+            adj_first_reserve: DEFAULT_ADJ_FIRST_RESERVE,
         }
     }
 }
@@ -741,8 +775,8 @@ mod tests {
             let want = intersection_count_excluding(&sa, &sb, exclude);
             for tuning in [
                 KernelTuning::default(),
-                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: 0 }, // force gallop
-                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: usize::MAX }, // force merge
+                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: 0 , ..KernelTuning::default()}, // force gallop
+                KernelTuning { merge_size_ratio: 8, gallop_size_ratio: usize::MAX , ..KernelTuning::default()}, // force merge
             ] {
                 prop_assert_eq!(
                     sorted_intersection_excluding(&a, &b, exclude, tuning),

@@ -18,6 +18,12 @@ pub const PERSIST_MAGICS: [&str; 5] = ["ABST1", "ABSNAP1", "ABWL1", "ABWM1", "AB
 /// Workspace-relative path of the one file allowed to spell magic literals.
 pub const FORMAT_REGISTRY_PATH: &str = "crates/graph/src/persist.rs";
 
+/// Path prefix of the PARABACUS per-batch hot path, where every allocating
+/// constructor must either be recycled away or carry a justification escape
+/// (the module's whole perf story is arena reuse — see
+/// `crates/core/src/parabacus/`).
+pub const HOT_PATH_PREFIX: &str = "crates/core/src/parabacus/";
+
 /// Rule identifiers, as spelled inside `lint:allow(...)` escapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -32,6 +38,9 @@ pub enum Rule {
     UnsafePolicy,
     /// A persist-format magic string spelled outside the format registry.
     PersistFormat,
+    /// An allocating constructor in the PARABACUS per-batch hot path
+    /// without a justification escape.
+    HotPathAlloc,
     /// A malformed `lint:allow` escape (unknown rule, missing reason).
     LintEscape,
 }
@@ -46,6 +55,7 @@ impl Rule {
             Rule::PanicPolicy => "panic-policy",
             Rule::UnsafePolicy => "unsafe-policy",
             Rule::PersistFormat => "persist-format",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::LintEscape => "lint-escape",
         }
     }
@@ -59,6 +69,7 @@ impl Rule {
             "panic-policy" => Some(Rule::PanicPolicy),
             "unsafe-policy" => Some(Rule::UnsafePolicy),
             "persist-format" => Some(Rule::PersistFormat),
+            "hot-path-alloc" => Some(Rule::HotPathAlloc),
             _ => None,
         }
     }
@@ -88,6 +99,11 @@ impl Rule {
             Rule::PersistFormat => {
                 "reference abacus_graph::persist::format (e.g. format::ABST1.magic / .name) \
                  instead of re-spelling the literal"
+            }
+            Rule::HotPathAlloc => {
+                "reuse a recycled buffer (spare pools, clear-don't-drop, ViewScratch) instead \
+                 of allocating per batch; one-time constructor or cold-path allocations are \
+                 justified with `// lint:allow(hot-path-alloc): <why it is not per-batch>`"
             }
             Rule::LintEscape => "use `// lint:allow(<rule>): <non-empty reason>`",
         }
@@ -135,6 +151,8 @@ pub struct Scope {
     pub require_forbid_unsafe: bool,
     /// Persist-format magic spelling rule.
     pub persist_format: bool,
+    /// Allocation-constructor rule for the PARABACUS per-batch hot path.
+    pub hot_path_alloc: bool,
     /// The file IS the format registry (magics must be defined here, once).
     pub is_format_registry: bool,
     /// Whether `lint:allow` escapes are parsed (and malformed ones flagged).
@@ -205,6 +223,7 @@ impl Scope {
             unsafe_needs_safety: true,
             require_forbid_unsafe: is_lib_root && !is_compat,
             persist_format: !is_lint,
+            hot_path_alloc: path.starts_with(HOT_PATH_PREFIX),
             is_format_registry: path == FORMAT_REGISTRY_PATH,
             parse_escapes: !is_lint,
         })
@@ -477,6 +496,47 @@ pub fn check_file(path: &str, source: &str, scope: Scope) -> Vec<Diagnostic> {
 
     if scope.hash_iter {
         check_hash_iter(&scan, &index, &in_test, &mut push, &mut diags);
+    }
+
+    if scope.hot_path_alloc {
+        // Allocating constructors.  The list is deliberately blunt: inside
+        // the hot-path module *every* allocation site must either disappear
+        // into a recycled buffer or explain why it is not per-batch — the
+        // escape reasons double as the module's allocation inventory.
+        // (`Arc::new` is exempt: the shared-ownership handoff is the batch
+        // protocol itself, and the payloads it wraps are what get recycled.)
+        const ALLOC_CTORS: [&str; 12] = [
+            "Vec::new",
+            "Vec::with_capacity",
+            "vec!",
+            "Box::new",
+            "FxHashMap::default",
+            "FxHashMap::with_capacity",
+            "FxHashSet::default",
+            "FxHashSet::with_capacity",
+            "HashMap::new",
+            "HashSet::new",
+            "String::new",
+            ".to_vec(",
+        ];
+        for pattern in ALLOC_CTORS {
+            for at in find_token(&scan.masked, pattern) {
+                if in_test(at) {
+                    continue;
+                }
+                let line = index.line_of(at);
+                push(
+                    Rule::HotPathAlloc,
+                    line,
+                    format!(
+                        "`{}` allocates in the per-batch hot path; recycle a buffer or \
+                         justify the allocation",
+                        pattern.trim_matches(|c| c == '.' || c == '(')
+                    ),
+                    &mut diags,
+                );
+            }
+        }
     }
 
     if scope.unsafe_needs_safety {

@@ -1,0 +1,23 @@
+//! Hot-path allocation fixture: allocating constructors in the PARABACUS
+//! per-batch module must be recycled away or carry a justification escape.
+
+pub fn seal_batch() -> usize {
+    let mut chunks = Vec::new();
+    chunks.push(vec![0u32; 4]);
+    // lint:allow(hot-path-alloc): recycled through the spare pool in real code
+    let spare: Vec<u32> = Vec::with_capacity(8);
+    chunks.len() + spare.capacity()
+}
+
+pub fn innocent() -> &'static str {
+    // Prose about Vec::new() in a comment must not fire.
+    "Vec::new()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_allocations_are_fine() {
+        let _: Vec<u32> = Vec::with_capacity(4);
+    }
+}

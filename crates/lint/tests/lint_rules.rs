@@ -104,6 +104,33 @@ fn persist_format_fixture_flags_exact_literals_only() {
 }
 
 #[test]
+fn hot_path_alloc_fixture_flags_unjustified_ctors_in_parabacus_only() {
+    let diags = check_fixture(
+        include_str!("fixtures/hot_path_alloc.rs"),
+        "crates/core/src/parabacus/fixture.rs",
+    );
+    assert_eq!(
+        keys(&diags),
+        vec![
+            (Rule::HotPathAlloc, 5), // Vec::new
+            (Rule::HotPathAlloc, 6), // vec!
+        ],
+        "the escaped Vec::with_capacity, comment/string decoys, and \
+         #[cfg(test)] code must not fire; got: {diags:#?}"
+    );
+    // The same source outside the per-batch module is out of scope for the
+    // allocation rule (core's other rules still apply to it).
+    let elsewhere = check_fixture(
+        include_str!("fixtures/hot_path_alloc.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(
+        elsewhere.iter().all(|d| d.rule != Rule::HotPathAlloc),
+        "got: {elsewhere:#?}"
+    );
+}
+
+#[test]
 fn malformed_escapes_are_diagnostics_not_silent_allows() {
     let diags = check_fixture(
         include_str!("fixtures/escapes.rs"),
